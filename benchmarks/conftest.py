@@ -1,0 +1,28 @@
+"""Shared configuration for the benchmark harness.
+
+Each ``bench_*`` module regenerates one table or figure of the paper's
+evaluation section (see DESIGN.md's per-experiment index) at a reduced,
+laptop-friendly scale, and prints the resulting records so the numbers can be
+compared against EXPERIMENTS.md.  ``pytest benchmarks/ --benchmark-only``
+runs all of them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import harness
+
+
+def pytest_configure(config):
+    config.addinivalue_line("markers", "figure(name): paper figure/table a benchmark reproduces")
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Collects experiment records and prints them at the end of the session."""
+    sections: dict[str, list[dict]] = {}
+    yield sections
+    for title, records in sections.items():
+        print(f"\n=== {title} ===")
+        print(harness.format_records(records, float_digits=4))

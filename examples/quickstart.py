@@ -1,0 +1,72 @@
+"""Quickstart: approximate analytics over a single table in five steps.
+
+1. load a base table into the (in-process) underlying database,
+2. build a 1% uniform sample with VerdictDB's sample builder,
+3. send ordinary SQL to the middleware,
+4. read the approximate answer and its confidence interval,
+5. compare against the exact answer.
+
+Run with ``python examples/quickstart.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import SampleSpec, VerdictContext
+from repro.core.sample_planner import PlannerConfig
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    num_rows = 1_000_000
+
+    # 1. Load a sales table (this stands in for data already living in your DB).
+    verdict = VerdictContext(
+        planner_config=PlannerConfig(io_budget=0.05, large_table_rows=100_000)
+    )
+    verdict.load_table(
+        "sales",
+        {
+            "sale_id": np.arange(num_rows),
+            "price": rng.lognormal(3.0, 0.8, num_rows),
+            "quantity": rng.integers(1, 10, num_rows),
+            "region": rng.choice(
+                ["north", "south", "east", "west"], num_rows, p=[0.4, 0.3, 0.2, 0.1]
+            ).astype(object),
+        },
+    )
+
+    # 2. Offline stage: build a 1% uniform sample inside the database.
+    info = verdict.create_sample("sales", SampleSpec("uniform", (), 0.01))
+    print(f"built sample {info.sample_table!r}: {info.sample_rows} rows "
+          f"({info.effective_ratio:.2%} of the table)\n")
+
+    # 3. Online stage: ordinary SQL goes to the middleware.
+    query = """
+        SELECT region, count(*) AS num_sales, sum(price * quantity) AS revenue
+        FROM sales
+        WHERE price > 20
+        GROUP BY region
+        ORDER BY region
+    """
+    answer = verdict.sql(query)
+
+    # 4. Approximate answer plus error semantics.
+    print("approximate answer (plan:", answer.plan_description, ")")
+    for row in answer.fetchall():
+        print("  ", row)
+    print("\n95% confidence interval for the first region's revenue:")
+    print("  ", answer.confidence_interval("revenue", row=0))
+    print("rewritten SQL sent to the underlying database:")
+    print("  ", (answer.rewritten_sql or "")[:160], "...")
+
+    # 5. Compare with the exact answer.
+    exact = verdict.execute_exact(query)
+    print("\nexact answer:")
+    for row in exact.fetchall():
+        print("  ", row)
+
+
+if __name__ == "__main__":
+    main()

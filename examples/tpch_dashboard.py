@@ -1,0 +1,56 @@
+"""A TPC-H "dashboard": running the paper's benchmark queries interactively.
+
+Loads the TPC-H-like dataset at a moderate scale, prepares samples for the
+fact tables and runs a handful of the tq-* benchmark queries both exactly and
+approximately, printing latency, speedup and the actual error — a miniature
+version of Figures 4 and 10.
+
+Run with ``python examples/tpch_dashboard.py``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.experiments import harness
+from repro.workloads import tpch
+
+
+DASHBOARD_QUERIES = ["tq-1", "tq-5", "tq-6", "tq-12", "tq-14", "tq-19"]
+
+
+def main() -> None:
+    print("loading TPC-H-like data and preparing samples ...")
+    workbench = harness.build_tpch_workbench(
+        scale_factor=5.0, sample_ratio=0.02, engine="generic", seed=1
+    )
+    verdict = workbench.verdict
+
+    header = f"{'query':8} {'exact (s)':>10} {'approx (s)':>11} {'speedup':>9} {'error':>8}"
+    print("\n" + header)
+    print("-" * len(header))
+    for name in DASHBOARD_QUERIES:
+        sql = tpch.TPCH_QUERIES[name]
+        started = time.perf_counter()
+        exact = verdict.execute_exact(sql)
+        exact_seconds = time.perf_counter() - started
+
+        started = time.perf_counter()
+        approximate = verdict.sql(sql)
+        approx_seconds = time.perf_counter() - started
+
+        error = harness.mean_relative_error(exact, approximate)
+        speedup = exact_seconds / approx_seconds if approx_seconds else float("inf")
+        print(
+            f"{name:8} {exact_seconds:10.3f} {approx_seconds:11.3f} "
+            f"{speedup:8.1f}x {error:7.2%}"
+        )
+
+    print("\nexample: the pricing-summary report (tq-1), approximate answer:")
+    answer = verdict.sql(tpch.TPCH_QUERIES["tq-1"])
+    for row in answer.fetchall()[:4]:
+        print("  ", tuple(round(v, 2) if isinstance(v, float) else v for v in row))
+
+
+if __name__ == "__main__":
+    main()

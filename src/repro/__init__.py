@@ -1,0 +1,42 @@
+"""repro — a from-scratch reproduction of VerdictDB (SIGMOD 2018).
+
+VerdictDB is a database-agnostic approximate query processing (AQP)
+middleware: it rewrites analytical SQL queries so that any off-the-shelf
+relational engine returns enough information to compute an unbiased
+approximate answer together with an error estimate, using *variational
+subsampling* for error estimation.
+
+Quick start::
+
+    import numpy as np
+    from repro import VerdictContext
+    from repro.sampling import SampleSpec
+
+    verdict = VerdictContext()
+    verdict.load_table("orders", {"price": np.random.rand(100_000), ...})
+    verdict.create_sample("orders", SampleSpec("uniform", (), 0.01))
+    answer = verdict.sql("SELECT count(*) AS c FROM orders WHERE price > 0.5")
+    print(answer.column("c")[0], answer.confidence_interval("c"))
+"""
+
+from repro.core.answer import ApproximateResult
+from repro.core.hac import AccuracyContract
+from repro.core.sample_planner import PlannerConfig
+from repro.core.verdict import VerdictContext
+from repro.sampling.params import SampleSpec, SamplingPolicyConfig
+from repro.sqlengine.engine import Database
+from repro.sqlengine.resultset import ResultSet
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccuracyContract",
+    "ApproximateResult",
+    "Database",
+    "PlannerConfig",
+    "ResultSet",
+    "SampleSpec",
+    "SamplingPolicyConfig",
+    "VerdictContext",
+    "__version__",
+]

@@ -1,0 +1,19 @@
+"""Comparison baselines: a tightly-integrated AQP engine and native sketches."""
+
+from repro.baselines.integrated import IntegratedAqpEngine
+from repro.baselines.native_approx import (
+    NativeApproxResult,
+    exact_count_distinct,
+    exact_median,
+    native_count_distinct,
+    native_median,
+)
+
+__all__ = [
+    "IntegratedAqpEngine",
+    "NativeApproxResult",
+    "exact_count_distinct",
+    "exact_median",
+    "native_count_distinct",
+    "native_median",
+]

@@ -1,0 +1,75 @@
+"""Native (non-sampling) approximate aggregates offered by modern engines.
+
+Table 2 of the paper compares VerdictDB's sampling-based count-distinct and
+median against the engines' built-in approximations (Impala's ``ndv``,
+Redshift's ``approx_median`` / ``percentile_disc``).  Their defining property
+is that they are *sketches over the full data*: accurate, but they still scan
+every row.  The built-in engine exposes them as SQL functions
+(:mod:`repro.sqlengine.sketches`); this module wraps them behind the same
+interface the experiments use for VerdictDB so latencies and errors can be
+compared directly.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.connectors.base import Connector
+
+
+@dataclass(frozen=True)
+class NativeApproxResult:
+    """Result of one native approximate aggregate."""
+
+    value: float
+    elapsed_seconds: float
+    rows_scanned: int
+
+
+def native_count_distinct(connector: Connector, table: str, column: str) -> NativeApproxResult:
+    """Full-scan approximate distinct count (the engine's ``ndv`` function)."""
+    started = time.perf_counter()
+    result = connector.execute(f"SELECT ndv({column}) AS v FROM {table}")
+    elapsed = time.perf_counter() - started
+    return NativeApproxResult(
+        value=float(result.scalar()),
+        elapsed_seconds=elapsed,
+        rows_scanned=connector.row_count(table),
+    )
+
+
+def native_median(connector: Connector, table: str, column: str) -> NativeApproxResult:
+    """Full-scan approximate median (the engine's ``approx_median`` function)."""
+    started = time.perf_counter()
+    result = connector.execute(f"SELECT approx_median({column}) AS v FROM {table}")
+    elapsed = time.perf_counter() - started
+    return NativeApproxResult(
+        value=float(result.scalar()),
+        elapsed_seconds=elapsed,
+        rows_scanned=connector.row_count(table),
+    )
+
+
+def exact_count_distinct(connector: Connector, table: str, column: str) -> NativeApproxResult:
+    """Exact distinct count, used as ground truth for Table 2's error column."""
+    started = time.perf_counter()
+    result = connector.execute(f"SELECT count(DISTINCT {column}) AS v FROM {table}")
+    elapsed = time.perf_counter() - started
+    return NativeApproxResult(
+        value=float(result.scalar()),
+        elapsed_seconds=elapsed,
+        rows_scanned=connector.row_count(table),
+    )
+
+
+def exact_median(connector: Connector, table: str, column: str) -> NativeApproxResult:
+    """Exact median, used as ground truth for Table 2's error column."""
+    started = time.perf_counter()
+    result = connector.execute(f"SELECT median({column}) AS v FROM {table}")
+    elapsed = time.perf_counter() - started
+    return NativeApproxResult(
+        value=float(result.scalar()),
+        elapsed_seconds=elapsed,
+        rows_scanned=connector.row_count(table),
+    )

@@ -1,0 +1,39 @@
+"""Driver layer: dialects, syntax changer and backend connectors."""
+
+from repro.connectors.base import Connector
+from repro.connectors.builtin import (
+    BuiltinConnector,
+    impala_like_connector,
+    redshift_like_connector,
+    sparksql_like_connector,
+)
+from repro.connectors.dialects import (
+    DIALECTS,
+    GENERIC,
+    IMPALA_LIKE,
+    REDSHIFT_LIKE,
+    SPARKSQL_LIKE,
+    SQLITE,
+    Dialect,
+    get_dialect,
+)
+from repro.connectors.sqlite import SqliteConnector
+from repro.connectors.syntax_changer import SyntaxChanger
+
+__all__ = [
+    "Connector",
+    "BuiltinConnector",
+    "SqliteConnector",
+    "SyntaxChanger",
+    "Dialect",
+    "DIALECTS",
+    "GENERIC",
+    "IMPALA_LIKE",
+    "SPARKSQL_LIKE",
+    "REDSHIFT_LIKE",
+    "SQLITE",
+    "get_dialect",
+    "impala_like_connector",
+    "sparksql_like_connector",
+    "redshift_like_connector",
+]

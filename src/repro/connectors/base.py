@@ -1,0 +1,113 @@
+"""Connector (driver) abstraction for underlying databases.
+
+A connector is the paper's "thin driver": it sends SQL text to a backend and
+returns :class:`~repro.sqlengine.resultset.ResultSet` objects, plus the small
+amount of catalog introspection the middleware needs (row counts and column
+cardinalities for the default sampling policy).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable, Mapping, Sequence
+
+from repro.connectors.dialects import Dialect
+from repro.connectors.syntax_changer import SyntaxChanger
+from repro.sqlengine import sqlast as ast
+from repro.sqlengine.resultset import ResultSet
+
+
+class Connector(abc.ABC):
+    """Abstract driver through which the middleware talks to a database."""
+
+    def __init__(self, dialect: Dialect) -> None:
+        self.dialect = dialect
+        self.syntax_changer = SyntaxChanger(dialect)
+        self.queries_issued: list[str] = []
+
+    # -- statement execution ---------------------------------------------------
+
+    @abc.abstractmethod
+    def execute_sql(self, sql: str) -> ResultSet:
+        """Execute raw SQL text on the backend and return its result."""
+
+    def execute(self, statement: ast.Statement | str) -> ResultSet:
+        """Execute an AST statement (rendered via the Syntax Changer) or raw SQL."""
+        if isinstance(statement, str):
+            sql = statement
+        else:
+            sql = self.syntax_changer.to_sql(statement)
+        self.queries_issued.append(sql)
+        return self.execute_sql(sql)
+
+    # -- catalog introspection --------------------------------------------------
+
+    @abc.abstractmethod
+    def table_names(self) -> list[str]:
+        """Return the names of the tables visible to this connection."""
+
+    @abc.abstractmethod
+    def column_names(self, table: str) -> list[str]:
+        """Return the column names of ``table``."""
+
+    def has_table(self, table: str) -> bool:
+        lowered = table.lower()
+        return any(name.lower() == lowered for name in self.table_names())
+
+    def row_count(self, table: str) -> int:
+        """Return the number of rows in ``table``."""
+        quoted = self.dialect.quote_identifier(table)
+        result = self.execute(f"SELECT count(*) AS n FROM {quoted}")
+        return int(float(result.scalar()))
+
+    def column_cardinality(self, table: str, column: str) -> int:
+        """Return the number of distinct values in ``table.column``."""
+        quoted_table = self.dialect.quote_identifier(table)
+        quoted_column = self.dialect.quote_identifier(column)
+        result = self.execute(
+            f"SELECT count(DISTINCT {quoted_column}) AS n FROM {quoted_table}"
+        )
+        return int(float(result.scalar()))
+
+    def column_cardinalities(self, table: str) -> dict[str, int]:
+        """Return the distinct-value count of every column in ``table``."""
+        return {
+            column: self.column_cardinality(table, column)
+            for column in self.column_names(table)
+        }
+
+    # -- data loading ------------------------------------------------------------
+
+    @abc.abstractmethod
+    def load_table(self, name: str, columns: Mapping[str, Sequence]) -> None:
+        """Create (or replace) a base table from in-memory columns.
+
+        This stands in for the ETL process that loads data into the
+        underlying database before VerdictDB is pointed at it.
+        """
+
+    def drop_table(self, name: str, if_exists: bool = True) -> None:
+        clause = "IF EXISTS " if if_exists else ""
+        self.execute(f"DROP TABLE {clause}{self.dialect.quote_identifier(name)}")
+
+    def insert_rows(self, table: str, columns: Sequence[str], rows: Iterable[Sequence]) -> None:
+        """Append rows to an existing table using INSERT statements."""
+        rows = list(rows)
+        if not rows:
+            return
+        statement = ast.InsertStatement(
+            table_name=table,
+            columns=list(columns),
+            rows=[[ast.Literal(_python_value(value)) for value in row] for row in rows],
+        )
+        self.execute(statement)
+
+    def close(self) -> None:
+        """Release backend resources (no-op by default)."""
+
+
+def _python_value(value: object) -> object:
+    """Convert numpy scalars to plain python values for INSERT literals."""
+    if hasattr(value, "item"):
+        return value.item()
+    return value

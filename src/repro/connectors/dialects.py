@@ -1,0 +1,104 @@
+"""SQL dialect descriptions for the supported backends.
+
+The paper's "Syntax Changer" is the only module aware of backend-specific
+limitations (Section 2.1): identifier quoting, function spellings, and
+restrictions such as Impala not allowing ``rand()`` inside selection
+predicates.  A :class:`Dialect` captures those differences declaratively so
+adding a new backend is a matter of describing it, mirroring the paper's
+claim that new drivers are only a few dozen lines.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+
+_SAFE_IDENTIFIER = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+
+
+@dataclass(frozen=True)
+class Dialect:
+    """Declarative description of a backend's SQL dialect.
+
+    Attributes:
+        name: human-readable dialect name.
+        identifier_quote: character used to quote identifiers.
+        function_renames: engine-specific spellings for standard functions.
+        allows_rand_in_where: whether ``rand()`` may appear in a WHERE clause
+            (Impala disallows it; the Syntax Changer rewrites around it).
+        supports_window_functions: whether ``agg() OVER (PARTITION BY ...)``
+            is available (required for the variational rewrite).
+        supports_create_table_as: whether ``CREATE TABLE ... AS SELECT`` works.
+        supports_stddev: whether a ``stddev`` aggregate exists natively.
+        reserved_words: extra identifiers that must always be quoted.
+    """
+
+    name: str
+    identifier_quote: str = '"'
+    function_renames: dict[str, str] = field(default_factory=dict)
+    allows_rand_in_where: bool = True
+    supports_window_functions: bool = True
+    supports_create_table_as: bool = True
+    supports_stddev: bool = True
+    reserved_words: frozenset[str] = frozenset()
+
+    def quote_identifier(self, name: str) -> str:
+        """Quote an identifier when required by this dialect."""
+        if _SAFE_IDENTIFIER.match(name) and name.lower() not in self.reserved_words:
+            return name
+        return f"{self.identifier_quote}{name}{self.identifier_quote}"
+
+    def rename_function(self, name: str) -> str:
+        """Return the dialect-specific spelling of a function name."""
+        return self.function_renames.get(name.lower(), name.lower())
+
+
+GENERIC = Dialect(name="generic")
+
+# Modelled on Apache Impala: backtick quoting, no rand() in WHERE predicates.
+IMPALA_LIKE = Dialect(
+    name="impala",
+    identifier_quote="`",
+    allows_rand_in_where=False,
+    function_renames={"rand": "rand", "stddev": "stddev", "vdb_hash": "vdb_hash"},
+)
+
+# Modelled on Spark SQL: backtick quoting, rand() allowed everywhere.
+SPARKSQL_LIKE = Dialect(
+    name="sparksql",
+    identifier_quote="`",
+    function_renames={"stddev": "stddev_samp"},
+)
+
+# Modelled on Amazon Redshift: double-quote quoting, random() instead of rand().
+REDSHIFT_LIKE = Dialect(
+    name="redshift",
+    identifier_quote='"',
+    function_renames={"rand": "random", "stddev": "stddev_samp"},
+)
+
+# The stdlib sqlite3 backend: no native stddev (the connector registers UDFs);
+# multi-argument scalar min/max play the role of least/greatest.
+SQLITE = Dialect(
+    name="sqlite",
+    identifier_quote='"',
+    supports_stddev=True,  # provided through registered user-defined aggregates
+    function_renames={"rand": "vdb_rand", "least": "min", "greatest": "max"},
+)
+
+
+DIALECTS: dict[str, Dialect] = {
+    dialect.name: dialect
+    for dialect in (GENERIC, IMPALA_LIKE, SPARKSQL_LIKE, REDSHIFT_LIKE, SQLITE)
+}
+
+
+def get_dialect(name: str) -> Dialect:
+    """Look up a registered dialect by name."""
+    try:
+        return DIALECTS[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown dialect {name!r}; available: {sorted(DIALECTS)}"
+        ) from None

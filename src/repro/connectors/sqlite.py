@@ -1,0 +1,156 @@
+"""Connector for the stdlib ``sqlite3`` engine.
+
+This backend demonstrates the "universal" part of Universal AQP: the same
+middleware, sample builder and rewriter drive a genuinely different engine
+(SQLite) through nothing but SQL text.  The only backend-specific code is the
+thin driver below, mirroring the paper's claim that new engines need only a
+small driver (55–360 LOC for Impala/Spark/Redshift).
+"""
+
+from __future__ import annotations
+
+import math
+import sqlite3
+import zlib
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.connectors.base import Connector
+from repro.connectors.dialects import SQLITE
+from repro.errors import ConnectorError
+from repro.sqlengine.resultset import ResultSet
+
+
+class _StddevAggregate:
+    """Sample standard deviation UDA (SQLite has no native stddev)."""
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.total_squares = 0.0
+
+    def step(self, value) -> None:
+        if value is None:
+            return
+        value = float(value)
+        self.count += 1
+        self.total += value
+        self.total_squares += value * value
+
+    def finalize(self):
+        if self.count < 2:
+            return None
+        mean = self.total / self.count
+        variance = (self.total_squares / self.count - mean * mean) * self.count / (self.count - 1)
+        return math.sqrt(max(variance, 0.0))
+
+
+class _MedianAggregate:
+    """Exact median UDA used for percentile-style rewrites on SQLite."""
+
+    def __init__(self) -> None:
+        self.values: list[float] = []
+
+    def step(self, value) -> None:
+        if value is not None:
+            self.values.append(float(value))
+
+    def finalize(self):
+        if not self.values:
+            return None
+        return float(np.median(np.array(self.values)))
+
+
+class SqliteConnector(Connector):
+    """Driver for an in-memory (or file-backed) SQLite database."""
+
+    def __init__(self, path: str = ":memory:", seed: int = 0) -> None:
+        super().__init__(SQLITE)
+        self._connection = sqlite3.connect(path)
+        self._rng = np.random.default_rng(seed)
+        self._register_functions()
+
+    def _register_functions(self) -> None:
+        connection = self._connection
+        rng = self._rng
+        connection.create_function("vdb_rand", 0, lambda: float(rng.random()))
+        connection.create_function("rand", 0, lambda: float(rng.random()))
+        connection.create_function(
+            "vdb_hash", 1, lambda value: zlib.crc32(str(value).encode("utf-8")) / 4294967296.0
+        )
+        connection.create_function("crc32", 1, lambda value: zlib.crc32(str(value).encode("utf-8")))
+        connection.create_function("sqrt", 1, lambda value: None if value is None else math.sqrt(value))
+        connection.create_function("floor", 1, lambda value: None if value is None else math.floor(value))
+        connection.create_function("ceil", 1, lambda value: None if value is None else math.ceil(value))
+        connection.create_function(
+            "power", 2, lambda base, exponent: None if base is None else float(base) ** float(exponent)
+        )
+        connection.create_aggregate("stddev", 1, _StddevAggregate)
+        connection.create_aggregate("stddev_samp", 1, _StddevAggregate)
+        connection.create_aggregate("median", 1, _MedianAggregate)
+
+    # -- Connector API ----------------------------------------------------------
+
+    def execute_sql(self, sql: str) -> ResultSet:
+        try:
+            cursor = self._connection.execute(sql)
+        except sqlite3.Error as error:
+            raise ConnectorError(f"sqlite error: {error} (sql: {sql[:200]})") from error
+        if cursor.description is None:
+            self._connection.commit()
+            return ResultSet.empty([])
+        column_names = [item[0] for item in cursor.description]
+        rows = cursor.fetchall()
+        return ResultSet.from_rows(column_names, rows)
+
+    def table_names(self) -> list[str]:
+        cursor = self._connection.execute(
+            "SELECT name FROM sqlite_master WHERE type = 'table' ORDER BY name"
+        )
+        return [row[0] for row in cursor.fetchall()]
+
+    def column_names(self, table: str) -> list[str]:
+        cursor = self._connection.execute(f'PRAGMA table_info("{table}")')
+        names = [row[1] for row in cursor.fetchall()]
+        if not names:
+            raise ConnectorError(f"sqlite table {table!r} does not exist")
+        return names
+
+    def load_table(self, name: str, columns: Mapping[str, Sequence]) -> None:
+        column_names = list(columns.keys())
+        arrays = [np.asarray(columns[column]) for column in column_names]
+        if not arrays:
+            raise ConnectorError("cannot load a table without columns")
+        definitions = ", ".join(
+            f'"{column}" {_sqlite_type(array)}' for column, array in zip(column_names, arrays)
+        )
+        self._connection.execute(f'DROP TABLE IF EXISTS "{name}"')
+        self._connection.execute(f'CREATE TABLE "{name}" ({definitions})')
+        placeholders = ", ".join("?" for _ in column_names)
+        rows = zip(*[_python_list(array) for array in arrays])
+        self._connection.executemany(
+            f'INSERT INTO "{name}" VALUES ({placeholders})', list(rows)
+        )
+        self._connection.commit()
+
+    def close(self) -> None:
+        self._connection.close()
+
+
+def _sqlite_type(array: np.ndarray) -> str:
+    if array.dtype.kind in ("i", "u", "b"):
+        return "INTEGER"
+    if array.dtype.kind == "f":
+        return "REAL"
+    return "TEXT"
+
+
+def _python_list(array: np.ndarray) -> list:
+    if array.dtype.kind in ("i", "u"):
+        return [int(value) for value in array.tolist()]
+    if array.dtype.kind == "f":
+        return [float(value) for value in array.tolist()]
+    if array.dtype.kind == "b":
+        return [int(value) for value in array.tolist()]
+    return [None if value is None else str(value) for value in array.tolist()]

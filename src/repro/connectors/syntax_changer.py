@@ -1,0 +1,144 @@
+"""Syntax Changer: renders rewritten ASTs into backend-specific SQL text.
+
+This is the only middleware component aware of dialect quirks (Section 2.1 of
+the paper).  Besides quoting and function renames (delegated to the
+:class:`~repro.connectors.dialects.Dialect`), it applies structural
+workarounds, e.g. engines that do not allow ``rand()`` inside a WHERE clause
+get the predicate rewritten through a derived table that materialises the
+random number in its select list first.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.sqlengine import sqlast as ast
+from repro.connectors.dialects import Dialect, GENERIC
+
+
+class SyntaxChanger:
+    """Converts AST statements into SQL text for a specific dialect."""
+
+    def __init__(self, dialect: Dialect = GENERIC) -> None:
+        self.dialect = dialect
+
+    def to_sql(self, statement: ast.Statement) -> str:
+        """Render ``statement`` for the target dialect."""
+        adapted = self.adapt(statement)
+        return adapted.to_sql(self.dialect)
+
+    def adapt(self, statement: ast.Statement) -> ast.Statement:
+        """Apply structural dialect workarounds to a statement."""
+        if isinstance(statement, ast.SelectStatement):
+            return self._adapt_select(statement)
+        if isinstance(statement, ast.CreateTableStatement) and statement.as_select is not None:
+            return dataclasses.replace(statement, as_select=self._adapt_select(statement.as_select))
+        if isinstance(statement, ast.InsertStatement) and statement.from_select is not None:
+            return dataclasses.replace(
+                statement, from_select=self._adapt_select(statement.from_select)
+            )
+        return statement
+
+    # -- workarounds -----------------------------------------------------------
+
+    def _adapt_select(self, statement: ast.SelectStatement) -> ast.SelectStatement:
+        adapted = statement
+        if adapted.from_relation is not None:
+            adapted = dataclasses.replace(
+                adapted, from_relation=self._adapt_relation(adapted.from_relation)
+            )
+        if (
+            not self.dialect.allows_rand_in_where
+            and adapted.where is not None
+            and _contains_rand(adapted.where)
+        ):
+            adapted = self._push_rand_into_derived_table(adapted)
+        return adapted
+
+    def _adapt_relation(self, relation: ast.Relation) -> ast.Relation:
+        if isinstance(relation, ast.DerivedTable):
+            return dataclasses.replace(relation, query=self._adapt_select(relation.query))
+        if isinstance(relation, ast.Join):
+            return dataclasses.replace(
+                relation,
+                left=self._adapt_relation(relation.left),
+                right=self._adapt_relation(relation.right),
+            )
+        return relation
+
+    def _push_rand_into_derived_table(
+        self, statement: ast.SelectStatement
+    ) -> ast.SelectStatement:
+        """Rewrite WHERE ... rand() ... through a derived table.
+
+        ``SELECT ... FROM R WHERE rand() < p`` becomes
+        ``SELECT ... FROM (SELECT *, rand() AS __vdb_rand FROM R) t
+        WHERE __vdb_rand < p`` so that engines which forbid non-deterministic
+        functions in predicates can still evaluate the sampling condition.
+        """
+        alias = "__vdb_rand_source"
+        inner = ast.SelectStatement(
+            select_items=[
+                ast.SelectItem(ast.Star()),
+                ast.SelectItem(ast.func("rand"), alias="__vdb_rand"),
+            ],
+            from_relation=statement.from_relation,
+        )
+        new_where = _replace_rand(statement.where, ast.ColumnRef("__vdb_rand"))
+        return dataclasses.replace(
+            statement,
+            from_relation=ast.DerivedTable(query=inner, alias=alias),
+            where=new_where,
+        )
+
+
+def _contains_rand(expression: ast.Expression) -> bool:
+    return any(
+        isinstance(node, ast.FunctionCall) and node.name.lower() in ("rand", "random")
+        for node in expression.walk()
+    )
+
+
+def _replace_rand(expression: ast.Expression, replacement: ast.Expression) -> ast.Expression:
+    """Replace every rand()/random() call in an expression tree."""
+    if isinstance(expression, ast.FunctionCall) and expression.name.lower() in ("rand", "random"):
+        return replacement
+    if isinstance(expression, ast.UnaryOp):
+        return dataclasses.replace(expression, operand=_replace_rand(expression.operand, replacement))
+    if isinstance(expression, ast.BinaryOp):
+        return dataclasses.replace(
+            expression,
+            left=_replace_rand(expression.left, replacement),
+            right=_replace_rand(expression.right, replacement),
+        )
+    if isinstance(expression, ast.FunctionCall):
+        return dataclasses.replace(
+            expression, args=[_replace_rand(arg, replacement) for arg in expression.args]
+        )
+    if isinstance(expression, ast.CaseWhen):
+        return dataclasses.replace(
+            expression,
+            whens=[
+                (_replace_rand(cond, replacement), _replace_rand(result, replacement))
+                for cond, result in expression.whens
+            ],
+            else_result=(
+                None
+                if expression.else_result is None
+                else _replace_rand(expression.else_result, replacement)
+            ),
+        )
+    if isinstance(expression, ast.Between):
+        return dataclasses.replace(
+            expression,
+            operand=_replace_rand(expression.operand, replacement),
+            low=_replace_rand(expression.low, replacement),
+            high=_replace_rand(expression.high, replacement),
+        )
+    if isinstance(expression, ast.InList):
+        return dataclasses.replace(
+            expression,
+            operand=_replace_rand(expression.operand, replacement),
+            values=[_replace_rand(value, replacement) for value in expression.values],
+        )
+    return expression

@@ -1,0 +1,24 @@
+"""The VerdictDB middleware: planner, rewriter, answer rewriter and context."""
+
+from repro.core.answer import ApproximateResult, merge_by_group
+from repro.core.flattener import flatten
+from repro.core.hac import AccuracyContract
+from repro.core.query_info import QueryAnalysis, analyze
+from repro.core.rewriter import AqpRewriter, RewriteOutput
+from repro.core.sample_planner import PlannerConfig, SamplePlan, SamplePlanner
+from repro.core.verdict import VerdictContext
+
+__all__ = [
+    "AccuracyContract",
+    "ApproximateResult",
+    "AqpRewriter",
+    "PlannerConfig",
+    "QueryAnalysis",
+    "RewriteOutput",
+    "SamplePlan",
+    "SamplePlanner",
+    "VerdictContext",
+    "analyze",
+    "flatten",
+    "merge_by_group",
+]

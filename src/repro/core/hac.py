@@ -1,0 +1,46 @@
+"""High-level Accuracy Contract (HAC), Section 2.4.
+
+Users can optionally attach a minimum-accuracy requirement to a query
+("99% accuracy at 95% confidence").  VerdictDB interprets the requirement
+*after* running the rewritten query: if the estimated errors violate it, the
+original query is re-run exactly on the base tables and the exact answer is
+returned instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.answer import ApproximateResult
+
+
+@dataclass(frozen=True)
+class AccuracyContract:
+    """A minimum accuracy requirement evaluated after approximate execution.
+
+    Attributes:
+        min_accuracy: e.g. 0.99 means the approximate answer must be within
+            ±1% of the (unknown) true answer at the stated confidence, which
+            is checked against the estimated relative error.
+        confidence: the confidence level of the error estimate.
+    """
+
+    min_accuracy: float
+    confidence: float = 0.95
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.min_accuracy < 1.0:
+            raise ValueError("min_accuracy must be strictly between 0 and 1")
+        if not 0.0 < self.confidence < 1.0:
+            raise ValueError("confidence must be strictly between 0 and 1")
+
+    @property
+    def max_relative_error(self) -> float:
+        """The largest tolerated relative error."""
+        return 1.0 - self.min_accuracy
+
+    def is_satisfied_by(self, result: ApproximateResult) -> bool:
+        """Check whether an approximate answer meets the contract."""
+        if result.is_exact:
+            return True
+        return result.max_relative_error() <= self.max_relative_error

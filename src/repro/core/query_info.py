@@ -1,0 +1,248 @@
+"""Query analysis: which aggregates a query computes and whether AQP applies.
+
+The middleware only speeds up the query class of Table 1 (mean-like
+aggregates over equi-joined base/derived tables).  Everything else is passed
+through to the underlying database unchanged, so the analysis step must
+decide — without executing anything — whether the query is supported and how
+its aggregates should be decomposed (Section 2.2):
+
+* *mean-like* aggregates (count, sum, avg, stddev, var, quantile) go through
+  the variational-subsampling rewrite;
+* *count-distinct* aggregates are answered from a hashed (universe) sample;
+* *extreme* aggregates (min/max) are computed exactly on the base tables;
+* anything else makes the query unsupported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sqlengine import sqlast as ast
+from repro.sqlengine.expressions import contains_aggregate
+from repro.sqlengine.functions import is_aggregate_function
+
+
+MEAN_LIKE = frozenset(
+    {
+        "count", "sum", "avg", "mean", "stddev", "stddev_samp", "stddev_pop",
+        "var", "variance", "var_samp", "var_pop", "median", "percentile",
+        "quantile", "percentile_disc",
+    }
+)
+EXTREME = frozenset({"min", "max"})
+
+
+@dataclass(frozen=True)
+class AggregateRef:
+    """One aggregate call found in the select list (or HAVING / ORDER BY)."""
+
+    node: ast.FunctionCall
+    item_index: int
+    output_name: str
+    kind: str  # 'mean_like' | 'count_distinct' | 'extreme' | 'unsupported'
+
+    @property
+    def sql_key(self) -> str:
+        return self.node.to_sql()
+
+
+@dataclass
+class QueryAnalysis:
+    """Everything the planner and rewriter need to know about a query."""
+
+    statement: ast.SelectStatement
+    aggregates: list[AggregateRef] = field(default_factory=list)
+    base_tables: list[ast.TableRef] = field(default_factory=list)
+    outer_base_tables: list[ast.TableRef] = field(default_factory=list)
+    derived_tables: list[ast.DerivedTable] = field(default_factory=list)
+    group_by_columns: list[str] = field(default_factory=list)
+    has_join: bool = False
+    is_nested_aggregate: bool = False
+    supported: bool = True
+    unsupported_reason: str = ""
+
+    @property
+    def mean_like(self) -> list[AggregateRef]:
+        return [agg for agg in self.aggregates if agg.kind == "mean_like"]
+
+    @property
+    def count_distinct(self) -> list[AggregateRef]:
+        return [agg for agg in self.aggregates if agg.kind == "count_distinct"]
+
+    @property
+    def extreme(self) -> list[AggregateRef]:
+        return [agg for agg in self.aggregates if agg.kind == "extreme"]
+
+    def table_names(self) -> list[str]:
+        """Names of the base tables referenced anywhere in the FROM clause."""
+        return [table.name for table in self.base_tables]
+
+
+def classify_aggregate(node: ast.FunctionCall) -> str:
+    """Classify an aggregate call into the paper's decomposition categories."""
+    name = node.name.lower()
+    if name == "count" and node.distinct:
+        return "count_distinct"
+    if name in MEAN_LIKE:
+        return "mean_like"
+    if name in EXTREME:
+        return "extreme"
+    return "unsupported"
+
+
+def analyze(statement: ast.SelectStatement) -> QueryAnalysis:
+    """Analyse a parsed SELECT statement.
+
+    The returned analysis marks the query unsupported (rather than raising)
+    when it falls outside the Table 1 class, so the caller can pass it
+    through to the underlying database unchanged.
+    """
+    analysis = QueryAnalysis(statement=statement)
+    analysis.base_tables = ast.base_tables(statement.from_relation)
+    analysis.outer_base_tables = _outer_base_tables(statement.from_relation)
+    _collect_relations(statement.from_relation, analysis)
+    analysis.group_by_columns = [
+        expr.name for expr in statement.group_by if isinstance(expr, ast.ColumnRef)
+    ]
+
+    for index, item in enumerate(statement.select_items):
+        if isinstance(item.expression, ast.Star):
+            continue
+        for node in item.expression.walk():
+            if isinstance(node, ast.FunctionCall) and is_aggregate_function(node.name):
+                if any(contains_aggregate(argument) for argument in node.args):
+                    continue
+                analysis.aggregates.append(
+                    AggregateRef(
+                        node=node,
+                        item_index=index,
+                        output_name=item.output_name(index),
+                        kind=classify_aggregate(node),
+                    )
+                )
+
+    _check_supported(analysis)
+    return analysis
+
+
+def _outer_base_tables(relation: ast.Relation | None) -> list[ast.TableRef]:
+    """Base tables reachable without descending into derived tables."""
+    tables: list[ast.TableRef] = []
+
+    def visit(node: ast.Relation | None) -> None:
+        if node is None:
+            return
+        if isinstance(node, ast.TableRef):
+            tables.append(node)
+        elif isinstance(node, ast.Join):
+            visit(node.left)
+            visit(node.right)
+
+    visit(relation)
+    return tables
+
+
+def _collect_relations(relation: ast.Relation | None, analysis: QueryAnalysis) -> None:
+    if relation is None:
+        return
+    if isinstance(relation, ast.Join):
+        analysis.has_join = True
+        _collect_relations(relation.left, analysis)
+        _collect_relations(relation.right, analysis)
+    elif isinstance(relation, ast.DerivedTable):
+        analysis.derived_tables.append(relation)
+        if relation.query.group_by or any(
+            not isinstance(item.expression, ast.Star) and contains_aggregate(item.expression)
+            for item in relation.query.select_items
+        ):
+            analysis.is_nested_aggregate = True
+
+
+def _check_supported(analysis: QueryAnalysis) -> None:
+    statement = analysis.statement
+
+    if statement.from_relation is None:
+        analysis.supported = False
+        analysis.unsupported_reason = "query has no FROM clause"
+        return
+    if not analysis.aggregates:
+        analysis.supported = False
+        analysis.unsupported_reason = "query has no aggregate functions"
+        return
+    if any(agg.kind == "unsupported" for agg in analysis.aggregates):
+        names = {agg.node.name for agg in analysis.aggregates if agg.kind == "unsupported"}
+        analysis.supported = False
+        analysis.unsupported_reason = f"unsupported aggregate functions: {sorted(names)}"
+        return
+    if not analysis.mean_like and not analysis.count_distinct:
+        analysis.supported = False
+        analysis.unsupported_reason = "only extreme statistics (min/max) requested"
+        return
+    if statement.distinct:
+        analysis.supported = False
+        analysis.unsupported_reason = "SELECT DISTINCT is not approximated"
+        return
+    if _has_remaining_subquery(statement):
+        analysis.supported = False
+        analysis.unsupported_reason = (
+            "non-comparison subqueries (IN/EXISTS/select-clause) are not approximated"
+        )
+        return
+    if len(analysis.derived_tables) > 1:
+        analysis.supported = False
+        analysis.unsupported_reason = "queries with multiple derived tables are not approximated"
+        return
+    if any(
+        isinstance(expr, ast.WindowFunction)
+        for item in statement.select_items
+        if not isinstance(item.expression, ast.Star)
+        for expr in item.expression.walk()
+    ):
+        analysis.supported = False
+        analysis.unsupported_reason = "window functions are not approximated"
+        return
+
+    # Non-aggregate select items must be grouping expressions, otherwise the
+    # two-level rewrite cannot reproduce them.
+    group_sql = {expr.to_sql() for expr in statement.group_by}
+    group_names = {
+        expr.name.lower() for expr in statement.group_by if isinstance(expr, ast.ColumnRef)
+    }
+    for item in statement.select_items:
+        expression = item.expression
+        if isinstance(expression, ast.Star):
+            analysis.supported = False
+            analysis.unsupported_reason = "SELECT * cannot be combined with approximation"
+            return
+        if contains_aggregate(expression):
+            continue
+        if expression.to_sql() in group_sql:
+            continue
+        if isinstance(expression, ast.ColumnRef) and expression.name.lower() in group_names:
+            continue
+        analysis.supported = False
+        analysis.unsupported_reason = (
+            f"select item {expression.to_sql()!r} is neither an aggregate nor a grouping column"
+        )
+        return
+
+
+def _has_remaining_subquery(statement: ast.SelectStatement) -> bool:
+    """True when a scalar subquery is still present in WHERE or the select list.
+
+    Comparison subqueries should already have been flattened into joins by the
+    flattener; anything left is unsupported.
+    """
+    expressions: list[ast.Expression] = []
+    if statement.where is not None:
+        expressions.append(statement.where)
+    expressions.extend(
+        item.expression
+        for item in statement.select_items
+        if not isinstance(item.expression, ast.Star)
+    )
+    for expression in expressions:
+        for node in expression.walk():
+            if isinstance(node, ast.ScalarSubquery):
+                return True
+    return False

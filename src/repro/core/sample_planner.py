@@ -1,0 +1,335 @@
+"""Sample planning (Appendix E): choose which samples answer a query.
+
+A *sample plan* maps every base table of a query either to one of its sample
+tables or to the base table itself.  The planner enumerates candidate plans,
+discards the infeasible ones (I/O budget, join compatibility), scores the
+rest and returns the best one.  When no plan with sampling is feasible the
+planner returns ``None`` and the middleware falls back to exact execution.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+
+from repro.core.query_info import QueryAnalysis
+from repro.sampling.params import SampleInfo
+from repro.sqlengine import sqlast as ast
+
+
+@dataclass
+class PlannerConfig:
+    """Tunables of the sample planner.
+
+    Attributes:
+        io_budget: maximum fraction of a large table's rows a plan may touch
+            (the paper's default I/O budget is 2%).
+        large_table_rows: tables below this size are read in full and are
+            exempt from the budget (the paper uses 10M rows; scaled down here).
+        k_best: number of per-table candidates kept when the exhaustive
+            product would be too large (Appendix E.2; default 10).
+        stratified_advantage: score multiplier when a stratified sample's
+            column set covers the query's grouping attributes.
+        hashed_join_advantage: score multiplier when two hashed samples are
+            joined on their key (universe join).
+        max_candidate_plans: exhaustive enumeration limit before pruning.
+        min_rows_per_group: AQP is declined when the chosen samples would
+            leave fewer than this many rows per output group on average.
+    """
+
+    io_budget: float = 0.02
+    large_table_rows: int = 100_000
+    k_best: int = 10
+    stratified_advantage: float = 2.0
+    hashed_join_advantage: float = 1.5
+    max_candidate_plans: int = 4096
+    min_rows_per_group: int = 20
+
+
+@dataclass
+class SamplePlan:
+    """A chosen assignment of samples to the base tables of one query."""
+
+    assignments: dict[str, SampleInfo | None]
+    score: float = 0.0
+    io_rows: int = 0
+    candidate_count: int = 0
+    notes: list[str] = field(default_factory=list)
+
+    def sample_for(self, table_name: str) -> SampleInfo | None:
+        return self.assignments.get(table_name.lower())
+
+    @property
+    def uses_sampling(self) -> bool:
+        return any(info is not None for info in self.assignments.values())
+
+    @property
+    def sampled_tables(self) -> list[SampleInfo]:
+        return [info for info in self.assignments.values() if info is not None]
+
+    def describe(self) -> str:
+        parts = []
+        for table, info in self.assignments.items():
+            if info is None:
+                parts.append(f"{table}: base table")
+            else:
+                columns = ",".join(info.columns) if info.columns else "-"
+                parts.append(
+                    f"{table}: {info.sample_type} sample ({columns}, "
+                    f"ratio={info.effective_ratio:.4f})"
+                )
+        return "; ".join(parts)
+
+
+@dataclass(frozen=True)
+class _JoinEdge:
+    """An equi-join between two base tables with the per-side key columns."""
+
+    left_table: str
+    right_table: str
+    left_columns: tuple[str, ...]
+    right_columns: tuple[str, ...]
+
+
+class SamplePlanner:
+    """Chooses the best combination of samples for a query (Appendix E)."""
+
+    def __init__(self, config: PlannerConfig | None = None) -> None:
+        self.config = config or PlannerConfig()
+
+    def plan(
+        self,
+        analysis: QueryAnalysis,
+        samples_by_table: dict[str, list[SampleInfo]],
+        table_rows: dict[str, int],
+        expected_groups: int | None = None,
+    ) -> SamplePlan | None:
+        """Return the best feasible plan, or None when AQP should not be used.
+
+        Args:
+            analysis: output of :func:`repro.core.query_info.analyze`.
+            samples_by_table: available samples keyed by lower-cased table name.
+            table_rows: base-table row counts keyed by lower-cased table name.
+            expected_groups: estimated number of output groups (used to decline
+                AQP for very high-cardinality group-bys, as in tq-3/8/15).
+        """
+        tables = sorted({table.name.lower() for table in analysis.base_tables})
+        if not tables:
+            return None
+        join_edges = _join_edges(analysis)
+        distinct_columns = _count_distinct_columns(analysis)
+
+        candidates: dict[str, list[SampleInfo | None]] = {}
+        for table in tables:
+            options: list[SampleInfo | None] = [None]
+            options.extend(samples_by_table.get(table, []))
+            candidates[table] = options
+
+        combination_count = math.prod(len(options) for options in candidates.values())
+        if combination_count > self.config.max_candidate_plans:
+            for table in tables:
+                candidates[table] = self._k_best(candidates[table])
+            combination_count = math.prod(len(options) for options in candidates.values())
+
+        best: SamplePlan | None = None
+        for combination in itertools.product(*(candidates[table] for table in tables)):
+            assignment = dict(zip(tables, combination))
+            plan = self._evaluate(
+                assignment, table_rows, join_edges, distinct_columns, analysis, expected_groups
+            )
+            if plan is None:
+                continue
+            plan.candidate_count = combination_count
+            if not plan.uses_sampling:
+                continue
+            if best is None or plan.score > best.score:
+                best = plan
+        return best
+
+    # -- candidate pruning --------------------------------------------------------
+
+    def _k_best(self, options: list[SampleInfo | None]) -> list[SampleInfo | None]:
+        """Keep the base table plus the k samples with the largest ratios."""
+        samples = [option for option in options if option is not None]
+        samples.sort(key=lambda info: info.effective_ratio, reverse=True)
+        kept: list[SampleInfo | None] = [None]
+        kept.extend(samples[: self.config.k_best])
+        return kept
+
+    # -- evaluation ----------------------------------------------------------------
+
+    def _evaluate(
+        self,
+        assignment: dict[str, SampleInfo | None],
+        table_rows: dict[str, int],
+        join_edges: list[_JoinEdge],
+        distinct_columns: dict[str | None, list[str]],
+        analysis: QueryAnalysis,
+        expected_groups: int | None,
+    ) -> SamplePlan | None:
+        plan = SamplePlan(assignments=dict(assignment))
+
+        # Per-table I/O budget for large tables.
+        for table, info in assignment.items():
+            original_rows = table_rows.get(table, info.original_rows if info else 0)
+            used_rows = info.sample_rows if info is not None else original_rows
+            plan.io_rows += used_rows
+            if info is None:
+                continue
+            if original_rows >= self.config.large_table_rows:
+                budget_rows = max(1, int(self.config.io_budget * original_rows))
+                if used_rows > budget_rows * 1.5 and info.sample_type == "uniform":
+                    # Uniform samples far above the budget are rejected;
+                    # stratified samples are allowed a larger footprint
+                    # (the paper grants them up to 80% of the budget pool).
+                    return None
+
+        # Join compatibility (Section 5.1): when both sides of a join are
+        # sampled, both must be hashed (universe) samples on the join key.
+        join_bonus = 1.0
+        for edge in join_edges:
+            left = assignment.get(edge.left_table)
+            right = assignment.get(edge.right_table)
+            if left is None or right is None:
+                continue
+            left_ok = left.sample_type == "hashed" and left.matches_columns(edge.left_columns)
+            right_ok = right.sample_type == "hashed" and right.matches_columns(edge.right_columns)
+            if not (left_ok and right_ok):
+                return None
+            join_bonus *= self.config.hashed_join_advantage
+            plan.notes.append(
+                f"universe join on {edge.left_table}.{','.join(edge.left_columns)}"
+            )
+
+        # Sampling more than one relation of a join is only sound when every
+        # pair of sampled relations is joined through matching hashed
+        # (universe) samples; without a certified edge (e.g. unqualified join
+        # columns) the combination is rejected and a single-sample plan wins.
+        sampled_names = [table for table, info in assignment.items() if info is not None]
+        if len(sampled_names) > 1:
+            certified = {
+                frozenset((edge.left_table, edge.right_table)) for edge in join_edges
+            }
+            for left_name, right_name in itertools.combinations(sampled_names, 2):
+                if frozenset((left_name, right_name)) not in certified:
+                    return None
+
+        # count-distinct aggregates need a hashed sample on the distinct column
+        # (or the base table).
+        for table, columns in distinct_columns.items():
+            for column in columns:
+                owners = [table] if table is not None else list(assignment)
+                for owner in owners:
+                    info = assignment.get(owner)
+                    if info is None:
+                        continue
+                    if owner == table or table is None:
+                        if info.sample_type != "hashed" or not info.matches_columns((column,)):
+                            if table is not None or len(assignment) == 1:
+                                return None
+
+        # Score: sqrt of the effective sampling ratio, with advantage factors.
+        ratios = []
+        advantage = join_bonus
+        group_columns = tuple(analysis.group_by_columns)
+        for table, info in assignment.items():
+            if info is None:
+                continue
+            ratios.append(info.effective_ratio)
+            if (
+                info.sample_type == "stratified"
+                and group_columns
+                and info.covers_columns(group_columns)
+            ):
+                advantage *= self.config.stratified_advantage
+                plan.notes.append(f"stratified sample covers group-by on {table}")
+        if ratios:
+            hashed_join = any("universe join" in note for note in plan.notes)
+            effective = min(ratios) if hashed_join else float(sum(ratios) / len(ratios))
+            plan.score = math.sqrt(effective) * advantage
+        else:
+            plan.score = 0.0
+
+        # High-cardinality group-by check: decline AQP when the samples cannot
+        # support the number of output groups (tq-3, tq-8, tq-15 behaviour).
+        if expected_groups is not None and plan.uses_sampling:
+            sampled_rows = min(info.sample_rows for info in plan.sampled_tables)
+            if expected_groups * self.config.min_rows_per_group > sampled_rows:
+                return None
+        return plan
+
+
+# ---------------------------------------------------------------------------
+# query-shape helpers
+# ---------------------------------------------------------------------------
+
+
+def _join_edges(analysis: QueryAnalysis) -> list[_JoinEdge]:
+    """Extract equi-join edges between base tables from the FROM tree."""
+    binding_to_table = {
+        table.binding_name.lower(): table.name.lower() for table in analysis.base_tables
+    }
+    edges: list[_JoinEdge] = []
+
+    def visit(relation: ast.Relation | None) -> None:
+        if relation is None:
+            return
+        if isinstance(relation, ast.Join):
+            visit(relation.left)
+            visit(relation.right)
+            if relation.condition is None:
+                return
+            pairs: dict[tuple[str, str], tuple[list[str], list[str]]] = {}
+            for conjunct in _split_and(relation.condition):
+                if not (
+                    isinstance(conjunct, ast.BinaryOp)
+                    and conjunct.op == "="
+                    and isinstance(conjunct.left, ast.ColumnRef)
+                    and isinstance(conjunct.right, ast.ColumnRef)
+                ):
+                    continue
+                left, right = conjunct.left, conjunct.right
+                if left.table is None or right.table is None:
+                    continue
+                left_table = binding_to_table.get(left.table.lower())
+                right_table = binding_to_table.get(right.table.lower())
+                if left_table is None or right_table is None or left_table == right_table:
+                    continue
+                key = (left_table, right_table)
+                columns = pairs.setdefault(key, ([], []))
+                columns[0].append(left.name)
+                columns[1].append(right.name)
+            for (left_table, right_table), (left_columns, right_columns) in pairs.items():
+                edges.append(
+                    _JoinEdge(
+                        left_table=left_table,
+                        right_table=right_table,
+                        left_columns=tuple(left_columns),
+                        right_columns=tuple(right_columns),
+                    )
+                )
+
+    visit(analysis.statement.from_relation)
+    return edges
+
+
+def _count_distinct_columns(analysis: QueryAnalysis) -> dict[str | None, list[str]]:
+    """Columns referenced by count(DISTINCT ...), keyed by owning base table."""
+    binding_to_table = {
+        table.binding_name.lower(): table.name.lower() for table in analysis.base_tables
+    }
+    result: dict[str | None, list[str]] = {}
+    for aggregate in analysis.count_distinct:
+        if not aggregate.node.args or not isinstance(aggregate.node.args[0], ast.ColumnRef):
+            continue
+        column = aggregate.node.args[0]
+        owner = binding_to_table.get(column.table.lower()) if column.table else None
+        result.setdefault(owner, []).append(column.name)
+    return result
+
+
+def _split_and(expression: ast.Expression) -> list[ast.Expression]:
+    if isinstance(expression, ast.BinaryOp) and expression.op.upper() == "AND":
+        return _split_and(expression.left) + _split_and(expression.right)
+    return [expression]

@@ -1,0 +1,79 @@
+"""Exception hierarchy shared by all repro subpackages.
+
+Every error raised by the library derives from :class:`ReproError` so that
+applications embedding the middleware can catch a single base class.  The
+subclasses mirror the layers of the system: the SQL substrate, the driver
+layer, the sampling subsystem and the middleware itself.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by this library."""
+
+
+class SQLError(ReproError):
+    """Base class for errors raised by the SQL engine substrate."""
+
+
+class TokenizeError(SQLError):
+    """The SQL text contains characters that cannot be tokenized."""
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        super().__init__(message)
+        self.position = position
+
+
+class ParseError(SQLError):
+    """The SQL text is not syntactically valid for the supported subset."""
+
+    def __init__(self, message: str, token: object | None = None) -> None:
+        super().__init__(message)
+        self.token = token
+
+
+class ExecutionError(SQLError):
+    """A semantically invalid query was executed (unknown column, bad types...)."""
+
+
+class CatalogError(SQLError):
+    """A table or schema referenced by a statement does not exist (or already does)."""
+
+
+class ConnectorError(ReproError):
+    """A backend driver failed or does not support the requested feature."""
+
+
+class UnsupportedDialectFeature(ConnectorError):
+    """The target dialect cannot express the requested SQL construct."""
+
+
+class SamplingError(ReproError):
+    """Sample creation or maintenance failed."""
+
+
+class SamplePlanningError(ReproError):
+    """No feasible sample plan exists for the requested I/O budget."""
+
+
+class RewriteError(ReproError):
+    """The AQP rewriter could not produce an approximate form of the query."""
+
+
+class UnsupportedQueryError(RewriteError):
+    """The query is outside the class of queries VerdictDB can approximate.
+
+    Such queries are not an application failure: the middleware passes them
+    through to the underlying database unchanged.  The exception exists so the
+    rewriting pipeline can signal "pass through" explicitly.
+    """
+
+
+class AccuracyContractViolation(ReproError):
+    """The estimated error violates the user's high-level accuracy contract."""
+
+    def __init__(self, message: str, estimated_error: float, required_error: float) -> None:
+        super().__init__(message)
+        self.estimated_error = estimated_error
+        self.required_error = required_error

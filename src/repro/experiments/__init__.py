@@ -1,0 +1,32 @@
+"""Reproduction of every table and figure in the paper's evaluation section.
+
+Each module maps to one experiment (see DESIGN.md's per-experiment index)
+and exposes ``run(...) -> list[dict]`` plus a ``main()`` that prints the
+records the way the paper reports them.
+"""
+
+from repro.experiments import (
+    figure4_speedups,
+    figure5_scaleup,
+    figure6_integrated,
+    figure7_estimation_cost,
+    figure8_correctness,
+    figure10_actual_errors,
+    figure11_preparation,
+    figure12_14_tradeoffs,
+    harness,
+    table2_native_approx,
+)
+
+__all__ = [
+    "figure4_speedups",
+    "figure5_scaleup",
+    "figure6_integrated",
+    "figure7_estimation_cost",
+    "figure8_correctness",
+    "figure10_actual_errors",
+    "figure11_preparation",
+    "figure12_14_tradeoffs",
+    "harness",
+    "table2_native_approx",
+]

@@ -1,0 +1,178 @@
+"""Experiment E9 — Figures 12, 13 and 14: time–error trade-offs.
+
+* Figure 12 sweeps the sample size ``n`` (bootstrap / traditional
+  subsampling / variational subsampling): accuracy of the estimated error
+  bound and the latency of computing it.
+* Figure 13 sweeps the number of resamples ``b``.
+* Figure 14 sweeps the subsample size ``ns`` for variational subsampling and
+  confirms the ``ns = sqrt(n)`` default of Appendix B.3.
+
+Accuracy is measured as in Appendix B.3: the relative deviation of the
+estimated upper confidence bound from the true upper bound, relative to the
+true mean.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from scipy import stats
+
+from repro.experiments import harness
+from repro.subsampling import bootstrap, traditional, variational
+from repro.subsampling.intervals import ConfidenceInterval
+
+
+VALUE_MEAN = 10.0
+VALUE_STD = 10.0
+
+
+def _true_upper_bound(sample_size: int, confidence: float = 0.95) -> float:
+    z = float(stats.norm.ppf(0.5 + confidence / 2.0))
+    return VALUE_MEAN + z * VALUE_STD / math.sqrt(sample_size)
+
+
+def _bound_error(interval: ConfidenceInterval, sample_size: int) -> float:
+    true_upper = _true_upper_bound(sample_size)
+    # Shift by the sample's own deviation so only the *error bound* is judged.
+    shifted_upper = true_upper + (interval.estimate - VALUE_MEAN)
+    return abs(interval.upper - shifted_upper) / VALUE_MEAN
+
+
+def run_sample_size_sweep(
+    sample_sizes: tuple[int, ...] = (10_000, 20_000, 40_000, 60_000, 80_000, 100_000),
+    resample_count: int = 100,
+    trials: int = 10,
+    seed: int = 0,
+) -> list[dict[str, object]]:
+    """Figure 12: error-bound accuracy and latency as the sample grows."""
+    rng = np.random.default_rng(seed)
+    records: list[dict[str, object]] = []
+    for sample_size in sample_sizes:
+        per_method: dict[str, list[tuple[float, float]]] = {
+            "bootstrap": [],
+            "subsampling": [],
+            "variational": [],
+        }
+        for _ in range(trials):
+            values = rng.normal(VALUE_MEAN, VALUE_STD, sample_size)
+            for name, estimator in (
+                ("bootstrap", lambda v: bootstrap.mean_interval(v, resample_count=resample_count, rng=rng)),
+                (
+                    "subsampling",
+                    lambda v: traditional.mean_interval(v, subsample_count=resample_count, rng=rng),
+                ),
+                ("variational", lambda v: variational.mean_interval(v, rng=rng)),
+            ):
+                interval, seconds = harness.timed(lambda: estimator(values))
+                per_method[name].append((_bound_error(interval, sample_size), seconds))
+        for name, outcomes in per_method.items():
+            errors = [error for error, _ in outcomes]
+            latencies = [latency for _, latency in outcomes]
+            records.append(
+                {
+                    "sample_size": sample_size,
+                    "method": name,
+                    "relative_error_of_bound": float(np.mean(errors)),
+                    "seconds": float(np.mean(latencies)),
+                }
+            )
+    return records
+
+
+def run_resample_count_sweep(
+    resample_counts: tuple[int, ...] = (10, 20, 50, 100, 200, 500),
+    sample_size: int = 100_000,
+    trials: int = 5,
+    seed: int = 0,
+) -> list[dict[str, object]]:
+    """Figure 13: error-bound accuracy and latency as the number of resamples grows."""
+    rng = np.random.default_rng(seed)
+    records: list[dict[str, object]] = []
+    for resample_count in resample_counts:
+        per_method: dict[str, list[tuple[float, float]]] = {
+            "bootstrap": [],
+            "subsampling": [],
+            "variational": [],
+        }
+        for _ in range(trials):
+            values = rng.normal(VALUE_MEAN, VALUE_STD, sample_size)
+            for name, estimator in (
+                ("bootstrap", lambda v: bootstrap.mean_interval(v, resample_count=resample_count, rng=rng)),
+                (
+                    "subsampling",
+                    lambda v: traditional.mean_interval(v, subsample_count=resample_count, rng=rng),
+                ),
+                (
+                    "variational",
+                    lambda v: variational.mean_interval(
+                        v, subsample_count=resample_count, rng=rng
+                    ),
+                ),
+            ):
+                interval, seconds = harness.timed(lambda: estimator(values))
+                per_method[name].append((_bound_error(interval, sample_size), seconds))
+        for name, outcomes in per_method.items():
+            errors = [error for error, _ in outcomes]
+            latencies = [latency for _, latency in outcomes]
+            records.append(
+                {
+                    "resample_count": resample_count,
+                    "method": name,
+                    "relative_error_of_bound": float(np.mean(errors)),
+                    "seconds": float(np.mean(latencies)),
+                }
+            )
+    return records
+
+
+def run_subsample_size_sweep(
+    exponents: tuple[float, ...] = (0.25, 1.0 / 3.0, 0.5, 2.0 / 3.0, 0.75),
+    sample_size: int = 500_000,
+    trials: int = 10,
+    seed: int = 0,
+) -> list[dict[str, object]]:
+    """Figure 14: the effect of the subsample size ``ns = n**exponent``."""
+    rng = np.random.default_rng(seed)
+    records: list[dict[str, object]] = []
+    for exponent in exponents:
+        subsample_size = max(2, int(round(sample_size**exponent)))
+        subsample_count = max(2, sample_size // subsample_size)
+        errors: list[float] = []
+        for _ in range(trials):
+            values = rng.normal(VALUE_MEAN, VALUE_STD, sample_size)
+            interval = variational.mean_interval(
+                values, subsample_count=subsample_count, rng=rng
+            )
+            errors.append(_bound_error(interval, sample_size))
+        records.append(
+            {
+                "subsample_size_exponent": exponent,
+                "subsample_size": subsample_size,
+                "subsample_count": subsample_count,
+                "relative_error_of_bound": float(np.mean(errors)),
+            }
+        )
+    return records
+
+
+def run(seed: int = 0) -> list[dict[str, object]]:
+    """Reduced version of all three sweeps (used by the benchmark harness)."""
+    records = run_sample_size_sweep(sample_sizes=(10_000, 40_000), trials=3, seed=seed)
+    records.extend(run_resample_count_sweep(resample_counts=(10, 50), trials=2, seed=seed))
+    records.extend(run_subsample_size_sweep(sample_size=100_000, trials=3, seed=seed))
+    return records
+
+
+def main() -> None:  # pragma: no cover - manual entry point
+    print("=== Figure 12: varying the sample size ===")
+    print(harness.format_records(run_sample_size_sweep(), float_digits=5))
+    print("\n=== Figure 13: varying the number of resamples ===")
+    print(harness.format_records(run_resample_count_sweep(), float_digits=5))
+    print("\n=== Figure 14: varying the subsample size ===")
+    print(harness.format_records(run_subsample_size_sweep(), float_digits=5))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

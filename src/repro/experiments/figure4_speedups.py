@@ -1,0 +1,106 @@
+"""Experiment E1 — Figures 4 and 9: per-query speedups on three engines.
+
+For every benchmark query (18 TPC-H-like ``tq-*`` plus 15 Instacart-like
+``iq-*``) the experiment measures the latency of exact execution and of
+VerdictDB's approximate execution on the same engine, and reports the
+speedup.  Figure 4 of the paper shows Redshift; Figure 9 shows Spark SQL and
+Impala.  The same records also carry the actual relative error of each
+approximate answer, which is what Figure 10 reports.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.experiments import harness
+from repro.workloads import instacart, tpch
+
+
+def run(
+    engine: str = "redshift",
+    scale_factor: float = 10.0,
+    sample_ratio: float = 0.02,
+    queries: Iterable[str] | None = None,
+    seed: int = 0,
+) -> list[dict[str, object]]:
+    """Measure per-query speedups and errors for one engine.
+
+    Args:
+        engine: 'redshift', 'sparksql', 'impala' or 'generic'.
+        scale_factor: dataset scale (1.0 ≈ 85 k TPC-H rows + 80 k insta rows).
+        sample_ratio: sampling parameter used for the prepared samples.
+        queries: restrict to a subset of query names (default: all 33).
+        seed: data-generation seed.
+
+    Returns:
+        One record per query with exact/approximate latency, speedup,
+        relative error and whether AQP was actually used.
+    """
+    selected = set(queries) if queries is not None else None
+    records: list[dict[str, object]] = []
+
+    tpch_bench = harness.build_tpch_workbench(
+        scale_factor=scale_factor, sample_ratio=sample_ratio, engine=engine, seed=seed
+    )
+    records.extend(
+        _run_queries(tpch_bench, tpch.TPCH_QUERIES, selected, engine)
+    )
+    insta_bench = harness.build_instacart_workbench(
+        scale_factor=scale_factor, sample_ratio=sample_ratio, engine=engine, seed=seed
+    )
+    records.extend(
+        _run_queries(insta_bench, instacart.INSTACART_QUERIES, selected, engine)
+    )
+    return records
+
+
+def _run_queries(
+    workbench: harness.Workbench,
+    query_set: Mapping[str, str],
+    selected: set[str] | None,
+    engine: str,
+) -> list[dict[str, object]]:
+    records: list[dict[str, object]] = []
+    for name, sql in query_set.items():
+        if selected is not None and name not in selected:
+            continue
+        exact, exact_seconds = harness.timed(lambda: workbench.verdict.execute_exact(sql))
+        approximate, approx_seconds = harness.timed(lambda: workbench.verdict.sql(sql))
+        error = 0.0 if approximate.is_exact else harness.mean_relative_error(exact, approximate)
+        records.append(
+            {
+                "query": name,
+                "engine": engine,
+                "exact_seconds": exact_seconds,
+                "approx_seconds": approx_seconds,
+                "speedup": exact_seconds / approx_seconds if approx_seconds > 0 else 1.0,
+                "relative_error": error,
+                "approximated": not approximate.is_exact,
+            }
+        )
+    return records
+
+
+def summarize(records: list[dict[str, object]]) -> dict[str, float]:
+    """Average and maximum speedup over the queries that were approximated."""
+    speedups = [float(r["speedup"]) for r in records if r["approximated"]]
+    errors = [float(r["relative_error"]) for r in records if r["approximated"]]
+    if not speedups:
+        return {"average_speedup": 1.0, "max_speedup": 1.0, "max_relative_error": 0.0}
+    return {
+        "average_speedup": sum(speedups) / len(speedups),
+        "max_speedup": max(speedups),
+        "max_relative_error": max(errors) if errors else 0.0,
+    }
+
+
+def main() -> None:  # pragma: no cover - manual entry point
+    for engine in ("redshift", "sparksql", "impala"):
+        records = run(engine=engine)
+        print(f"\n=== Figure 4/9: speedups on {engine} ===")
+        print(harness.format_records(records))
+        print(summarize(records))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

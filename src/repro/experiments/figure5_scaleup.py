@@ -1,0 +1,63 @@
+"""Experiment E2 — Figure 5: speedup versus original data size.
+
+The sample size stays fixed while the original data grows; the speedup of
+the approximate query grows roughly linearly with the data size because the
+exact query has to scan everything.  The paper uses tq-6 and tq-14 with a
+fixed 5 GB sample and 5–500 GB of data; here the sample is fixed in rows.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments import harness
+from repro.workloads import tpch
+
+
+DEFAULT_QUERIES = ("tq-6", "tq-14")
+
+
+def run(
+    scale_factors: Sequence[float] = (0.5, 2.0, 8.0, 20.0),
+    fixed_sample_rows: int = 3_000,
+    queries: Sequence[str] = DEFAULT_QUERIES,
+    engine: str = "generic",
+    seed: int = 0,
+) -> list[dict[str, object]]:
+    """Measure speedups for growing data sizes with a (roughly) fixed sample size."""
+    records: list[dict[str, object]] = []
+    for scale_factor in scale_factors:
+        dataset_rows = int(60_000 * scale_factor)
+        ratio = min(1.0, fixed_sample_rows / max(dataset_rows, 1))
+        workbench = harness.build_tpch_workbench(
+            scale_factor=scale_factor, sample_ratio=ratio, engine=engine, seed=seed
+        )
+        for name in queries:
+            sql = tpch.TPCH_QUERIES[name]
+            exact, exact_seconds = harness.timed(lambda: workbench.verdict.execute_exact(sql))
+            approximate, approx_seconds = harness.timed(lambda: workbench.verdict.sql(sql))
+            records.append(
+                {
+                    "query": name,
+                    "scale_factor": scale_factor,
+                    "lineitem_rows": dataset_rows,
+                    "sample_ratio": ratio,
+                    "exact_seconds": exact_seconds,
+                    "approx_seconds": approx_seconds,
+                    "speedup": exact_seconds / approx_seconds if approx_seconds > 0 else 1.0,
+                    "relative_error": harness.mean_relative_error(exact, approximate)
+                    if not approximate.is_exact
+                    else 0.0,
+                }
+            )
+    return records
+
+
+def main() -> None:  # pragma: no cover - manual entry point
+    records = run()
+    print("=== Figure 5: speedup vs data size (fixed sample) ===")
+    print(harness.format_records(records))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,81 @@
+"""Experiment E3 — Figure 6: UAQP (VerdictDB) versus a tightly-integrated AQP engine.
+
+Both systems answer the same queries over the same data.  The integrated
+engine aggregates its sample directly (no middleware, minimal per-query
+overhead) but cannot join two samples: on join queries it reads the full
+second relation, which is why VerdictDB is faster there (tq-5, tq-7, tq-12,
+iq-14, iq-15 in the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.baselines.integrated import IntegratedAqpEngine
+from repro.experiments import harness
+from repro.workloads import instacart, tpch
+
+
+def run(
+    scale_factor: float = 5.0,
+    sample_ratio: float = 0.02,
+    queries: Iterable[str] | None = None,
+    seed: int = 0,
+) -> list[dict[str, object]]:
+    """Compare per-query latencies of VerdictDB and the integrated baseline."""
+    selected = set(queries) if queries is not None else None
+    records: list[dict[str, object]] = []
+    records.extend(
+        _compare(
+            harness.build_tpch_workbench(scale_factor, sample_ratio, "generic", seed),
+            tpch.TPCH_QUERIES,
+            selected,
+        )
+    )
+    records.extend(
+        _compare(
+            harness.build_instacart_workbench(scale_factor, sample_ratio, "generic", seed),
+            instacart.INSTACART_QUERIES,
+            selected,
+        )
+    )
+    return records
+
+
+def _compare(
+    workbench: harness.Workbench,
+    query_set: Mapping[str, str],
+    selected: set[str] | None,
+) -> list[dict[str, object]]:
+    integrated = IntegratedAqpEngine(workbench.connector.database)
+    for info in workbench.verdict.samples():
+        if info.sample_type == "uniform":
+            integrated.register_sample(
+                info.original_table, info.sample_table, info.effective_ratio
+            )
+
+    records: list[dict[str, object]] = []
+    for name, sql in query_set.items():
+        if selected is not None and name not in selected:
+            continue
+        _, verdict_seconds = harness.timed(lambda: workbench.verdict.sql(sql))
+        _, integrated_seconds = harness.timed(lambda: integrated.execute(sql))
+        records.append(
+            {
+                "query": name,
+                "verdictdb_seconds": verdict_seconds,
+                "integrated_seconds": integrated_seconds,
+                "verdict_faster": verdict_seconds < integrated_seconds,
+            }
+        )
+    return records
+
+
+def main() -> None:  # pragma: no cover - manual entry point
+    records = run()
+    print("=== Figure 6: VerdictDB vs tightly-integrated AQP ===")
+    print(harness.format_records(records))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

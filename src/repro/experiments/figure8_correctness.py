@@ -1,0 +1,114 @@
+"""Experiment E6 — Figure 8: statistical correctness of variational subsampling.
+
+Figure 8a sweeps the selectivity of a count query and compares the error
+estimated by variational subsampling against the ground-truth error (known
+analytically for synthetic data).  Figure 8b sweeps the sample size of an
+avg query and compares variational subsampling against CLT, bootstrap and
+traditional subsampling.  Each point aggregates many independently drawn
+samples, as in the paper (mean together with the 5th/95th percentiles).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import harness
+from repro.subsampling import bootstrap, clt, traditional, variational
+from repro.workloads import synthetic
+
+
+def run_selectivity_sweep(
+    selectivities: tuple[float, ...] = (0.1, 0.3, 0.5, 0.7, 0.9),
+    sample_size: int = 10_000,
+    population_size: int = 1_000_000,
+    trials: int = 40,
+    seed: int = 0,
+) -> list[dict[str, object]]:
+    """Figure 8a: estimated relative error of a count query vs its true error."""
+    rng = np.random.default_rng(seed)
+    records: list[dict[str, object]] = []
+    for selectivity in selectivities:
+        estimated: list[float] = []
+        for _ in range(trials):
+            indicator = (rng.random(sample_size) < selectivity).astype(np.float64)
+            interval = variational.count_interval(indicator, population_size, rng=rng)
+            if interval.estimate > 0:
+                estimated.append(interval.half_width / interval.estimate)
+        truth = synthetic.true_count_error(selectivity, sample_size, population_size)
+        records.append(
+            {
+                "selectivity": selectivity,
+                "groundtruth_relative_error": truth,
+                "estimated_relative_error": float(np.mean(estimated)),
+                "estimated_p5": float(np.percentile(estimated, 5)),
+                "estimated_p95": float(np.percentile(estimated, 95)),
+            }
+        )
+    return records
+
+
+def run_sample_size_sweep(
+    sample_sizes: tuple[int, ...] = (10_000, 100_000, 1_000_000),
+    value_mean: float = 10.0,
+    value_std: float = 10.0,
+    trials: int = 20,
+    resample_count: int = 100,
+    seed: int = 0,
+) -> list[dict[str, object]]:
+    """Figure 8b: estimated error of an avg query for several methods and sizes."""
+    rng = np.random.default_rng(seed)
+    records: list[dict[str, object]] = []
+    for sample_size in sample_sizes:
+        methods: dict[str, list[float]] = {
+            "clt": [],
+            "bootstrap": [],
+            "subsampling": [],
+            "variational": [],
+        }
+        seconds: dict[str, float] = {name: 0.0 for name in methods}
+        for _ in range(trials):
+            values = rng.normal(value_mean, value_std, sample_size)
+            for name, estimator in (
+                ("clt", lambda v: clt.mean_interval(v)),
+                ("bootstrap", lambda v: bootstrap.mean_interval(v, resample_count=resample_count, rng=rng)),
+                (
+                    "subsampling",
+                    lambda v: traditional.mean_interval(v, subsample_count=resample_count, rng=rng),
+                ),
+                ("variational", lambda v: variational.mean_interval(v, rng=rng)),
+            ):
+                interval, elapsed = harness.timed(lambda: estimator(values))
+                seconds[name] += elapsed
+                methods[name].append(interval.half_width / abs(interval.estimate))
+        truth = synthetic.true_mean_error(value_std, value_mean, sample_size)
+        for name, errors in methods.items():
+            records.append(
+                {
+                    "sample_size": sample_size,
+                    "method": name,
+                    "groundtruth_relative_error": truth,
+                    "estimated_relative_error": float(np.mean(errors)),
+                    "estimated_p5": float(np.percentile(errors, 5)),
+                    "estimated_p95": float(np.percentile(errors, 95)),
+                    "avg_seconds": seconds[name] / trials,
+                }
+            )
+    return records
+
+
+def run(seed: int = 0, trials: int = 20) -> list[dict[str, object]]:
+    """Run both sweeps with reduced trial counts (used by the benchmark harness)."""
+    records = run_selectivity_sweep(trials=trials, seed=seed)
+    records.extend(run_sample_size_sweep(sample_sizes=(10_000, 100_000), trials=max(5, trials // 4), seed=seed))
+    return records
+
+
+def main() -> None:  # pragma: no cover - manual entry point
+    print("=== Figure 8a: error estimates vs selectivity ===")
+    print(harness.format_records(run_selectivity_sweep(), float_digits=4))
+    print("\n=== Figure 8b: error estimates vs sample size ===")
+    print(harness.format_records(run_sample_size_sweep(), float_digits=4))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,33 @@
+"""Sample preparation: uniform, hashed and stratified samples (Section 3)."""
+
+from repro.sampling.bernoulli import (
+    required_sampling_probability,
+    staircase_case_expression,
+    staircase_probabilities,
+)
+from repro.sampling.builder import SampleBuilder
+from repro.sampling.maintenance import SampleMaintainer
+from repro.sampling.metadata import MetadataStore
+from repro.sampling.params import (
+    PROBABILITY_COLUMN,
+    SID_COLUMN,
+    SampleInfo,
+    SampleSpec,
+    SamplingPolicyConfig,
+)
+from repro.sampling.policy import default_sample_specs
+
+__all__ = [
+    "MetadataStore",
+    "PROBABILITY_COLUMN",
+    "SID_COLUMN",
+    "SampleBuilder",
+    "SampleInfo",
+    "SampleMaintainer",
+    "SampleSpec",
+    "SamplingPolicyConfig",
+    "default_sample_specs",
+    "required_sampling_probability",
+    "staircase_case_expression",
+    "staircase_probabilities",
+]

@@ -1,0 +1,116 @@
+"""Probabilistic guarantees for Bernoulli-sampled strata (Lemma 1).
+
+A stratified sample must contain at least ``m`` tuples per stratum (Equation
+1).  Because VerdictDB samples each tuple independently (a Bernoulli
+process), the number of sampled tuples per stratum is binomial and a naive
+rate of ``m / n`` misses the target for roughly half the strata.  Lemma 1
+gives the inflated rate ``f_m(n)`` that reaches ``m`` tuples with probability
+``1 - delta``; the staircase CASE expression renders it in SQL.
+"""
+
+from __future__ import annotations
+
+import math
+
+from scipy import optimize, special
+
+from repro.sqlengine import sqlast as ast
+
+DEFAULT_DELTA = 0.001
+
+
+def guarantee_function(probability: float, strata_size: int, delta: float = DEFAULT_DELTA) -> float:
+    """The paper's ``g(p; n)``: a high-probability lower bound on sampled tuples.
+
+    ``g(p; n) = sqrt(2 n p (1-p)) * erfc^{-1}(2 (1 - delta)) + n p``.
+    With probability ``1 - delta`` a Bernoulli(p) sample of ``n`` tuples
+    contains at least ``g(p; n)`` tuples (normal approximation).
+    """
+    p = min(max(probability, 0.0), 1.0)
+    n = float(strata_size)
+    z = float(special.erfcinv(2.0 * (1.0 - delta)))
+    return math.sqrt(max(2.0 * n * p * (1.0 - p), 0.0)) * z + n * p
+
+
+def required_sampling_probability(
+    min_rows: int, strata_size: int, delta: float = DEFAULT_DELTA
+) -> float:
+    """Lemma 1's ``f_m(n)``: the smallest ``p`` with ``g(p; n) >= m``.
+
+    Returns 1.0 when the stratum is too small to yield ``m`` tuples at any
+    rate below 1.
+    """
+    if strata_size <= 0:
+        return 1.0
+    if min_rows <= 0:
+        return 0.0
+    if min_rows >= strata_size:
+        return 1.0
+    if guarantee_function(1.0, strata_size, delta) < min_rows:
+        return 1.0
+
+    def objective(p: float) -> float:
+        return guarantee_function(p, strata_size, delta) - float(min_rows)
+
+    lower, upper = 0.0, 1.0
+    if objective(lower) > 0:
+        return 0.0
+    return float(optimize.brentq(objective, lower, upper, xtol=1e-9))
+
+
+def staircase_probabilities(
+    min_rows: int,
+    max_strata_size: int,
+    delta: float = DEFAULT_DELTA,
+    steps: int = 20,
+) -> list[tuple[int, float]]:
+    """Build the staircase: thresholds and probabilities for a CASE expression.
+
+    Returns a list of ``(threshold, probability)`` pairs in increasing
+    threshold order.  A stratum of size ``n`` uses the probability of the
+    largest threshold ``<= n``; because ``f_m`` is decreasing in ``n``, using
+    the probability of the lower endpoint of each bucket preserves the
+    guarantee for every size in the bucket.
+    """
+    if max_strata_size <= min_rows:
+        return [(0, 1.0)]
+    thresholds: list[int] = [min_rows]
+    # Geometric spacing between min_rows and max_strata_size.
+    ratio = (max_strata_size / max(min_rows, 1)) ** (1.0 / max(steps - 1, 1))
+    current = float(min_rows)
+    for _ in range(steps - 1):
+        current *= ratio
+        threshold = int(math.ceil(current))
+        if threshold > thresholds[-1]:
+            thresholds.append(threshold)
+    pairs = [(0, 1.0)]
+    for threshold in thresholds:
+        probability = required_sampling_probability(min_rows, threshold, delta)
+        pairs.append((threshold, probability))
+    return pairs
+
+
+def staircase_case_expression(
+    strata_size_column: ast.Expression,
+    min_rows: int,
+    max_strata_size: int,
+    delta: float = DEFAULT_DELTA,
+    steps: int = 20,
+) -> ast.Expression:
+    """Render the staircase as a SQL CASE expression over a strata-size column.
+
+    The expression evaluates to the Bernoulli sampling probability that
+    guarantees (with probability ``1 - delta``) at least ``min_rows`` sampled
+    tuples for a stratum of the given size.
+    """
+    pairs = staircase_probabilities(min_rows, max_strata_size, delta, steps)
+    # Largest thresholds first so the first matching WHEN wins.
+    whens: list[tuple[ast.Expression, ast.Expression]] = []
+    for threshold, probability in sorted(pairs, reverse=True):
+        if threshold == 0:
+            continue
+        condition = ast.BinaryOp(">=", strata_size_column, ast.Literal(threshold))
+        whens.append((condition, ast.Literal(round(float(probability), 8))))
+    if not whens:
+        return ast.Literal(1.0)
+    return ast.CaseWhen(whens=whens, else_result=ast.Literal(1.0))

@@ -1,0 +1,151 @@
+"""Sample builder: creates sample tables in the underlying database.
+
+The builder turns :class:`~repro.sampling.params.SampleSpec` requests into
+``CREATE TABLE AS SELECT`` statements (see :mod:`repro.sampling.creators`),
+executes them through the connector and records the resulting sample in the
+metadata store.  Everything happens inside the underlying database.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.connectors.base import Connector
+from repro.errors import SamplingError
+from repro.sampling import creators, policy
+from repro.sampling.metadata import MetadataStore
+from repro.sampling.params import SampleInfo, SampleSpec, SamplingPolicyConfig
+from repro.subsampling.sid import default_subsample_count
+
+
+class SampleBuilder:
+    """Creates and drops sample tables for one connector."""
+
+    def __init__(
+        self,
+        connector: Connector,
+        metadata: MetadataStore | None = None,
+        subsample_count: int | None = None,
+    ) -> None:
+        self._connector = connector
+        self.metadata = metadata if metadata is not None else MetadataStore(connector)
+        self._subsample_count = subsample_count
+
+    # -- naming -----------------------------------------------------------------
+
+    @staticmethod
+    def sample_table_name(original_table: str, spec: SampleSpec) -> str:
+        """Deterministic sample-table name: table, type, key columns and ratio."""
+        parts = [original_table, "vdb", spec.sample_type]
+        if spec.columns:
+            parts.append("_".join(spec.columns))
+        parts.append(f"{spec.ratio:.4f}".replace(".", "p"))
+        return "_".join(parts)
+
+    # -- creation ---------------------------------------------------------------
+
+    def create_sample(self, original_table: str, spec: SampleSpec) -> SampleInfo:
+        """Create one sample table and record its metadata."""
+        if not self._connector.has_table(original_table):
+            raise SamplingError(f"table {original_table!r} does not exist")
+        original_rows = self._connector.row_count(original_table)
+        subsample_count = self._subsample_count or default_subsample_count(
+            max(1, int(original_rows * spec.ratio))
+        )
+        sample_table = self.sample_table_name(original_table, spec)
+        self._connector.drop_table(sample_table, if_exists=True)
+
+        if spec.sample_type == "uniform":
+            statement = creators.uniform_sample_statement(
+                original_table, sample_table, spec.ratio, subsample_count
+            )
+            self._connector.execute(statement)
+        elif spec.sample_type == "hashed":
+            statement = creators.hashed_sample_statement(
+                original_table, sample_table, spec.columns, spec.ratio, subsample_count
+            )
+            self._connector.execute(statement)
+        elif spec.sample_type == "stratified":
+            self._create_stratified(original_table, sample_table, spec, subsample_count)
+        else:
+            raise SamplingError(f"cannot build sample of type {spec.sample_type!r}")
+
+        sample_rows = self._connector.row_count(sample_table)
+        info = SampleInfo(
+            original_table=original_table,
+            sample_table=sample_table,
+            sample_type=spec.sample_type,
+            columns=spec.columns,
+            ratio=spec.ratio,
+            original_rows=original_rows,
+            sample_rows=sample_rows,
+            subsample_count=subsample_count,
+        )
+        self.metadata.record(info)
+        return info
+
+    def _create_stratified(
+        self,
+        original_table: str,
+        sample_table: str,
+        spec: SampleSpec,
+        subsample_count: int,
+    ) -> None:
+        """Two-pass probabilistic stratified sampling (Section 3.2)."""
+        temp_table = f"{sample_table}_sizes"
+        randomized_table = f"{sample_table}_rand"
+        self._connector.drop_table(temp_table, if_exists=True)
+        self._connector.drop_table(randomized_table, if_exists=True)
+        self._connector.execute(
+            creators.strata_size_statement(original_table, temp_table, spec.columns)
+        )
+        self._connector.execute(
+            creators.randomized_copy_statement(original_table, randomized_table)
+        )
+        try:
+            strata_count = max(1, self._connector.row_count(temp_table))
+            original_rows = self._connector.row_count(original_table)
+            max_strata_size = int(
+                float(
+                    self._connector.execute(
+                        f"SELECT max(vdb_strata_size) AS m FROM {temp_table}"
+                    ).scalar()
+                )
+            )
+            # Equation 1: each stratum needs at least |T| * tau / d tuples.
+            min_rows = max(1, int(math.ceil(original_rows * spec.ratio / strata_count)))
+            statement = creators.stratified_sample_statement(
+                randomized_table,
+                sample_table,
+                temp_table,
+                spec.columns,
+                source_columns=self._connector.column_names(original_table),
+                min_rows_per_stratum=min_rows,
+                max_strata_size=max_strata_size,
+                subsample_count=subsample_count,
+            )
+            self._connector.execute(statement)
+        finally:
+            self._connector.drop_table(temp_table, if_exists=True)
+            self._connector.drop_table(randomized_table, if_exists=True)
+
+    def create_samples(
+        self, original_table: str, specs: list[SampleSpec] | None = None,
+        policy_config: SamplingPolicyConfig | None = None,
+    ) -> list[SampleInfo]:
+        """Create several samples; defaults to the Appendix F policy."""
+        if specs is None:
+            specs = policy.default_sample_specs(self._connector, original_table, policy_config)
+        return [self.create_sample(original_table, spec) for spec in specs]
+
+    # -- removal ----------------------------------------------------------------
+
+    def drop_sample(self, sample_table: str) -> None:
+        """Drop a sample table and forget its metadata."""
+        self._connector.drop_table(sample_table, if_exists=True)
+        self.metadata.forget(sample_table)
+
+    def drop_samples_for(self, original_table: str) -> None:
+        """Drop every sample built for ``original_table``."""
+        for info in self.metadata.samples_for(original_table):
+            self.drop_sample(info.sample_table)

@@ -1,0 +1,134 @@
+"""Sample metadata stored inside the underlying database.
+
+VerdictDB keeps everything — samples and their metadata — in the underlying
+database (Section 2.1), so that any process connecting through the middleware
+sees the same sample catalog.  The metadata lives in a regular table and is
+read and written with plain SQL through the connector.
+"""
+
+from __future__ import annotations
+
+from repro.connectors.base import Connector
+from repro.sampling.params import SampleInfo
+from repro.sqlengine import sqlast as ast
+
+
+METADATA_TABLE = "verdictdb_metadata"
+
+_COLUMNS = [
+    ("original_table", "varchar"),
+    ("sample_table", "varchar"),
+    ("sample_type", "varchar"),
+    ("column_set", "varchar"),
+    ("sampling_ratio", "double"),
+    ("original_rows", "bigint"),
+    ("sample_rows", "bigint"),
+    ("subsample_count", "bigint"),
+]
+
+
+class MetadataStore:
+    """Reads and writes the sample catalog through a connector."""
+
+    def __init__(self, connector: Connector, table_name: str = METADATA_TABLE) -> None:
+        self._connector = connector
+        self.table_name = table_name
+
+    # -- schema -----------------------------------------------------------------
+
+    def ensure_schema(self) -> None:
+        """Create the metadata table when it does not exist yet."""
+        statement = ast.CreateTableStatement(
+            table_name=self.table_name,
+            columns=[ast.ColumnDefinition(name, type_name) for name, type_name in _COLUMNS],
+            if_not_exists=True,
+        )
+        self._connector.execute(statement)
+
+    # -- writes -----------------------------------------------------------------
+
+    def record(self, info: SampleInfo) -> None:
+        """Insert a metadata row for a newly created sample."""
+        self.ensure_schema()
+        statement = ast.InsertStatement(
+            table_name=self.table_name,
+            columns=[name for name, _ in _COLUMNS],
+            rows=[
+                [
+                    ast.Literal(info.original_table),
+                    ast.Literal(info.sample_table),
+                    ast.Literal(info.sample_type),
+                    ast.Literal(",".join(info.columns)),
+                    ast.Literal(float(info.ratio)),
+                    ast.Literal(int(info.original_rows)),
+                    ast.Literal(int(info.sample_rows)),
+                    ast.Literal(int(info.subsample_count)),
+                ]
+            ],
+        )
+        self._connector.execute(statement)
+
+    def forget(self, sample_table: str) -> None:
+        """Remove the metadata rows of a dropped sample.
+
+        The supported SQL subset has no DELETE, so the table is rebuilt
+        without the forgotten rows (metadata tables are tiny).
+        """
+        remaining = [info for info in self.all_samples() if info.sample_table != sample_table]
+        self._connector.drop_table(self.table_name, if_exists=True)
+        self.ensure_schema()
+        for info in remaining:
+            self.record(info)
+
+    def update_counts(self, sample_table: str, original_rows: int, sample_rows: int) -> None:
+        """Update the stored row counts after incremental maintenance."""
+        updated = []
+        for info in self.all_samples():
+            if info.sample_table == sample_table:
+                info = SampleInfo(
+                    original_table=info.original_table,
+                    sample_table=info.sample_table,
+                    sample_type=info.sample_type,
+                    columns=info.columns,
+                    ratio=info.ratio,
+                    original_rows=original_rows,
+                    sample_rows=sample_rows,
+                    subsample_count=info.subsample_count,
+                )
+            updated.append(info)
+        self._connector.drop_table(self.table_name, if_exists=True)
+        self.ensure_schema()
+        for info in updated:
+            self.record(info)
+
+    # -- reads ------------------------------------------------------------------
+
+    def all_samples(self) -> list[SampleInfo]:
+        """Return every recorded sample."""
+        if not self._connector.has_table(self.table_name):
+            return []
+        result = self._connector.execute(f"SELECT * FROM {self.table_name}")
+        infos = []
+        for row in result.rows():
+            record = dict(zip(result.column_names, row))
+            columns = tuple(
+                part for part in str(record["column_set"]).split(",") if part
+            )
+            infos.append(
+                SampleInfo(
+                    original_table=str(record["original_table"]),
+                    sample_table=str(record["sample_table"]),
+                    sample_type=str(record["sample_type"]),
+                    columns=columns,
+                    ratio=float(record["sampling_ratio"]),
+                    original_rows=int(float(record["original_rows"])),
+                    sample_rows=int(float(record["sample_rows"])),
+                    subsample_count=int(float(record["subsample_count"])),
+                )
+            )
+        return infos
+
+    def samples_for(self, original_table: str) -> list[SampleInfo]:
+        """Return the samples built for ``original_table``."""
+        lowered = original_table.lower()
+        return [info for info in self.all_samples() if info.original_table.lower() == lowered]

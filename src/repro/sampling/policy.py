@@ -1,0 +1,63 @@
+"""Default sampling policy (Appendix F).
+
+When the user asks VerdictDB to prepare samples for a table without
+specifying which ones, the policy inspects column cardinalities and proposes:
+
+1. always a uniform sample,
+2. a hashed (universe) sample on each of the top-``k`` highest-cardinality
+   columns whose cardinality exceeds ``cardinality_fraction * |T|``,
+3. a stratified sample on each of the top-``k`` lowest-cardinality columns
+   whose cardinality is below that threshold,
+
+all with ``tau = target_sample_rows / |T|``.
+"""
+
+from __future__ import annotations
+
+from repro.connectors.base import Connector
+from repro.sampling.params import SamplingPolicyConfig, SampleSpec
+
+
+def default_sample_specs(
+    connector: Connector,
+    table: str,
+    config: SamplingPolicyConfig | None = None,
+) -> list[SampleSpec]:
+    """Propose the sample tables to build for ``table`` under the default policy."""
+    config = config or SamplingPolicyConfig()
+    total_rows = connector.row_count(table)
+    if total_rows == 0:
+        return []
+    if total_rows < config.min_table_rows and config.default_ratio is None:
+        # Small tables are used directly; sampling them buys nothing.
+        return []
+    if config.default_ratio is not None:
+        ratio = config.default_ratio
+    else:
+        ratio = min(1.0, config.target_sample_rows / total_rows)
+
+    specs: list[SampleSpec] = [SampleSpec("uniform", (), ratio)]
+
+    excluded = {column.lower() for column in config.excluded_columns}
+    cardinalities = {
+        column: connector.column_cardinality(table, column)
+        for column in connector.column_names(table)
+        if column.lower() not in excluded
+    }
+    threshold = config.cardinality_fraction * total_rows
+
+    high_cardinality = sorted(
+        (column for column, count in cardinalities.items() if count > threshold),
+        key=lambda column: cardinalities[column],
+        reverse=True,
+    )
+    for column in high_cardinality[: config.max_keyed_samples]:
+        specs.append(SampleSpec("hashed", (column,), ratio))
+
+    low_cardinality = sorted(
+        (column for column, count in cardinalities.items() if 1 < count <= threshold),
+        key=lambda column: cardinalities[column],
+    )
+    for column in low_cardinality[: config.max_keyed_samples]:
+        specs.append(SampleSpec("stratified", (column,), ratio))
+    return specs

@@ -1,0 +1,14 @@
+"""A from-scratch columnar SQL engine used as the "underlying database".
+
+The VerdictDB paper is explicitly database-agnostic: the middleware only
+needs an engine that executes standard SQL.  This subpackage provides that
+engine so the reproduction is self-contained — SQL text in,
+:class:`~repro.sqlengine.resultset.ResultSet` out.
+"""
+
+from repro.sqlengine.engine import Database
+from repro.sqlengine.parser import parse, parse_select
+from repro.sqlengine.resultset import ResultSet
+from repro.sqlengine.table import Table
+
+__all__ = ["Database", "ResultSet", "Table", "parse", "parse_select"]

@@ -1,0 +1,52 @@
+"""Catalog of tables known to a :class:`repro.sqlengine.engine.Database`."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import CatalogError
+from repro.sqlengine.table import Table
+
+
+class Catalog:
+    """Name → table mapping with case-insensitive lookups."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, Table] = {}
+
+    @staticmethod
+    def _key(name: str) -> str:
+        return name.lower()
+
+    def register(self, table: Table, replace: bool = False) -> None:
+        """Register ``table`` under its own name."""
+        key = self._key(table.name)
+        if key in self._tables and not replace:
+            raise CatalogError(f"table {table.name!r} already exists")
+        self._tables[key] = table
+
+    def drop(self, name: str, if_exists: bool = False) -> None:
+        key = self._key(name)
+        if key not in self._tables:
+            if if_exists:
+                return
+            raise CatalogError(f"table {name!r} does not exist")
+        del self._tables[key]
+
+    def get(self, name: str) -> Table:
+        try:
+            return self._tables[self._key(name)]
+        except KeyError:
+            raise CatalogError(f"table {name!r} does not exist") from None
+
+    def has(self, name: str) -> bool:
+        return self._key(name) in self._tables
+
+    def table_names(self) -> list[str]:
+        return [table.name for table in self._tables.values()]
+
+    def __iter__(self) -> Iterator[Table]:
+        return iter(self._tables.values())
+
+    def __len__(self) -> int:
+        return len(self._tables)

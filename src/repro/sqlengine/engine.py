@@ -1,0 +1,143 @@
+"""The built-in relational database: catalog + executor + DDL/DML handling.
+
+:class:`Database` is the "underlying database" of the reproduction.  It
+accepts SQL text (SELECT, CREATE TABLE [AS SELECT], DROP TABLE, INSERT) and
+returns :class:`~repro.sqlengine.resultset.ResultSet` objects, exactly as an
+off-the-shelf engine behind a JDBC driver would.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import CatalogError, ExecutionError
+from repro.sqlengine import functions, parser, sqlast as ast
+from repro.sqlengine.catalog import Catalog
+from repro.sqlengine.executor import Executor
+from repro.sqlengine.expressions import Frame, evaluate
+from repro.sqlengine.resultset import ResultSet
+from repro.sqlengine.table import Table
+
+
+_EMPTY_TYPES = {
+    "int": np.int64,
+    "integer": np.int64,
+    "bigint": np.int64,
+    "double": np.float64,
+    "float": np.float64,
+    "decimal": np.float64,
+    "real": np.float64,
+    "varchar": object,
+    "string": object,
+    "text": object,
+    "char": object,
+    "boolean": bool,
+}
+
+
+class Database:
+    """An in-process columnar SQL database.
+
+    Args:
+        seed: seed for the engine's random generator (``rand()``); passing a
+            fixed seed makes query results involving randomness reproducible.
+    """
+
+    def __init__(self, seed: int | None = None) -> None:
+        self.catalog = Catalog()
+        self._rng = np.random.default_rng(seed)
+
+    # -- programmatic data loading --------------------------------------------
+
+    def register_table(
+        self, name: str, columns: Mapping[str, Sequence] | Table, replace: bool = True
+    ) -> Table:
+        """Register an in-memory table built from a column mapping (or Table)."""
+        if isinstance(columns, Table):
+            table = columns if columns.name == name else columns.copy(name)
+        else:
+            table = Table(name, columns)
+        self.catalog.register(table, replace=replace)
+        return table
+
+    def table(self, name: str) -> Table:
+        """Return the named table (raises CatalogError when missing)."""
+        return self.catalog.get(name)
+
+    def has_table(self, name: str) -> bool:
+        return self.catalog.has(name)
+
+    def table_names(self) -> list[str]:
+        return self.catalog.table_names()
+
+    # -- SQL execution ---------------------------------------------------------
+
+    def execute(self, sql: str) -> ResultSet:
+        """Parse and execute one SQL statement, returning its result set.
+
+        DDL and DML statements return an empty result set.
+        """
+        statement = parser.parse(sql)
+        return self.execute_statement(statement)
+
+    def execute_statement(self, statement: ast.Statement) -> ResultSet:
+        """Execute an already parsed statement."""
+        if isinstance(statement, ast.SelectStatement):
+            return Executor(self.catalog, self._rng).execute_select(statement)
+        if isinstance(statement, ast.CreateTableStatement):
+            return self._execute_create(statement)
+        if isinstance(statement, ast.DropTableStatement):
+            self.catalog.drop(statement.table_name, if_exists=statement.if_exists)
+            return ResultSet.empty([])
+        if isinstance(statement, ast.InsertStatement):
+            return self._execute_insert(statement)
+        raise ExecutionError(f"unsupported statement type {type(statement).__name__}")
+
+    # -- DDL / DML --------------------------------------------------------------
+
+    def _execute_create(self, statement: ast.CreateTableStatement) -> ResultSet:
+        if self.catalog.has(statement.table_name):
+            if statement.if_not_exists:
+                return ResultSet.empty([])
+            raise CatalogError(f"table {statement.table_name!r} already exists")
+        if statement.as_select is not None:
+            result = Executor(self.catalog, self._rng).execute_select(statement.as_select)
+            table = Table(statement.table_name)
+            for column_name, array in zip(result.column_names, result.columns()):
+                table.add_column(column_name, array)
+            self.catalog.register(table)
+            return ResultSet.empty([])
+        table = Table(statement.table_name)
+        for column in statement.columns:
+            dtype = _EMPTY_TYPES.get(column.type_name.lower(), object)
+            table.add_column(column.name, np.array([], dtype=dtype))
+        self.catalog.register(table)
+        return ResultSet.empty([])
+
+    def _execute_insert(self, statement: ast.InsertStatement) -> ResultSet:
+        table = self.catalog.get(statement.table_name)
+        column_names = statement.columns or table.column_names
+        if statement.from_select is not None:
+            result = Executor(self.catalog, self._rng).execute_select(statement.from_select)
+            table.append_rows(column_names, result.rows())
+            return ResultSet.empty([])
+        rows = []
+        for row_expressions in statement.rows:
+            if len(row_expressions) != len(column_names):
+                raise ExecutionError("INSERT row has the wrong number of values")
+            rows.append(tuple(_literal_value(expression) for expression in row_expressions))
+        table.append_rows(column_names, rows)
+        return ResultSet.empty([])
+
+
+def _literal_value(expression: ast.Expression) -> object:
+    """Evaluate a constant expression appearing in an INSERT ... VALUES row."""
+    frame = Frame(num_rows=1)
+    frame.add_column(None, "__dummy", np.zeros(1, dtype=np.int64))
+    context = functions.EvaluationContext(num_rows=1, rng=np.random.default_rng(0))
+    value = evaluate(expression, frame, context)[0]
+    if isinstance(value, np.generic):
+        value = value.item()
+    return value

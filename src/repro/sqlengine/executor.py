@@ -1,0 +1,538 @@
+"""Query executor: evaluates SELECT statements over the catalog.
+
+The executor is deliberately a straightforward, vectorised implementation of
+relational semantics: build a frame from the FROM clause (scans, derived
+tables and hash joins), filter it with WHERE, group and aggregate, evaluate
+the select list, then apply HAVING / ORDER BY / DISTINCT / LIMIT.  It exists
+so the middleware has a realistic "underlying database" that executes the
+rewritten SQL text exactly as written.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.errors import ExecutionError
+from repro.sqlengine import functions, sqlast as ast
+from repro.sqlengine.catalog import Catalog
+from repro.sqlengine.expressions import Frame, contains_aggregate, evaluate, group_rows
+from repro.sqlengine.resultset import ResultSet
+
+
+class Executor:
+    """Evaluates SELECT statements against a catalog."""
+
+    def __init__(self, catalog: Catalog, rng: np.random.Generator) -> None:
+        self._catalog = catalog
+        self._rng = rng
+
+    # -- entry points --------------------------------------------------------
+
+    def execute_select(self, statement: ast.SelectStatement) -> ResultSet:
+        frame = self._build_frame(statement.from_relation)
+        context = functions.EvaluationContext(num_rows=frame.num_rows, rng=self._rng)
+
+        if statement.where is not None:
+            mask = evaluate(statement.where, frame, context, self._scalar_subquery)
+            frame = frame.filter(mask)
+            context = functions.EvaluationContext(num_rows=frame.num_rows, rng=self._rng)
+
+        has_aggregates = bool(statement.group_by) or any(
+            contains_aggregate(item.expression)
+            for item in statement.select_items
+            if not isinstance(item.expression, ast.Star)
+        )
+        if statement.having is not None and not has_aggregates:
+            has_aggregates = True
+
+        if has_aggregates:
+            return self._execute_grouped(statement, frame, context)
+        return self._execute_plain(statement, frame, context)
+
+    def _scalar_subquery(self, statement: ast.SelectStatement) -> object:
+        result = self.execute_select(statement)
+        return result.scalar()
+
+    # -- FROM clause ----------------------------------------------------------
+
+    def _build_frame(self, relation: ast.Relation | None) -> Frame:
+        if relation is None:
+            # SELECT without FROM: a single anonymous row.
+            frame = Frame(num_rows=1)
+            frame.add_column(None, "__dummy", np.zeros(1, dtype=np.int64))
+            return frame
+        if isinstance(relation, ast.TableRef):
+            table = self._catalog.get(relation.name)
+            frame = Frame()
+            for column_name, array in table.columns().items():
+                frame.add_column(relation.binding_name, column_name, array)
+            if not table.column_names:
+                frame.num_rows = table.num_rows
+            return frame
+        if isinstance(relation, ast.DerivedTable):
+            result = self.execute_select(relation.query)
+            frame = Frame()
+            for column_name, array in zip(result.column_names, result.columns()):
+                frame.add_column(relation.alias, column_name, array)
+            return frame
+        if isinstance(relation, ast.Join):
+            return self._build_join(relation)
+        raise ExecutionError(f"unsupported relation type {type(relation).__name__}")
+
+    def _build_join(self, join: ast.Join) -> Frame:
+        if join.join_type not in ("INNER", "CROSS"):
+            raise ExecutionError(f"{join.join_type} joins are not supported")
+        left = self._build_frame(join.left)
+        right = self._build_frame(join.right)
+        context = functions.EvaluationContext(num_rows=left.num_rows, rng=self._rng)
+
+        equi_pairs, residual = _split_join_condition(join.condition, left, right)
+        if not equi_pairs:
+            left_indices, right_indices = _cross_join_indices(left.num_rows, right.num_rows)
+        else:
+            left_keys = [
+                evaluate(expr, left, context, self._scalar_subquery) for expr, _ in equi_pairs
+            ]
+            right_context = functions.EvaluationContext(num_rows=right.num_rows, rng=self._rng)
+            right_keys = [
+                evaluate(expr, right, right_context, self._scalar_subquery)
+                for _, expr in equi_pairs
+            ]
+            left_indices, right_indices = hash_join_indices(left_keys, right_keys)
+
+        joined = Frame.concat(left.take(left_indices), right.take(right_indices))
+        if residual is not None:
+            joined_context = functions.EvaluationContext(num_rows=joined.num_rows, rng=self._rng)
+            mask = evaluate(residual, joined, joined_context, self._scalar_subquery)
+            joined = joined.filter(mask)
+        return joined
+
+    # -- plain (non-aggregate) SELECT -----------------------------------------
+
+    def _execute_plain(
+        self,
+        statement: ast.SelectStatement,
+        frame: Frame,
+        context: functions.EvaluationContext,
+    ) -> ResultSet:
+        column_names: list[str] = []
+        columns: list[np.ndarray] = []
+        alias_frame = Frame(num_rows=frame.num_rows)
+        for binding, name, array in frame.entries():
+            alias_frame.add_column(binding, name, array)
+
+        for position, item in enumerate(statement.select_items):
+            if isinstance(item.expression, ast.Star):
+                for binding, name, array in frame.entries():
+                    if item.expression.table and (
+                        binding is None or binding.lower() != item.expression.table.lower()
+                    ):
+                        continue
+                    column_names.append(name)
+                    columns.append(array)
+                continue
+            array = evaluate(item.expression, frame, context, self._scalar_subquery)
+            name = item.output_name(position)
+            column_names.append(name)
+            columns.append(array)
+            alias_frame.add_column(None, name, array)
+
+        order_indices = self._order_indices(statement, alias_frame, context)
+        if order_indices is not None:
+            columns = [column[order_indices] for column in columns]
+
+        result = ResultSet(column_names, columns)
+        if statement.distinct:
+            result = _distinct(result)
+        return _apply_limit(result, statement.limit, statement.offset)
+
+    # -- grouped / aggregate SELECT --------------------------------------------
+
+    def _execute_grouped(
+        self,
+        statement: ast.SelectStatement,
+        frame: Frame,
+        context: functions.EvaluationContext,
+    ) -> ResultSet:
+        for item in statement.select_items:
+            if isinstance(item.expression, ast.Star):
+                raise ExecutionError("'*' cannot be used together with aggregates")
+
+        if statement.group_by:
+            keys = [
+                evaluate(expr, frame, context, self._scalar_subquery)
+                for expr in statement.group_by
+            ]
+            inverse, num_groups = group_rows(keys)
+        else:
+            keys = []
+            inverse = np.zeros(frame.num_rows, dtype=np.int64)
+            num_groups = 1
+
+        substitutions: dict[str, str] = {}
+        name_substitutions: dict[str, str] = {}
+        post_frame = Frame(num_rows=num_groups)
+
+        # Representative row index for each group (first occurrence).
+        if frame.num_rows:
+            representative = np.full(num_groups, frame.num_rows, dtype=np.int64)
+            np.minimum.at(representative, inverse, np.arange(frame.num_rows))
+        else:
+            representative = np.zeros(0, dtype=np.int64)
+
+        for position, (expr, key_array) in enumerate(zip(statement.group_by, keys)):
+            column_name = f"__group_{position}"
+            values = key_array[representative] if frame.num_rows else key_array[:0]
+            if num_groups and len(values) != num_groups:
+                values = np.resize(values, num_groups)
+            post_frame.add_column(None, column_name, values)
+            substitutions[expr.to_sql()] = column_name
+            if isinstance(expr, ast.ColumnRef):
+                name_substitutions[expr.name.lower()] = column_name
+
+        aggregate_nodes = self._collect_aggregates(statement)
+        for position, (sql_key, node) in enumerate(aggregate_nodes.items()):
+            column_name = f"__agg_{position}"
+            post_frame.add_column(
+                None, column_name, self._compute_aggregate(node, frame, context, inverse, num_groups)
+            )
+            substitutions[sql_key] = column_name
+
+        post_context = functions.EvaluationContext(num_rows=num_groups, rng=self._rng)
+
+        column_names: list[str] = []
+        columns: list[np.ndarray] = []
+        for position, item in enumerate(statement.select_items):
+            substituted = _substitute(item.expression, substitutions, name_substitutions)
+            array = evaluate(substituted, post_frame, post_context, self._scalar_subquery)
+            name = item.output_name(position)
+            column_names.append(name)
+            columns.append(array)
+            post_frame.add_column(None, name, array)
+            substitutions[ast.ColumnRef(name).to_sql()] = name
+
+        keep_mask: np.ndarray | None = None
+        if statement.having is not None:
+            having = _substitute(statement.having, substitutions, name_substitutions)
+            keep_mask = evaluate(having, post_frame, post_context, self._scalar_subquery)
+            keep_mask = keep_mask.astype(bool)
+
+        order_keys: list[tuple[np.ndarray, bool]] = []
+        for order_item in statement.order_by:
+            substituted = _substitute(order_item.expression, substitutions, name_substitutions)
+            order_keys.append(
+                (
+                    evaluate(substituted, post_frame, post_context, self._scalar_subquery),
+                    order_item.ascending,
+                )
+            )
+
+        if keep_mask is not None:
+            columns = [column[keep_mask] for column in columns]
+            order_keys = [(key[keep_mask], ascending) for key, ascending in order_keys]
+
+        if order_keys:
+            order_indices = sort_indices(order_keys)
+            columns = [column[order_indices] for column in columns]
+
+        result = ResultSet(column_names, columns)
+        if statement.distinct:
+            result = _distinct(result)
+        return _apply_limit(result, statement.limit, statement.offset)
+
+    def _collect_aggregates(
+        self, statement: ast.SelectStatement
+    ) -> dict[str, ast.FunctionCall]:
+        """Find the innermost aggregate calls referenced anywhere in the query."""
+        nodes: dict[str, ast.FunctionCall] = {}
+        expressions: list[ast.Expression] = [item.expression for item in statement.select_items]
+        if statement.having is not None:
+            expressions.append(statement.having)
+        expressions.extend(order_item.expression for order_item in statement.order_by)
+        for expression in expressions:
+            if isinstance(expression, ast.Star):
+                continue
+            for node in expression.walk():
+                if not isinstance(node, ast.FunctionCall):
+                    continue
+                if not functions.is_aggregate_function(node.name):
+                    continue
+                if any(contains_aggregate(argument) for argument in node.args):
+                    continue
+                nodes.setdefault(node.to_sql(), node)
+        return nodes
+
+    def _compute_aggregate(
+        self,
+        node: ast.FunctionCall,
+        frame: Frame,
+        context: functions.EvaluationContext,
+        inverse: np.ndarray,
+        num_groups: int,
+    ) -> np.ndarray:
+        is_star = bool(node.args) and isinstance(node.args[0], ast.Star)
+        if is_star or not node.args:
+            args: list[np.ndarray] = []
+        else:
+            args = [
+                evaluate(argument, frame, context, self._scalar_subquery)
+                for argument in node.args
+            ]
+        return functions.aggregate(
+            node.name, args, inverse, num_groups, distinct=node.distinct, is_star=is_star
+        )
+
+    def _order_indices(
+        self,
+        statement: ast.SelectStatement,
+        frame: Frame,
+        context: functions.EvaluationContext,
+    ) -> np.ndarray | None:
+        if not statement.order_by:
+            return None
+        keys = []
+        for order_item in statement.order_by:
+            keys.append(
+                (
+                    evaluate(order_item.expression, frame, context, self._scalar_subquery),
+                    order_item.ascending,
+                )
+            )
+        return sort_indices(keys)
+
+
+# ---------------------------------------------------------------------------
+# join helpers
+# ---------------------------------------------------------------------------
+
+
+def _split_join_condition(
+    condition: ast.Expression | None, left: Frame, right: Frame
+) -> tuple[list[tuple[ast.Expression, ast.Expression]], ast.Expression | None]:
+    """Split an ON condition into equi-join pairs and a residual predicate."""
+    if condition is None:
+        return [], None
+    conjuncts = _flatten_and(condition)
+    pairs: list[tuple[ast.Expression, ast.Expression]] = []
+    residual: list[ast.Expression] = []
+    for conjunct in conjuncts:
+        if (
+            isinstance(conjunct, ast.BinaryOp)
+            and conjunct.op == "="
+            and isinstance(conjunct.left, ast.ColumnRef)
+            and isinstance(conjunct.right, ast.ColumnRef)
+        ):
+            left_ref, right_ref = conjunct.left, conjunct.right
+            if _resolvable(left_ref, left) and _resolvable(right_ref, right):
+                pairs.append((left_ref, right_ref))
+                continue
+            if _resolvable(right_ref, left) and _resolvable(left_ref, right):
+                pairs.append((right_ref, left_ref))
+                continue
+        residual.append(conjunct)
+    return pairs, ast.conjunction(residual)
+
+
+def _resolvable(ref: ast.ColumnRef, frame: Frame) -> bool:
+    return frame.has_column(ref.name, ref.table)
+
+
+def _flatten_and(expression: ast.Expression) -> list[ast.Expression]:
+    if isinstance(expression, ast.BinaryOp) and expression.op.upper() == "AND":
+        return _flatten_and(expression.left) + _flatten_and(expression.right)
+    return [expression]
+
+
+def _cross_join_indices(left_rows: int, right_rows: int) -> tuple[np.ndarray, np.ndarray]:
+    left_indices = np.repeat(np.arange(left_rows), right_rows)
+    right_indices = np.tile(np.arange(right_rows), left_rows)
+    return left_indices, right_indices
+
+
+def hash_join_indices(
+    left_keys: list[np.ndarray], right_keys: list[np.ndarray]
+) -> tuple[np.ndarray, np.ndarray]:
+    """Return matching (left, right) row indices for an inner equi-join."""
+    left_codes = _encode_keys(left_keys, right_keys)
+    right_codes = _encode_keys(right_keys, left_keys)
+
+    right_order = np.argsort(right_codes, kind="stable")
+    sorted_right = right_codes[right_order]
+    starts = np.searchsorted(sorted_right, left_codes, side="left")
+    ends = np.searchsorted(sorted_right, left_codes, side="right")
+    counts = ends - starts
+    total = int(counts.sum())
+    if total == 0:
+        return np.array([], dtype=np.int64), np.array([], dtype=np.int64)
+    left_indices = np.repeat(np.arange(len(left_codes)), counts)
+    cumulative = np.cumsum(counts) - counts
+    within = np.arange(total) - np.repeat(cumulative, counts)
+    positions = np.repeat(starts, counts) + within
+    right_indices = right_order[positions]
+    return left_indices, right_indices
+
+
+def _encode_keys(keys: list[np.ndarray], other_keys: list[np.ndarray]) -> np.ndarray:
+    """Encode multi-column join keys into a single comparable int64 code.
+
+    Both sides must be encoded consistently, so the dictionaries are built
+    from the union of each key column with its counterpart on the other side.
+    """
+    if not keys:
+        return np.zeros(0, dtype=np.int64)
+    num_rows = len(keys[0])
+    combined = np.zeros(num_rows, dtype=np.int64)
+    for key, other in zip(keys, other_keys):
+        key_norm = _normalize_key(key)
+        other_norm = _normalize_key(other)
+        universe = np.concatenate([key_norm, other_norm])
+        _, codes = np.unique(universe, return_inverse=True)
+        cardinality = int(codes.max()) + 1 if len(codes) else 1
+        combined = combined * cardinality + codes[: num_rows]
+    return combined
+
+
+def _normalize_key(key: np.ndarray) -> np.ndarray:
+    if key.dtype == object:
+        return np.array(["\0NULL" if value is None else str(value) for value in key])
+    return key.astype(np.float64, copy=False)
+
+
+# ---------------------------------------------------------------------------
+# expression substitution for post-aggregation evaluation
+# ---------------------------------------------------------------------------
+
+
+def _substitute(
+    expression: ast.Expression,
+    substitutions: dict[str, str],
+    name_substitutions: dict[str, str],
+) -> ast.Expression:
+    """Replace aggregate calls and grouping keys with post-aggregation columns."""
+    sql_key = expression.to_sql()
+    if sql_key in substitutions:
+        return ast.ColumnRef(substitutions[sql_key])
+    if isinstance(expression, ast.ColumnRef):
+        replacement = name_substitutions.get(expression.name.lower())
+        if replacement is not None:
+            return ast.ColumnRef(replacement)
+        return expression
+    if isinstance(expression, (ast.Literal, ast.Star)):
+        return expression
+    if isinstance(expression, ast.UnaryOp):
+        return dataclasses.replace(
+            expression, operand=_substitute(expression.operand, substitutions, name_substitutions)
+        )
+    if isinstance(expression, ast.BinaryOp):
+        return dataclasses.replace(
+            expression,
+            left=_substitute(expression.left, substitutions, name_substitutions),
+            right=_substitute(expression.right, substitutions, name_substitutions),
+        )
+    if isinstance(expression, ast.FunctionCall):
+        return dataclasses.replace(
+            expression,
+            args=[_substitute(arg, substitutions, name_substitutions) for arg in expression.args],
+        )
+    if isinstance(expression, ast.WindowFunction):
+        return dataclasses.replace(
+            expression,
+            function=_substitute(expression.function, substitutions, name_substitutions),
+            partition_by=[
+                _substitute(key, substitutions, name_substitutions)
+                for key in expression.partition_by
+            ],
+        )
+    if isinstance(expression, ast.CaseWhen):
+        return dataclasses.replace(
+            expression,
+            whens=[
+                (
+                    _substitute(condition, substitutions, name_substitutions),
+                    _substitute(result, substitutions, name_substitutions),
+                )
+                for condition, result in expression.whens
+            ],
+            else_result=(
+                None
+                if expression.else_result is None
+                else _substitute(expression.else_result, substitutions, name_substitutions)
+            ),
+        )
+    if isinstance(expression, ast.InList):
+        return dataclasses.replace(
+            expression,
+            operand=_substitute(expression.operand, substitutions, name_substitutions),
+            values=[
+                _substitute(value, substitutions, name_substitutions)
+                for value in expression.values
+            ],
+        )
+    if isinstance(expression, ast.Between):
+        return dataclasses.replace(
+            expression,
+            operand=_substitute(expression.operand, substitutions, name_substitutions),
+            low=_substitute(expression.low, substitutions, name_substitutions),
+            high=_substitute(expression.high, substitutions, name_substitutions),
+        )
+    if isinstance(expression, ast.LikePredicate):
+        return dataclasses.replace(
+            expression,
+            operand=_substitute(expression.operand, substitutions, name_substitutions),
+            pattern=_substitute(expression.pattern, substitutions, name_substitutions),
+        )
+    if isinstance(expression, ast.IsNull):
+        return dataclasses.replace(
+            expression,
+            operand=_substitute(expression.operand, substitutions, name_substitutions),
+        )
+    return expression
+
+
+# ---------------------------------------------------------------------------
+# sorting, distinct, limit
+# ---------------------------------------------------------------------------
+
+
+def sort_indices(keys: list[tuple[np.ndarray, bool]]) -> np.ndarray:
+    """Stable multi-key sort; each key is (values, ascending)."""
+    if not keys:
+        return np.arange(0)
+    num_rows = len(keys[0][0])
+    sortable: list[np.ndarray] = []
+    for values, ascending in keys:
+        if values.dtype == object:
+            normalized = np.array(["" if value is None else str(value) for value in values])
+            _, codes = np.unique(normalized, return_inverse=True)
+            key_array = codes.astype(np.float64)
+        else:
+            key_array = values.astype(np.float64, copy=False)
+        if not ascending:
+            key_array = -key_array
+        sortable.append(key_array)
+    # np.lexsort sorts by the last key first, so reverse the list.
+    return np.lexsort(tuple(reversed(sortable))) if sortable else np.arange(num_rows)
+
+
+def _distinct(result: ResultSet) -> ResultSet:
+    if result.num_rows == 0 or not result.column_names:
+        return result
+    inverse, num_groups = group_rows(result.columns())
+    representative = np.full(num_groups, result.num_rows, dtype=np.int64)
+    np.minimum.at(representative, inverse, np.arange(result.num_rows))
+    representative = np.sort(representative)
+    return ResultSet(
+        result.column_names, [column[representative] for column in result.columns()]
+    )
+
+
+def _apply_limit(result: ResultSet, limit: int | None, offset: int | None) -> ResultSet:
+    if limit is None and offset is None:
+        return result
+    start = offset or 0
+    stop = result.num_rows if limit is None else start + limit
+    return ResultSet(
+        result.column_names, [column[start:stop] for column in result.columns()]
+    )

@@ -1,0 +1,394 @@
+"""Row-level expression evaluation over column frames.
+
+A :class:`Frame` is the executor's working set: a collection of columns
+(qualified by the binding name of the relation they come from) that all have
+the same number of rows.  :func:`evaluate` computes an expression over a
+frame, returning a numpy array with one value per row.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, Iterable
+
+import numpy as np
+
+from repro.errors import ExecutionError
+from repro.sqlengine import functions, sqlast as ast
+
+
+class Frame:
+    """A set of equally sized columns addressable by (binding, column) name."""
+
+    def __init__(self, num_rows: int = 0) -> None:
+        self.num_rows = num_rows
+        # Ordered list preserving column order for SELECT * expansion.
+        self._entries: list[tuple[str | None, str, np.ndarray]] = []
+        self._qualified: dict[tuple[str, str], int] = {}
+        self._unqualified: dict[str, list[int]] = {}
+
+    def add_column(self, binding: str | None, name: str, array: np.ndarray) -> None:
+        array = np.asarray(array)
+        if self._entries and len(array) != self.num_rows:
+            raise ExecutionError(
+                f"column {name!r} has {len(array)} rows, expected {self.num_rows}"
+            )
+        if not self._entries:
+            self.num_rows = len(array)
+        index = len(self._entries)
+        self._entries.append((binding, name, array))
+        if binding is not None:
+            self._qualified[(binding.lower(), name.lower())] = index
+        self._unqualified.setdefault(name.lower(), []).append(index)
+
+    def entries(self) -> Iterable[tuple[str | None, str, np.ndarray]]:
+        return list(self._entries)
+
+    def has_column(self, name: str, table: str | None = None) -> bool:
+        try:
+            self.resolve(name, table)
+            return True
+        except ExecutionError:
+            return False
+
+    def resolve(self, name: str, table: str | None = None) -> np.ndarray:
+        """Look up a column by (optionally qualified) name."""
+        if table is not None:
+            key = (table.lower(), name.lower())
+            if key in self._qualified:
+                return self._entries[self._qualified[key]][2]
+            raise ExecutionError(f"unknown column {table}.{name}")
+        indexes = self._unqualified.get(name.lower(), [])
+        if not indexes:
+            raise ExecutionError(f"unknown column {name!r}")
+        if len(indexes) > 1:
+            # Ambiguity is tolerated when every candidate is the same data
+            # (common after SELECT * over a join on the same key); otherwise
+            # the first occurrence wins, matching permissive engines.
+            pass
+        return self._entries[indexes[0]][2]
+
+    def take(self, indices: np.ndarray) -> "Frame":
+        """Return a new frame with rows selected (and repeated) by ``indices``."""
+        result = Frame(num_rows=len(indices))
+        for binding, name, array in self._entries:
+            result.add_column(binding, name, array[indices])
+        return result
+
+    def filter(self, mask: np.ndarray) -> "Frame":
+        return self.take(np.flatnonzero(np.asarray(mask, dtype=bool)))
+
+    @classmethod
+    def from_columns(cls, binding: str | None, columns: dict[str, np.ndarray]) -> "Frame":
+        frame = cls()
+        for name, array in columns.items():
+            frame.add_column(binding, name, array)
+        return frame
+
+    @classmethod
+    def concat(cls, left: "Frame", right: "Frame") -> "Frame":
+        """Concatenate two frames column-wise (they must have equal row counts)."""
+        if left.num_rows != right.num_rows:
+            raise ExecutionError("cannot concatenate frames of different lengths")
+        result = cls(num_rows=left.num_rows)
+        for binding, name, array in left.entries():
+            result.add_column(binding, name, array)
+        for binding, name, array in right.entries():
+            result.add_column(binding, name, array)
+        return result
+
+
+# Callback used to evaluate uncorrelated scalar subqueries; installed by the
+# executor so the expression layer does not depend on it.
+SubqueryEvaluator = Callable[[ast.SelectStatement], object]
+
+
+def evaluate(
+    expression: ast.Expression,
+    frame: Frame,
+    context: functions.EvaluationContext,
+    subquery_evaluator: SubqueryEvaluator | None = None,
+) -> np.ndarray:
+    """Evaluate ``expression`` over every row of ``frame``."""
+    if isinstance(expression, ast.Literal):
+        return _broadcast_literal(expression.value, frame.num_rows)
+    if isinstance(expression, ast.ColumnRef):
+        return frame.resolve(expression.name, expression.table)
+    if isinstance(expression, ast.Star):
+        raise ExecutionError("'*' is only valid in a select list or inside count(*)")
+    if isinstance(expression, ast.UnaryOp):
+        return _evaluate_unary(expression, frame, context, subquery_evaluator)
+    if isinstance(expression, ast.BinaryOp):
+        return _evaluate_binary(expression, frame, context, subquery_evaluator)
+    if isinstance(expression, ast.FunctionCall):
+        if functions.is_aggregate_function(expression.name):
+            raise ExecutionError(
+                f"aggregate {expression.name!r} is not valid in a row-level context"
+            )
+        args = [
+            evaluate(arg, frame, context, subquery_evaluator) for arg in expression.args
+        ]
+        return functions.call_scalar(expression.name, context, args)
+    if isinstance(expression, ast.WindowFunction):
+        return _evaluate_window(expression, frame, context, subquery_evaluator)
+    if isinstance(expression, ast.CaseWhen):
+        return _evaluate_case(expression, frame, context, subquery_evaluator)
+    if isinstance(expression, ast.InList):
+        return _evaluate_in_list(expression, frame, context, subquery_evaluator)
+    if isinstance(expression, ast.Between):
+        operand = evaluate(expression.operand, frame, context, subquery_evaluator)
+        low = evaluate(expression.low, frame, context, subquery_evaluator)
+        high = evaluate(expression.high, frame, context, subquery_evaluator)
+        mask = _compare(">=", operand, low) & _compare("<=", operand, high)
+        return ~mask if expression.negated else mask
+    if isinstance(expression, ast.LikePredicate):
+        return _evaluate_like(expression, frame, context, subquery_evaluator)
+    if isinstance(expression, ast.IsNull):
+        operand = evaluate(expression.operand, frame, context, subquery_evaluator)
+        mask = _null_mask(operand)
+        return ~mask if expression.negated else mask
+    if isinstance(expression, ast.ScalarSubquery):
+        if subquery_evaluator is None:
+            raise ExecutionError("scalar subqueries are not supported in this context")
+        value = subquery_evaluator(expression.query)
+        return _broadcast_literal(value, frame.num_rows)
+    raise ExecutionError(f"cannot evaluate expression of type {type(expression).__name__}")
+
+
+def contains_aggregate(expression: ast.Expression) -> bool:
+    """Return True when the expression tree contains an aggregate call."""
+    for node in expression.walk():
+        if isinstance(node, ast.FunctionCall) and functions.is_aggregate_function(node.name):
+            return True
+    return False
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+
+
+def _broadcast_literal(value: object, num_rows: int) -> np.ndarray:
+    if value is None:
+        return np.full(num_rows, np.nan, dtype=np.float64)
+    if isinstance(value, bool):
+        return np.full(num_rows, value, dtype=bool)
+    if isinstance(value, (int, np.integer)):
+        return np.full(num_rows, int(value), dtype=np.int64)
+    if isinstance(value, (float, np.floating)):
+        return np.full(num_rows, float(value), dtype=np.float64)
+    return np.full(num_rows, value, dtype=object)
+
+
+def _as_float(array: np.ndarray) -> np.ndarray:
+    if array.dtype == object:
+        return np.array(
+            [np.nan if value is None else float(value) for value in array], dtype=np.float64
+        )
+    return array.astype(np.float64, copy=False)
+
+
+def _null_mask(array: np.ndarray) -> np.ndarray:
+    if array.dtype == object:
+        return np.array([value is None for value in array], dtype=bool)
+    if array.dtype.kind == "f":
+        return np.isnan(array)
+    return np.zeros(len(array), dtype=bool)
+
+
+def _evaluate_unary(expression, frame, context, subquery_evaluator):
+    operand = evaluate(expression.operand, frame, context, subquery_evaluator)
+    if expression.op.upper() == "NOT":
+        return ~operand.astype(bool)
+    if expression.op == "-":
+        return -_as_float(operand)
+    raise ExecutionError(f"unknown unary operator {expression.op!r}")
+
+
+_NUMERIC_OPS = {"+", "-", "*", "/", "%"}
+_COMPARISON_OPS = {"=", "<>", "<", ">", "<=", ">="}
+
+
+def _evaluate_binary(expression, frame, context, subquery_evaluator):
+    op = expression.op.upper()
+    left = evaluate(expression.left, frame, context, subquery_evaluator)
+    right = evaluate(expression.right, frame, context, subquery_evaluator)
+    if op in ("AND", "OR"):
+        left_bool = left.astype(bool)
+        right_bool = right.astype(bool)
+        return (left_bool & right_bool) if op == "AND" else (left_bool | right_bool)
+    if op == "||":
+        return functions.call_scalar("concat", context, [left, right])
+    if op in _NUMERIC_OPS:
+        left_float = _as_float(left)
+        right_float = _as_float(right)
+        if op == "+":
+            return left_float + right_float
+        if op == "-":
+            return left_float - right_float
+        if op == "*":
+            return left_float * right_float
+        if op == "/":
+            with np.errstate(divide="ignore", invalid="ignore"):
+                return np.where(right_float != 0, left_float / right_float, np.nan)
+        return np.mod(left_float, right_float)
+    if op in _COMPARISON_OPS:
+        return _compare(op, left, right)
+    raise ExecutionError(f"unknown binary operator {expression.op!r}")
+
+
+def _compare(op: str, left: np.ndarray, right: np.ndarray) -> np.ndarray:
+    if left.dtype == object or right.dtype == object:
+        left_values = left.astype(object)
+        right_values = right.astype(object)
+        return np.array(
+            [_compare_scalar(op, a, b) for a, b in zip(left_values, right_values)], dtype=bool
+        )
+    left_float = _as_float(left)
+    right_float = _as_float(right)
+    if op == "=":
+        return left_float == right_float
+    if op == "<>":
+        return left_float != right_float
+    if op == "<":
+        return left_float < right_float
+    if op == ">":
+        return left_float > right_float
+    if op == "<=":
+        return left_float <= right_float
+    return left_float >= right_float
+
+
+def _compare_scalar(op: str, a: object, b: object) -> bool:
+    if a is None or b is None:
+        return False
+    if isinstance(a, (int, float, np.integer, np.floating)) and isinstance(
+        b, (int, float, np.integer, np.floating)
+    ):
+        a, b = float(a), float(b)
+    else:
+        a, b = str(a), str(b)
+    if op == "=":
+        return a == b
+    if op == "<>":
+        return a != b
+    if op == "<":
+        return a < b
+    if op == ">":
+        return a > b
+    if op == "<=":
+        return a <= b
+    return a >= b
+
+
+def _evaluate_case(expression, frame, context, subquery_evaluator):
+    masks = []
+    results = []
+    for condition, result in expression.whens:
+        masks.append(
+            evaluate(condition, frame, context, subquery_evaluator).astype(bool)
+        )
+        results.append(evaluate(result, frame, context, subquery_evaluator))
+    if expression.else_result is not None:
+        default = evaluate(expression.else_result, frame, context, subquery_evaluator)
+    else:
+        default = np.full(frame.num_rows, np.nan, dtype=np.float64)
+    use_object = any(r.dtype == object for r in results) or default.dtype == object
+    if use_object:
+        results = [r.astype(object) for r in results]
+        default = default.astype(object)
+    else:
+        results = [_as_float(r) for r in results]
+        default = _as_float(default)
+    return np.select(masks, results, default=default)
+
+
+def _evaluate_in_list(expression, frame, context, subquery_evaluator):
+    operand = evaluate(expression.operand, frame, context, subquery_evaluator)
+    values = [
+        evaluate(value, frame, context, subquery_evaluator) for value in expression.values
+    ]
+    scalars = [value[0] if len(value) else None for value in values]
+    if operand.dtype == object or any(isinstance(s, str) for s in scalars):
+        wanted = {str(s) for s in scalars if s is not None}
+        mask = np.array(
+            [value is not None and str(value) in wanted for value in operand.astype(object)],
+            dtype=bool,
+        )
+    else:
+        wanted_array = np.array([float(s) for s in scalars if s is not None], dtype=np.float64)
+        mask = np.isin(_as_float(operand), wanted_array)
+    return ~mask if expression.negated else mask
+
+
+def _evaluate_like(expression, frame, context, subquery_evaluator):
+    operand = evaluate(expression.operand, frame, context, subquery_evaluator)
+    pattern_values = evaluate(expression.pattern, frame, context, subquery_evaluator)
+    pattern = str(pattern_values[0]) if len(pattern_values) else ""
+    regex = re.compile(
+        "^" + re.escape(pattern).replace("%", ".*").replace("_", ".") + "$", re.DOTALL
+    )
+    mask = np.array(
+        [value is not None and bool(regex.match(str(value))) for value in operand.astype(object)],
+        dtype=bool,
+    )
+    return ~mask if expression.negated else mask
+
+
+def _evaluate_window(expression, frame, context, subquery_evaluator):
+    """Evaluate an aggregate OVER (PARTITION BY ...) in a row-level context."""
+    call = expression.function
+    if not functions.is_aggregate_function(call.name):
+        raise ExecutionError(f"{call.name!r} cannot be used as a window function")
+    if expression.partition_by:
+        keys = [
+            evaluate(key, frame, context, subquery_evaluator)
+            for key in expression.partition_by
+        ]
+        inverse, num_groups = group_rows(keys)
+    else:
+        inverse = np.zeros(frame.num_rows, dtype=np.int64)
+        num_groups = 1 if frame.num_rows else 0
+    is_star = bool(call.args) and isinstance(call.args[0], ast.Star)
+    if is_star or not call.args:
+        args: list[np.ndarray] = []
+    else:
+        args = [evaluate(arg, frame, context, subquery_evaluator) for arg in call.args]
+    if num_groups == 0:
+        return np.array([], dtype=np.float64)
+    per_group = functions.aggregate(
+        call.name, args, inverse, num_groups, distinct=call.distinct, is_star=is_star
+    )
+    return per_group[inverse]
+
+
+def group_rows(key_arrays: list[np.ndarray]) -> tuple[np.ndarray, int]:
+    """Assign a dense group id to each row based on the key arrays.
+
+    Returns ``(inverse, num_groups)`` where ``inverse[i]`` is the group id of
+    row ``i``.  Group ids are ordered by first appearance of the key.
+    """
+    if not key_arrays:
+        return np.zeros(0, dtype=np.int64), 0
+    num_rows = len(key_arrays[0])
+    if num_rows == 0:
+        return np.zeros(0, dtype=np.int64), 0
+    combined = np.zeros(num_rows, dtype=np.int64)
+    for key in key_arrays:
+        if key.dtype == object:
+            normalized = np.array([None if v is None else str(v) for v in key], dtype=object)
+            _, codes = np.unique(normalized.astype(str), return_inverse=True)
+            cardinality = int(codes.max()) + 1 if len(codes) else 1
+        else:
+            _, codes = np.unique(key, return_inverse=True)
+            cardinality = int(codes.max()) + 1 if len(codes) else 1
+        combined = combined * cardinality + codes
+    unique_combined, inverse = np.unique(combined, return_inverse=True)
+    # Re-number groups by first appearance so output order is deterministic
+    # and matches the input ordering (useful for tests and readability).
+    first_positions = np.full(len(unique_combined), num_rows, dtype=np.int64)
+    np.minimum.at(first_positions, inverse, np.arange(num_rows))
+    order = np.argsort(first_positions, kind="stable")
+    remap = np.empty_like(order)
+    remap[order] = np.arange(len(order))
+    return remap[inverse], len(unique_combined)

@@ -1,0 +1,46 @@
+"""Pretty-printing helpers for result sets (used by examples and experiments)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.sqlengine.resultset import ResultSet
+
+
+def format_value(value: object, float_digits: int = 4) -> str:
+    """Render a single cell value."""
+    if value is None:
+        return "NULL"
+    if isinstance(value, float):
+        return f"{value:.{float_digits}f}"
+    return str(value)
+
+
+def format_result(result: ResultSet, max_rows: int = 50, float_digits: int = 4) -> str:
+    """Render a result set as an aligned text table."""
+    header = result.column_names
+    rows = [
+        [format_value(value, float_digits) for value in row]
+        for index, row in enumerate(result.rows())
+        if index < max_rows
+    ]
+    return format_table(header, rows, truncated=result.num_rows > max_rows)
+
+
+def format_table(
+    header: Sequence[str], rows: Sequence[Sequence[str]], truncated: bool = False
+) -> str:
+    """Render already-stringified rows as an aligned text table."""
+    widths = [len(name) for name in header]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [
+        "  ".join(name.ljust(width) for name, width in zip(header, widths)),
+        "  ".join("-" * width for width in widths),
+    ]
+    for row in rows:
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+    if truncated:
+        lines.append("... (truncated)")
+    return "\n".join(lines)

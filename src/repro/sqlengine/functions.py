@@ -1,0 +1,420 @@
+"""Scalar and aggregate function registries for the built-in engine.
+
+Scalar functions are vectorised: they receive numpy arrays (or python
+scalars broadcast by the evaluator) and return an array of the same length.
+Aggregate functions receive the argument arrays together with the group
+assignment of each row and return one value per group.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.errors import ExecutionError
+from repro.sqlengine import sketches
+
+
+class EvaluationContext:
+    """Per-query evaluation state shared by scalar functions.
+
+    Attributes:
+        num_rows: number of rows in the frame currently being evaluated.
+        rng: the engine's random generator (used by ``rand()``).
+    """
+
+    def __init__(self, num_rows: int, rng: np.random.Generator) -> None:
+        self.num_rows = num_rows
+        self.rng = rng
+
+
+ScalarFunction = Callable[..., np.ndarray]
+
+
+def _as_float(array: np.ndarray) -> np.ndarray:
+    if array.dtype == object:
+        return np.array([float(value) for value in array], dtype=np.float64)
+    return array.astype(np.float64, copy=False)
+
+
+# ---------------------------------------------------------------------------
+# Scalar functions
+# ---------------------------------------------------------------------------
+
+
+def _fn_rand(context: EvaluationContext) -> np.ndarray:
+    return context.rng.random(context.num_rows)
+
+
+def _fn_round(context: EvaluationContext, values: np.ndarray, digits=None) -> np.ndarray:
+    floats = _as_float(values)
+    if digits is None:
+        return np.round(floats)
+    digit_count = int(np.asarray(digits).flat[0])
+    return np.round(floats, digit_count)
+
+
+def _fn_floor(context: EvaluationContext, values: np.ndarray) -> np.ndarray:
+    return np.floor(_as_float(values))
+
+
+def _fn_ceil(context: EvaluationContext, values: np.ndarray) -> np.ndarray:
+    return np.ceil(_as_float(values))
+
+
+def _fn_abs(context: EvaluationContext, values: np.ndarray) -> np.ndarray:
+    return np.abs(_as_float(values))
+
+
+def _fn_sqrt(context: EvaluationContext, values: np.ndarray) -> np.ndarray:
+    return np.sqrt(_as_float(values))
+
+
+def _fn_ln(context: EvaluationContext, values: np.ndarray) -> np.ndarray:
+    return np.log(_as_float(values))
+
+
+def _fn_exp(context: EvaluationContext, values: np.ndarray) -> np.ndarray:
+    return np.exp(_as_float(values))
+
+
+def _fn_power(context: EvaluationContext, base: np.ndarray, exponent: np.ndarray) -> np.ndarray:
+    return np.power(_as_float(base), _as_float(exponent))
+
+
+def _fn_mod(context: EvaluationContext, values: np.ndarray, divisor: np.ndarray) -> np.ndarray:
+    return np.mod(_as_float(values), _as_float(divisor))
+
+
+def _fn_greatest(context: EvaluationContext, *args: np.ndarray) -> np.ndarray:
+    result = _as_float(args[0])
+    for other in args[1:]:
+        result = np.maximum(result, _as_float(other))
+    return result
+
+
+def _fn_least(context: EvaluationContext, *args: np.ndarray) -> np.ndarray:
+    result = _as_float(args[0])
+    for other in args[1:]:
+        result = np.minimum(result, _as_float(other))
+    return result
+
+
+def _fn_coalesce(context: EvaluationContext, *args: np.ndarray) -> np.ndarray:
+    result = np.asarray(args[0], dtype=object).copy()
+    for other in args[1:]:
+        other = np.asarray(other, dtype=object)
+        missing = np.array(
+            [value is None or (isinstance(value, float) and np.isnan(value)) for value in result]
+        )
+        result[missing] = other[missing]
+    return result
+
+
+def _string_array(values: np.ndarray) -> np.ndarray:
+    return np.array([None if value is None else str(value) for value in values], dtype=object)
+
+
+def _fn_upper(context: EvaluationContext, values: np.ndarray) -> np.ndarray:
+    strings = _string_array(values)
+    return np.array([None if s is None else s.upper() for s in strings], dtype=object)
+
+
+def _fn_lower(context: EvaluationContext, values: np.ndarray) -> np.ndarray:
+    strings = _string_array(values)
+    return np.array([None if s is None else s.lower() for s in strings], dtype=object)
+
+
+def _fn_length(context: EvaluationContext, values: np.ndarray) -> np.ndarray:
+    strings = _string_array(values)
+    return np.array([0 if s is None else len(s) for s in strings], dtype=np.int64)
+
+
+def _fn_substr(
+    context: EvaluationContext, values: np.ndarray, start: np.ndarray, length=None
+) -> np.ndarray:
+    strings = _string_array(values)
+    start_index = int(np.asarray(start).flat[0]) - 1
+    if length is None:
+        return np.array(
+            [None if s is None else s[start_index:] for s in strings], dtype=object
+        )
+    size = int(np.asarray(length).flat[0])
+    return np.array(
+        [None if s is None else s[start_index : start_index + size] for s in strings],
+        dtype=object,
+    )
+
+
+def _fn_concat(context: EvaluationContext, *args: np.ndarray) -> np.ndarray:
+    string_args = [_string_array(np.asarray(arg, dtype=object)) for arg in args]
+    return np.array(
+        ["".join("" if part is None else part for part in parts) for parts in zip(*string_args)],
+        dtype=object,
+    )
+
+
+def _fn_crc32(context: EvaluationContext, values: np.ndarray) -> np.ndarray:
+    strings = _string_array(values)
+    return np.array(
+        [zlib.crc32(("" if s is None else s).encode("utf-8")) for s in strings], dtype=np.int64
+    )
+
+
+def _fn_vdb_hash(context: EvaluationContext, values: np.ndarray) -> np.ndarray:
+    """Uniform hash of a value into [0, 1), used to build hashed (universe) samples."""
+    strings = _string_array(values)
+    hashes = np.array(
+        [zlib.crc32(("" if s is None else s).encode("utf-8")) for s in strings], dtype=np.float64
+    )
+    return hashes / 4294967296.0
+
+
+def _fn_cast_int(context: EvaluationContext, values: np.ndarray) -> np.ndarray:
+    return _as_float(values).astype(np.int64)
+
+
+def _fn_cast_float(context: EvaluationContext, values: np.ndarray) -> np.ndarray:
+    return _as_float(values)
+
+
+def _fn_cast_varchar(context: EvaluationContext, values: np.ndarray) -> np.ndarray:
+    return _string_array(np.asarray(values, dtype=object))
+
+
+SCALAR_FUNCTIONS: dict[str, ScalarFunction] = {
+    "rand": _fn_rand,
+    "random": _fn_rand,
+    "round": _fn_round,
+    "floor": _fn_floor,
+    "ceil": _fn_ceil,
+    "ceiling": _fn_ceil,
+    "abs": _fn_abs,
+    "sqrt": _fn_sqrt,
+    "ln": _fn_ln,
+    "log": _fn_ln,
+    "exp": _fn_exp,
+    "power": _fn_power,
+    "pow": _fn_power,
+    "mod": _fn_mod,
+    "greatest": _fn_greatest,
+    "least": _fn_least,
+    "coalesce": _fn_coalesce,
+    "upper": _fn_upper,
+    "lower": _fn_lower,
+    "length": _fn_length,
+    "substr": _fn_substr,
+    "substring": _fn_substr,
+    "concat": _fn_concat,
+    "crc32": _fn_crc32,
+    "md5_hash": _fn_vdb_hash,
+    "vdb_hash": _fn_vdb_hash,
+    "cast_int": _fn_cast_int,
+    "cast_integer": _fn_cast_int,
+    "cast_bigint": _fn_cast_int,
+    "cast_double": _fn_cast_float,
+    "cast_float": _fn_cast_float,
+    "cast_decimal": _fn_cast_float,
+    "cast_varchar": _fn_cast_varchar,
+    "cast_string": _fn_cast_varchar,
+}
+
+
+def is_scalar_function(name: str) -> bool:
+    return name.lower() in SCALAR_FUNCTIONS
+
+
+def call_scalar(
+    name: str, context: EvaluationContext, args: Sequence[np.ndarray | None]
+) -> np.ndarray:
+    """Invoke a scalar function by name."""
+    try:
+        function = SCALAR_FUNCTIONS[name.lower()]
+    except KeyError:
+        raise ExecutionError(f"unknown function {name!r}") from None
+    result = function(context, *args)
+    result = np.asarray(result)
+    if result.ndim == 0:
+        result = np.full(context.num_rows, result[()], dtype=result.dtype)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Aggregate functions
+# ---------------------------------------------------------------------------
+
+AGGREGATE_FUNCTION_NAMES = frozenset(
+    {
+        "count", "sum", "avg", "mean", "min", "max",
+        "stddev", "stddev_samp", "stddev_pop", "var", "variance", "var_samp", "var_pop",
+        "median", "percentile", "quantile", "percentile_disc", "approx_median", "ndv",
+        "approx_count_distinct",
+    }
+)
+
+
+def is_aggregate_function(name: str) -> bool:
+    return name.lower() in AGGREGATE_FUNCTION_NAMES
+
+
+def _group_sum(values: np.ndarray, inverse: np.ndarray, num_groups: int) -> np.ndarray:
+    floats = _as_float(values)
+    weights = np.where(np.isnan(floats), 0.0, floats)
+    return np.bincount(inverse, weights=weights, minlength=num_groups)
+
+
+def _group_count_non_null(values: np.ndarray, inverse: np.ndarray, num_groups: int) -> np.ndarray:
+    if values.dtype == object:
+        mask = np.array([value is not None for value in values])
+    else:
+        floats = values.astype(np.float64, copy=False)
+        mask = ~np.isnan(floats)
+    return np.bincount(inverse[mask], minlength=num_groups).astype(np.float64)
+
+
+def _group_extreme(
+    values: np.ndarray, inverse: np.ndarray, num_groups: int, take_max: bool
+) -> np.ndarray:
+    if values.dtype == object:
+        result: list[object] = [None] * num_groups
+        for value, group in zip(values.tolist(), inverse.tolist()):
+            if value is None:
+                continue
+            current = result[group]
+            if current is None or (value > current if take_max else value < current):
+                result[group] = value
+        return np.array(result, dtype=object)
+    floats = _as_float(values)
+    fill = -np.inf if take_max else np.inf
+    result_array = np.full(num_groups, fill, dtype=np.float64)
+    operator = np.maximum if take_max else np.minimum
+    operator.at(result_array, inverse, np.where(np.isnan(floats), fill, floats))
+    result_array[result_array == fill] = np.nan
+    return result_array
+
+
+def _group_values(values: np.ndarray, inverse: np.ndarray, num_groups: int) -> list[np.ndarray]:
+    """Split ``values`` into per-group arrays (sorted by group id)."""
+    order = np.argsort(inverse, kind="stable")
+    sorted_values = values[order]
+    sorted_groups = inverse[order]
+    boundaries = np.flatnonzero(np.diff(sorted_groups)) + 1
+    chunks = np.split(sorted_values, boundaries)
+    present_groups = sorted_groups[np.concatenate([[0], boundaries])] if len(sorted_groups) else []
+    result: list[np.ndarray] = [np.array([]) for _ in range(num_groups)]
+    for group, chunk in zip(present_groups, chunks):
+        result[int(group)] = chunk
+    return result
+
+
+def aggregate(
+    name: str,
+    args: list[np.ndarray],
+    inverse: np.ndarray,
+    num_groups: int,
+    distinct: bool = False,
+    is_star: bool = False,
+) -> np.ndarray:
+    """Compute the aggregate ``name`` for each group.
+
+    Args:
+        name: aggregate function name (case-insensitive).
+        args: evaluated argument arrays (empty for ``count(*)``).
+        inverse: group index of each input row.
+        num_groups: number of groups.
+        distinct: whether DISTINCT was specified.
+        is_star: whether the call was ``count(*)``.
+    """
+    name = name.lower()
+    if name == "count":
+        if is_star or not args:
+            return np.bincount(inverse, minlength=num_groups).astype(np.float64)
+        if distinct:
+            return _count_distinct(args[0], inverse, num_groups)
+        return _group_count_non_null(args[0], inverse, num_groups)
+    if not args:
+        raise ExecutionError(f"aggregate {name!r} requires an argument")
+    values = args[0]
+    if distinct and name != "count":
+        raise ExecutionError(f"DISTINCT is not supported for aggregate {name!r}")
+    if name == "sum":
+        return _group_sum(values, inverse, num_groups)
+    if name in ("avg", "mean"):
+        totals = _group_sum(values, inverse, num_groups)
+        counts = _group_count_non_null(values, inverse, num_groups)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            return np.where(counts > 0, totals / counts, np.nan)
+    if name == "min":
+        return _group_extreme(values, inverse, num_groups, take_max=False)
+    if name == "max":
+        return _group_extreme(values, inverse, num_groups, take_max=True)
+    if name in ("var", "variance", "var_samp", "var_pop", "stddev", "stddev_samp", "stddev_pop"):
+        return _group_dispersion(name, values, inverse, num_groups)
+    if name in ("median", "approx_median"):
+        return _group_percentile(values, inverse, num_groups, 0.5, approximate=name != "median")
+    if name in ("percentile", "quantile", "percentile_disc"):
+        fraction = float(np.asarray(args[1]).flat[0]) if len(args) > 1 else 0.5
+        return _group_percentile(values, inverse, num_groups, fraction, approximate=False)
+    if name in ("ndv", "approx_count_distinct"):
+        groups = _group_values(values, inverse, num_groups)
+        return np.array([sketches.ndv(group) if len(group) else 0.0 for group in groups])
+    raise ExecutionError(f"unknown aggregate function {name!r}")
+
+
+def _count_distinct(values: np.ndarray, inverse: np.ndarray, num_groups: int) -> np.ndarray:
+    groups = _group_values(values, inverse, num_groups)
+    counts = []
+    for group in groups:
+        if group.dtype == object:
+            counts.append(float(len({value for value in group.tolist() if value is not None})))
+        else:
+            non_null = group[~np.isnan(group.astype(np.float64, copy=False))]
+            counts.append(float(np.unique(non_null).size))
+    return np.array(counts, dtype=np.float64)
+
+
+def _group_dispersion(
+    name: str, values: np.ndarray, inverse: np.ndarray, num_groups: int
+) -> np.ndarray:
+    floats = _as_float(values)
+    valid = ~np.isnan(floats)
+    counts = np.bincount(inverse[valid], minlength=num_groups).astype(np.float64)
+    sums = np.bincount(inverse[valid], weights=floats[valid], minlength=num_groups)
+    squares = np.bincount(inverse[valid], weights=floats[valid] ** 2, minlength=num_groups)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        means = np.where(counts > 0, sums / counts, np.nan)
+        population_variance = np.where(counts > 0, squares / counts - means**2, np.nan)
+        population_variance = np.maximum(population_variance, 0.0)
+        if name in ("var_pop", "stddev_pop"):
+            variance = population_variance
+        else:
+            variance = np.where(
+                counts > 1, population_variance * counts / (counts - 1), np.nan
+            )
+    if name.startswith("stddev"):
+        return np.sqrt(variance)
+    return variance
+
+
+def _group_percentile(
+    values: np.ndarray,
+    inverse: np.ndarray,
+    num_groups: int,
+    fraction: float,
+    approximate: bool,
+) -> np.ndarray:
+    groups = _group_values(values, inverse, num_groups)
+    results = []
+    for group in groups:
+        if len(group) == 0:
+            results.append(np.nan)
+            continue
+        if approximate:
+            results.append(sketches.approx_percentile(group, fraction))
+        else:
+            floats = _as_float(group)
+            floats = floats[~np.isnan(floats)]
+            results.append(float(np.quantile(floats, fraction)) if floats.size else np.nan)
+    return np.array(results, dtype=np.float64)

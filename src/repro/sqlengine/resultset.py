@@ -1,0 +1,91 @@
+"""Result sets returned by the engine and by connectors.
+
+Both the built-in engine and the driver layer return :class:`ResultSet`
+objects so the middleware's Answer Rewriter can consume results from any
+backend identically.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import ExecutionError
+
+
+class ResultSet:
+    """An immutable, column-oriented query result."""
+
+    def __init__(self, column_names: Sequence[str], columns: Sequence[np.ndarray]) -> None:
+        if len(column_names) != len(columns):
+            raise ExecutionError("column name / column count mismatch")
+        self._column_names = list(column_names)
+        self._columns = [np.asarray(column) for column in columns]
+        lengths = {len(column) for column in self._columns}
+        if len(lengths) > 1:
+            raise ExecutionError("result columns have differing lengths")
+        self._num_rows = lengths.pop() if lengths else 0
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def from_rows(cls, column_names: Sequence[str], rows: Iterable[Sequence]) -> "ResultSet":
+        materialized = [tuple(row) for row in rows]
+        columns = []
+        for index in range(len(column_names)):
+            columns.append(np.array([row[index] for row in materialized], dtype=object))
+        return cls(column_names, columns)
+
+    @classmethod
+    def empty(cls, column_names: Sequence[str]) -> "ResultSet":
+        return cls(column_names, [np.array([], dtype=object) for _ in column_names])
+
+    # -- inspection -----------------------------------------------------------
+
+    @property
+    def column_names(self) -> list[str]:
+        return list(self._column_names)
+
+    @property
+    def num_rows(self) -> int:
+        return self._num_rows
+
+    def column(self, name: str) -> np.ndarray:
+        try:
+            index = self._column_names.index(name)
+        except ValueError:
+            raise ExecutionError(f"result has no column {name!r}") from None
+        return self._columns[index]
+
+    def has_column(self, name: str) -> bool:
+        return name in self._column_names
+
+    def columns(self) -> list[np.ndarray]:
+        return list(self._columns)
+
+    def rows(self) -> Iterator[tuple]:
+        for index in range(self._num_rows):
+            yield tuple(column[index] for column in self._columns)
+
+    def fetchall(self) -> list[tuple]:
+        return list(self.rows())
+
+    def scalar(self) -> object:
+        """Return the single value of a 1×1 result."""
+        if self._num_rows != 1 or len(self._columns) != 1:
+            raise ExecutionError(
+                f"scalar() requires a 1x1 result, got {self._num_rows}x{len(self._columns)}"
+            )
+        return self._columns[0][0]
+
+    def to_dict(self) -> dict[str, list]:
+        return {
+            name: column.tolist() for name, column in zip(self._column_names, self._columns)
+        }
+
+    def __len__(self) -> int:
+        return self._num_rows
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"ResultSet(columns={self._column_names}, rows={self._num_rows})"

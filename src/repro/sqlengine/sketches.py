@@ -1,0 +1,131 @@
+"""Sketch-based native approximations offered by the built-in engine.
+
+Modern engines expose non-sampling approximate aggregates (Impala's ``ndv``,
+Redshift's ``approx_median`` / ``percentile_disc``).  Table 2 of the paper
+compares VerdictDB's sampling-based answers against these features, whose
+defining property is that they still require a *full scan* of the data.  The
+built-in engine therefore implements them as real streaming sketches.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from typing import Iterable, Sequence
+
+import numpy as np
+
+
+class HyperLogLog:
+    """HyperLogLog cardinality sketch (Flajolet et al., 2007).
+
+    Uses ``2**precision`` registers.  The standard bias correction for small
+    and large cardinalities is applied in :meth:`estimate`.
+    """
+
+    def __init__(self, precision: int = 12) -> None:
+        if not 4 <= precision <= 18:
+            raise ValueError("precision must be between 4 and 18")
+        self.precision = precision
+        self.num_registers = 1 << precision
+        self.registers = np.zeros(self.num_registers, dtype=np.uint8)
+
+    @staticmethod
+    def _hash(value: object) -> int:
+        digest = hashlib.md5(str(value).encode("utf-8")).digest()
+        return int.from_bytes(digest[:8], "big")
+
+    def add(self, value: object) -> None:
+        """Add one value to the sketch."""
+        hashed = self._hash(value)
+        register_index = hashed >> (64 - self.precision)
+        remaining = hashed & ((1 << (64 - self.precision)) - 1)
+        # Rank = position of the leftmost 1-bit in the remaining bits.
+        rank = (64 - self.precision) - remaining.bit_length() + 1
+        if rank > self.registers[register_index]:
+            self.registers[register_index] = rank
+
+    def add_many(self, values: Iterable[object]) -> None:
+        for value in values:
+            self.add(value)
+
+    def merge(self, other: "HyperLogLog") -> None:
+        """Merge another sketch with the same precision into this one."""
+        if other.precision != self.precision:
+            raise ValueError("cannot merge sketches with different precisions")
+        np.maximum(self.registers, other.registers, out=self.registers)
+
+    def estimate(self) -> float:
+        """Return the estimated number of distinct values."""
+        m = float(self.num_registers)
+        if m == 16:
+            alpha = 0.673
+        elif m == 32:
+            alpha = 0.697
+        elif m == 64:
+            alpha = 0.709
+        else:
+            alpha = 0.7213 / (1.0 + 1.079 / m)
+        harmonic = float(np.sum(np.exp2(-self.registers.astype(np.float64))))
+        raw = alpha * m * m / harmonic
+        zeros = int(np.count_nonzero(self.registers == 0))
+        if raw <= 2.5 * m and zeros > 0:
+            return m * math.log(m / zeros)
+        if raw > (1.0 / 30.0) * 2**64:
+            return -(2**64) * math.log(1.0 - raw / 2**64)
+        return raw
+
+
+def ndv(values: Sequence | np.ndarray, precision: int = 12) -> float:
+    """Full-scan approximate distinct count (Impala's ``ndv``)."""
+    sketch = HyperLogLog(precision=precision)
+    sketch.add_many(np.asarray(values).tolist())
+    return sketch.estimate()
+
+
+def approx_median(values: Sequence | np.ndarray) -> float:
+    """Full-scan approximate median, as offered natively by Impala/Redshift.
+
+    The reference engines use histogram/digest sketches; the observable
+    behaviour (a near-exact median computed by scanning every row) is what
+    Table 2 exercises, so a full-scan streaming quantile over equi-depth bins
+    is used here.
+    """
+    return approx_percentile(values, 0.5)
+
+
+def approx_percentile(values: Sequence | np.ndarray, fraction: float) -> float:
+    """Full-scan approximate percentile using a fixed-size histogram digest.
+
+    The digest is updated one row at a time, the way an engine's aggregate
+    UDA consumes a stream of tuples; the cost is therefore proportional to
+    the number of rows scanned, which is the property Table 2 exercises
+    (native approximations are accurate but must touch every row).
+    """
+    array = np.asarray(values, dtype=np.float64)
+    array = array[~np.isnan(array)]
+    if array.size == 0:
+        return float("nan")
+    low, high = float(array.min()), float(array.max())
+    if low == high:
+        return low
+    bins = 4096
+    width = (high - low) / bins
+    counts = np.zeros(bins, dtype=np.int64)
+    # Streaming per-row update (deliberately not vectorised: real engines
+    # update the digest tuple by tuple during the scan).
+    for value in array.tolist():
+        index = int((value - low) / width)
+        if index >= bins:
+            index = bins - 1
+        counts[index] += 1
+    cumulative = np.cumsum(counts)
+    target = fraction * array.size
+    bin_index = int(np.searchsorted(cumulative, target))
+    bin_index = min(bin_index, bins - 1)
+    previous = cumulative[bin_index - 1] if bin_index > 0 else 0
+    in_bin = counts[bin_index]
+    if in_bin == 0:
+        return float(low + bin_index * width)
+    offset = (target - previous) / in_bin
+    return float(low + (bin_index + offset) * width)

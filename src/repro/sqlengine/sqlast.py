@@ -1,0 +1,530 @@
+"""Abstract syntax tree for the supported SQL subset.
+
+The same AST is shared by the built-in engine (which executes it) and by the
+VerdictDB middleware (which rewrites it and renders it back to SQL text for
+whichever backend is in use).  Every node therefore knows how to render
+itself with :meth:`SqlNode.to_sql`, optionally through a dialect object that
+controls identifier quoting and function spelling (see
+``repro.connectors.dialects``).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+
+_SAFE_IDENTIFIER = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+
+
+class _DefaultDialect:
+    """Minimal dialect used when rendering without an explicit backend."""
+
+    identifier_quote = '"'
+
+    def quote_identifier(self, name: str) -> str:
+        if _SAFE_IDENTIFIER.match(name):
+            return name
+        return f'{self.identifier_quote}{name}{self.identifier_quote}'
+
+    def rename_function(self, name: str) -> str:
+        return name
+
+
+DEFAULT_DIALECT = _DefaultDialect()
+
+
+def quote_string(value: str) -> str:
+    """Render a string literal with single quotes, escaping embedded quotes."""
+    return "'" + value.replace("'", "''") + "'"
+
+
+class SqlNode:
+    """Base class for every AST node."""
+
+    def to_sql(self, dialect=DEFAULT_DIALECT) -> str:
+        raise NotImplementedError
+
+    def __str__(self) -> str:
+        return self.to_sql()
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+class Expression(SqlNode):
+    """Base class for scalar expressions."""
+
+    def children(self) -> Iterable["Expression"]:
+        """Yield direct sub-expressions (used by analysis passes)."""
+        return ()
+
+    def walk(self) -> Iterable["Expression"]:
+        """Yield this expression and every nested sub-expression."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+
+@dataclass
+class Literal(Expression):
+    """A numeric, string, boolean or NULL literal."""
+
+    value: object
+
+    def to_sql(self, dialect=DEFAULT_DIALECT) -> str:
+        if self.value is None:
+            return "NULL"
+        if isinstance(self.value, bool):
+            return "TRUE" if self.value else "FALSE"
+        if isinstance(self.value, str):
+            return quote_string(self.value)
+        return repr(self.value) if isinstance(self.value, float) else str(self.value)
+
+
+@dataclass
+class ColumnRef(Expression):
+    """A (possibly table-qualified) column reference."""
+
+    name: str
+    table: str | None = None
+
+    def to_sql(self, dialect=DEFAULT_DIALECT) -> str:
+        column = dialect.quote_identifier(self.name)
+        if self.table:
+            return f"{dialect.quote_identifier(self.table)}.{column}"
+        return column
+
+
+@dataclass
+class Star(Expression):
+    """``*`` or ``table.*`` in a select list or inside count(*)."""
+
+    table: str | None = None
+
+    def to_sql(self, dialect=DEFAULT_DIALECT) -> str:
+        if self.table:
+            return f"{dialect.quote_identifier(self.table)}.*"
+        return "*"
+
+
+@dataclass
+class UnaryOp(Expression):
+    """Unary operators: ``-expr``, ``NOT expr``."""
+
+    op: str
+    operand: Expression
+
+    def children(self):
+        return (self.operand,)
+
+    def to_sql(self, dialect=DEFAULT_DIALECT) -> str:
+        if self.op.upper() == "NOT":
+            return f"NOT ({self.operand.to_sql(dialect)})"
+        return f"{self.op}({self.operand.to_sql(dialect)})"
+
+
+@dataclass
+class BinaryOp(Expression):
+    """Binary arithmetic, comparison and logical operators."""
+
+    op: str
+    left: Expression
+    right: Expression
+
+    def children(self):
+        return (self.left, self.right)
+
+    def to_sql(self, dialect=DEFAULT_DIALECT) -> str:
+        return f"({self.left.to_sql(dialect)} {self.op} {self.right.to_sql(dialect)})"
+
+
+@dataclass
+class FunctionCall(Expression):
+    """A scalar or aggregate function call, optionally with DISTINCT."""
+
+    name: str
+    args: list[Expression] = field(default_factory=list)
+    distinct: bool = False
+
+    def children(self):
+        return tuple(self.args)
+
+    def to_sql(self, dialect=DEFAULT_DIALECT) -> str:
+        rendered_name = dialect.rename_function(self.name.lower())
+        args = ", ".join(arg.to_sql(dialect) for arg in self.args)
+        if self.distinct:
+            return f"{rendered_name}(DISTINCT {args})"
+        return f"{rendered_name}({args})"
+
+
+@dataclass
+class WindowFunction(Expression):
+    """An aggregate evaluated ``OVER (PARTITION BY ...)``."""
+
+    function: FunctionCall
+    partition_by: list[Expression] = field(default_factory=list)
+
+    def children(self):
+        return (self.function, *self.partition_by)
+
+    def to_sql(self, dialect=DEFAULT_DIALECT) -> str:
+        over = ""
+        if self.partition_by:
+            keys = ", ".join(expr.to_sql(dialect) for expr in self.partition_by)
+            over = f"PARTITION BY {keys}"
+        return f"{self.function.to_sql(dialect)} OVER ({over})"
+
+
+@dataclass
+class CaseWhen(Expression):
+    """A searched CASE expression."""
+
+    whens: list[tuple[Expression, Expression]]
+    else_result: Expression | None = None
+
+    def children(self):
+        for condition, result in self.whens:
+            yield condition
+            yield result
+        if self.else_result is not None:
+            yield self.else_result
+
+    def to_sql(self, dialect=DEFAULT_DIALECT) -> str:
+        parts = ["CASE"]
+        for condition, result in self.whens:
+            parts.append(f"WHEN {condition.to_sql(dialect)} THEN {result.to_sql(dialect)}")
+        if self.else_result is not None:
+            parts.append(f"ELSE {self.else_result.to_sql(dialect)}")
+        parts.append("END")
+        return " ".join(parts)
+
+
+@dataclass
+class InList(Expression):
+    """``expr [NOT] IN (value, ...)``."""
+
+    operand: Expression
+    values: list[Expression]
+    negated: bool = False
+
+    def children(self):
+        return (self.operand, *self.values)
+
+    def to_sql(self, dialect=DEFAULT_DIALECT) -> str:
+        values = ", ".join(value.to_sql(dialect) for value in self.values)
+        keyword = "NOT IN" if self.negated else "IN"
+        return f"({self.operand.to_sql(dialect)} {keyword} ({values}))"
+
+
+@dataclass
+class Between(Expression):
+    """``expr [NOT] BETWEEN low AND high``."""
+
+    operand: Expression
+    low: Expression
+    high: Expression
+    negated: bool = False
+
+    def children(self):
+        return (self.operand, self.low, self.high)
+
+    def to_sql(self, dialect=DEFAULT_DIALECT) -> str:
+        keyword = "NOT BETWEEN" if self.negated else "BETWEEN"
+        return (
+            f"({self.operand.to_sql(dialect)} {keyword} "
+            f"{self.low.to_sql(dialect)} AND {self.high.to_sql(dialect)})"
+        )
+
+
+@dataclass
+class LikePredicate(Expression):
+    """``expr [NOT] LIKE pattern``."""
+
+    operand: Expression
+    pattern: Expression
+    negated: bool = False
+
+    def children(self):
+        return (self.operand, self.pattern)
+
+    def to_sql(self, dialect=DEFAULT_DIALECT) -> str:
+        keyword = "NOT LIKE" if self.negated else "LIKE"
+        return f"({self.operand.to_sql(dialect)} {keyword} {self.pattern.to_sql(dialect)})"
+
+
+@dataclass
+class IsNull(Expression):
+    """``expr IS [NOT] NULL``."""
+
+    operand: Expression
+    negated: bool = False
+
+    def children(self):
+        return (self.operand,)
+
+    def to_sql(self, dialect=DEFAULT_DIALECT) -> str:
+        keyword = "IS NOT NULL" if self.negated else "IS NULL"
+        return f"({self.operand.to_sql(dialect)} {keyword})"
+
+
+@dataclass
+class ScalarSubquery(Expression):
+    """A subquery used as a scalar value, e.g. ``price > (SELECT avg(price) ...)``."""
+
+    query: "SelectStatement"
+
+    def to_sql(self, dialect=DEFAULT_DIALECT) -> str:
+        return f"({self.query.to_sql(dialect)})"
+
+
+# ---------------------------------------------------------------------------
+# Relations (FROM clause)
+# ---------------------------------------------------------------------------
+
+
+class Relation(SqlNode):
+    """Base class for table expressions appearing in a FROM clause."""
+
+
+@dataclass
+class TableRef(Relation):
+    """A base table reference, optionally aliased."""
+
+    name: str
+    alias: str | None = None
+
+    @property
+    def binding_name(self) -> str:
+        """Name under which the table's columns are visible to expressions."""
+        return self.alias or self.name
+
+    def to_sql(self, dialect=DEFAULT_DIALECT) -> str:
+        sql = dialect.quote_identifier(self.name)
+        if self.alias:
+            sql += f" AS {dialect.quote_identifier(self.alias)}"
+        return sql
+
+
+@dataclass
+class DerivedTable(Relation):
+    """A subquery in the FROM clause; always aliased."""
+
+    query: "SelectStatement"
+    alias: str
+
+    @property
+    def binding_name(self) -> str:
+        return self.alias
+
+    def to_sql(self, dialect=DEFAULT_DIALECT) -> str:
+        return f"({self.query.to_sql(dialect)}) AS {dialect.quote_identifier(self.alias)}"
+
+
+@dataclass
+class Join(Relation):
+    """A binary join.  Only inner (and cross) joins are supported."""
+
+    left: Relation
+    right: Relation
+    condition: Expression | None = None
+    join_type: str = "INNER"
+
+    def to_sql(self, dialect=DEFAULT_DIALECT) -> str:
+        sql = f"{self.left.to_sql(dialect)} {self.join_type} JOIN {self.right.to_sql(dialect)}"
+        if self.condition is not None:
+            sql += f" ON {self.condition.to_sql(dialect)}"
+        return sql
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SelectItem(SqlNode):
+    """One item in the select list: an expression with an optional alias."""
+
+    expression: Expression
+    alias: str | None = None
+
+    def output_name(self, position: int) -> str:
+        """Column name this item produces in the result set."""
+        if self.alias:
+            return self.alias
+        if isinstance(self.expression, ColumnRef):
+            return self.expression.name
+        if isinstance(self.expression, Star):
+            return "*"
+        return f"col_{position}"
+
+    def to_sql(self, dialect=DEFAULT_DIALECT) -> str:
+        sql = self.expression.to_sql(dialect)
+        if self.alias:
+            sql += f" AS {dialect.quote_identifier(self.alias)}"
+        return sql
+
+
+@dataclass
+class OrderItem(SqlNode):
+    """One ORDER BY key with its direction."""
+
+    expression: Expression
+    ascending: bool = True
+
+    def to_sql(self, dialect=DEFAULT_DIALECT) -> str:
+        return f"{self.expression.to_sql(dialect)} {'ASC' if self.ascending else 'DESC'}"
+
+
+class Statement(SqlNode):
+    """Base class for executable statements."""
+
+
+@dataclass
+class SelectStatement(Statement):
+    """A SELECT query over the supported subset (see DESIGN.md)."""
+
+    select_items: list[SelectItem]
+    from_relation: Relation | None = None
+    where: Expression | None = None
+    group_by: list[Expression] = field(default_factory=list)
+    having: Expression | None = None
+    order_by: list[OrderItem] = field(default_factory=list)
+    limit: int | None = None
+    offset: int | None = None
+    distinct: bool = False
+
+    def to_sql(self, dialect=DEFAULT_DIALECT) -> str:
+        parts = ["SELECT"]
+        if self.distinct:
+            parts.append("DISTINCT")
+        parts.append(", ".join(item.to_sql(dialect) for item in self.select_items))
+        if self.from_relation is not None:
+            parts.append("FROM " + self.from_relation.to_sql(dialect))
+        if self.where is not None:
+            parts.append("WHERE " + self.where.to_sql(dialect))
+        if self.group_by:
+            parts.append("GROUP BY " + ", ".join(expr.to_sql(dialect) for expr in self.group_by))
+        if self.having is not None:
+            parts.append("HAVING " + self.having.to_sql(dialect))
+        if self.order_by:
+            parts.append("ORDER BY " + ", ".join(item.to_sql(dialect) for item in self.order_by))
+        if self.limit is not None:
+            parts.append(f"LIMIT {self.limit}")
+        if self.offset is not None:
+            parts.append(f"OFFSET {self.offset}")
+        return " ".join(parts)
+
+
+@dataclass
+class ColumnDefinition(SqlNode):
+    """A column name/type pair in CREATE TABLE."""
+
+    name: str
+    type_name: str
+
+    def to_sql(self, dialect=DEFAULT_DIALECT) -> str:
+        return f"{dialect.quote_identifier(self.name)} {self.type_name}"
+
+
+@dataclass
+class CreateTableStatement(Statement):
+    """``CREATE TABLE [IF NOT EXISTS] name (cols)`` or ``... AS SELECT``."""
+
+    table_name: str
+    columns: list[ColumnDefinition] = field(default_factory=list)
+    as_select: SelectStatement | None = None
+    if_not_exists: bool = False
+
+    def to_sql(self, dialect=DEFAULT_DIALECT) -> str:
+        clause = "IF NOT EXISTS " if self.if_not_exists else ""
+        name = dialect.quote_identifier(self.table_name)
+        if self.as_select is not None:
+            return f"CREATE TABLE {clause}{name} AS {self.as_select.to_sql(dialect)}"
+        columns = ", ".join(column.to_sql(dialect) for column in self.columns)
+        return f"CREATE TABLE {clause}{name} ({columns})"
+
+
+@dataclass
+class DropTableStatement(Statement):
+    """``DROP TABLE [IF EXISTS] name``."""
+
+    table_name: str
+    if_exists: bool = False
+
+    def to_sql(self, dialect=DEFAULT_DIALECT) -> str:
+        clause = "IF EXISTS " if self.if_exists else ""
+        return f"DROP TABLE {clause}{dialect.quote_identifier(self.table_name)}"
+
+
+@dataclass
+class InsertStatement(Statement):
+    """``INSERT INTO name [(cols)] VALUES (...), (...)`` or ``... SELECT``."""
+
+    table_name: str
+    columns: list[str] = field(default_factory=list)
+    rows: list[list[Expression]] = field(default_factory=list)
+    from_select: SelectStatement | None = None
+
+    def to_sql(self, dialect=DEFAULT_DIALECT) -> str:
+        name = dialect.quote_identifier(self.table_name)
+        columns = ""
+        if self.columns:
+            columns = " (" + ", ".join(dialect.quote_identifier(c) for c in self.columns) + ")"
+        if self.from_select is not None:
+            return f"INSERT INTO {name}{columns} {self.from_select.to_sql(dialect)}"
+        rendered_rows = ", ".join(
+            "(" + ", ".join(value.to_sql(dialect) for value in row) + ")" for row in self.rows
+        )
+        return f"INSERT INTO {name}{columns} VALUES {rendered_rows}"
+
+
+# ---------------------------------------------------------------------------
+# AST helpers used throughout the middleware
+# ---------------------------------------------------------------------------
+
+
+def column(name: str, table: str | None = None) -> ColumnRef:
+    """Shorthand constructor used heavily by the rewriter and tests."""
+    return ColumnRef(name=name, table=table)
+
+
+def literal(value: object) -> Literal:
+    """Shorthand literal constructor."""
+    return Literal(value=value)
+
+
+def func(name: str, *args: Expression, distinct: bool = False) -> FunctionCall:
+    """Shorthand function-call constructor."""
+    return FunctionCall(name=name, args=list(args), distinct=distinct)
+
+
+def conjunction(predicates: Sequence[Expression]) -> Expression | None:
+    """AND together a sequence of predicates (None for an empty sequence)."""
+    result: Expression | None = None
+    for predicate in predicates:
+        result = predicate if result is None else BinaryOp("AND", result, predicate)
+    return result
+
+
+def base_tables(relation: Relation | None) -> list[TableRef]:
+    """Collect every base-table reference in a FROM tree (depth-first)."""
+    tables: list[TableRef] = []
+
+    def visit(node: Relation | None) -> None:
+        if node is None:
+            return
+        if isinstance(node, TableRef):
+            tables.append(node)
+        elif isinstance(node, Join):
+            visit(node.left)
+            visit(node.right)
+        elif isinstance(node, DerivedTable):
+            tables.extend(base_tables(node.query.from_relation))
+
+    visit(relation)
+    return tables

@@ -1,0 +1,185 @@
+"""In-memory columnar table used by the built-in engine.
+
+A :class:`Table` is an ordered mapping of column name to a one-dimensional
+numpy array; all columns have the same length.  Numeric columns are stored as
+``float64`` or ``int64`` arrays, string columns as ``object`` arrays.  NULLs
+are represented as ``NaN`` in float columns and ``None`` in object columns.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import ExecutionError
+
+
+def normalize_column(values: Sequence | np.ndarray) -> np.ndarray:
+    """Convert ``values`` into a 1-D numpy array with a supported dtype."""
+    array = np.asarray(values)
+    if array.ndim != 1:
+        raise ExecutionError("columns must be one-dimensional")
+    if array.dtype.kind in ("i", "u"):
+        return array.astype(np.int64, copy=False)
+    if array.dtype.kind == "f":
+        return array.astype(np.float64, copy=False)
+    if array.dtype.kind == "b":
+        return array.astype(bool, copy=False)
+    if array.dtype.kind in ("U", "S", "O"):
+        return array.astype(object, copy=False)
+    raise ExecutionError(f"unsupported column dtype: {array.dtype}")
+
+
+class Table:
+    """A named collection of equally sized columns."""
+
+    def __init__(self, name: str, columns: Mapping[str, Sequence] | None = None) -> None:
+        self.name = name
+        self._columns: dict[str, np.ndarray] = {}
+        self._num_rows = 0
+        if columns:
+            for column_name, values in columns.items():
+                self.add_column(column_name, values)
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def from_rows(
+        cls, name: str, column_names: Sequence[str], rows: Iterable[Sequence]
+    ) -> "Table":
+        """Build a table from an iterable of row tuples."""
+        materialized = [tuple(row) for row in rows]
+        columns: dict[str, np.ndarray] = {}
+        for index, column_name in enumerate(column_names):
+            values = [row[index] for row in materialized]
+            columns[column_name] = _infer_array(values)
+        table = cls(name)
+        if not materialized:
+            for column_name in column_names:
+                table.add_column(column_name, np.array([], dtype=object))
+            return table
+        for column_name, array in columns.items():
+            table.add_column(column_name, array)
+        return table
+
+    def add_column(self, name: str, values: Sequence | np.ndarray) -> None:
+        """Add (or replace) a column; its length must match existing columns."""
+        array = normalize_column(values)
+        if self._columns and len(array) != self._num_rows:
+            raise ExecutionError(
+                f"column {name!r} has {len(array)} rows, expected {self._num_rows}"
+            )
+        if not self._columns:
+            self._num_rows = len(array)
+        self._columns[name] = array
+
+    # -- inspection ----------------------------------------------------------
+
+    @property
+    def num_rows(self) -> int:
+        return self._num_rows
+
+    @property
+    def column_names(self) -> list[str]:
+        return list(self._columns.keys())
+
+    def __contains__(self, column_name: str) -> bool:
+        return column_name in self._columns
+
+    def column(self, name: str) -> np.ndarray:
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise ExecutionError(f"table {self.name!r} has no column {name!r}") from None
+
+    def columns(self) -> dict[str, np.ndarray]:
+        """Return the underlying column mapping (not a copy)."""
+        return self._columns
+
+    def rows(self) -> Iterable[tuple]:
+        """Iterate over rows as tuples (mainly for tests and small results)."""
+        arrays = list(self._columns.values())
+        for index in range(self._num_rows):
+            yield tuple(array[index] for array in arrays)
+
+    # -- mutation -------------------------------------------------------------
+
+    def take(self, indices: np.ndarray) -> "Table":
+        """Return a new table containing the rows selected by ``indices``."""
+        result = Table(self.name)
+        for column_name, array in self._columns.items():
+            result.add_column(column_name, array[indices])
+        return result
+
+    def filter(self, mask: np.ndarray) -> "Table":
+        """Return a new table containing the rows where ``mask`` is True."""
+        return self.take(np.flatnonzero(np.asarray(mask, dtype=bool)))
+
+    def append_rows(self, column_names: Sequence[str], rows: Iterable[Sequence]) -> None:
+        """Append rows (given in ``column_names`` order) to this table."""
+        materialized = [tuple(row) for row in rows]
+        if not materialized:
+            return
+        incoming = {name: [row[i] for row in materialized] for i, name in enumerate(column_names)}
+        missing = set(self._columns) - set(incoming)
+        if missing:
+            raise ExecutionError(f"INSERT is missing columns: {sorted(missing)}")
+        for column_name in self._columns:
+            old = self._columns[column_name]
+            new = _infer_array(incoming[column_name])
+            if old.dtype == object or new.dtype == object:
+                merged = np.concatenate([old.astype(object), new.astype(object)])
+            else:
+                merged = np.concatenate([old, new.astype(old.dtype, copy=False)])
+            self._columns[column_name] = merged
+        self._num_rows += len(materialized)
+
+    def append_table(self, other: "Table") -> None:
+        """Append all rows of ``other`` (columns matched by name)."""
+        self.append_rows(other.column_names, other.rows())
+
+    # -- sizing ---------------------------------------------------------------
+
+    def estimated_bytes(self) -> int:
+        """Approximate in-memory footprint, used by the experiment harness."""
+        total = 0
+        for array in self._columns.values():
+            if array.dtype == object:
+                total += sum(len(str(value)) for value in array) + 8 * len(array)
+            else:
+                total += array.nbytes
+        return total
+
+    def copy(self, name: str | None = None) -> "Table":
+        """Return a deep copy of the table, optionally renamed."""
+        result = Table(name or self.name)
+        for column_name, array in self._columns.items():
+            result.add_column(column_name, array.copy())
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Table({self.name!r}, rows={self._num_rows}, columns={self.column_names})"
+
+
+def _infer_array(values: list) -> np.ndarray:
+    """Infer a column array from a list of python values."""
+    has_none = any(value is None for value in values)
+    non_null = [value for value in values if value is not None]
+    if non_null and all(isinstance(value, bool) for value in non_null) and not has_none:
+        return np.array(values, dtype=bool)
+    if non_null and all(isinstance(value, (int, np.integer)) and not isinstance(value, bool)
+                        for value in non_null):
+        if has_none:
+            return np.array(
+                [np.nan if value is None else float(value) for value in values], dtype=np.float64
+            )
+        return np.array(values, dtype=np.int64)
+    if non_null and all(
+        isinstance(value, (int, float, np.integer, np.floating)) and not isinstance(value, bool)
+        for value in non_null
+    ):
+        return np.array(
+            [np.nan if value is None else float(value) for value in values], dtype=np.float64
+        )
+    return np.array(values, dtype=object)

@@ -1,0 +1,194 @@
+"""SQL tokenizer for the built-in relational engine.
+
+The tokenizer converts SQL text into a flat list of :class:`Token` objects.
+It understands the lexical subset needed by the middleware and by the
+benchmark workloads: identifiers (optionally quoted with backticks or double
+quotes), numeric and string literals, operators, punctuation and keywords.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+
+from repro.errors import TokenizeError
+
+
+class TokenType(Enum):
+    """Lexical category of a token."""
+
+    KEYWORD = auto()
+    IDENTIFIER = auto()
+    NUMBER = auto()
+    STRING = auto()
+    OPERATOR = auto()
+    PUNCTUATION = auto()
+    EOF = auto()
+
+
+# Keywords are upper-cased during tokenization, so membership checks are
+# case-insensitive for the parser.
+KEYWORDS = frozenset(
+    {
+        "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "LIMIT",
+        "OFFSET", "AS", "AND", "OR", "NOT", "IN", "LIKE", "BETWEEN", "IS",
+        "NULL", "TRUE", "FALSE", "JOIN", "INNER", "LEFT", "RIGHT", "OUTER",
+        "CROSS", "ON", "USING", "DISTINCT", "ALL", "CASE", "WHEN", "THEN",
+        "ELSE", "END", "ASC", "DESC", "UNION", "CREATE", "TABLE", "DROP",
+        "INSERT", "INTO", "VALUES", "IF", "EXISTS", "OVER", "PARTITION",
+        "CAST", "INTERVAL",
+    }
+)
+
+_TWO_CHAR_OPERATORS = ("<=", ">=", "<>", "!=", "||")
+_ONE_CHAR_OPERATORS = "+-*/%<>=!"
+_PUNCTUATION = "(),.;"
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token.
+
+    Attributes:
+        type: lexical category.
+        value: normalised text (keywords upper-cased, strings unquoted).
+        position: character offset of the token in the original SQL text.
+    """
+
+    type: TokenType
+    value: str
+    position: int
+
+    def matches(self, token_type: TokenType, value: str | None = None) -> bool:
+        """Return True when the token has the given type (and value, if given)."""
+        if self.type is not token_type:
+            return False
+        return value is None or self.value == value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Token({self.type.name}, {self.value!r}@{self.position})"
+
+
+def tokenize(sql: str) -> list[Token]:
+    """Tokenize ``sql`` into a list of tokens terminated by an EOF token.
+
+    Raises:
+        TokenizeError: when an unexpected character or unterminated literal is
+            encountered.
+    """
+    tokens: list[Token] = []
+    i = 0
+    n = len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if sql.startswith("--", i):
+            end = sql.find("\n", i)
+            i = n if end == -1 else end + 1
+            continue
+        if sql.startswith("/*", i):
+            end = sql.find("*/", i + 2)
+            if end == -1:
+                raise TokenizeError("unterminated block comment", position=i)
+            i = end + 2
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and sql[i + 1].isdigit()):
+            tokens.append(_read_number(sql, i))
+            i += len(tokens[-1].value)
+            continue
+        if ch == "'":
+            token, i = _read_string(sql, i)
+            tokens.append(token)
+            continue
+        if ch in ('"', "`"):
+            token, i = _read_quoted_identifier(sql, i, ch)
+            tokens.append(token)
+            continue
+        if ch.isalpha() or ch == "_":
+            token = _read_word(sql, i)
+            tokens.append(token)
+            i += len(token.value)
+            continue
+        two = sql[i : i + 2]
+        if two in _TWO_CHAR_OPERATORS:
+            tokens.append(Token(TokenType.OPERATOR, two, i))
+            i += 2
+            continue
+        if ch in _ONE_CHAR_OPERATORS:
+            tokens.append(Token(TokenType.OPERATOR, ch, i))
+            i += 1
+            continue
+        if ch in _PUNCTUATION:
+            tokens.append(Token(TokenType.PUNCTUATION, ch, i))
+            i += 1
+            continue
+        raise TokenizeError(f"unexpected character {ch!r}", position=i)
+    tokens.append(Token(TokenType.EOF, "", n))
+    return tokens
+
+
+def _read_number(sql: str, start: int) -> Token:
+    """Read an integer or decimal literal (optionally with an exponent)."""
+    i = start
+    n = len(sql)
+    seen_dot = False
+    seen_exp = False
+    while i < n:
+        ch = sql[i]
+        if ch.isdigit():
+            i += 1
+        elif ch == "." and not seen_dot and not seen_exp:
+            seen_dot = True
+            i += 1
+        elif ch in "eE" and not seen_exp and i > start:
+            # Only treat as exponent when followed by a digit or sign+digit.
+            nxt = sql[i + 1 : i + 3]
+            if nxt[:1].isdigit() or (nxt[:1] in "+-" and nxt[1:2].isdigit()):
+                seen_exp = True
+                i += 2 if nxt[:1] in "+-" else 1
+            else:
+                break
+        else:
+            break
+    return Token(TokenType.NUMBER, sql[start:i], start)
+
+
+def _read_string(sql: str, start: int) -> tuple[Token, int]:
+    """Read a single-quoted string literal; '' escapes a quote."""
+    i = start + 1
+    n = len(sql)
+    parts: list[str] = []
+    while i < n:
+        ch = sql[i]
+        if ch == "'":
+            if i + 1 < n and sql[i + 1] == "'":
+                parts.append("'")
+                i += 2
+                continue
+            return Token(TokenType.STRING, "".join(parts), start), i + 1
+        parts.append(ch)
+        i += 1
+    raise TokenizeError("unterminated string literal", position=start)
+
+
+def _read_quoted_identifier(sql: str, start: int, quote: str) -> tuple[Token, int]:
+    """Read an identifier quoted with backticks or double quotes."""
+    end = sql.find(quote, start + 1)
+    if end == -1:
+        raise TokenizeError("unterminated quoted identifier", position=start)
+    return Token(TokenType.IDENTIFIER, sql[start + 1 : end], start), end + 1
+
+
+def _read_word(sql: str, start: int) -> Token:
+    """Read an unquoted word and classify it as keyword or identifier."""
+    i = start
+    n = len(sql)
+    while i < n and (sql[i].isalnum() or sql[i] == "_"):
+        i += 1
+    word = sql[start:i]
+    upper = word.upper()
+    if upper in KEYWORDS:
+        return Token(TokenType.KEYWORD, upper, start)
+    return Token(TokenType.IDENTIFIER, word, start)

@@ -1,0 +1,56 @@
+"""Closed-form (central limit theorem) error estimation baseline.
+
+CLT-based closed forms are what older rewriting-based AQP engines (e.g.
+Aqua) rely on; they are cheap but only apply to simple estimators over
+independent tuples.  Used as a baseline in Figure 8b.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.subsampling.intervals import ConfidenceInterval, normal_interval
+
+
+def mean_interval(values: np.ndarray, confidence: float = 0.95) -> ConfidenceInterval:
+    """CLT confidence interval for the population mean from a uniform sample."""
+    values = np.asarray(values, dtype=np.float64)
+    n = len(values)
+    if n == 0:
+        return ConfidenceInterval(float("nan"), float("nan"), float("nan"), confidence)
+    estimate = float(np.mean(values))
+    if n < 2:
+        return ConfidenceInterval(estimate, estimate, estimate, confidence)
+    standard_error = float(np.std(values, ddof=1)) / math.sqrt(n)
+    return normal_interval(estimate, standard_error, confidence)
+
+
+def sum_interval(
+    values: np.ndarray, population_size: int, confidence: float = 0.95
+) -> ConfidenceInterval:
+    """CLT confidence interval for the population sum."""
+    interval = mean_interval(values, confidence)
+    return ConfidenceInterval(
+        estimate=interval.estimate * population_size,
+        lower=interval.lower * population_size,
+        upper=interval.upper * population_size,
+        confidence=confidence,
+    )
+
+
+def count_interval(
+    sample_matches: int,
+    sample_size: int,
+    population_size: int,
+    confidence: float = 0.95,
+) -> ConfidenceInterval:
+    """CLT confidence interval for a predicate count from match/sample counts."""
+    if sample_size == 0:
+        return ConfidenceInterval(float("nan"), float("nan"), float("nan"), confidence)
+    proportion = sample_matches / sample_size
+    estimate = proportion * population_size
+    variance = proportion * (1.0 - proportion) / sample_size
+    standard_error = math.sqrt(max(variance, 0.0)) * population_size
+    return normal_interval(estimate, standard_error, confidence)

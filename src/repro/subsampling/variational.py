@@ -1,0 +1,139 @@
+"""Variational subsampling (Section 4.2 of the paper).
+
+This module is the pure-numpy form of the estimator; the SQL rewrite in
+``repro.core.rewriter`` produces exactly the same statistics through the
+underlying database.  Keeping a library-level implementation lets us unit- and
+property-test the statistics independently of SQL and reuse them for the
+baseline comparisons of Figures 8, 12, 13 and 14.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.subsampling import sid as sid_module
+from repro.subsampling.intervals import ConfidenceInterval, empirical_interval, normal_interval
+
+
+@dataclass(frozen=True)
+class SubsampleStatistics:
+    """Per-subsample estimates produced by one variational pass."""
+
+    full_estimate: float
+    estimates: np.ndarray
+    sizes: np.ndarray
+    sample_size: int
+
+    @property
+    def scaled_deviations(self) -> np.ndarray:
+        """``sqrt(ns_i) * (g_i - g0)`` — the empirical distribution of Theorem 2."""
+        return np.sqrt(self.sizes) * (self.estimates - self.full_estimate)
+
+    def standard_error(self) -> float:
+        """Appendix G's closed-form error: ``stddev(g_i) * sqrt(avg(ns_i) / n)``."""
+        if len(self.estimates) < 2:
+            return 0.0
+        spread = float(np.std(self.estimates, ddof=1))
+        return spread * math.sqrt(float(np.mean(self.sizes))) / math.sqrt(self.sample_size)
+
+
+def subsample_means(
+    values: np.ndarray,
+    subsample_count: int | None = None,
+    rng: np.random.Generator | None = None,
+    sids: np.ndarray | None = None,
+) -> SubsampleStatistics:
+    """Compute per-subsample means of ``values`` under a variational assignment."""
+    values = np.asarray(values, dtype=np.float64)
+    n = len(values)
+    if n == 0:
+        return SubsampleStatistics(float("nan"), np.array([]), np.array([]), 0)
+    b = subsample_count if subsample_count is not None else sid_module.default_subsample_count(n)
+    if sids is None:
+        sids = sid_module.assign_sids(n, b, rng=rng)
+    mask = sids > 0
+    used_sids = sids[mask] - 1
+    used_values = values[mask]
+    sums = np.bincount(used_sids, weights=used_values, minlength=b)
+    counts = np.bincount(used_sids, minlength=b)
+    present = counts > 0
+    estimates = np.divide(sums[present], counts[present])
+    return SubsampleStatistics(
+        full_estimate=float(np.mean(values)),
+        estimates=estimates,
+        sizes=counts[present].astype(np.float64),
+        sample_size=n,
+    )
+
+
+def mean_interval(
+    values: np.ndarray,
+    confidence: float = 0.95,
+    subsample_count: int | None = None,
+    rng: np.random.Generator | None = None,
+    use_quantiles: bool = True,
+) -> ConfidenceInterval:
+    """Confidence interval for the population mean from a uniform sample.
+
+    Args:
+        values: sampled values.
+        confidence: interval coverage (e.g. 0.95).
+        subsample_count: number of subsamples ``b``.
+        rng: random generator used to assign subsample ids.
+        use_quantiles: when True use the empirical-quantile interval of
+            Theorem 2; when False use the normal approximation that the
+            Appendix G SQL rewrite computes (stddev of subsample estimates).
+    """
+    statistics = subsample_means(values, subsample_count, rng)
+    if math.isnan(statistics.full_estimate):
+        return ConfidenceInterval(float("nan"), float("nan"), float("nan"), confidence)
+    if use_quantiles and len(statistics.estimates) >= 2:
+        return empirical_interval(
+            statistics.full_estimate,
+            statistics.scaled_deviations,
+            math.sqrt(statistics.sample_size),
+            confidence,
+        )
+    return normal_interval(statistics.full_estimate, statistics.standard_error(), confidence)
+
+
+def sum_interval(
+    values: np.ndarray,
+    population_size: int,
+    confidence: float = 0.95,
+    subsample_count: int | None = None,
+    rng: np.random.Generator | None = None,
+) -> ConfidenceInterval:
+    """Confidence interval for the population sum (``N`` times the mean)."""
+    interval = mean_interval(values, confidence, subsample_count, rng)
+    return ConfidenceInterval(
+        estimate=interval.estimate * population_size,
+        lower=interval.lower * population_size,
+        upper=interval.upper * population_size,
+        confidence=confidence,
+    )
+
+
+def count_interval(
+    predicate_indicator: np.ndarray,
+    population_size: int,
+    confidence: float = 0.95,
+    subsample_count: int | None = None,
+    rng: np.random.Generator | None = None,
+) -> ConfidenceInterval:
+    """Confidence interval for a predicate count; the indicator is 0/1 per sampled row."""
+    return sum_interval(
+        np.asarray(predicate_indicator, dtype=np.float64),
+        population_size,
+        confidence,
+        subsample_count,
+        rng,
+    )
+
+
+def optimal_subsample_size(sample_size: int) -> int:
+    """The error-minimising subsample size ``ns = sqrt(n)`` (Appendix B.3)."""
+    return sid_module.default_subsample_size(sample_size)

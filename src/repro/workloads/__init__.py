@@ -1,0 +1,18 @@
+"""Workload generators and benchmark query sets (Section 6.1)."""
+
+from repro.workloads import instacart, synthetic, tpch
+from repro.workloads.instacart import INSTACART_QUERIES, InstacartDataset
+from repro.workloads.synthetic import SyntheticConfig
+from repro.workloads.tpch import HIGH_CARDINALITY_QUERIES, TPCH_QUERIES, TpchDataset
+
+__all__ = [
+    "HIGH_CARDINALITY_QUERIES",
+    "INSTACART_QUERIES",
+    "InstacartDataset",
+    "SyntheticConfig",
+    "TPCH_QUERIES",
+    "TpchDataset",
+    "instacart",
+    "synthetic",
+    "tpch",
+]

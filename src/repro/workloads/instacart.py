@@ -1,0 +1,213 @@
+"""Instacart-like ("insta") sales schema, generator and micro-benchmark queries.
+
+The paper's ``insta`` dataset is a 100×-scaled copy of the public Instacart
+online-grocery database (orders, order_products, products, departments,
+aisles).  This module generates a synthetic equivalent that preserves the
+schema, the join structure (order_products is the large fact table joining
+orders and products) and the skew of the interesting columns (order hour,
+day of week, department popularity).
+
+``INSTACART_QUERIES`` contains the 15 micro-benchmark queries (iq-1 … iq-15):
+various aggregate functions over up to four joined tables, grouped by
+low-cardinality columns, matching Section 6.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+DEPARTMENTS = [
+    "produce", "dairy eggs", "snacks", "beverages", "frozen", "pantry",
+    "bakery", "canned goods", "deli", "dry goods pasta", "household",
+    "breakfast", "meat seafood", "personal care", "babies", "international",
+    "alcohol", "pets", "missing", "other", "bulk",
+]
+AISLES_PER_DEPARTMENT = 6
+
+
+@dataclass
+class InstacartDataset:
+    """Generated Instacart-like tables keyed by table name."""
+
+    scale_factor: float
+    tables: dict[str, dict[str, np.ndarray]] = field(default_factory=dict)
+
+    @property
+    def table_names(self) -> list[str]:
+        return list(self.tables)
+
+    def num_rows(self, table: str) -> int:
+        columns = self.tables[table]
+        return len(next(iter(columns.values())))
+
+    def total_rows(self) -> int:
+        return sum(self.num_rows(table) for table in self.tables)
+
+
+def generate(scale_factor: float = 1.0, seed: int = 0) -> InstacartDataset:
+    """Generate an Instacart-like dataset.
+
+    ``scale_factor=1.0`` yields roughly 20 k orders and 60 k order lines.
+    """
+    rng = np.random.default_rng(seed)
+    dataset = InstacartDataset(scale_factor=scale_factor)
+
+    num_users = max(50, int(4_000 * scale_factor))
+    num_orders = max(200, int(20_000 * scale_factor))
+    num_products = max(100, int(3_000 * scale_factor))
+    num_lines = max(600, int(60_000 * scale_factor))
+    num_departments = len(DEPARTMENTS)
+    num_aisles = num_departments * AISLES_PER_DEPARTMENT
+
+    dataset.tables["departments"] = {
+        "department_id": np.arange(num_departments),
+        "department": np.array(DEPARTMENTS, dtype=object),
+    }
+    dataset.tables["aisles"] = {
+        "aisle_id": np.arange(num_aisles),
+        "department_id": np.repeat(np.arange(num_departments), AISLES_PER_DEPARTMENT),
+        "aisle": np.array([f"aisle_{i}" for i in range(num_aisles)], dtype=object),
+    }
+
+    # Department popularity is heavily skewed (produce and dairy dominate).
+    department_weights = np.exp(-0.35 * np.arange(num_departments))
+    department_weights /= department_weights.sum()
+    product_departments = rng.choice(num_departments, num_products, p=department_weights)
+    dataset.tables["products"] = {
+        "product_id": np.arange(num_products),
+        "aisle_id": product_departments * AISLES_PER_DEPARTMENT
+        + rng.integers(0, AISLES_PER_DEPARTMENT, num_products),
+        "department_id": product_departments,
+        "price": np.round(rng.lognormal(1.2, 0.6, num_products), 2),
+        "organic": rng.integers(0, 2, num_products),
+    }
+
+    order_hours = np.clip(rng.normal(13.5, 4.0, num_orders).round(), 0, 23).astype(np.int64)
+    dataset.tables["orders"] = {
+        "order_id": np.arange(num_orders),
+        "user_id": rng.integers(0, num_users, num_orders),
+        "order_dow": rng.integers(0, 7, num_orders),
+        "order_hour_of_day": order_hours,
+        "days_since_prior_order": np.clip(rng.exponential(11.0, num_orders).round(), 0, 30).astype(
+            np.int64
+        ),
+    }
+
+    # Product popularity follows a Zipf-like distribution.
+    product_weights = 1.0 / (np.arange(1, num_products + 1) ** 0.8)
+    product_weights /= product_weights.sum()
+    line_products = rng.choice(num_products, num_lines, p=product_weights)
+    dataset.tables["order_products"] = {
+        "order_id": rng.integers(0, num_orders, num_lines),
+        "product_id": line_products,
+        "add_to_cart_order": rng.integers(1, 20, num_lines),
+        "reordered": (rng.random(num_lines) < 0.6).astype(np.int64),
+        "quantity": rng.integers(1, 6, num_lines),
+        "unit_price": np.round(
+            dataset.tables["products"]["price"][line_products]
+            * rng.uniform(0.9, 1.1, num_lines),
+            2,
+        ),
+    }
+    return dataset
+
+
+#: Fact tables for which samples are prepared in the experiments.
+FACT_TABLES = ("order_products", "orders")
+
+
+#: The 15 micro-benchmark queries on the insta dataset (Section 6.1): common
+#: aggregate functions over up to four joined tables, grouped by
+#: low-cardinality columns.
+INSTACART_QUERIES: dict[str, str] = {
+    "iq-1": """
+        SELECT order_dow, count(*) AS num_lines
+        FROM order_products INNER JOIN orders ON order_products.order_id = orders.order_id
+        GROUP BY order_dow ORDER BY order_dow
+    """,
+    "iq-2": """
+        SELECT order_dow, sum(quantity) AS total_quantity
+        FROM order_products INNER JOIN orders ON order_products.order_id = orders.order_id
+        GROUP BY order_dow ORDER BY order_dow
+    """,
+    "iq-3": """
+        SELECT order_hour_of_day, avg(quantity * unit_price) AS avg_basket_value
+        FROM order_products INNER JOIN orders ON order_products.order_id = orders.order_id
+        GROUP BY order_hour_of_day ORDER BY order_hour_of_day
+    """,
+    "iq-4": """
+        SELECT department_id, count(*) AS num_lines, sum(quantity * unit_price) AS revenue
+        FROM order_products INNER JOIN products ON order_products.product_id = products.product_id
+        GROUP BY department_id ORDER BY revenue DESC
+    """,
+    "iq-5": """
+        SELECT department, sum(quantity * unit_price) AS revenue
+        FROM order_products
+             INNER JOIN products ON order_products.product_id = products.product_id
+             INNER JOIN departments ON products.department_id = departments.department_id
+        GROUP BY department ORDER BY revenue DESC
+    """,
+    "iq-6": """
+        SELECT reordered, count(*) AS num_lines, avg(add_to_cart_order) AS avg_position
+        FROM order_products
+        GROUP BY reordered ORDER BY reordered
+    """,
+    "iq-7": """
+        SELECT order_dow, order_hour_of_day, count(*) AS num_lines
+        FROM order_products INNER JOIN orders ON order_products.order_id = orders.order_id
+        WHERE reordered = 1
+        GROUP BY order_dow, order_hour_of_day ORDER BY order_dow, order_hour_of_day
+    """,
+    "iq-8": """
+        SELECT organic, sum(quantity) AS units, avg(unit_price) AS avg_price
+        FROM order_products INNER JOIN products ON order_products.product_id = products.product_id
+        GROUP BY organic ORDER BY organic
+    """,
+    "iq-9": """
+        SELECT count(*) AS num_lines, sum(quantity * unit_price) AS revenue,
+               avg(quantity) AS avg_quantity
+        FROM order_products
+        WHERE unit_price > 5.0
+    """,
+    "iq-10": """
+        SELECT department, count(*) AS num_lines, stddev(unit_price) AS price_spread
+        FROM order_products
+             INNER JOIN products ON order_products.product_id = products.product_id
+             INNER JOIN departments ON products.department_id = departments.department_id
+        WHERE quantity >= 2
+        GROUP BY department ORDER BY department
+    """,
+    "iq-11": """
+        SELECT order_dow, median(quantity * unit_price) AS median_line_value
+        FROM order_products INNER JOIN orders ON order_products.order_id = orders.order_id
+        GROUP BY order_dow ORDER BY order_dow
+    """,
+    "iq-12": """
+        SELECT count(DISTINCT order_products.order_id) AS active_orders
+        FROM order_products
+        WHERE reordered = 1
+    """,
+    "iq-13": """
+        SELECT department, avg(days_since_prior_order) AS avg_gap
+        FROM order_products
+             INNER JOIN orders ON order_products.order_id = orders.order_id
+             INNER JOIN products ON order_products.product_id = products.product_id
+             INNER JOIN departments ON products.department_id = departments.department_id
+        GROUP BY department ORDER BY department
+    """,
+    "iq-14": """
+        SELECT order_dow, count(*) AS num_lines, sum(quantity * unit_price) AS revenue
+        FROM order_products INNER JOIN orders ON order_products.order_id = orders.order_id
+        WHERE order_hour_of_day BETWEEN 8 AND 20
+        GROUP BY order_dow ORDER BY order_dow
+    """,
+    "iq-15": """
+        SELECT avg(lines_per_order) AS avg_lines, count(*) AS num_orders
+        FROM (SELECT order_id, count(*) AS lines_per_order
+              FROM order_products
+              GROUP BY order_id) AS per_order
+    """,
+}

@@ -1,0 +1,94 @@
+"""Synthetic dataset with controllable statistical properties (Section 6.5).
+
+The correctness experiments need fine control over the attribute
+distribution (mean 10, standard deviation 10 in the paper), the selectivity
+of predicates and the number of groups, so they use this generator instead
+of the benchmark schemas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SyntheticConfig:
+    """Configuration of the synthetic table.
+
+    Attributes:
+        num_rows: number of rows.
+        value_mean: mean of the ``value`` column.
+        value_std: standard deviation of the ``value`` column.
+        num_groups: number of distinct values in the ``grp`` column.
+        seed: random seed.
+    """
+
+    num_rows: int = 100_000
+    value_mean: float = 10.0
+    value_std: float = 10.0
+    num_groups: int = 10
+    seed: int = 0
+
+
+def generate(config: SyntheticConfig | None = None, **overrides) -> dict[str, np.ndarray]:
+    """Generate the synthetic table as a column mapping.
+
+    Columns:
+        ``row_id``: unique integer key.
+        ``value``: normal(value_mean, value_std) measure.
+        ``selectivity_key``: uniform [0, 1) — ``selectivity_key < s`` selects a
+            fraction ``s`` of the rows.
+        ``grp``: integer group label in ``[0, num_groups)``.
+        ``category``: string version of ``grp`` (for string group-by testing).
+    """
+    if config is None:
+        config = SyntheticConfig(**overrides)
+    elif overrides:
+        config = SyntheticConfig(**{**config.__dict__, **overrides})
+    rng = np.random.default_rng(config.seed)
+    groups = rng.integers(0, config.num_groups, config.num_rows)
+    return {
+        "row_id": np.arange(config.num_rows),
+        "value": rng.normal(config.value_mean, config.value_std, config.num_rows),
+        "selectivity_key": rng.random(config.num_rows),
+        "grp": groups,
+        "category": np.array([f"g{group}" for group in groups], dtype=object),
+    }
+
+
+def population_statistics(columns: dict[str, np.ndarray]) -> dict[str, float]:
+    """Exact statistics of a generated table (used as ground truth)."""
+    values = columns["value"]
+    return {
+        "count": float(len(values)),
+        "sum": float(np.sum(values)),
+        "mean": float(np.mean(values)),
+        "std": float(np.std(values, ddof=1)),
+        "median": float(np.median(values)),
+    }
+
+
+def true_count_error(
+    selectivity: float, sample_size: int, population: int, confidence_z: float = 1.96
+) -> float:
+    """Ground-truth relative error of an approximate count at a given selectivity.
+
+    For a uniform sample of ``n`` rows, the count of rows satisfying a
+    predicate with selectivity ``s`` is binomial; the relative half-width of
+    its confidence interval is ``z * sqrt(s (1 - s) / n) / s``.
+    """
+    if selectivity <= 0 or sample_size <= 0:
+        return float("inf")
+    standard_error = np.sqrt(selectivity * (1.0 - selectivity) / sample_size)
+    return float(confidence_z * standard_error / selectivity)
+
+
+def true_mean_error(
+    value_std: float, value_mean: float, sample_size: int, confidence_z: float = 1.96
+) -> float:
+    """Ground-truth relative error of an approximate mean from a uniform sample."""
+    if sample_size <= 0 or value_mean == 0:
+        return float("inf")
+    return float(confidence_z * value_std / np.sqrt(sample_size) / abs(value_mean))

@@ -1,0 +1,125 @@
+"""Tests for dialects, the syntax changer and the two backend connectors."""
+
+import numpy as np
+import pytest
+
+from repro.connectors import (
+    BuiltinConnector,
+    GENERIC,
+    IMPALA_LIKE,
+    REDSHIFT_LIKE,
+    SQLITE,
+    SqliteConnector,
+    SyntaxChanger,
+    get_dialect,
+)
+from repro.errors import ConnectorError
+from repro.sqlengine.parser import parse_select
+
+
+class TestDialects:
+    def test_lookup_by_name(self):
+        assert get_dialect("impala") is IMPALA_LIKE
+        with pytest.raises(KeyError):
+            get_dialect("oracle")
+
+    def test_identifier_quoting(self):
+        assert GENERIC.quote_identifier("simple") == "simple"
+        assert GENERIC.quote_identifier("weird name") == '"weird name"'
+        assert IMPALA_LIKE.quote_identifier("weird name") == "`weird name`"
+
+    def test_function_renames(self):
+        assert REDSHIFT_LIKE.rename_function("rand") == "random"
+        assert REDSHIFT_LIKE.rename_function("stddev") == "stddev_samp"
+        assert GENERIC.rename_function("rand") == "rand"
+        assert SQLITE.rename_function("rand") == "vdb_rand"
+
+
+class TestSyntaxChanger:
+    def test_function_rename_in_rendered_sql(self):
+        statement = parse_select("SELECT stddev(x) FROM t WHERE rand() < 0.5")
+        sql = SyntaxChanger(REDSHIFT_LIKE).to_sql(statement)
+        assert "stddev_samp(" in sql
+        assert "random()" in sql
+
+    def test_rand_in_where_pushed_into_derived_table_for_impala(self):
+        statement = parse_select("SELECT x FROM t WHERE rand() < 0.01")
+        sql = SyntaxChanger(IMPALA_LIKE).to_sql(statement)
+        assert "__vdb_rand" in sql
+        # The predicate itself no longer calls rand().
+        where_clause = sql.split("WHERE")[-1]
+        assert "rand()" not in where_clause
+
+    def test_rand_in_where_untouched_for_generic(self):
+        statement = parse_select("SELECT x FROM t WHERE rand() < 0.01")
+        sql = SyntaxChanger(GENERIC).to_sql(statement)
+        assert "__vdb_rand" not in sql
+
+    def test_impala_workaround_produces_equivalent_sampling(self):
+        connector = BuiltinConnector(dialect=IMPALA_LIKE, seed=7)
+        connector.load_table("t", {"x": np.arange(20_000)})
+        statement = parse_select("SELECT count(*) AS c FROM t WHERE rand() < 0.1")
+        count = float(connector.execute(statement).scalar())
+        assert 1_500 < count < 2_500
+
+    def test_create_table_as_select_adapted(self):
+        from repro.sqlengine.parser import parse
+
+        statement = parse("CREATE TABLE s AS SELECT * FROM t WHERE rand() < 0.5")
+        sql = SyntaxChanger(IMPALA_LIKE).to_sql(statement)
+        assert sql.startswith("CREATE TABLE s AS")
+        assert "__vdb_rand" in sql
+
+
+class TestBuiltinConnector:
+    def test_load_and_query(self, builtin_connector):
+        assert builtin_connector.row_count("orders") == 40_000
+        result = builtin_connector.execute("SELECT count(*) AS c FROM orders WHERE price > 0")
+        assert float(result.scalar()) > 0
+
+    def test_table_and_column_introspection(self, builtin_connector):
+        assert "orders" in builtin_connector.table_names()
+        assert builtin_connector.column_names("orders") == ["order_id", "price", "qty", "city"]
+        assert builtin_connector.column_cardinality("orders", "city") == 4
+
+    def test_insert_rows(self, builtin_connector):
+        before = builtin_connector.row_count("orders")
+        builtin_connector.insert_rows(
+            "orders", ["order_id", "price", "qty", "city"], [(999_999, 1.0, 1, "nowhere")]
+        )
+        assert builtin_connector.row_count("orders") == before + 1
+
+    def test_queries_are_recorded(self, builtin_connector):
+        builtin_connector.execute("SELECT 1 AS x")
+        assert any("SELECT 1" in sql for sql in builtin_connector.queries_issued)
+
+
+class TestSqliteConnector:
+    def test_load_and_query(self, sqlite_connector):
+        assert sqlite_connector.row_count("orders") == 40_000
+        result = sqlite_connector.execute(
+            "SELECT city, count(*) AS c FROM orders GROUP BY city ORDER BY city"
+        )
+        assert result.num_rows == 4
+
+    def test_registered_functions(self, sqlite_connector):
+        stddev = sqlite_connector.execute("SELECT stddev(price) AS s FROM orders").scalar()
+        assert 9.0 < float(stddev) < 11.0
+        median = sqlite_connector.execute("SELECT median(price) AS m FROM orders").scalar()
+        assert 8.0 < float(median) < 12.0
+        hashes = sqlite_connector.execute("SELECT vdb_hash(order_id) AS h FROM orders LIMIT 5")
+        assert all(0.0 <= float(h) < 1.0 for (h,) in hashes.rows())
+
+    def test_column_introspection_missing_table(self, sqlite_connector):
+        with pytest.raises(ConnectorError):
+            sqlite_connector.column_names("missing")
+
+    def test_bad_sql_raises_connector_error(self, sqlite_connector):
+        with pytest.raises(ConnectorError):
+            sqlite_connector.execute_sql("SELECT FROM WHERE")
+
+    def test_window_function_support(self, sqlite_connector):
+        result = sqlite_connector.execute(
+            "SELECT city, count(*) AS c, sum(count(*)) OVER () AS total FROM orders GROUP BY city"
+        )
+        assert all(float(row[2]) == 40_000 for row in result.rows())

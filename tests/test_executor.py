@@ -1,0 +1,195 @@
+"""Tests for the query executor of the built-in engine."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExecutionError
+from repro.sqlengine import Database
+
+
+@pytest.fixture()
+def db() -> Database:
+    engine = Database(seed=0)
+    engine.register_table(
+        "sales",
+        {
+            "id": np.arange(10),
+            "price": np.array([1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0]),
+            "qty": np.array([1, 2, 1, 2, 1, 2, 1, 2, 1, 2]),
+            "city": np.array(["a", "a", "b", "b", "a", "b", "a", "b", "a", "b"], dtype=object),
+        },
+    )
+    engine.register_table(
+        "cities",
+        {
+            "city": np.array(["a", "b"], dtype=object),
+            "state": np.array(["MI", "IL"], dtype=object),
+        },
+    )
+    return engine
+
+
+class TestProjectionAndFilter:
+    def test_select_star(self, db):
+        result = db.execute("SELECT * FROM sales")
+        assert result.num_rows == 10
+        assert result.column_names == ["id", "price", "qty", "city"]
+
+    def test_select_expressions_and_aliases(self, db):
+        result = db.execute("SELECT price * qty AS total, city FROM sales LIMIT 3")
+        assert result.column_names == ["total", "city"]
+        assert result.column("total")[1] == 4.0
+
+    def test_where_filtering(self, db):
+        result = db.execute("SELECT id FROM sales WHERE price > 5 AND qty = 2")
+        assert sorted(result.column("id").tolist()) == [5, 7, 9]
+
+    def test_where_with_in_and_like(self, db):
+        assert db.execute("SELECT count(*) FROM sales WHERE city IN ('a')").scalar() == 5
+        assert db.execute("SELECT count(*) FROM sales WHERE city LIKE 'b%'").scalar() == 5
+
+    def test_between_and_not(self, db):
+        assert db.execute("SELECT count(*) FROM sales WHERE price BETWEEN 2 AND 4").scalar() == 3
+        assert db.execute("SELECT count(*) FROM sales WHERE NOT price BETWEEN 2 AND 4").scalar() == 7
+
+    def test_case_expression(self, db):
+        result = db.execute(
+            "SELECT sum(CASE WHEN city = 'a' THEN 1 ELSE 0 END) AS a_rows FROM sales"
+        )
+        assert result.scalar() == 5
+
+    def test_order_by_and_limit_offset(self, db):
+        result = db.execute("SELECT id FROM sales ORDER BY price DESC LIMIT 3 OFFSET 1")
+        assert result.column("id").tolist() == [8, 7, 6]
+
+    def test_distinct(self, db):
+        result = db.execute("SELECT DISTINCT city FROM sales")
+        assert sorted(result.column("city").tolist()) == ["a", "b"]
+
+    def test_select_without_from(self, db):
+        assert db.execute("SELECT 1 + 2 AS v").scalar() == 3
+
+
+class TestAggregation:
+    def test_global_aggregates(self, db):
+        result = db.execute(
+            "SELECT count(*) AS c, sum(price) AS s, avg(price) AS a, min(price) AS lo, max(price) AS hi FROM sales"
+        )
+        row = result.fetchall()[0]
+        assert row == (10.0, 55.0, 5.5, 1.0, 10.0)
+
+    def test_group_by_with_order(self, db):
+        result = db.execute(
+            "SELECT city, count(*) AS c, sum(price) AS s FROM sales GROUP BY city ORDER BY city"
+        )
+        assert result.fetchall() == [("a", 5.0, 24.0), ("b", 5.0, 31.0)]
+
+    def test_group_by_expression(self, db):
+        result = db.execute("SELECT qty * 10 AS bucket, count(*) c FROM sales GROUP BY qty * 10 ORDER BY bucket")
+        assert result.fetchall() == [(10.0, 5.0), (20.0, 5.0)]
+
+    def test_having(self, db):
+        result = db.execute(
+            "SELECT city, sum(price) AS s FROM sales GROUP BY city HAVING sum(price) > 25"
+        )
+        assert result.fetchall() == [("b", 31.0)]
+
+    def test_count_distinct_and_stddev(self, db):
+        result = db.execute(
+            "SELECT count(DISTINCT qty) AS dq, stddev(price) AS sd, var_pop(price) AS vp FROM sales"
+        )
+        dq, sd, vp = result.fetchall()[0]
+        assert dq == 2
+        assert sd == pytest.approx(np.std(np.arange(1.0, 11.0), ddof=1))
+        assert vp == pytest.approx(np.var(np.arange(1.0, 11.0)))
+
+    def test_median_and_percentile(self, db):
+        result = db.execute("SELECT median(price) AS m, percentile(price, 0.9) AS p FROM sales")
+        m, p = result.fetchall()[0]
+        assert m == pytest.approx(5.5)
+        assert p == pytest.approx(np.quantile(np.arange(1.0, 11.0), 0.9))
+
+    def test_aggregate_of_empty_group_returns_zero_count(self, db):
+        result = db.execute("SELECT count(*) AS c, sum(price) AS s FROM sales WHERE price > 100")
+        assert result.fetchall() == [(0.0, 0.0)]
+
+    def test_window_function_over_groups(self, db):
+        result = db.execute(
+            "SELECT city, qty, count(*) AS c, sum(count(*)) OVER (PARTITION BY city) AS total "
+            "FROM sales GROUP BY city, qty ORDER BY city, qty"
+        )
+        rows = result.fetchall()
+        assert all(row[3] == 5.0 for row in rows)
+
+    def test_window_function_without_partition(self, db):
+        result = db.execute(
+            "SELECT qty, count(*) AS c, sum(count(*)) OVER () AS total FROM sales GROUP BY qty"
+        )
+        assert all(row[2] == 10.0 for row in result.fetchall())
+
+    def test_star_with_aggregate_rejected(self, db):
+        with pytest.raises(ExecutionError):
+            db.execute("SELECT *, count(*) FROM sales")
+
+    def test_order_by_aggregate_alias(self, db):
+        result = db.execute("SELECT city, sum(price) AS s FROM sales GROUP BY city ORDER BY s DESC")
+        assert result.column("city").tolist() == ["b", "a"]
+
+
+class TestJoins:
+    def test_inner_join(self, db):
+        result = db.execute(
+            "SELECT s.city, state, count(*) AS c FROM sales s INNER JOIN cities ON s.city = cities.city "
+            "GROUP BY s.city, state ORDER BY s.city"
+        )
+        assert result.fetchall() == [("a", "MI", 5.0), ("b", "IL", 5.0)]
+
+    def test_join_with_residual_condition(self, db):
+        result = db.execute(
+            "SELECT count(*) AS c FROM sales s INNER JOIN cities c2 ON s.city = c2.city AND s.price > 5"
+        )
+        assert result.scalar() == 5
+
+    def test_join_fanout(self, db):
+        db.register_table(
+            "dup", {"city": np.array(["a", "a"], dtype=object), "tag": np.array([1, 2])}
+        )
+        result = db.execute("SELECT count(*) FROM sales INNER JOIN dup ON sales.city = dup.city")
+        assert result.scalar() == 10  # 5 'a' rows x 2 matches
+
+    def test_cross_join(self, db):
+        result = db.execute("SELECT count(*) FROM sales, cities")
+        assert result.scalar() == 20
+
+    def test_join_no_matches(self, db):
+        db.register_table("empty_dim", {"city": np.array(["zz"], dtype=object)})
+        result = db.execute(
+            "SELECT count(*) FROM sales INNER JOIN empty_dim ON sales.city = empty_dim.city"
+        )
+        assert result.scalar() == 0
+
+    def test_left_join_unsupported(self, db):
+        with pytest.raises(ExecutionError):
+            db.execute("SELECT * FROM sales LEFT JOIN cities ON sales.city = cities.city")
+
+
+class TestSubqueries:
+    def test_derived_table(self, db):
+        result = db.execute(
+            "SELECT avg(s) AS a FROM (SELECT city, sum(price) AS s FROM sales GROUP BY city) AS t"
+        )
+        assert result.scalar() == pytest.approx(27.5)
+
+    def test_scalar_subquery_in_where(self, db):
+        result = db.execute(
+            "SELECT count(*) FROM sales WHERE price > (SELECT avg(price) FROM sales)"
+        )
+        assert result.scalar() == 5
+
+    def test_unknown_column_raises(self, db):
+        with pytest.raises(ExecutionError):
+            db.execute("SELECT nonexistent FROM sales")
+
+    def test_unknown_function_raises(self, db):
+        with pytest.raises(ExecutionError):
+            db.execute("SELECT frobnicate(price) FROM sales")

@@ -1,0 +1,184 @@
+"""Tests for the SQL parser and AST rendering."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.sqlengine import sqlast as ast
+from repro.sqlengine.parser import parse, parse_select
+
+
+class TestSelectParsing:
+    def test_simple_select(self):
+        stmt = parse_select("SELECT a, b FROM t")
+        assert [item.expression.name for item in stmt.select_items] == ["a", "b"]
+        assert isinstance(stmt.from_relation, ast.TableRef)
+        assert stmt.from_relation.name == "t"
+
+    def test_aliases_with_and_without_as(self):
+        stmt = parse_select("SELECT a AS x, b y FROM t")
+        assert [item.alias for item in stmt.select_items] == ["x", "y"]
+
+    def test_select_star_and_qualified_star(self):
+        stmt = parse_select("SELECT *, t.* FROM t")
+        assert isinstance(stmt.select_items[0].expression, ast.Star)
+        assert stmt.select_items[1].expression.table == "t"
+
+    def test_where_group_having_order_limit(self):
+        stmt = parse_select(
+            "SELECT city, count(*) c FROM t WHERE price > 3 GROUP BY city "
+            "HAVING count(*) > 10 ORDER BY c DESC LIMIT 5 OFFSET 2"
+        )
+        assert isinstance(stmt.where, ast.BinaryOp)
+        assert len(stmt.group_by) == 1
+        assert stmt.having is not None
+        assert stmt.order_by[0].ascending is False
+        assert stmt.limit == 5 and stmt.offset == 2
+
+    def test_join_with_on_condition(self):
+        stmt = parse_select("SELECT * FROM a INNER JOIN b ON a.x = b.x AND a.y = b.y")
+        join = stmt.from_relation
+        assert isinstance(join, ast.Join)
+        assert join.join_type == "INNER"
+        assert isinstance(join.condition, ast.BinaryOp)
+
+    def test_multiple_joins_left_deep(self):
+        stmt = parse_select("SELECT * FROM a JOIN b ON a.x = b.x JOIN c ON b.y = c.y")
+        outer = stmt.from_relation
+        assert isinstance(outer, ast.Join)
+        assert isinstance(outer.left, ast.Join)
+        assert isinstance(outer.right, ast.TableRef)
+
+    def test_derived_table_requires_alias(self):
+        with pytest.raises(ParseError):
+            parse_select("SELECT * FROM (SELECT 1)")
+
+    def test_derived_table(self):
+        stmt = parse_select("SELECT s FROM (SELECT sum(x) AS s FROM t) AS sub")
+        derived = stmt.from_relation
+        assert isinstance(derived, ast.DerivedTable)
+        assert derived.alias == "sub"
+
+    def test_distinct_select(self):
+        assert parse_select("SELECT DISTINCT a FROM t").distinct
+
+    def test_count_distinct(self):
+        stmt = parse_select("SELECT count(DISTINCT user_id) FROM t")
+        call = stmt.select_items[0].expression
+        assert isinstance(call, ast.FunctionCall)
+        assert call.distinct
+
+    def test_window_function(self):
+        stmt = parse_select("SELECT sum(count(*)) OVER (PARTITION BY city) FROM t GROUP BY city")
+        expr = stmt.select_items[0].expression
+        assert isinstance(expr, ast.WindowFunction)
+        assert len(expr.partition_by) == 1
+
+    def test_case_expression(self):
+        stmt = parse_select("SELECT CASE WHEN a > 1 THEN 'x' ELSE 'y' END FROM t")
+        case = stmt.select_items[0].expression
+        assert isinstance(case, ast.CaseWhen)
+        assert case.else_result is not None
+
+    def test_scalar_subquery_predicate(self):
+        stmt = parse_select("SELECT * FROM t WHERE price > (SELECT avg(price) FROM t)")
+        assert any(isinstance(node, ast.ScalarSubquery) for node in stmt.where.walk())
+
+    def test_in_between_like_is_null(self):
+        stmt = parse_select(
+            "SELECT * FROM t WHERE a IN (1, 2) AND b BETWEEN 1 AND 3 "
+            "AND c LIKE 'x%' AND d IS NOT NULL AND e NOT IN (4)"
+        )
+        kinds = {type(node).__name__ for node in stmt.where.walk()}
+        assert {"InList", "Between", "LikePredicate", "IsNull"} <= kinds
+
+    def test_operator_precedence_multiplication_before_addition(self):
+        expr = parse_select("SELECT 1 + 2 * 3 FROM t").select_items[0].expression
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_and_binds_tighter_than_or(self):
+        expr = parse_select("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3").where
+        assert expr.op == "OR"
+        assert expr.right.op == "AND"
+
+    def test_cast_becomes_function(self):
+        expr = parse_select("SELECT CAST(a AS int) FROM t").select_items[0].expression
+        assert isinstance(expr, ast.FunctionCall)
+        assert expr.name == "cast_int"
+
+    def test_trailing_garbage_raises(self):
+        with pytest.raises(ParseError):
+            parse("SELECT 1 FROM t garbage garbage")
+
+    def test_unsupported_statement_raises(self):
+        with pytest.raises(ParseError):
+            parse("UPDATE t SET a = 1")
+
+
+class TestDdlDmlParsing:
+    def test_create_table_with_columns(self):
+        stmt = parse("CREATE TABLE t (a int, b varchar, c decimal(10, 2))")
+        assert isinstance(stmt, ast.CreateTableStatement)
+        assert [column.name for column in stmt.columns] == ["a", "b", "c"]
+
+    def test_create_table_as_select(self):
+        stmt = parse("CREATE TABLE t AS SELECT * FROM s WHERE x > 1")
+        assert stmt.as_select is not None
+
+    def test_create_table_if_not_exists(self):
+        assert parse("CREATE TABLE IF NOT EXISTS t (a int)").if_not_exists
+
+    def test_drop_table(self):
+        stmt = parse("DROP TABLE IF EXISTS t")
+        assert isinstance(stmt, ast.DropTableStatement)
+        assert stmt.if_exists
+
+    def test_insert_values(self):
+        stmt = parse("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')")
+        assert isinstance(stmt, ast.InsertStatement)
+        assert len(stmt.rows) == 2
+
+    def test_insert_select(self):
+        stmt = parse("INSERT INTO t SELECT * FROM s")
+        assert stmt.from_select is not None
+
+
+class TestSqlRendering:
+    """to_sql output must be re-parseable (round-trip property)."""
+
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "SELECT a, count(*) AS c FROM t WHERE price > 3 GROUP BY a ORDER BY c DESC LIMIT 3",
+            "SELECT * FROM a INNER JOIN b ON a.x = b.x WHERE a.y IN (1, 2, 3)",
+            "SELECT CASE WHEN x > 1 THEN 1 ELSE 0 END FROM t",
+            "SELECT sum(x * (1 - y)) FROM t WHERE d BETWEEN 1 AND 2",
+            "SELECT s FROM (SELECT sum(x) AS s, g FROM t GROUP BY g) AS sub WHERE s > 0",
+            "SELECT count(DISTINCT x) FROM t HAVING count(DISTINCT x) > 2",
+        ],
+    )
+    def test_round_trip(self, sql):
+        first = parse_select(sql)
+        rendered = first.to_sql()
+        second = parse_select(rendered)
+        assert second.to_sql() == rendered
+
+    def test_string_literal_quoting(self):
+        assert ast.Literal("o'brien").to_sql() == "'o''brien'"
+
+    def test_quoted_identifier_rendering(self):
+        assert ast.ColumnRef("weird name").to_sql() == '"weird name"'
+
+    def test_base_tables_helper(self):
+        stmt = parse_select(
+            "SELECT * FROM a JOIN b ON a.x = b.x JOIN (SELECT * FROM c) AS d ON b.y = d.y"
+        )
+        names = [table.name for table in ast.base_tables(stmt.from_relation)]
+        assert names == ["a", "b", "c"]
+
+    def test_conjunction_helper(self):
+        assert ast.conjunction([]) is None
+        single = ast.conjunction([ast.Literal(True)])
+        assert isinstance(single, ast.Literal)
+        double = ast.conjunction([ast.Literal(True), ast.Literal(False)])
+        assert isinstance(double, ast.BinaryOp) and double.op == "AND"

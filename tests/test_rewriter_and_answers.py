@@ -1,0 +1,269 @@
+"""Tests for the AQP rewriter, the answer rewriter and the accuracy contract."""
+
+import numpy as np
+import pytest
+
+from repro.core.answer import ApproximateResult, merge_by_group
+from repro.core.hac import AccuracyContract
+from repro.core.query_info import analyze
+from repro.core.rewriter import AqpRewriter
+from repro.core.sample_planner import SamplePlan
+from repro.errors import RewriteError
+from repro.sampling.params import SampleInfo
+from repro.sqlengine import sqlast as ast
+from repro.sqlengine.parser import parse_select
+from repro.sqlengine.resultset import ResultSet
+
+
+def sample_info(table="orders", sample_type="uniform", columns=(), b=100):
+    return SampleInfo(
+        original_table=table,
+        sample_table=f"{table}_sample",
+        sample_type=sample_type,
+        columns=columns,
+        ratio=0.01,
+        original_rows=1_000_000,
+        sample_rows=10_000,
+        subsample_count=b,
+    )
+
+
+def plan_for(*infos):
+    return SamplePlan(assignments={info.original_table: info for info in infos}, score=1.0)
+
+
+class TestRewriterSqlShape:
+    def test_flat_rewrite_structure(self):
+        statement = parse_select(
+            "SELECT city, count(*) AS c, sum(price) AS s, avg(price) AS a "
+            "FROM orders WHERE price > 0 GROUP BY city ORDER BY city"
+        )
+        output = AqpRewriter().rewrite(statement, analyze(statement), plan_for(sample_info()))
+        sql = output.statement.to_sql()
+        # Inner query scans the sample table and groups by the subsample id.
+        assert "orders_sample" in sql
+        assert "vdb_sid" in sql
+        assert "vdb_sampling_prob" in sql
+        # Outer query reports one error column per aggregate.
+        assert output.estimate_columns == {"c": "c_err", "s": "s_err", "a": "a_err"}
+        assert output.group_columns == ["city"]
+        # The error expression is the Appendix G combination.
+        assert "stddev" in sql and "sqrt" in sql
+
+    def test_order_limit_and_having_preserved_on_outer_query(self):
+        statement = parse_select(
+            "SELECT city, count(*) AS c FROM orders GROUP BY city "
+            "HAVING count(*) > 10 ORDER BY c DESC LIMIT 3"
+        )
+        output = AqpRewriter().rewrite(statement, analyze(statement), plan_for(sample_info()))
+        outer = output.statement
+        assert outer.limit == 3
+        assert outer.having is not None
+        assert outer.order_by and not outer.order_by[0].ascending
+
+    def test_errors_can_be_disabled(self):
+        statement = parse_select("SELECT count(*) AS c FROM orders")
+        output = AqpRewriter(include_errors=False).rewrite(
+            statement, analyze(statement), plan_for(sample_info())
+        )
+        assert output.estimate_columns == {"c": None}
+        assert "stddev" not in output.statement.to_sql()
+
+    def test_join_rewrite_combines_probabilities_and_sids(self):
+        statement = parse_select(
+            "SELECT count(*) AS c FROM orders o INNER JOIN items i ON o.order_id = i.order_id"
+        )
+        orders = sample_info("orders", "hashed", ("order_id",))
+        items = sample_info("items", "hashed", ("order_id",))
+        output = AqpRewriter().rewrite(statement, analyze(statement), plan_for(orders, items))
+        sql = output.statement.to_sql()
+        # Joint inclusion probability is the product of the two probabilities.
+        assert sql.count("vdb_sampling_prob") >= 2
+        # The h(i, j) combination uses sqrt(b) = 10 buckets.
+        assert "floor" in sql and "10" in sql
+
+    def test_join_rewrite_requires_perfect_square_subsample_count(self):
+        statement = parse_select(
+            "SELECT count(*) AS c FROM orders o INNER JOIN items i ON o.order_id = i.order_id"
+        )
+        orders = sample_info("orders", "hashed", ("order_id",), b=50)
+        items = sample_info("items", "hashed", ("order_id",), b=50)
+        with pytest.raises(RewriteError):
+            AqpRewriter().rewrite(statement, analyze(statement), plan_for(orders, items))
+
+    def test_nested_rewrite_builds_variational_derived_table(self):
+        statement = parse_select(
+            "SELECT avg(sales) AS avg_sales FROM "
+            "(SELECT city, sum(price) AS sales FROM orders GROUP BY city) AS t"
+        )
+        output = AqpRewriter().rewrite(statement, analyze(statement), plan_for(sample_info()))
+        sql = output.statement.to_sql()
+        # The derived table is grouped by (city, sid) in a single scan.
+        assert "vdb_sid" in sql
+        assert sql.count("GROUP BY") >= 2
+        assert output.estimate_columns == {"avg_sales": "avg_sales_err"}
+
+    def test_plan_without_samples_rejected(self):
+        statement = parse_select("SELECT count(*) AS c FROM orders")
+        empty_plan = SamplePlan(assignments={"orders": None})
+        with pytest.raises(RewriteError):
+            AqpRewriter().rewrite(statement, analyze(statement), empty_plan)
+
+    def test_count_distinct_rewrite_scales_by_hash_ratio(self):
+        statement = parse_select("SELECT count(DISTINCT order_id) AS d FROM orders")
+        info = sample_info("orders", "hashed", ("order_id",))
+        output = AqpRewriter().rewrite_count_distinct(
+            statement, analyze(statement), plan_for(info)
+        )
+        sql = output.statement.to_sql()
+        assert "orders_sample" in sql
+        assert "/ 0.01" in sql
+        assert output.estimate_columns == {"d": "d_err"}
+
+
+class TestRewrittenQueryCorrectness:
+    """Execute rewritten SQL against the engine and compare with exact answers."""
+
+    @pytest.fixture()
+    def prepared(self, verdict):
+        return verdict
+
+    def _compare(self, verdict, sql, rel=0.15):
+        exact = verdict.execute_exact(sql)
+        approx = verdict.sql(sql)
+        assert not approx.is_exact, approx.plan_description
+        exact_row = exact.fetchall()[0]
+        approx_row = approx.fetchall()[0]
+        for exact_value, approx_value in zip(exact_row, approx_row):
+            if isinstance(exact_value, str):
+                assert exact_value == approx_value
+            elif float(exact_value) != 0:
+                assert abs(float(approx_value) - float(exact_value)) / abs(float(exact_value)) < rel
+
+    def test_global_count_sum_avg(self, prepared):
+        self._compare(
+            prepared,
+            "SELECT count(*) AS c, sum(price) AS s, avg(price) AS a FROM orders WHERE price > 0",
+        )
+
+    def test_grouped_aggregates(self, prepared):
+        sql = "SELECT city, count(*) AS c, avg(price) AS a FROM orders GROUP BY city ORDER BY city"
+        exact = prepared.execute_exact(sql)
+        approx = prepared.sql(sql)
+        exact_by_city = {row[0]: row for row in exact.rows()}
+        for row in approx.fetchall():
+            exact_row = exact_by_city[row[0]]
+            assert abs(row[1] - exact_row[1]) / exact_row[1] < 0.2
+            assert abs(row[2] - exact_row[2]) / abs(exact_row[2]) < 0.2
+
+    def test_universe_join(self, prepared):
+        self._compare(
+            prepared,
+            "SELECT count(*) AS c, sum(i.amount) AS s FROM orders o "
+            "INNER JOIN items i ON o.order_id = i.order_id",
+            rel=0.35,
+        )
+
+    def test_nested_aggregate(self, prepared):
+        self._compare(
+            prepared,
+            "SELECT avg(sales) AS avg_sales FROM "
+            "(SELECT city, sum(price) AS sales FROM orders GROUP BY city) AS t",
+            rel=0.2,
+        )
+
+    def test_error_columns_are_positive_and_calibrated(self, prepared):
+        sql = "SELECT city, count(*) AS c FROM orders GROUP BY city ORDER BY city"
+        exact = prepared.execute_exact(sql)
+        approx = prepared.sql(sql)
+        exact_by_city = {row[0]: row[1] for row in exact.rows()}
+        errors = approx.standard_errors("c")
+        estimates = approx.column("c")
+        cities = approx.column("city")
+        assert np.all(errors > 0)
+        for city, estimate, error in zip(cities, estimates, errors):
+            # The true value should be within 5 standard errors essentially always.
+            assert abs(exact_by_city[city] - estimate) < 5 * error
+
+
+class TestApproximateResultAndMerge:
+    def _result(self):
+        raw = ResultSet(
+            ["city", "c", "c_err"],
+            [
+                np.array(["a", "b"], dtype=object),
+                np.array([100.0, 200.0]),
+                np.array([5.0, 8.0]),
+            ],
+        )
+        return ApproximateResult(
+            raw,
+            group_columns=["city"],
+            estimate_columns={"c": "c_err"},
+            confidence=0.95,
+        )
+
+    def test_error_columns_hidden_by_default(self):
+        result = self._result()
+        assert result.column_names() == ["city", "c"]
+        assert result.column_names(include_errors=True) == ["city", "c", "c_err"]
+        assert result.fetchall() == [("a", 100.0), ("b", 200.0)]
+
+    def test_confidence_interval_and_relative_errors(self):
+        result = self._result()
+        interval = result.confidence_interval("c", row=0)
+        assert interval.lower < 100.0 < interval.upper
+        assert interval.half_width == pytest.approx(1.96 * 5.0, rel=0.01)
+        relative = result.relative_errors("c")
+        assert relative[0] == pytest.approx(1.96 * 5.0 / 100.0, rel=0.01)
+        assert result.max_relative_error() == pytest.approx(relative.max())
+
+    def test_exact_result_reports_zero_error(self):
+        raw = ResultSet(["c"], [np.array([10.0])])
+        result = ApproximateResult(raw, is_exact=True)
+        assert result.max_relative_error() == 0.0
+        assert result.standard_errors("c").tolist() == [0.0]
+
+    def test_scalar_accessor(self):
+        raw = ResultSet(["c", "c_err"], [np.array([10.0]), np.array([1.0])])
+        result = ApproximateResult(raw, estimate_columns={"c": "c_err"})
+        assert result.scalar() == 10.0
+
+    def test_merge_by_group_alignment_and_missing_groups(self):
+        primary = ResultSet(
+            ["city", "c"],
+            [np.array(["a", "b"], dtype=object), np.array([1.0, 2.0])],
+        )
+        secondary = ResultSet(
+            ["city", "m"],
+            [np.array(["b"], dtype=object), np.array([9.0])],
+        )
+        merged = merge_by_group(primary, secondary, ["city"], ["m"])
+        assert merged.column_names == ["city", "c", "m"]
+        rows = merged.fetchall()
+        assert rows[1] == ("b", 2.0, 9.0)
+        assert np.isnan(float(rows[0][2]))
+
+    def test_merge_without_group_columns(self):
+        primary = ResultSet(["c"], [np.array([1.0])])
+        secondary = ResultSet(["m"], [np.array([7.0])])
+        merged = merge_by_group(primary, secondary, [], ["m"])
+        assert merged.fetchall() == [(1.0, 7.0)]
+
+
+class TestAccuracyContract:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AccuracyContract(min_accuracy=1.5)
+        with pytest.raises(ValueError):
+            AccuracyContract(min_accuracy=0.9, confidence=0.0)
+
+    def test_satisfaction(self):
+        raw = ResultSet(["c", "c_err"], [np.array([100.0]), np.array([0.5])])
+        result = ApproximateResult(raw, estimate_columns={"c": "c_err"})
+        assert AccuracyContract(min_accuracy=0.95).is_satisfied_by(result)
+        assert not AccuracyContract(min_accuracy=0.999).is_satisfied_by(result)
+
+    def test_exact_results_always_satisfy(self):
+        raw = ResultSet(["c"], [np.array([100.0])])
+        assert AccuracyContract(0.9999).is_satisfied_by(ApproximateResult(raw, is_exact=True))

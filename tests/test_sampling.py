@@ -1,0 +1,262 @@
+"""Tests for sample preparation: Lemma 1, builders, policy, metadata, maintenance."""
+
+import numpy as np
+import pytest
+
+from repro.connectors import BuiltinConnector, SqliteConnector
+from repro.errors import SamplingError
+from repro.sampling import (
+    MetadataStore,
+    PROBABILITY_COLUMN,
+    SID_COLUMN,
+    SampleBuilder,
+    SampleMaintainer,
+    SampleSpec,
+    SamplingPolicyConfig,
+    default_sample_specs,
+    required_sampling_probability,
+    staircase_probabilities,
+)
+from repro.sampling import bernoulli
+from repro.sqlengine import sqlast as ast
+from tests.conftest import build_orders_columns
+
+
+class TestLemma1:
+    def test_probability_exceeds_naive_ratio(self):
+        # A naive m/n rate misses the target for ~half the strata; Lemma 1's
+        # rate must therefore be strictly larger.
+        assert required_sampling_probability(10, 100) > 0.1
+
+    def test_guarantee_holds_empirically(self):
+        probability = required_sampling_probability(10, 100, delta=0.001)
+        rng = np.random.default_rng(0)
+        shortfalls = sum(rng.binomial(100, probability) < 10 for _ in range(2_000))
+        assert shortfalls / 2_000 < 0.01
+
+    def test_edge_cases(self):
+        assert required_sampling_probability(0, 100) == 0.0
+        assert required_sampling_probability(100, 100) == 1.0
+        assert required_sampling_probability(150, 100) == 1.0
+        assert required_sampling_probability(10, 0) == 1.0
+
+    def test_probability_decreases_with_stratum_size(self):
+        probabilities = [
+            required_sampling_probability(50, size) for size in (100, 1_000, 10_000, 100_000)
+        ]
+        assert probabilities == sorted(probabilities, reverse=True)
+
+    def test_guarantee_function_monotone_in_p(self):
+        values = [bernoulli.guarantee_function(p, 1_000) for p in (0.1, 0.3, 0.5, 0.9)]
+        assert values == sorted(values)
+
+    def test_staircase_probabilities_cover_range(self):
+        pairs = staircase_probabilities(100, 100_000)
+        thresholds = [threshold for threshold, _ in pairs]
+        assert thresholds[0] == 0 and thresholds[-1] >= 100_000 * 0.9
+        # Probabilities decrease as strata get larger.
+        probabilities = [probability for _, probability in pairs]
+        assert probabilities == sorted(probabilities, reverse=True)
+
+    def test_staircase_case_expression_structure(self):
+        expr = bernoulli.staircase_case_expression(ast.ColumnRef("n"), 100, 10_000)
+        assert isinstance(expr, ast.CaseWhen)
+        assert isinstance(expr.else_result, ast.Literal)
+        assert expr.else_result.value == 1.0
+
+    def test_staircase_small_table_always_full(self):
+        assert staircase_probabilities(100, 50) == [(0, 1.0)]
+
+
+@pytest.fixture(params=["builtin", "sqlite"])
+def any_connector(request):
+    if request.param == "builtin":
+        connector = BuiltinConnector(seed=2)
+    else:
+        connector = SqliteConnector(seed=2)
+    connector.load_table("orders", build_orders_columns(num_rows=20_000, seed=5))
+    yield connector
+    connector.close()
+
+
+class TestSampleBuilder:
+    def test_uniform_sample(self, any_connector):
+        builder = SampleBuilder(any_connector, subsample_count=100)
+        info = builder.create_sample("orders", SampleSpec("uniform", (), 0.05))
+        assert 600 < info.sample_rows < 1_400
+        assert info.sample_type == "uniform"
+        columns = any_connector.column_names(info.sample_table)
+        assert PROBABILITY_COLUMN in columns and SID_COLUMN in columns
+
+    def test_uniform_sample_sid_range(self, any_connector):
+        builder = SampleBuilder(any_connector, subsample_count=100)
+        info = builder.create_sample("orders", SampleSpec("uniform", (), 0.05))
+        result = any_connector.execute(
+            f"SELECT min({SID_COLUMN}) AS lo, max({SID_COLUMN}) AS hi, "
+            f"count(DISTINCT {SID_COLUMN}) AS d FROM {info.sample_table}"
+        )
+        low, high, distinct = result.fetchall()[0]
+        assert float(low) >= 1 and float(high) <= 100
+        assert float(distinct) > 50
+
+    def test_hashed_sample_keeps_matching_keys(self, any_connector):
+        builder = SampleBuilder(any_connector, subsample_count=100)
+        info = builder.create_sample("orders", SampleSpec("hashed", ("order_id",), 0.05))
+        # Re-creating with the same ratio keeps exactly the same keys (it is a
+        # deterministic function of the hash), which is what makes universe
+        # joins possible.
+        other = builder.create_sample("orders", SampleSpec("hashed", ("order_id",), 0.05))
+        first = set(
+            any_connector.execute(f"SELECT order_id FROM {info.sample_table}").column("order_id").tolist()
+        )
+        second = set(
+            any_connector.execute(f"SELECT order_id FROM {other.sample_table}").column("order_id").tolist()
+        )
+        assert first == second
+
+    def test_stratified_sample_has_minimum_rows_per_group(self, any_connector):
+        builder = SampleBuilder(any_connector, subsample_count=100)
+        info = builder.create_sample("orders", SampleSpec("stratified", ("city",), 0.01))
+        result = any_connector.execute(
+            f"SELECT city, count(*) AS c FROM {info.sample_table} GROUP BY city"
+        )
+        counts = {row[0]: float(row[1]) for row in result.rows()}
+        assert len(counts) == 4  # every stratum is represented
+        # Equation 1: at least |T| * tau / d = 20000 * 0.01 / 4 = 50 rows each.
+        assert all(count >= 40 for count in counts.values())
+
+    def test_stratified_probability_column_reflects_group_size(self, any_connector):
+        builder = SampleBuilder(any_connector, subsample_count=100)
+        info = builder.create_sample("orders", SampleSpec("stratified", ("city",), 0.01))
+        result = any_connector.execute(
+            f"SELECT city, max({PROBABILITY_COLUMN}) AS p FROM {info.sample_table} GROUP BY city"
+        )
+        probabilities = {row[0]: float(row[1]) for row in result.rows()}
+        # Small strata are sampled at higher rates than large strata.
+        assert probabilities["nyc"] > probabilities["ann arbor"]
+
+    def test_metadata_recorded_and_dropped(self, any_connector):
+        builder = SampleBuilder(any_connector, subsample_count=100)
+        info = builder.create_sample("orders", SampleSpec("uniform", (), 0.05))
+        assert any(
+            record.sample_table == info.sample_table
+            for record in builder.metadata.samples_for("orders")
+        )
+        builder.drop_sample(info.sample_table)
+        assert not any_connector.has_table(info.sample_table)
+        assert all(
+            record.sample_table != info.sample_table
+            for record in builder.metadata.samples_for("orders")
+        )
+
+    def test_missing_table_raises(self, any_connector):
+        builder = SampleBuilder(any_connector)
+        with pytest.raises(SamplingError):
+            builder.create_sample("missing", SampleSpec("uniform", (), 0.01))
+
+    def test_sample_spec_validation(self):
+        with pytest.raises(ValueError):
+            SampleSpec("bogus", (), 0.1)
+        with pytest.raises(ValueError):
+            SampleSpec("uniform", (), 0.0)
+        with pytest.raises(ValueError):
+            SampleSpec("hashed", (), 0.1)
+
+
+class TestDefaultPolicy:
+    def test_policy_proposes_uniform_hashed_and_stratified(self):
+        connector = BuiltinConnector(seed=0)
+        connector.load_table("orders", build_orders_columns(num_rows=20_000, seed=5))
+        config = SamplingPolicyConfig(
+            min_table_rows=0, target_sample_rows=1_000, cardinality_fraction=0.01
+        )
+        specs = default_sample_specs(connector, "orders", config)
+        types = {(spec.sample_type, spec.columns) for spec in specs}
+        assert ("uniform", ()) in types
+        assert ("hashed", ("order_id",)) in types
+        assert ("stratified", ("city",)) in types
+        # tau = target / |T|
+        assert all(spec.ratio == pytest.approx(1_000 / 20_000) for spec in specs)
+
+    def test_policy_skips_small_tables(self):
+        connector = BuiltinConnector(seed=0)
+        connector.load_table("tiny", {"x": np.arange(100)})
+        assert default_sample_specs(connector, "tiny") == []
+
+
+class TestMaintenance:
+    def test_append_updates_base_and_samples(self):
+        connector = BuiltinConnector(seed=3)
+        connector.load_table("orders", build_orders_columns(num_rows=20_000, seed=5))
+        metadata = MetadataStore(connector)
+        builder = SampleBuilder(connector, metadata, subsample_count=100)
+        uniform = builder.create_sample("orders", SampleSpec("uniform", (), 0.05))
+        stratified = builder.create_sample("orders", SampleSpec("stratified", ("city",), 0.01))
+
+        maintainer = SampleMaintainer(connector, metadata, rng=np.random.default_rng(1))
+        batch = build_orders_columns(num_rows=5_000, seed=77)
+        inserted = maintainer.append("orders", batch)
+
+        assert connector.row_count("orders") == 25_000
+        assert inserted[uniform.sample_table] > 100
+        assert connector.row_count(uniform.sample_table) == uniform.sample_rows + inserted[uniform.sample_table]
+        # Metadata row counts were refreshed.
+        updated = {info.sample_table: info for info in metadata.samples_for("orders")}
+        assert updated[uniform.sample_table].original_rows == 25_000
+        assert updated[stratified.sample_table].original_rows == 25_000
+
+    def test_append_new_stratum_is_kept_in_full(self):
+        connector = BuiltinConnector(seed=3)
+        connector.load_table("orders", build_orders_columns(num_rows=20_000, seed=5))
+        metadata = MetadataStore(connector)
+        builder = SampleBuilder(connector, metadata, subsample_count=100)
+        stratified = builder.create_sample("orders", SampleSpec("stratified", ("city",), 0.01))
+        maintainer = SampleMaintainer(connector, metadata, rng=np.random.default_rng(1))
+        batch = {
+            "order_id": np.arange(100) + 1_000_000,
+            "price": np.full(100, 5.0),
+            "qty": np.full(100, 1),
+            "city": np.array(["brand new city"] * 100, dtype=object),
+        }
+        inserted = maintainer.append("orders", batch)
+        assert inserted[stratified.sample_table] == 100
+
+    def test_append_mismatched_lengths_raises(self):
+        connector = BuiltinConnector(seed=3)
+        connector.load_table("orders", build_orders_columns(num_rows=1_000, seed=5))
+        maintainer = SampleMaintainer(connector, MetadataStore(connector))
+        with pytest.raises(SamplingError):
+            maintainer.append("orders", {"order_id": np.arange(5), "price": np.arange(4)})
+
+
+class TestMetadataStore:
+    def test_round_trip(self):
+        connector = BuiltinConnector(seed=0)
+        connector.load_table("orders", {"x": np.arange(10)})
+        store = MetadataStore(connector)
+        from repro.sampling.params import SampleInfo
+
+        info = SampleInfo(
+            original_table="orders",
+            sample_table="orders_s",
+            sample_type="hashed",
+            columns=("x",),
+            ratio=0.1,
+            original_rows=10,
+            sample_rows=1,
+            subsample_count=4,
+        )
+        store.record(info)
+        loaded = store.samples_for("orders")
+        assert loaded == [info]
+        store.forget("orders_s")
+        assert store.samples_for("orders") == []
+
+    def test_effective_ratio_and_covers(self):
+        from repro.sampling.params import SampleInfo
+
+        info = SampleInfo("t", "t_s", "stratified", ("a", "b"), 0.01, 1000, 25, 100)
+        assert info.effective_ratio == pytest.approx(0.025)
+        assert info.covers_columns(("A",))
+        assert not info.covers_columns(("c",))
+        assert info.matches_columns(("a", "b"))

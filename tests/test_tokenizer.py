@@ -1,0 +1,83 @@
+"""Tests for the SQL tokenizer."""
+
+import pytest
+
+from repro.errors import TokenizeError
+from repro.sqlengine.tokens import TokenType, tokenize
+
+
+def kinds(sql):
+    return [token.type for token in tokenize(sql)]
+
+
+def values(sql):
+    return [token.value for token in tokenize(sql)[:-1]]
+
+
+class TestBasicTokens:
+    def test_keywords_are_upper_cased(self):
+        assert values("select from where") == ["SELECT", "FROM", "WHERE"]
+
+    def test_identifiers_keep_their_case(self):
+        tokens = tokenize("myTable")
+        assert tokens[0].type is TokenType.IDENTIFIER
+        assert tokens[0].value == "myTable"
+
+    def test_integer_and_float_literals(self):
+        tokens = tokenize("42 3.14 .5 1e6 2.5e-3")
+        assert [t.value for t in tokens[:-1]] == ["42", "3.14", ".5", "1e6", "2.5e-3"]
+        assert all(t.type is TokenType.NUMBER for t in tokens[:-1])
+
+    def test_string_literal_with_escaped_quote(self):
+        tokens = tokenize("'o''brien'")
+        assert tokens[0].type is TokenType.STRING
+        assert tokens[0].value == "o'brien"
+
+    def test_quoted_identifiers_with_backticks_and_double_quotes(self):
+        assert tokenize("`weird name`")[0].value == "weird name"
+        assert tokenize('"another name"')[0].value == "another name"
+
+    def test_operators_two_char_before_one_char(self):
+        assert values("a <= b >= c <> d != e") == ["a", "<=", "b", ">=", "c", "<>", "d", "!=", "e"]
+
+    def test_punctuation(self):
+        assert values("f(a, b.c);") == ["f", "(", "a", ",", "b", ".", "c", ")", ";"]
+
+    def test_ends_with_eof(self):
+        assert tokenize("select 1")[-1].type is TokenType.EOF
+
+
+class TestCommentsAndWhitespace:
+    def test_line_comment_is_skipped(self):
+        assert values("select 1 -- comment\n + 2") == ["SELECT", "1", "+", "2"]
+
+    def test_block_comment_is_skipped(self):
+        assert values("select /* hi */ 1") == ["SELECT", "1"]
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(TokenizeError):
+            tokenize("select /* oops")
+
+    def test_whitespace_variants(self):
+        assert values("select\n\t1") == ["SELECT", "1"]
+
+
+class TestErrors:
+    def test_unterminated_string_raises(self):
+        with pytest.raises(TokenizeError):
+            tokenize("select 'unterminated")
+
+    def test_unterminated_quoted_identifier_raises(self):
+        with pytest.raises(TokenizeError):
+            tokenize("select `broken")
+
+    def test_unexpected_character_raises_with_position(self):
+        with pytest.raises(TokenizeError) as excinfo:
+            tokenize("select @")
+        assert excinfo.value.position == 7
+
+    def test_token_matches_helper(self):
+        token = tokenize("select")[0]
+        assert token.matches(TokenType.KEYWORD, "SELECT")
+        assert not token.matches(TokenType.IDENTIFIER)
+        assert not token.matches(TokenType.KEYWORD, "FROM")
