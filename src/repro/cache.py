@@ -1,0 +1,48 @@
+"""A small LRU cache shared by the engine and middleware cache layers.
+
+The statement, plan, analysis and rewrite caches all need the same
+mechanics — bounded size, recency ordering, hit/miss counters — so they
+share this one implementation instead of re-rolling ``OrderedDict``
+bookkeeping (and its easy-to-miss ``move_to_end`` bugs) at every site.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Generic, Hashable, TypeVar
+
+K = TypeVar("K", bound=Hashable)
+V = TypeVar("V")
+
+
+class LRUCache(Generic[K, V]):
+    """Least-recently-used mapping with a fixed capacity."""
+
+    def __init__(self, maxsize: int = 128) -> None:
+        self._maxsize = maxsize
+        self._entries: OrderedDict[K, V] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: K) -> V | None:
+        """Return the cached value (refreshing its recency), or None."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: K, value: V) -> None:
+        """Insert or refresh an entry, evicting the oldest when full."""
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        if len(self._entries) > self._maxsize:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)

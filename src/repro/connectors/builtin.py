@@ -28,6 +28,8 @@ class BuiltinConnector(Connector):
         fixed_overhead_seconds: constant per-query latency added to model the
             backend's catalog/planning overhead; 0 disables the model.
         seed: seed for a newly created engine.
+        optimize: whether a newly created engine uses the logical planner and
+            statement/plan caches (ignored when ``database`` is given).
     """
 
     def __init__(
@@ -36,9 +38,12 @@ class BuiltinConnector(Connector):
         dialect: Dialect = GENERIC,
         fixed_overhead_seconds: float = 0.0,
         seed: int | None = 0,
+        optimize: bool = True,
     ) -> None:
         super().__init__(dialect)
-        self.database = database if database is not None else Database(seed=seed)
+        self.database = (
+            database if database is not None else Database(seed=seed, optimize=optimize)
+        )
         self.fixed_overhead_seconds = fixed_overhead_seconds
 
     def execute_sql(self, sql: str) -> ResultSet:

@@ -28,6 +28,7 @@ import dataclasses
 import math
 from dataclasses import dataclass, field
 
+from repro.cache import LRUCache
 from repro.core.query_info import QueryAnalysis
 from repro.core.sample_planner import SamplePlan
 from repro.errors import RewriteError
@@ -65,6 +66,54 @@ class RewriteOutput:
     @property
     def error_columns(self) -> list[str]:
         return [name for name in self.estimate_columns.values() if name]
+
+
+@dataclass
+class PreparedRewrite:
+    """Everything the middleware derives from one (query, sample plan) pair.
+
+    Produced once by decomposition + rewriting and then reused verbatim for
+    every repetition of the query, so dashboards and repeated workloads only
+    pay execution cost — not parse/flatten/analyze/rewrite cost — per call.
+    The rendered SQL of each part is kept alongside its statement so cache
+    hits execute the stored text directly instead of re-rendering the AST.
+    """
+
+    primary: RewriteOutput | None = None
+    primary_sql: str | None = None
+    distinct: RewriteOutput | None = None
+    distinct_sql: str | None = None
+    extreme_statement: ast.SelectStatement | None = None
+    extreme_sql: str | None = None
+    extreme_columns: dict[str, str | None] = field(default_factory=dict)
+    group_names: list[str] = field(default_factory=list)
+    rewritten_sql_parts: list[str] = field(default_factory=list)
+
+
+def plan_signature(plan: SamplePlan) -> tuple:
+    """Stable identity of a sample plan, for rewrite-cache keys.
+
+    Two plans that assign the same sample table (or lack of one) to every
+    base table produce the same rewritten SQL, so the assignment map is the
+    whole identity.  Sample *metadata* changes (ratios after an append) go
+    through :meth:`VerdictContext._invalidate_caches`, which drops the cache
+    outright.
+    """
+    return tuple(
+        sorted(
+            (table, info.sample_table if info is not None else None)
+            for table, info in plan.assignments.items()
+        )
+    )
+
+
+class RewriteCache(LRUCache):
+    """An LRU cache of :class:`PreparedRewrite` objects.
+
+    Keys are ``(query text, plan signature, include_errors)``.  The context
+    clears it whenever samples are created, dropped or appended to — the
+    events that can change which rewrite a query receives.
+    """
 
 
 class AqpRewriter:

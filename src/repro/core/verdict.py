@@ -13,13 +13,20 @@ import dataclasses
 import time
 from typing import Mapping, Sequence
 
+from repro.cache import LRUCache
 from repro.connectors.base import Connector
 from repro.connectors.builtin import BuiltinConnector
 from repro.core.answer import ApproximateResult, merge_by_group
 from repro.core.flattener import flatten
 from repro.core.hac import AccuracyContract
 from repro.core.query_info import QueryAnalysis, analyze
-from repro.core.rewriter import AqpRewriter, RewriteOutput
+from repro.core.rewriter import (
+    AqpRewriter,
+    PreparedRewrite,
+    RewriteCache,
+    RewriteOutput,
+    plan_signature,
+)
 from repro.core.sample_planner import PlannerConfig, SamplePlan, SamplePlanner
 from repro.errors import RewriteError
 from repro.sampling.builder import SampleBuilder
@@ -72,6 +79,14 @@ class VerdictContext:
         self._cardinality_cache: dict[tuple[str, str], int] = {}
         self._row_count_cache: dict[str, int] = {}
         self._samples_cache: list[SampleInfo] | None = None
+        # Parse/flatten/analyze results per query text.  Pure functions of
+        # the SQL, so entries never go stale; the LRU bound caps memory.
+        self._analysis_cache: LRUCache[
+            str, tuple[ast.Statement, ast.SelectStatement | None, QueryAnalysis | None]
+        ] = LRUCache(maxsize=128)
+        # Prepared rewrites keyed on (query, sample plan, include_errors);
+        # cleared whenever the sample universe changes.
+        self._rewrite_cache = RewriteCache()
         self.last_rewritten_sql: str | None = None
         self.last_plan: SamplePlan | None = None
 
@@ -137,13 +152,11 @@ class VerdictContext:
             include_errors: override the context-wide error-column setting.
         """
         started = time.perf_counter()
-        statement = parser.parse(query)
+        statement, flattened, analysis = self._analyzed(query)
         if not isinstance(statement, ast.SelectStatement):
             result = self.connector.execute(statement)
             return self._exact_result(result, started)
 
-        flattened = flatten(statement)
-        analysis = analyze(flattened)
         if not analysis.supported:
             return self._execute_exact_select(statement, started, analysis.unsupported_reason)
 
@@ -154,7 +167,9 @@ class VerdictContext:
             )
 
         try:
-            result = self._execute_approximate(flattened, analysis, plan, include_errors)
+            result = self._execute_approximate(
+                flattened, analysis, plan, include_errors, query_text=query
+            )
         except RewriteError as error:
             return self._execute_exact_select(statement, started, str(error))
         result.elapsed_seconds = time.perf_counter() - started
@@ -177,6 +192,23 @@ class VerdictContext:
         self._cardinality_cache.clear()
         self._row_count_cache.clear()
         self._samples_cache = None
+        self._rewrite_cache.clear()
+
+    def _analyzed(
+        self, query: str
+    ) -> tuple[ast.Statement, ast.SelectStatement | None, QueryAnalysis | None]:
+        """Parse, flatten and analyze a query (memoized per SQL text)."""
+        cached = self._analysis_cache.get(query)
+        if cached is not None:
+            return cached
+        statement = parser.parse(query)
+        if isinstance(statement, ast.SelectStatement):
+            flattened = flatten(statement)
+            entry = (statement, flattened, analyze(flattened))
+        else:
+            entry = (statement, None, None)
+        self._analysis_cache.put(query, entry)
+        return entry
 
     def _cached_samples_for(self, table: str) -> list[SampleInfo]:
         """Sample metadata, cached per context (re-read after any DDL/append)."""
@@ -274,48 +306,41 @@ class VerdictContext:
         analysis: QueryAnalysis,
         plan: SamplePlan,
         include_errors: bool | None,
+        query_text: str | None = None,
     ) -> ApproximateResult:
         include_errors = self.include_errors if include_errors is None else include_errors
-        parts = self._decompose(statement, analysis)
-        if parts is None:
+        prepared = self._prepare_rewrite(statement, analysis, plan, include_errors, query_text)
+        if prepared is None:
             result = self.connector.execute(statement)
             answer = ApproximateResult(result, is_exact=True, confidence=self.confidence)
             answer.plan_description = "exact execution (mixed aggregate kinds in one item)"
             return answer
 
-        mean_statement, distinct_statement, extreme_statement, group_names = parts
-
-        rewriter = AqpRewriter(include_errors=include_errors)
-        primary: RewriteOutput | None = None
+        group_names = prepared.group_names
         primary_result: ResultSet | None = None
         estimate_columns: dict[str, str | None] = {}
-        rewritten_sql_parts: list[str] = []
 
-        if mean_statement is not None:
-            mean_analysis = analyze(mean_statement)
-            primary = rewriter.rewrite(mean_statement, mean_analysis, plan)
-            sql_text = self.connector.syntax_changer.to_sql(primary.statement)
-            rewritten_sql_parts.append(sql_text)
-            primary_result = self.connector.execute(primary.statement)
-            estimate_columns.update(primary.estimate_columns)
+        # Execute the pre-rendered SQL text: on cache hits this skips the
+        # per-call AST-to-SQL rendering entirely.
+        if prepared.primary is not None:
+            primary_result = self.connector.execute(prepared.primary_sql)
+            estimate_columns.update(prepared.primary.estimate_columns)
 
         secondary_results: list[tuple[ResultSet, dict[str, str | None]]] = []
-        if distinct_statement is not None:
-            distinct_analysis = analyze(distinct_statement)
-            rewritten = rewriter.rewrite_count_distinct(distinct_statement, distinct_analysis, plan)
-            rewritten_sql_parts.append(self.connector.syntax_changer.to_sql(rewritten.statement))
+        if prepared.distinct is not None:
             secondary_results.append(
-                (self.connector.execute(rewritten.statement), rewritten.estimate_columns)
+                (
+                    self.connector.execute(prepared.distinct_sql),
+                    prepared.distinct.estimate_columns,
+                )
             )
-        if extreme_statement is not None:
-            rewritten_sql_parts.append(self.connector.syntax_changer.to_sql(extreme_statement))
-            extreme_result = self.connector.execute(extreme_statement)
-            extreme_columns = {
-                item.output_name(index): None
-                for index, item in enumerate(extreme_statement.select_items)
-                if contains_aggregate(item.expression)
-            }
-            secondary_results.append((extreme_result, extreme_columns))
+        if prepared.extreme_statement is not None:
+            secondary_results.append(
+                (
+                    self.connector.execute(prepared.extreme_sql),
+                    prepared.extreme_columns,
+                )
+            )
 
         if primary_result is None:
             # No mean-like part: promote the first secondary result to primary.
@@ -331,7 +356,7 @@ class VerdictContext:
             estimate_columns.update(columns)
 
         merged = _reorder_columns(merged, statement, estimate_columns)
-        self.last_rewritten_sql = ";\n".join(rewritten_sql_parts)
+        self.last_rewritten_sql = ";\n".join(prepared.rewritten_sql_parts)
         return ApproximateResult(
             merged,
             group_columns=group_names,
@@ -341,6 +366,64 @@ class VerdictContext:
             rewritten_sql=self.last_rewritten_sql,
             plan_description=plan.describe(),
         )
+
+    def _prepare_rewrite(
+        self,
+        statement: ast.SelectStatement,
+        analysis: QueryAnalysis,
+        plan: SamplePlan,
+        include_errors: bool,
+        query_text: str | None,
+    ) -> PreparedRewrite | None:
+        """Decompose and rewrite a query, reusing the per-plan rewrite cache.
+
+        Returns None when a single select item mixes aggregate kinds (the
+        query must then run exactly; that verdict is cheap to recompute, so
+        it is not cached).
+        """
+        key: tuple | None = None
+        if query_text is not None:
+            key = (query_text, plan_signature(plan), include_errors)
+            cached = self._rewrite_cache.get(key)
+            if cached is not None:
+                return cached
+
+        parts = self._decompose(statement, analysis)
+        if parts is None:
+            return None
+        mean_statement, distinct_statement, extreme_statement, group_names = parts
+
+        rewriter = AqpRewriter(include_errors=include_errors)
+        prepared = PreparedRewrite(group_names=group_names)
+        if mean_statement is not None:
+            mean_analysis = analyze(mean_statement)
+            prepared.primary = rewriter.rewrite(mean_statement, mean_analysis, plan)
+            prepared.primary_sql = self.connector.syntax_changer.to_sql(
+                prepared.primary.statement
+            )
+            prepared.rewritten_sql_parts.append(prepared.primary_sql)
+        if distinct_statement is not None:
+            distinct_analysis = analyze(distinct_statement)
+            prepared.distinct = rewriter.rewrite_count_distinct(
+                distinct_statement, distinct_analysis, plan
+            )
+            prepared.distinct_sql = self.connector.syntax_changer.to_sql(
+                prepared.distinct.statement
+            )
+            prepared.rewritten_sql_parts.append(prepared.distinct_sql)
+        if extreme_statement is not None:
+            prepared.extreme_statement = extreme_statement
+            prepared.extreme_sql = self.connector.syntax_changer.to_sql(extreme_statement)
+            prepared.extreme_columns = {
+                item.output_name(index): None
+                for index, item in enumerate(extreme_statement.select_items)
+                if contains_aggregate(item.expression)
+            }
+            prepared.rewritten_sql_parts.append(prepared.extreme_sql)
+
+        if key is not None:
+            self._rewrite_cache.put(key, prepared)
+        return prepared
 
     def _decompose(
         self, statement: ast.SelectStatement, analysis: QueryAnalysis

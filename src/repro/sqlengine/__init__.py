@@ -8,7 +8,16 @@ engine so the reproduction is self-contained — SQL text in,
 
 from repro.sqlengine.engine import Database
 from repro.sqlengine.parser import parse, parse_select
+from repro.sqlengine.planner import SelectPlan, plan_select
 from repro.sqlengine.resultset import ResultSet
 from repro.sqlengine.table import Table
 
-__all__ = ["Database", "ResultSet", "Table", "parse", "parse_select"]
+__all__ = [
+    "Database",
+    "ResultSet",
+    "SelectPlan",
+    "Table",
+    "parse",
+    "parse_select",
+    "plan_select",
+]

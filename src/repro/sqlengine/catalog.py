@@ -13,6 +13,9 @@ class Catalog:
 
     def __init__(self) -> None:
         self._tables: dict[str, Table] = {}
+        # Schema version: bumped whenever a table is registered or dropped so
+        # cached query plans (which bake in column sets) can be invalidated.
+        self.version = 0
 
     @staticmethod
     def _key(name: str) -> str:
@@ -24,6 +27,7 @@ class Catalog:
         if key in self._tables and not replace:
             raise CatalogError(f"table {table.name!r} already exists")
         self._tables[key] = table
+        self.version += 1
 
     def drop(self, name: str, if_exists: bool = False) -> None:
         key = self._key(name)
@@ -32,6 +36,7 @@ class Catalog:
                 return
             raise CatalogError(f"table {name!r} does not exist")
         del self._tables[key]
+        self.version += 1
 
     def get(self, name: str) -> Table:
         try:

@@ -12,11 +12,13 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
+from repro.cache import LRUCache
 from repro.errors import CatalogError, ExecutionError
 from repro.sqlengine import functions, parser, sqlast as ast
 from repro.sqlengine.catalog import Catalog
 from repro.sqlengine.executor import Executor
 from repro.sqlengine.expressions import Frame, evaluate
+from repro.sqlengine.planner import SelectPlan, plan_select
 from repro.sqlengine.resultset import ResultSet
 from repro.sqlengine.table import Table
 
@@ -43,11 +45,34 @@ class Database:
     Args:
         seed: seed for the engine's random generator (``rand()``); passing a
             fixed seed makes query results involving randomness reproducible.
+        optimize: enable the logical planner (predicate pushdown, projection
+            pruning, dictionary-coded keys) plus the statement and plan
+            caches.  ``optimize=False`` is the naive A/B escape hatch: every
+            call re-parses and executes without any planner advice, producing
+            identical results.
+        statement_cache_size: maximum number of parsed statements (and their
+            plans) kept in the LRU caches.
     """
 
-    def __init__(self, seed: int | None = None) -> None:
+    def __init__(
+        self,
+        seed: int | None = None,
+        optimize: bool = True,
+        statement_cache_size: int = 256,
+    ) -> None:
         self.catalog = Catalog()
         self._rng = np.random.default_rng(seed)
+        self.optimize = optimize
+        # SQL text -> parsed statement.  Parsing is pure syntax, so entries
+        # never go stale; the LRU bound caps memory under ad-hoc traffic.
+        self._statement_cache: LRUCache[str, ast.Statement] = LRUCache(
+            maxsize=statement_cache_size
+        )
+        # SQL text -> (catalog schema version, plan).  Plans bake in column
+        # sets, so any CREATE/DROP/register invalidates them via the version.
+        self._plan_cache: LRUCache[str, tuple[int, SelectPlan]] = LRUCache(
+            maxsize=statement_cache_size
+        )
 
     # -- programmatic data loading --------------------------------------------
 
@@ -77,15 +102,26 @@ class Database:
     def execute(self, sql: str) -> ResultSet:
         """Parse and execute one SQL statement, returning its result set.
 
-        DDL and DML statements return an empty result set.
+        DDL and DML statements return an empty result set.  With
+        ``optimize=True`` the parsed statement and its logical plan are
+        cached per SQL text, so repeated statements skip both the parser and
+        the planner entirely.
         """
-        statement = parser.parse(sql)
-        return self.execute_statement(statement)
+        if not self.optimize:
+            return self.execute_statement(parser.parse(sql))
+        statement = self._cached_statement(sql)
+        plan = None
+        if isinstance(statement, ast.SelectStatement):
+            plan = self._cached_plan(sql, statement)
+        return self.execute_statement(statement, plan=plan)
 
-    def execute_statement(self, statement: ast.Statement) -> ResultSet:
+    def execute_statement(
+        self, statement: ast.Statement, plan: SelectPlan | None = None
+    ) -> ResultSet:
         """Execute an already parsed statement."""
         if isinstance(statement, ast.SelectStatement):
-            return Executor(self.catalog, self._rng).execute_select(statement)
+            executor = Executor(self.catalog, self._rng, optimize=self.optimize)
+            return executor.execute_select(statement, plan=plan)
         if isinstance(statement, ast.CreateTableStatement):
             return self._execute_create(statement)
         if isinstance(statement, ast.DropTableStatement):
@@ -95,6 +131,23 @@ class Database:
             return self._execute_insert(statement)
         raise ExecutionError(f"unsupported statement type {type(statement).__name__}")
 
+    # -- statement / plan caches -------------------------------------------------
+
+    def _cached_statement(self, sql: str) -> ast.Statement:
+        statement = self._statement_cache.get(sql)
+        if statement is None:
+            statement = parser.parse(sql)
+            self._statement_cache.put(sql, statement)
+        return statement
+
+    def _cached_plan(self, sql: str, statement: ast.SelectStatement) -> SelectPlan:
+        entry = self._plan_cache.get(sql)
+        if entry is not None and entry[0] == self.catalog.version:
+            return entry[1]
+        plan = plan_select(statement, self.catalog)
+        self._plan_cache.put(sql, (self.catalog.version, plan))
+        return plan
+
     # -- DDL / DML --------------------------------------------------------------
 
     def _execute_create(self, statement: ast.CreateTableStatement) -> ResultSet:
@@ -103,7 +156,9 @@ class Database:
                 return ResultSet.empty([])
             raise CatalogError(f"table {statement.table_name!r} already exists")
         if statement.as_select is not None:
-            result = Executor(self.catalog, self._rng).execute_select(statement.as_select)
+            result = Executor(
+                self.catalog, self._rng, optimize=self.optimize
+            ).execute_select(statement.as_select)
             table = Table(statement.table_name)
             for column_name, array in zip(result.column_names, result.columns()):
                 table.add_column(column_name, array)
@@ -120,7 +175,9 @@ class Database:
         table = self.catalog.get(statement.table_name)
         column_names = statement.columns or table.column_names
         if statement.from_select is not None:
-            result = Executor(self.catalog, self._rng).execute_select(statement.from_select)
+            result = Executor(
+                self.catalog, self._rng, optimize=self.optimize
+            ).execute_select(statement.from_select)
             table.append_rows(column_names, result.rows())
             return ResultSet.empty([])
         rows = []

@@ -15,27 +15,53 @@ import dataclasses
 import numpy as np
 
 from repro.errors import ExecutionError
-from repro.sqlengine import functions, sqlast as ast
+from repro.sqlengine import functions, planner as logical_planner, sqlast as ast
 from repro.sqlengine.catalog import Catalog
-from repro.sqlengine.expressions import Frame, contains_aggregate, evaluate, group_rows
+from repro.sqlengine.encoding import merge_dictionaries, normalize_object_key
+from repro.sqlengine.expressions import (
+    Frame,
+    LazyCodes,
+    contains_aggregate,
+    encode_grouping_key,
+    evaluate,
+    group_rows,
+    group_rows_encoded,
+)
+from repro.sqlengine.planner import SelectPlan
 from repro.sqlengine.resultset import ResultSet
 
 
 class Executor:
-    """Evaluates SELECT statements against a catalog."""
+    """Evaluates SELECT statements against a catalog.
 
-    def __init__(self, catalog: Catalog, rng: np.random.Generator) -> None:
+    With ``optimize=True`` each SELECT is first analyzed by
+    :mod:`repro.sqlengine.planner`: single-table WHERE conjuncts are applied
+    at the scans (before joins), scans materialize only referenced columns,
+    and string key columns carry memoized dictionary codes used by grouping,
+    joining and sorting.  ``optimize=False`` executes naively; both modes
+    produce identical results.
+    """
+
+    def __init__(
+        self, catalog: Catalog, rng: np.random.Generator, optimize: bool = True
+    ) -> None:
         self._catalog = catalog
         self._rng = rng
+        self._optimize = optimize
 
     # -- entry points --------------------------------------------------------
 
-    def execute_select(self, statement: ast.SelectStatement) -> ResultSet:
-        frame = self._build_frame(statement.from_relation)
+    def execute_select(
+        self, statement: ast.SelectStatement, plan: SelectPlan | None = None
+    ) -> ResultSet:
+        if self._optimize and plan is None:
+            plan = logical_planner.plan_select(statement, self._catalog)
+        frame = self._build_frame(statement.from_relation, plan)
         context = functions.EvaluationContext(num_rows=frame.num_rows, rng=self._rng)
 
-        if statement.where is not None:
-            mask = evaluate(statement.where, frame, context, self._scalar_subquery)
+        where = plan.residual_where if plan is not None else statement.where
+        if where is not None:
+            mask = evaluate(where, frame, context, self._scalar_subquery)
             frame = frame.filter(mask)
             context = functions.EvaluationContext(num_rows=frame.num_rows, rng=self._rng)
 
@@ -57,7 +83,9 @@ class Executor:
 
     # -- FROM clause ----------------------------------------------------------
 
-    def _build_frame(self, relation: ast.Relation | None) -> Frame:
+    def _build_frame(
+        self, relation: ast.Relation | None, plan: SelectPlan | None = None
+    ) -> Frame:
         if relation is None:
             # SELECT without FROM: a single anonymous row.
             frame = Frame(num_rows=1)
@@ -65,27 +93,48 @@ class Executor:
             return frame
         if isinstance(relation, ast.TableRef):
             table = self._catalog.get(relation.name)
+            scan = plan.scan_for(relation.binding_name) if plan is not None else None
+            wanted = scan.columns if scan is not None else None
             frame = Frame()
             for column_name, array in table.columns().items():
-                frame.add_column(relation.binding_name, column_name, array)
-            if not table.column_names:
+                if wanted is not None and column_name.lower() not in wanted:
+                    continue
+                codes = None
+                if self._optimize and array.dtype == object:
+                    codes = LazyCodes(
+                        lambda t=table, n=column_name: t.dictionary_codes(n)
+                    )
+                frame.add_column(relation.binding_name, column_name, array, codes=codes)
+            if not frame.entries():
                 frame.num_rows = table.num_rows
-            return frame
+            return self._apply_scan_predicates(frame, scan)
         if isinstance(relation, ast.DerivedTable):
             result = self.execute_select(relation.query)
             frame = Frame()
             for column_name, array in zip(result.column_names, result.columns()):
                 frame.add_column(relation.alias, column_name, array)
-            return frame
+            if not frame.entries():
+                frame.num_rows = result.num_rows
+            scan = plan.scan_for(relation.binding_name) if plan is not None else None
+            return self._apply_scan_predicates(frame, scan)
         if isinstance(relation, ast.Join):
-            return self._build_join(relation)
+            return self._build_join(relation, plan)
         raise ExecutionError(f"unsupported relation type {type(relation).__name__}")
 
-    def _build_join(self, join: ast.Join) -> Frame:
+    def _apply_scan_predicates(self, frame: Frame, scan) -> Frame:
+        """Filter a scan frame with its pushed-down WHERE conjuncts."""
+        if scan is None or not scan.predicates:
+            return frame
+        predicate = ast.conjunction(scan.predicates)
+        context = functions.EvaluationContext(num_rows=frame.num_rows, rng=self._rng)
+        mask = evaluate(predicate, frame, context, self._scalar_subquery)
+        return frame.filter(mask)
+
+    def _build_join(self, join: ast.Join, plan: SelectPlan | None = None) -> Frame:
         if join.join_type not in ("INNER", "CROSS"):
             raise ExecutionError(f"{join.join_type} joins are not supported")
-        left = self._build_frame(join.left)
-        right = self._build_frame(join.right)
+        left = self._build_frame(join.left, plan)
+        right = self._build_frame(join.right, plan)
         context = functions.EvaluationContext(num_rows=left.num_rows, rng=self._rng)
 
         equi_pairs, residual = _split_join_condition(join.condition, left, right)
@@ -100,7 +149,11 @@ class Executor:
                 evaluate(expr, right, right_context, self._scalar_subquery)
                 for _, expr in equi_pairs
             ]
-            left_indices, right_indices = hash_join_indices(left_keys, right_keys)
+            left_encodings = [_key_encoding(expr, left) for expr, _ in equi_pairs]
+            right_encodings = [_key_encoding(expr, right) for _, expr in equi_pairs]
+            left_indices, right_indices = hash_join_indices(
+                left_keys, right_keys, left_encodings, right_encodings
+            )
 
         joined = Frame.concat(left.take(left_indices), right.take(right_indices))
         if residual is not None:
@@ -120,8 +173,8 @@ class Executor:
         column_names: list[str] = []
         columns: list[np.ndarray] = []
         alias_frame = Frame(num_rows=frame.num_rows)
-        for binding, name, array in frame.entries():
-            alias_frame.add_column(binding, name, array)
+        for binding, name, array, codes in frame.entries_with_codes():
+            alias_frame.add_column(binding, name, array, codes=codes)
 
         for position, item in enumerate(statement.select_items):
             if isinstance(item.expression, ast.Star):
@@ -161,11 +214,20 @@ class Executor:
                 raise ExecutionError("'*' cannot be used together with aggregates")
 
         if statement.group_by:
-            keys = [
-                evaluate(expr, frame, context, self._scalar_subquery)
-                for expr in statement.group_by
-            ]
-            inverse, num_groups = group_rows(keys)
+            keys = []
+            encoded_keys = []
+            for expr in statement.group_by:
+                key_array = evaluate(expr, frame, context, self._scalar_subquery)
+                keys.append(key_array)
+                encoded = _key_encoding(expr, frame)
+                if encoded is not None:
+                    # Reuse the scan's dictionary codes: injective over the
+                    # full dictionary, so grouping on them is grouping on the
+                    # normalized string values without re-encoding the rows.
+                    encoded_keys.append((encoded[0], max(1, len(encoded[1]))))
+                else:
+                    encoded_keys.append(encode_grouping_key(key_array))
+            inverse, num_groups = group_rows_encoded(encoded_keys, frame.num_rows)
         else:
             keys = []
             inverse = np.zeros(frame.num_rows, dtype=np.int64)
@@ -294,6 +356,12 @@ class Executor:
             return None
         keys = []
         for order_item in statement.order_by:
+            encoded = _key_encoding(order_item.expression, frame)
+            if encoded is not None:
+                # Dictionary codes are rank-preserving, so sorting on them is
+                # sorting on the normalized string values.
+                keys.append((encoded[0], order_item.ascending))
+                continue
             keys.append(
                 (
                     evaluate(order_item.expression, frame, context, self._scalar_subquery),
@@ -314,7 +382,7 @@ def _split_join_condition(
     """Split an ON condition into equi-join pairs and a residual predicate."""
     if condition is None:
         return [], None
-    conjuncts = _flatten_and(condition)
+    conjuncts = ast.flatten_and(condition)
     pairs: list[tuple[ast.Expression, ast.Expression]] = []
     residual: list[ast.Expression] = []
     for conjunct in conjuncts:
@@ -339,24 +407,35 @@ def _resolvable(ref: ast.ColumnRef, frame: Frame) -> bool:
     return frame.has_column(ref.name, ref.table)
 
 
-def _flatten_and(expression: ast.Expression) -> list[ast.Expression]:
-    if isinstance(expression, ast.BinaryOp) and expression.op.upper() == "AND":
-        return _flatten_and(expression.left) + _flatten_and(expression.right)
-    return [expression]
-
-
 def _cross_join_indices(left_rows: int, right_rows: int) -> tuple[np.ndarray, np.ndarray]:
     left_indices = np.repeat(np.arange(left_rows), right_rows)
     right_indices = np.tile(np.arange(right_rows), left_rows)
     return left_indices, right_indices
 
 
+def _key_encoding(expr: ast.Expression, frame: Frame):
+    """Scan-attached dictionary codes for a bare column key, or None."""
+    if not isinstance(expr, ast.ColumnRef):
+        return None
+    return frame.codes_for(expr.name, expr.table)
+
+
 def hash_join_indices(
-    left_keys: list[np.ndarray], right_keys: list[np.ndarray]
+    left_keys: list[np.ndarray],
+    right_keys: list[np.ndarray],
+    left_encodings: list | None = None,
+    right_encodings: list | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
-    """Return matching (left, right) row indices for an inner equi-join."""
-    left_codes = _encode_keys(left_keys, right_keys)
-    right_codes = _encode_keys(right_keys, left_keys)
+    """Return matching (left, right) row indices for an inner equi-join.
+
+    ``left_encodings``/``right_encodings`` optionally carry per-key
+    ``(codes, dictionary)`` pairs from the scans; when both sides of a key
+    are encoded, only their dictionaries are merged instead of re-encoding
+    every row of both inputs.
+    """
+    left_codes, right_codes = _encode_key_pairs(
+        left_keys, right_keys, left_encodings, right_encodings
+    )
 
     right_order = np.argsort(right_codes, kind="stable")
     sorted_right = right_codes[right_order]
@@ -374,29 +453,48 @@ def hash_join_indices(
     return left_indices, right_indices
 
 
-def _encode_keys(keys: list[np.ndarray], other_keys: list[np.ndarray]) -> np.ndarray:
-    """Encode multi-column join keys into a single comparable int64 code.
+def _encode_key_pairs(
+    left_keys: list[np.ndarray],
+    right_keys: list[np.ndarray],
+    left_encodings: list | None,
+    right_encodings: list | None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Encode multi-column join keys into comparable int64 codes per side.
 
-    Both sides must be encoded consistently, so the dictionaries are built
-    from the union of each key column with its counterpart on the other side.
+    Both sides must be encoded consistently; for each key column either both
+    sides' precomputed dictionaries are merged (cheap: proportional to the
+    number of *distinct* values) or a union dictionary is built from the raw
+    rows (the pre-existing fallback).
     """
-    if not keys:
-        return np.zeros(0, dtype=np.int64)
-    num_rows = len(keys[0])
-    combined = np.zeros(num_rows, dtype=np.int64)
-    for key, other in zip(keys, other_keys):
-        key_norm = _normalize_key(key)
-        other_norm = _normalize_key(other)
-        universe = np.concatenate([key_norm, other_norm])
-        _, codes = np.unique(universe, return_inverse=True)
-        cardinality = int(codes.max()) + 1 if len(codes) else 1
-        combined = combined * cardinality + codes[: num_rows]
-    return combined
+    if not left_keys:
+        return np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64)
+    left_rows = len(left_keys[0])
+    right_rows = len(right_keys[0])
+    left_combined = np.zeros(left_rows, dtype=np.int64)
+    right_combined = np.zeros(right_rows, dtype=np.int64)
+    for position, (left_key, right_key) in enumerate(zip(left_keys, right_keys)):
+        left_encoded = left_encodings[position] if left_encodings else None
+        right_encoded = right_encodings[position] if right_encodings else None
+        if left_encoded is not None and right_encoded is not None:
+            left_codes, right_codes, cardinality = merge_dictionaries(
+                left_encoded, right_encoded
+            )
+        else:
+            left_norm = _normalize_key(left_key)
+            right_norm = _normalize_key(right_key)
+            universe = np.concatenate([left_norm, right_norm])
+            _, codes = np.unique(universe, return_inverse=True)
+            cardinality = int(codes.max()) + 1 if len(codes) else 1
+            left_codes = codes[:left_rows]
+            right_codes = codes[left_rows:]
+        left_combined = left_combined * cardinality + left_codes
+        right_combined = right_combined * cardinality + right_codes
+    return left_combined, right_combined
 
 
 def _normalize_key(key: np.ndarray) -> np.ndarray:
     if key.dtype == object:
-        return np.array(["\0NULL" if value is None else str(value) for value in key])
+        return normalize_object_key(key)
     return key.astype(np.float64, copy=False)
 
 
@@ -504,7 +602,7 @@ def sort_indices(keys: list[tuple[np.ndarray, bool]]) -> np.ndarray:
     sortable: list[np.ndarray] = []
     for values, ascending in keys:
         if values.dtype == object:
-            normalized = np.array(["" if value is None else str(value) for value in values])
+            normalized = normalize_object_key(values)
             _, codes = np.unique(normalized, return_inverse=True)
             key_array = codes.astype(np.float64)
         else:

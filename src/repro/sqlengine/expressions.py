@@ -8,6 +8,7 @@ frame, returning a numpy array with one value per row.
 
 from __future__ import annotations
 
+import functools as _functools
 import re
 from typing import Callable, Iterable
 
@@ -15,19 +16,71 @@ import numpy as np
 
 from repro.errors import ExecutionError
 from repro.sqlengine import functions, sqlast as ast
+from repro.sqlengine.encoding import (
+    NULL_SENTINEL,
+    code_for_value,
+    encode_object_array,
+    escape_key,
+    normalize_object_key,
+    null_code,
+    unescape_key,
+)
+
+
+class LazyCodes:
+    """Lazily resolved dictionary encoding of one frame column.
+
+    Scans attach these instead of eagerly encoding every string column: the
+    (memoized, table-level) encoding is only computed if an operator actually
+    consumes codes.  Row selections compose lazily too, so a column that is
+    carried through joins but never used as a key costs nothing.
+    """
+
+    __slots__ = ("_resolver", "_value")
+
+    def __init__(self, resolver: Callable[[], tuple[np.ndarray, np.ndarray]]) -> None:
+        self._resolver = resolver
+        self._value: tuple[np.ndarray, np.ndarray] | None = None
+
+    def resolve(self) -> tuple[np.ndarray, np.ndarray]:
+        if self._value is None:
+            self._value = self._resolver()
+            self._resolver = None
+        return self._value
+
+    def sliced(self, indices: np.ndarray) -> "LazyCodes":
+        def resolver() -> tuple[np.ndarray, np.ndarray]:
+            codes, dictionary = self.resolve()
+            return codes[indices], dictionary
+
+        return LazyCodes(resolver)
 
 
 class Frame:
-    """A set of equally sized columns addressable by (binding, column) name."""
+    """A set of equally sized columns addressable by (binding, column) name.
+
+    Columns may carry an optional (lazy) dictionary encoding ``(codes,
+    dictionary)`` attached at scan time; it is sliced alongside the values
+    through :meth:`take`/:meth:`filter` so grouping, joining and sorting can
+    consume precomputed integer codes instead of re-encoding object arrays.
+    """
 
     def __init__(self, num_rows: int = 0) -> None:
         self.num_rows = num_rows
         # Ordered list preserving column order for SELECT * expansion.
         self._entries: list[tuple[str | None, str, np.ndarray]] = []
+        self._codes: list[LazyCodes | None] = []
         self._qualified: dict[tuple[str, str], int] = {}
         self._unqualified: dict[str, list[int]] = {}
+        self._ambiguity_checked: dict[str, bool] = {}
 
-    def add_column(self, binding: str | None, name: str, array: np.ndarray) -> None:
+    def add_column(
+        self,
+        binding: str | None,
+        name: str,
+        array: np.ndarray,
+        codes: LazyCodes | None = None,
+    ) -> None:
         array = np.asarray(array)
         if self._entries and len(array) != self.num_rows:
             raise ExecutionError(
@@ -37,12 +90,24 @@ class Frame:
             self.num_rows = len(array)
         index = len(self._entries)
         self._entries.append((binding, name, array))
+        self._codes.append(codes)
         if binding is not None:
             self._qualified[(binding.lower(), name.lower())] = index
         self._unqualified.setdefault(name.lower(), []).append(index)
+        # A new same-named column changes the candidate set, so any cached
+        # ambiguity verdict for the name is stale.
+        self._ambiguity_checked.pop(name.lower(), None)
 
     def entries(self) -> Iterable[tuple[str | None, str, np.ndarray]]:
         return list(self._entries)
+
+    def entries_with_codes(
+        self,
+    ) -> Iterable[tuple[str | None, str, np.ndarray, "LazyCodes | None"]]:
+        return [
+            (binding, name, array, codes)
+            for (binding, name, array), codes in zip(self._entries, self._codes)
+        ]
 
     def has_column(self, name: str, table: str | None = None) -> bool:
         try:
@@ -51,28 +116,51 @@ class Frame:
         except ExecutionError:
             return False
 
-    def resolve(self, name: str, table: str | None = None) -> np.ndarray:
-        """Look up a column by (optionally qualified) name."""
+    def _resolve_index(self, name: str, table: str | None = None) -> int:
         if table is not None:
             key = (table.lower(), name.lower())
             if key in self._qualified:
-                return self._entries[self._qualified[key]][2]
+                return self._qualified[key]
             raise ExecutionError(f"unknown column {table}.{name}")
-        indexes = self._unqualified.get(name.lower(), [])
+        lowered = name.lower()
+        indexes = self._unqualified.get(lowered, [])
         if not indexes:
             raise ExecutionError(f"unknown column {name!r}")
         if len(indexes) > 1:
-            # Ambiguity is tolerated when every candidate is the same data
-            # (common after SELECT * over a join on the same key); otherwise
-            # the first occurrence wins, matching permissive engines.
-            pass
-        return self._entries[indexes[0]][2]
+            # Ambiguity is tolerated only when every candidate holds the same
+            # data (common after SELECT * over a join on the same key).
+            verdict = self._ambiguity_checked.get(lowered)
+            if verdict is None:
+                first = self._entries[indexes[0]][2]
+                verdict = all(
+                    _arrays_equal(first, self._entries[index][2]) for index in indexes[1:]
+                )
+                self._ambiguity_checked[lowered] = verdict
+            if not verdict:
+                raise ExecutionError(
+                    f"ambiguous column {name!r}: present in multiple relations "
+                    "with different data; qualify it with a table name"
+                )
+        return indexes[0]
+
+    def resolve(self, name: str, table: str | None = None) -> np.ndarray:
+        """Look up a column by (optionally qualified) name."""
+        return self._entries[self._resolve_index(name, table)][2]
+
+    def codes_for(self, name: str, table: str | None = None) -> tuple[np.ndarray, np.ndarray] | None:
+        """Dictionary encoding of a column, when one was attached at scan time."""
+        try:
+            codes = self._codes[self._resolve_index(name, table)]
+        except ExecutionError:
+            return None
+        return codes.resolve() if codes is not None else None
 
     def take(self, indices: np.ndarray) -> "Frame":
         """Return a new frame with rows selected (and repeated) by ``indices``."""
         result = Frame(num_rows=len(indices))
-        for binding, name, array in self._entries:
-            result.add_column(binding, name, array[indices])
+        for (binding, name, array), codes in zip(self._entries, self._codes):
+            sliced = codes.sliced(indices) if codes is not None else None
+            result.add_column(binding, name, array[indices], codes=sliced)
         return result
 
     def filter(self, mask: np.ndarray) -> "Frame":
@@ -91,11 +179,24 @@ class Frame:
         if left.num_rows != right.num_rows:
             raise ExecutionError("cannot concatenate frames of different lengths")
         result = cls(num_rows=left.num_rows)
-        for binding, name, array in left.entries():
-            result.add_column(binding, name, array)
-        for binding, name, array in right.entries():
-            result.add_column(binding, name, array)
+        for source in (left, right):
+            for (binding, name, array), codes in zip(source._entries, source._codes):
+                result.add_column(binding, name, array, codes=codes)
         return result
+
+
+def _arrays_equal(left: np.ndarray, right: np.ndarray) -> bool:
+    """True when two columns hold identical data (NaN == NaN for floats)."""
+    if left is right:
+        return True
+    if len(left) != len(right):
+        return False
+    try:
+        if left.dtype.kind == "f" and right.dtype.kind == "f":
+            return bool(np.array_equal(left, right, equal_nan=True))
+        return bool(np.array_equal(left, right))
+    except (TypeError, ValueError):  # pragma: no cover - exotic dtypes
+        return False
 
 
 # Callback used to evaluate uncorrelated scalar subqueries; installed by the
@@ -211,6 +312,10 @@ _COMPARISON_OPS = {"=", "<>", "<", ">", "<=", ">="}
 
 def _evaluate_binary(expression, frame, context, subquery_evaluator):
     op = expression.op.upper()
+    if op in _COMPARISON_OPS:
+        fast = _compare_coded(expression, frame)
+        if fast is not None:
+            return fast
     left = evaluate(expression.left, frame, context, subquery_evaluator)
     right = evaluate(expression.right, frame, context, subquery_evaluator)
     if op in ("AND", "OR"):
@@ -235,6 +340,65 @@ def _evaluate_binary(expression, frame, context, subquery_evaluator):
     if op in _COMPARISON_OPS:
         return _compare(op, left, right)
     raise ExecutionError(f"unknown binary operator {expression.op!r}")
+
+
+def column_codes(expression, frame) -> tuple[np.ndarray, np.ndarray] | None:
+    """Dictionary codes for a bare column reference, when attached at scan.
+
+    This is the single rule deciding which expressions are "coded": the
+    comparison/IN/LIKE fast paths here and the executor's group/join/sort
+    key handling must agree on it.
+    """
+    if not isinstance(expression, ast.ColumnRef):
+        return None
+    return frame.codes_for(expression.name, expression.table)
+
+
+def _compare_coded(expression, frame) -> np.ndarray | None:
+    """Vectorized ``column OP 'literal'`` over dictionary codes.
+
+    Valid only when the literal is a string: the row-level comparison then
+    always falls back to string semantics (``str(value) OP literal``), which
+    is exactly the order the sorted dictionary encodes.  NULL rows compare
+    False under every operator, so the sentinel's code is masked out.
+    """
+    left_expr, right_expr, op = expression.left, expression.right, expression.op
+    if isinstance(left_expr, ast.Literal) and isinstance(right_expr, ast.ColumnRef):
+        left_expr, right_expr = right_expr, left_expr
+        op = {"<": ">", ">": "<", "<=": ">=", ">=": "<="}.get(op, op)
+    if not isinstance(right_expr, ast.Literal) or not isinstance(right_expr.value, str):
+        return None
+    encoded = column_codes(left_expr, frame)
+    if encoded is None:
+        return None
+    codes, dictionary = encoded
+    literal = right_expr.value
+    not_null = np.ones(len(codes), dtype=bool)
+    sentinel = null_code(dictionary)
+    if sentinel >= 0:
+        not_null = codes != sentinel
+    if op == "=":
+        position = code_for_value(dictionary, literal)
+        if position < 0:
+            return np.zeros(len(codes), dtype=bool)
+        return codes == position
+    if op == "<>":
+        position = code_for_value(dictionary, literal)
+        if position < 0:
+            return not_null.copy()
+        return (codes != position) & not_null
+    literal_key = escape_key(literal)
+    left_bound = int(np.searchsorted(dictionary, literal_key, side="left"))
+    right_bound = int(np.searchsorted(dictionary, literal_key, side="right"))
+    if op == "<":
+        return (codes < left_bound) & not_null
+    if op == "<=":
+        return (codes < right_bound) & not_null
+    if op == ">":
+        return (codes >= right_bound) & not_null
+    if op == ">=":
+        return (codes >= left_bound) & not_null
+    return None
 
 
 def _compare(op: str, left: np.ndarray, right: np.ndarray) -> np.ndarray:
@@ -304,6 +468,24 @@ def _evaluate_case(expression, frame, context, subquery_evaluator):
 
 
 def _evaluate_in_list(expression, frame, context, subquery_evaluator):
+    # Fast path: a dictionary-coded column against literal values needs only
+    # one dictionary probe per value plus one vectorized membership test.
+    if all(isinstance(value, ast.Literal) for value in expression.values):
+        encoded = column_codes(expression.operand, frame)
+        if encoded is not None:
+            codes, dictionary = encoded
+            scalars = [
+                _broadcast_literal(value.value, 1)[0] for value in expression.values
+            ]
+            # code_for_value escapes the literal, so the NULL sentinel's code
+            # can never end up in the wanted set.
+            wanted_codes = [
+                code_for_value(dictionary, str(s)) for s in scalars if s is not None
+            ]
+            wanted_codes = [code for code in wanted_codes if code >= 0]
+            mask = np.isin(codes, np.array(wanted_codes, dtype=np.int64))
+            return ~mask if expression.negated else mask
+
     operand = evaluate(expression.operand, frame, context, subquery_evaluator)
     values = [
         evaluate(value, frame, context, subquery_evaluator) for value in expression.values
@@ -321,13 +503,53 @@ def _evaluate_in_list(expression, frame, context, subquery_evaluator):
     return ~mask if expression.negated else mask
 
 
+@_functools.lru_cache(maxsize=512)
+def _compile_like(pattern: str) -> re.Pattern:
+    """Translate a SQL LIKE pattern into a compiled regex (memoized).
+
+    Backslash escapes the next character, so ``\\%`` and ``\\_`` match the
+    literal ``%`` / ``_`` instead of acting as wildcards.
+    """
+    parts = ["^"]
+    index = 0
+    while index < len(pattern):
+        char = pattern[index]
+        if char == "\\" and index + 1 < len(pattern):
+            parts.append(re.escape(pattern[index + 1]))
+            index += 2
+            continue
+        if char == "%":
+            parts.append(".*")
+        elif char == "_":
+            parts.append(".")
+        else:
+            parts.append(re.escape(char))
+        index += 1
+    parts.append("$")
+    return re.compile("".join(parts), re.DOTALL)
+
+
 def _evaluate_like(expression, frame, context, subquery_evaluator):
-    operand = evaluate(expression.operand, frame, context, subquery_evaluator)
     pattern_values = evaluate(expression.pattern, frame, context, subquery_evaluator)
     pattern = str(pattern_values[0]) if len(pattern_values) else ""
-    regex = re.compile(
-        "^" + re.escape(pattern).replace("%", ".*").replace("_", ".") + "$", re.DOTALL
-    )
+    regex = _compile_like(pattern)
+
+    # Fast path: match the regex against the (small) dictionary once and
+    # broadcast the verdict through the codes instead of per-row matching.
+    encoded = column_codes(expression.operand, frame)
+    if encoded is not None:
+        codes, dictionary = encoded
+        matched = np.array(
+            [
+                entry != NULL_SENTINEL and bool(regex.match(unescape_key(entry)))
+                for entry in dictionary
+            ],
+            dtype=bool,
+        )
+        mask = matched[codes]
+        return ~mask if expression.negated else mask
+
+    operand = evaluate(expression.operand, frame, context, subquery_evaluator)
     mask = np.array(
         [value is not None and bool(regex.match(str(value))) for value in operand.astype(object)],
         dtype=bool,
@@ -362,6 +584,41 @@ def _evaluate_window(expression, frame, context, subquery_evaluator):
     return per_group[inverse]
 
 
+def encode_grouping_key(key: np.ndarray) -> tuple[np.ndarray, int]:
+    """Encode one key column as ``(codes, cardinality)`` for grouping."""
+    if key.dtype == object:
+        codes, dictionary = encode_object_array(key)
+        return codes, max(1, len(dictionary))
+    _, codes = np.unique(key, return_inverse=True)
+    cardinality = int(codes.max()) + 1 if len(codes) else 1
+    return codes.astype(np.int64, copy=False), cardinality
+
+
+def group_rows_encoded(
+    encoded_keys: list[tuple[np.ndarray, int]], num_rows: int
+) -> tuple[np.ndarray, int]:
+    """Group rows whose keys are already integer-coded.
+
+    Each key is ``(codes, cardinality)`` where codes injectively map key
+    values to ``[0, cardinality)``.  Returns ``(inverse, num_groups)`` with
+    group ids ordered by first appearance.
+    """
+    if num_rows == 0:
+        return np.zeros(0, dtype=np.int64), 0
+    combined = np.zeros(num_rows, dtype=np.int64)
+    for codes, cardinality in encoded_keys:
+        combined = combined * cardinality + codes
+    unique_combined, inverse = np.unique(combined, return_inverse=True)
+    # Re-number groups by first appearance so output order is deterministic
+    # and matches the input ordering (useful for tests and readability).
+    first_positions = np.full(len(unique_combined), num_rows, dtype=np.int64)
+    np.minimum.at(first_positions, inverse, np.arange(num_rows))
+    order = np.argsort(first_positions, kind="stable")
+    remap = np.empty_like(order)
+    remap[order] = np.arange(len(order))
+    return remap[inverse], len(unique_combined)
+
+
 def group_rows(key_arrays: list[np.ndarray]) -> tuple[np.ndarray, int]:
     """Assign a dense group id to each row based on the key arrays.
 
@@ -373,22 +630,6 @@ def group_rows(key_arrays: list[np.ndarray]) -> tuple[np.ndarray, int]:
     num_rows = len(key_arrays[0])
     if num_rows == 0:
         return np.zeros(0, dtype=np.int64), 0
-    combined = np.zeros(num_rows, dtype=np.int64)
-    for key in key_arrays:
-        if key.dtype == object:
-            normalized = np.array([None if v is None else str(v) for v in key], dtype=object)
-            _, codes = np.unique(normalized.astype(str), return_inverse=True)
-            cardinality = int(codes.max()) + 1 if len(codes) else 1
-        else:
-            _, codes = np.unique(key, return_inverse=True)
-            cardinality = int(codes.max()) + 1 if len(codes) else 1
-        combined = combined * cardinality + codes
-    unique_combined, inverse = np.unique(combined, return_inverse=True)
-    # Re-number groups by first appearance so output order is deterministic
-    # and matches the input ordering (useful for tests and readability).
-    first_positions = np.full(len(unique_combined), num_rows, dtype=np.int64)
-    np.minimum.at(first_positions, inverse, np.arange(num_rows))
-    order = np.argsort(first_positions, kind="stable")
-    remap = np.empty_like(order)
-    remap[order] = np.arange(len(order))
-    return remap[inverse], len(unique_combined)
+    return group_rows_encoded(
+        [encode_grouping_key(key) for key in key_arrays], num_rows
+    )

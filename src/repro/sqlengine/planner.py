@@ -1,0 +1,322 @@
+"""Logical planner: predicate pushdown and projection pruning for SELECTs.
+
+The executor used to materialize every column of every input relation, join
+them, and only then apply the WHERE clause.  For the middleware workloads
+(Figure 7 "estimation cost") that wastes most of the work: the rewritten
+queries join wide fact samples against dimension tables, filter on a single
+table, and touch a handful of columns.
+
+The planner analyzes a :class:`~repro.sqlengine.sqlast.SelectStatement`
+*before* execution and produces a :class:`SelectPlan` describing
+
+* **predicate pushdown** — the WHERE conjunction is split, and every conjunct
+  whose column references resolve to exactly one base relation is applied to
+  that relation's scan before the join builds its row-index arrays;
+* **projection pruning** — the set of columns actually referenced anywhere in
+  the statement (select list, WHERE, join conditions, GROUP BY, HAVING,
+  ORDER BY) is computed per relation so scans materialize only those columns
+  and ``Frame.take``/``Frame.filter`` stop copying dead columns through joins.
+
+The plan is purely advisory: the executor produces identical results with or
+without it (``Database(optimize=False)`` is the A/B escape hatch).  The
+safety rules mirror the rewrite-safety decision tree from the DuckDB
+material: a conjunct is only pushed when it is deterministic (no ``rand()``),
+contains no scalar subquery, and every column it references resolves
+unambiguously to a single relation — anything else stays in the residual
+WHERE evaluated exactly where the naive path evaluates it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import CatalogError
+from repro.sqlengine import functions, sqlast as ast
+from repro.sqlengine.catalog import Catalog
+
+# Functions whose value changes per evaluation; predicates containing them
+# must not move (the number of rows they are evaluated over — and thus the
+# engine's RNG stream — would change).
+_NONDETERMINISTIC_FUNCTIONS = frozenset({"rand", "random"})
+
+
+@dataclass
+class ScanPlan:
+    """Per-relation instructions applied when its scan frame is built."""
+
+    # Conjuncts to evaluate and apply right after the scan, before any join.
+    predicates: list[ast.Expression] = field(default_factory=list)
+    # Lower-cased column names to materialize; None means "all columns"
+    # (unknown schema, or a ``*`` projection that needs everything).
+    columns: set[str] | None = None
+
+
+@dataclass
+class SelectPlan:
+    """The planner's advice for one SELECT statement."""
+
+    scans: dict[str, ScanPlan] = field(default_factory=dict)
+    # WHERE minus the pushed conjuncts (None when fully pushed or absent).
+    residual_where: ast.Expression | None = None
+
+    def scan_for(self, binding: str) -> ScanPlan | None:
+        return self.scans.get(binding.lower())
+
+
+def plan_select(statement: ast.SelectStatement, catalog: Catalog) -> SelectPlan:
+    """Analyze ``statement`` and return pushdown/pruning advice for it."""
+    schemas = _binding_schemas(statement.from_relation, catalog)
+    plan = SelectPlan(
+        scans={binding: ScanPlan() for binding in schemas},
+        residual_where=statement.where,
+    )
+    if schemas is _UNPLANNABLE:
+        return plan
+    _plan_pushdown(statement, schemas, plan)
+    _plan_pruning(statement, schemas, plan)
+    return plan
+
+
+# ---------------------------------------------------------------------------
+# binding schemas
+# ---------------------------------------------------------------------------
+
+# Marker returned when the FROM tree cannot be analyzed safely (duplicate
+# binding names, unsupported relation types).
+_UNPLANNABLE: dict[str, set[str] | None] = {}
+
+
+def _binding_schemas(
+    relation: ast.Relation | None, catalog: Catalog
+) -> dict[str, set[str] | None]:
+    """Map each FROM binding to its lower-cased column set (None = unknown)."""
+    schemas: dict[str, set[str] | None] = {}
+
+    def visit(node: ast.Relation | None) -> bool:
+        if node is None:
+            return True
+        if isinstance(node, ast.TableRef):
+            binding = node.binding_name.lower()
+            if binding in schemas:
+                return False  # duplicate binding: resolution is ambiguous
+            try:
+                table = catalog.get(node.name)
+            except CatalogError:
+                schemas[binding] = None
+                return True
+            schemas[binding] = {name.lower() for name in table.column_names}
+            return True
+        if isinstance(node, ast.DerivedTable):
+            binding = node.binding_name.lower()
+            if binding in schemas:
+                return False
+            schemas[binding] = _derived_columns(node.query)
+            return True
+        if isinstance(node, ast.Join):
+            return visit(node.left) and visit(node.right)
+        return False
+
+    if not visit(relation):
+        return _UNPLANNABLE
+    return schemas
+
+
+def _derived_columns(query: ast.SelectStatement) -> set[str] | None:
+    """Output column names of a derived table (None when it selects ``*``)."""
+    columns: set[str] = set()
+    for position, item in enumerate(query.select_items):
+        if isinstance(item.expression, ast.Star):
+            return None
+        columns.add(item.output_name(position).lower())
+    return columns
+
+
+# ---------------------------------------------------------------------------
+# predicate pushdown
+# ---------------------------------------------------------------------------
+
+
+def _plan_pushdown(
+    statement: ast.SelectStatement,
+    schemas: dict[str, set[str] | None],
+    plan: SelectPlan,
+) -> None:
+    if statement.where is None or not schemas:
+        return
+    # Moving a predicate below the join changes how many rows later
+    # expressions are evaluated over; if the statement draws random numbers
+    # anywhere that could move, the RNG stream (and thus seeded results)
+    # would diverge from the naive path — so leave everything in place.
+    if _uses_nondeterminism(statement.where) or _from_tree_uses_nondeterminism(
+        statement.from_relation
+    ):
+        return
+    conjuncts = ast.flatten_and(statement.where)
+    residual: list[ast.Expression] = []
+    for conjunct in conjuncts:
+        target = _pushdown_target(conjunct, schemas)
+        if target is None:
+            residual.append(conjunct)
+        else:
+            plan.scans[target].predicates.append(conjunct)
+    plan.residual_where = ast.conjunction(residual)
+
+
+def _pushdown_target(
+    conjunct: ast.Expression, schemas: dict[str, set[str] | None]
+) -> str | None:
+    """Binding a conjunct can be pushed to, or None when it must stay put."""
+    bindings: set[str] = set()
+    unknown_schemas = [b for b, columns in schemas.items() if columns is None]
+    for node in conjunct.walk():
+        if isinstance(node, (ast.ScalarSubquery, ast.WindowFunction, ast.Star)):
+            return None
+        if isinstance(node, ast.FunctionCall):
+            if node.name.lower() in _NONDETERMINISTIC_FUNCTIONS:
+                return None
+            if functions.is_aggregate_function(node.name):
+                return None
+        if isinstance(node, ast.ColumnRef):
+            if node.table is not None:
+                binding = node.table.lower()
+                if binding not in schemas:
+                    return None
+                bindings.add(binding)
+                continue
+            # Unqualified: resolvable only when exactly one relation with a
+            # known schema holds the column and no relation's schema is
+            # unknown (it might also hold it).
+            if unknown_schemas:
+                return None
+            owners = [
+                binding
+                for binding, columns in schemas.items()
+                if columns is not None and node.name.lower() in columns
+            ]
+            if len(owners) != 1:
+                return None
+            bindings.add(owners[0])
+    if len(bindings) != 1:
+        return None
+    return next(iter(bindings))
+
+
+def _uses_nondeterminism(expression: ast.Expression) -> bool:
+    for node in expression.walk():
+        if (
+            isinstance(node, ast.FunctionCall)
+            and node.name.lower() in _NONDETERMINISTIC_FUNCTIONS
+        ):
+            return True
+        if isinstance(node, ast.ScalarSubquery) and _statement_uses_nondeterminism(
+            node.query
+        ):
+            return True
+    return False
+
+
+def _from_tree_uses_nondeterminism(relation: ast.Relation | None) -> bool:
+    if relation is None:
+        return False
+    if isinstance(relation, ast.Join):
+        if relation.condition is not None and _uses_nondeterminism(relation.condition):
+            return True
+        return _from_tree_uses_nondeterminism(
+            relation.left
+        ) or _from_tree_uses_nondeterminism(relation.right)
+    return False
+
+
+def _statement_uses_nondeterminism(statement: ast.SelectStatement) -> bool:
+    expressions: list[ast.Expression] = [
+        item.expression
+        for item in statement.select_items
+        if not isinstance(item.expression, ast.Star)
+    ]
+    if statement.where is not None:
+        expressions.append(statement.where)
+    expressions.extend(statement.group_by)
+    if statement.having is not None:
+        expressions.append(statement.having)
+    expressions.extend(item.expression for item in statement.order_by)
+    return any(_uses_nondeterminism(expression) for expression in expressions)
+
+
+# ---------------------------------------------------------------------------
+# projection pruning
+# ---------------------------------------------------------------------------
+
+
+def _plan_pruning(
+    statement: ast.SelectStatement,
+    schemas: dict[str, set[str] | None],
+    plan: SelectPlan,
+) -> None:
+    required: dict[str, set[str] | None] = {
+        binding: (set() if columns is not None else None)
+        for binding, columns in schemas.items()
+    }
+
+    def keep_all(binding: str | None) -> None:
+        if binding is None:
+            for key in required:
+                required[key] = None
+        elif binding in required:
+            required[binding] = None
+
+    def add_ref(ref: ast.ColumnRef) -> None:
+        name = ref.name.lower()
+        if ref.table is not None:
+            binding = ref.table.lower()
+            if binding in required and required[binding] is not None:
+                required[binding].add(name)
+            return
+        # Unqualified: every relation that *might* own the column keeps it
+        # (resolution order at execution time is unaffected by pruning).
+        for binding, columns in schemas.items():
+            if columns is not None and name in columns and required[binding] is not None:
+                required[binding].add(name)
+
+    def collect(expression: ast.Expression) -> None:
+        if isinstance(expression, ast.Star):
+            keep_all(expression.table.lower() if expression.table else None)
+            return
+        if isinstance(expression, ast.ColumnRef):
+            add_ref(expression)
+            return
+        if isinstance(expression, ast.FunctionCall):
+            for argument in expression.args:
+                if isinstance(argument, ast.Star):
+                    continue  # count(*) needs no columns
+                collect(argument)
+            return
+        if isinstance(expression, ast.ScalarSubquery):
+            # The subquery executes against the catalog, not this frame, but
+            # it may be *correlated* in spirit via unqualified names — the
+            # engine only supports uncorrelated subqueries, so nothing to do.
+            return
+        for child in expression.children():
+            collect(child)
+
+    for item in statement.select_items:
+        collect(item.expression)
+    if statement.where is not None:
+        collect(statement.where)
+    for expression in statement.group_by:
+        collect(expression)
+    if statement.having is not None:
+        collect(statement.having)
+    for order_item in statement.order_by:
+        collect(order_item.expression)
+    _collect_join_conditions(statement.from_relation, collect)
+
+    for binding, columns in required.items():
+        plan.scans[binding].columns = columns
+
+
+def _collect_join_conditions(relation: ast.Relation | None, collect) -> None:
+    if isinstance(relation, ast.Join):
+        if relation.condition is not None:
+            collect(relation.condition)
+        _collect_join_conditions(relation.left, collect)
+        _collect_join_conditions(relation.right, collect)

@@ -511,6 +511,13 @@ def conjunction(predicates: Sequence[Expression]) -> Expression | None:
     return result
 
 
+def flatten_and(expression: Expression) -> list[Expression]:
+    """Split nested ``AND``s into a flat list of conjuncts (conjunction's inverse)."""
+    if isinstance(expression, BinaryOp) and expression.op.upper() == "AND":
+        return flatten_and(expression.left) + flatten_and(expression.right)
+    return [expression]
+
+
 def base_tables(relation: Relation | None) -> list[TableRef]:
     """Collect every base-table reference in a FROM tree (depth-first)."""
     tables: list[TableRef] = []

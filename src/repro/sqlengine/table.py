@@ -13,6 +13,7 @@ from typing import Iterable, Mapping, Sequence
 import numpy as np
 
 from repro.errors import ExecutionError
+from repro.sqlengine.encoding import encode_object_array
 
 
 def normalize_column(values: Sequence | np.ndarray) -> np.ndarray:
@@ -38,6 +39,10 @@ class Table:
         self.name = name
         self._columns: dict[str, np.ndarray] = {}
         self._num_rows = 0
+        # Monotonic version bumped on every mutation; memoized per-column
+        # dictionary encodings are keyed on it so DML invalidates them.
+        self._version = 0
+        self._dictionary_cache: dict[str, tuple[int, np.ndarray, np.ndarray]] = {}
         if columns:
             for column_name, values in columns.items():
                 self.add_column(column_name, values)
@@ -73,12 +78,35 @@ class Table:
         if not self._columns:
             self._num_rows = len(array)
         self._columns[name] = array
+        self._version += 1
 
     # -- inspection ----------------------------------------------------------
 
     @property
     def num_rows(self) -> int:
         return self._num_rows
+
+    @property
+    def version(self) -> int:
+        """Mutation counter; changes whenever column data changes."""
+        return self._version
+
+    def dictionary_codes(self, name: str) -> tuple[np.ndarray, np.ndarray] | None:
+        """Memoized dictionary encoding of an object (string) column.
+
+        Returns ``(codes, dictionary)`` for object-dtype columns and ``None``
+        for numeric/boolean ones (which are already fast to group and join).
+        The encoding is cached per column until the table is mutated.
+        """
+        array = self.column(name)
+        if array.dtype != object:
+            return None
+        cached = self._dictionary_cache.get(name)
+        if cached is not None and cached[0] == self._version:
+            return cached[1], cached[2]
+        codes, dictionary = encode_object_array(array)
+        self._dictionary_cache[name] = (self._version, codes, dictionary)
+        return codes, dictionary
 
     @property
     def column_names(self) -> list[str]:
@@ -134,6 +162,7 @@ class Table:
                 merged = np.concatenate([old, new.astype(old.dtype, copy=False)])
             self._columns[column_name] = merged
         self._num_rows += len(materialized)
+        self._version += 1
 
     def append_table(self, other: "Table") -> None:
         """Append all rows of ``other`` (columns matched by name)."""

@@ -1,0 +1,519 @@
+"""Tests for the logical planner, the engine caches and their correctness.
+
+The core guarantee of the optimizer is *plan invariance*: ``optimize=True``
+and ``optimize=False`` must return bit-identical result sets (same columns,
+same rows, same order) for every supported query.  The A/B corpus below runs
+both modes over the same data and compares exhaustively; the remaining tests
+cover the planner's analysis, cache invalidation, the ambiguous-column fix
+and LIKE escape handling.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ExecutionError
+from repro.sqlengine import Database, parse_select, plan_select
+from repro.sqlengine.expressions import Frame
+from repro.sqlengine.planner import ScanPlan
+
+
+# ---------------------------------------------------------------------------
+# data + helpers
+# ---------------------------------------------------------------------------
+
+
+def _populate(engine: Database, seed: int = 7, num_rows: int = 500) -> None:
+    rng = np.random.default_rng(seed)
+    cities = ["ann arbor", "detroit", "chicago", "nyc", None]
+    engine.register_table(
+        "orders",
+        {
+            "order_id": np.arange(num_rows),
+            "customer_id": rng.integers(0, 40, num_rows),
+            "price": np.round(rng.normal(10.0, 5.0, num_rows), 3),
+            "qty": rng.integers(1, 9, num_rows),
+            "city": rng.choice(np.array(cities, dtype=object), num_rows, p=[0.3, 0.3, 0.2, 0.1, 0.1]),
+            "status": rng.choice(np.array(["open", "closed", "5%_off"], dtype=object), num_rows),
+            "unused_wide_1": rng.normal(size=num_rows),
+            "unused_wide_2": rng.choice(np.array(["x", "y"], dtype=object), num_rows),
+        },
+    )
+    engine.register_table(
+        "customers",
+        {
+            "customer_id": np.arange(40),
+            "name": np.array([f"cust_{i % 13}" for i in range(40)], dtype=object),
+            "segment": np.array(
+                [["consumer", "corporate", "home"][i % 3] for i in range(40)], dtype=object
+            ),
+            "unused_note": np.array([f"note {i}" for i in range(40)], dtype=object),
+        },
+    )
+    engine.register_table(
+        "regions",
+        {
+            "city": np.array(["ann arbor", "detroit", "chicago", "nyc"], dtype=object),
+            "state": np.array(["MI", "MI", "IL", "NY"], dtype=object),
+        },
+    )
+
+
+def _pair(seed: int = 7) -> tuple[Database, Database]:
+    optimized = Database(seed=0, optimize=True)
+    naive = Database(seed=0, optimize=False)
+    _populate(optimized, seed=seed)
+    _populate(naive, seed=seed)
+    return optimized, naive
+
+
+def _values_equal(a: object, b: object) -> bool:
+    if a is None or b is None:
+        return a is b
+    if isinstance(a, float) and isinstance(b, float) and math.isnan(a) and math.isnan(b):
+        return True
+    if isinstance(a, (int, float, np.integer, np.floating)) and isinstance(
+        b, (int, float, np.integer, np.floating)
+    ):
+        fa, fb = float(a), float(b)
+        if math.isnan(fa) and math.isnan(fb):
+            return True
+        return fa == fb
+    return a == b
+
+
+def assert_identical_results(optimized, naive) -> None:
+    assert optimized.column_names == naive.column_names
+    assert optimized.num_rows == naive.num_rows
+    for name, opt_col, naive_col in zip(
+        optimized.column_names, optimized.columns(), naive.columns()
+    ):
+        opt_list = opt_col.tolist()
+        naive_list = naive_col.tolist()
+        for row, (a, b) in enumerate(zip(opt_list, naive_list)):
+            assert _values_equal(a, b), (
+                f"column {name!r} row {row}: optimize=True gave {a!r}, "
+                f"optimize=False gave {b!r}"
+            )
+
+
+# ---------------------------------------------------------------------------
+# A/B corpus: optimize=True vs optimize=False must be bit-identical
+# ---------------------------------------------------------------------------
+
+
+AB_CORPUS = [
+    # plain scans, predicates, projection
+    "SELECT * FROM orders",
+    "SELECT order_id, price FROM orders WHERE price > 10",
+    "SELECT order_id FROM orders WHERE price > 5 AND qty = 2",
+    "SELECT order_id FROM orders WHERE city = 'detroit'",
+    "SELECT order_id FROM orders WHERE city <> 'detroit'",
+    "SELECT order_id FROM orders WHERE city < 'detroit'",
+    "SELECT order_id FROM orders WHERE city >= 'detroit'",
+    "SELECT order_id FROM orders WHERE city = 'not a city'",
+    "SELECT order_id FROM orders WHERE city IS NULL",
+    "SELECT order_id FROM orders WHERE city IS NOT NULL AND price < 8",
+    # IN / LIKE / BETWEEN over string keys
+    "SELECT count(*) FROM orders WHERE city IN ('detroit', 'nyc')",
+    "SELECT count(*) FROM orders WHERE city NOT IN ('detroit', 'nyc')",
+    "SELECT count(*) FROM orders WHERE city IN ('detroit', 'missing', 'nyc')",
+    "SELECT count(*) FROM orders WHERE city LIKE 'det%'",
+    "SELECT count(*) FROM orders WHERE city LIKE '%o%'",
+    "SELECT count(*) FROM orders WHERE city NOT LIKE 'a%'",
+    "SELECT count(*) FROM orders WHERE status LIKE '5\\%_o%'",
+    "SELECT order_id FROM orders WHERE price BETWEEN 5 AND 10 AND qty BETWEEN 2 AND 4",
+    # string-keyed grouping and HAVING
+    "SELECT city, count(*) AS n FROM orders GROUP BY city",
+    "SELECT city, sum(price) AS total, avg(qty) AS avg_qty FROM orders GROUP BY city",
+    "SELECT city, status, count(*) AS n FROM orders GROUP BY city, status",
+    "SELECT city, count(*) AS n FROM orders GROUP BY city HAVING count(*) > 50",
+    "SELECT city, sum(price) AS t FROM orders WHERE qty > 2 GROUP BY city HAVING sum(price) > 100 ORDER BY t DESC",
+    # ORDER BY / DISTINCT / LIMIT / OFFSET
+    "SELECT city FROM orders ORDER BY city",
+    "SELECT DISTINCT city FROM orders ORDER BY city DESC",
+    "SELECT DISTINCT city, status FROM orders ORDER BY city, status",
+    "SELECT order_id, city FROM orders ORDER BY city, order_id DESC LIMIT 20",
+    "SELECT order_id FROM orders ORDER BY price DESC LIMIT 10 OFFSET 5",
+    # joins with single-table conjuncts (pushdown targets)
+    "SELECT o.order_id, c.name FROM orders AS o INNER JOIN customers AS c "
+    "ON o.customer_id = c.customer_id WHERE o.price > 12 AND c.segment = 'corporate'",
+    "SELECT c.segment, count(*) AS n, sum(o.price) AS total FROM orders AS o "
+    "INNER JOIN customers AS c ON o.customer_id = c.customer_id "
+    "WHERE o.qty > 3 GROUP BY c.segment ORDER BY c.segment",
+    "SELECT o.city, c.name, sum(o.price * o.qty) AS revenue FROM orders AS o "
+    "INNER JOIN customers AS c ON o.customer_id = c.customer_id "
+    "WHERE c.segment <> 'home' AND o.city IS NOT NULL "
+    "GROUP BY o.city, c.name HAVING count(*) > 1 ORDER BY revenue DESC LIMIT 15",
+    # three-way join with a string equi-key
+    "SELECT r.state, count(*) AS n FROM orders AS o "
+    "INNER JOIN customers AS c ON o.customer_id = c.customer_id "
+    "INNER JOIN regions AS r ON o.city = r.city "
+    "WHERE o.price > 0 AND r.state <> 'NY' GROUP BY r.state ORDER BY n DESC",
+    # join with residual (cross-table) predicate: must NOT be pushed
+    "SELECT count(*) FROM orders AS o INNER JOIN regions AS r "
+    "ON o.city = r.city WHERE o.order_id > r.state || ''",
+    # derived tables and scalar subqueries
+    "SELECT t.city, t.n FROM (SELECT city, count(*) AS n FROM orders GROUP BY city) AS t "
+    "WHERE t.n > 40 ORDER BY t.n DESC",
+    "SELECT order_id FROM orders WHERE price > (SELECT avg(price) FROM orders) "
+    "ORDER BY order_id LIMIT 12",
+    # expressions, CASE, window functions
+    "SELECT order_id, CASE WHEN price > 10 THEN 'high' ELSE 'low' END AS bucket "
+    "FROM orders ORDER BY order_id LIMIT 25",
+    "SELECT city, count(*) AS n, sum(count(*)) OVER (PARTITION BY city) AS total "
+    "FROM orders GROUP BY city, status ORDER BY city, n DESC",
+    "SELECT upper(city) AS u, count(*) AS n FROM orders WHERE city IS NOT NULL "
+    "GROUP BY upper(city) ORDER BY u",
+    # SELECT * through a join (duplicate key columns with equal data)
+    "SELECT o.* FROM orders AS o INNER JOIN customers AS c "
+    "ON o.customer_id = c.customer_id WHERE c.segment = 'consumer' "
+    "ORDER BY o.order_id LIMIT 10",
+    # count(*) only — prunes every column
+    "SELECT count(*) FROM orders",
+    "SELECT count(*) FROM orders AS o INNER JOIN customers AS c ON o.customer_id = c.customer_id",
+]
+
+
+@pytest.mark.parametrize("query", AB_CORPUS)
+def test_optimized_matches_naive(query):
+    optimized, naive = _pair()
+    assert_identical_results(optimized.execute(query), naive.execute(query))
+
+
+def test_repeated_execution_with_caches_is_stable():
+    optimized, naive = _pair()
+    query = (
+        "SELECT c.segment, count(*) AS n FROM orders AS o INNER JOIN customers AS c "
+        "ON o.customer_id = c.customer_id WHERE o.price > 8 GROUP BY c.segment ORDER BY n DESC"
+    )
+    expected = naive.execute(query)
+    for _ in range(3):  # second+ runs hit the statement and plan caches
+        assert_identical_results(optimized.execute(query), expected)
+
+
+@pytest.mark.parametrize(
+    "predicate",
+    [
+        "s <> 'a'",
+        "s = '\0N'",
+        "s < 'a'",
+        "s IN ('\0N', 'a')",
+        "s LIKE '%N%'",
+        "s IS NULL",
+    ],
+)
+def test_null_sentinel_lookalike_data_matches_naive(predicate):
+    # Data containing NUL-prefixed strings (including the old sentinel text)
+    # must never be conflated with real NULLs by the coded fast paths.
+    for optimize in (True, False):
+        engine = Database(seed=0, optimize=optimize)
+        engine.register_table(
+            "t", {"s": np.array(["a", None, "\0N", "\0NULL", ""], dtype=object)}
+        )
+        result = engine.execute(f"SELECT s FROM t WHERE {predicate}")
+        if optimize:
+            optimized_rows = result.fetchall()
+        else:
+            assert optimized_rows == result.fetchall(), predicate
+
+
+def test_null_sentinel_lookalike_grouping_and_ordering():
+    queries = [
+        "SELECT s, count(*) AS n FROM t GROUP BY s ORDER BY s",
+        "SELECT DISTINCT s FROM t ORDER BY s DESC",
+    ]
+    for query in queries:
+        results = []
+        for optimize in (True, False):
+            engine = Database(seed=0, optimize=optimize)
+            engine.register_table(
+                "t",
+                {"s": np.array(["\0N", None, "a", "\0NULL", "", "a"], dtype=object)},
+            )
+            results.append(engine.execute(query).fetchall())
+        assert results[0] == results[1], query
+
+
+def test_seeded_rand_is_identical_across_modes():
+    optimized, naive = _pair()
+    query = "SELECT count(*) FROM orders WHERE rand() < 0.5 AND price > 10"
+    assert_identical_results(optimized.execute(query), naive.execute(query))
+
+
+# ---------------------------------------------------------------------------
+# planner analysis
+# ---------------------------------------------------------------------------
+
+
+class TestPlanAnalysis:
+    def _plan(self, engine: Database, sql: str):
+        return plan_select(parse_select(sql), engine.catalog)
+
+    def test_single_table_conjuncts_are_pushed(self):
+        engine, _ = _pair()
+        plan = self._plan(
+            engine,
+            "SELECT o.order_id FROM orders AS o INNER JOIN customers AS c "
+            "ON o.customer_id = c.customer_id "
+            "WHERE o.price > 5 AND c.segment = 'home' AND o.order_id > c.customer_id",
+        )
+        assert len(plan.scan_for("o").predicates) == 1
+        assert len(plan.scan_for("c").predicates) == 1
+        # the cross-table conjunct stays in the residual WHERE
+        assert plan.residual_where is not None
+        assert "order_id" in plan.residual_where.to_sql()
+
+    def test_projection_pruning_keeps_only_referenced_columns(self):
+        engine, _ = _pair()
+        plan = self._plan(
+            engine,
+            "SELECT o.price FROM orders AS o INNER JOIN customers AS c "
+            "ON o.customer_id = c.customer_id WHERE c.segment = 'home'",
+        )
+        assert plan.scan_for("o").columns == {"price", "customer_id"}
+        assert plan.scan_for("c").columns == {"segment", "customer_id"}
+
+    def test_star_disables_pruning(self):
+        engine, _ = _pair()
+        plan = self._plan(engine, "SELECT * FROM orders AS o WHERE o.price > 5")
+        assert plan.scan_for("o").columns is None
+
+    def test_qualified_star_prunes_other_relations(self):
+        engine, _ = _pair()
+        plan = self._plan(
+            engine,
+            "SELECT o.* FROM orders AS o INNER JOIN customers AS c "
+            "ON o.customer_id = c.customer_id",
+        )
+        assert plan.scan_for("o").columns is None
+        assert plan.scan_for("c").columns == {"customer_id"}
+
+    def test_count_star_needs_no_columns(self):
+        engine, _ = _pair()
+        plan = self._plan(engine, "SELECT count(*) FROM orders")
+        assert plan.scan_for("orders").columns == set()
+
+    def test_nondeterministic_predicates_are_not_pushed(self):
+        engine, _ = _pair()
+        plan = self._plan(
+            engine,
+            "SELECT o.order_id FROM orders AS o INNER JOIN customers AS c "
+            "ON o.customer_id = c.customer_id WHERE o.price > 5 AND rand() < 0.5",
+        )
+        assert plan.scan_for("o").predicates == []
+        assert plan.residual_where is not None
+
+    def test_subquery_predicates_are_not_pushed(self):
+        engine, _ = _pair()
+        plan = self._plan(
+            engine,
+            "SELECT o.order_id FROM orders AS o INNER JOIN customers AS c "
+            "ON o.customer_id = c.customer_id "
+            "WHERE o.price > (SELECT avg(price) FROM orders)",
+        )
+        assert plan.scan_for("o").predicates == []
+
+    def test_ambiguous_unqualified_column_is_not_pushed(self):
+        engine, _ = _pair()
+        # ``city`` exists in both orders and regions
+        plan = self._plan(
+            engine,
+            "SELECT count(*) FROM orders AS o INNER JOIN regions AS r "
+            "ON o.city = r.city WHERE city = 'detroit'",
+        )
+        assert plan.scan_for("o").predicates == []
+        assert plan.scan_for("r").predicates == []
+        assert plan.residual_where is not None
+
+
+# ---------------------------------------------------------------------------
+# cache invalidation: DDL/DML after a cached plan must not serve stale data
+# ---------------------------------------------------------------------------
+
+
+class TestCacheInvalidation:
+    def test_insert_after_cached_plan(self):
+        engine = Database(optimize=True)
+        engine.register_table("t", {"k": np.array(["a", "b"], dtype=object), "v": [1, 2]})
+        query = "SELECT k, sum(v) AS total FROM t GROUP BY k ORDER BY k"
+        first = engine.execute(query)
+        assert first.column("total").tolist() == [1, 2]
+        engine.execute("INSERT INTO t (k, v) VALUES ('a', 10), ('c', 5)")
+        second = engine.execute(query)
+        assert second.column("k").tolist() == ["a", "b", "c"]
+        assert second.column("total").tolist() == [11, 2, 5]
+
+    def test_drop_and_recreate_after_cached_plan(self):
+        engine = Database(optimize=True)
+        engine.register_table("t", {"k": np.array(["a"], dtype=object), "v": [1]})
+        query = "SELECT k, v FROM t"
+        assert engine.execute(query).num_rows == 1
+        engine.execute("DROP TABLE t")
+        engine.register_table("t", {"k": np.array(["x", "y"], dtype=object), "v": [7, 8]})
+        result = engine.execute(query)
+        assert result.column("k").tolist() == ["x", "y"]
+        assert result.column("v").tolist() == [7, 8]
+
+    def test_create_table_as_after_cached_plan(self):
+        engine = Database(optimize=True)
+        engine.register_table("t", {"v": [1, 2, 3, 4]})
+        query = "SELECT count(*) FROM u"
+        engine.execute("CREATE TABLE u AS SELECT v FROM t WHERE v > 2")
+        assert engine.execute(query).scalar() == 2
+        engine.execute("DROP TABLE u")
+        engine.execute("CREATE TABLE u AS SELECT v FROM t")
+        assert engine.execute(query).scalar() == 4
+
+    def test_schema_change_invalidates_pruned_plan(self):
+        engine = Database(optimize=True)
+        engine.register_table("t", {"a": [1, 2], "b": [3, 4]})
+        query = "SELECT a FROM t WHERE b > 3"
+        assert engine.execute(query).column("a").tolist() == [2]
+        # replace with a table whose referenced columns have different data
+        engine.register_table("t", {"a": [9, 10], "b": [5, 0]})
+        assert engine.execute(query).column("a").tolist() == [9]
+
+    def test_dictionary_cache_invalidated_by_append(self):
+        engine = Database(optimize=True)
+        engine.register_table("t", {"k": np.array(["a", "b"], dtype=object)})
+        table = engine.table("t")
+        codes_before, dictionary_before = table.dictionary_codes("k")
+        assert dictionary_before.tolist() == ["a", "b"]
+        # memoized while unchanged
+        again, _ = table.dictionary_codes("k")
+        assert again is codes_before
+        engine.execute("INSERT INTO t (k) VALUES ('c')")
+        codes_after, dictionary_after = table.dictionary_codes("k")
+        assert dictionary_after.tolist() == ["a", "b", "c"]
+        assert len(codes_after) == 3
+
+
+# ---------------------------------------------------------------------------
+# satellite: ambiguous-column resolution
+# ---------------------------------------------------------------------------
+
+
+class TestAmbiguousColumns:
+    def test_ambiguous_with_different_data_raises(self):
+        frame = Frame()
+        frame.add_column("a", "x", np.array([1, 2, 3]))
+        frame.add_column("b", "x", np.array([1, 2, 4]))
+        with pytest.raises(ExecutionError, match="ambiguous column"):
+            frame.resolve("x")
+
+    def test_ambiguous_with_identical_data_is_tolerated(self):
+        frame = Frame()
+        shared = np.array([1.0, np.nan, 3.0])
+        frame.add_column("a", "x", shared)
+        frame.add_column("b", "x", np.array([1.0, np.nan, 3.0]))
+        assert frame.resolve("x") is shared
+
+    def test_qualified_lookup_bypasses_ambiguity(self):
+        frame = Frame()
+        frame.add_column("a", "x", np.array([1, 2]))
+        frame.add_column("b", "x", np.array([3, 4]))
+        assert frame.resolve("x", "b").tolist() == [3, 4]
+
+    def test_join_on_shared_key_still_resolves_unqualified(self):
+        engine = Database(optimize=True)
+        engine.register_table("l", {"k": np.array(["a", "b"], dtype=object), "v": [1, 2]})
+        engine.register_table("r", {"k": np.array(["a", "b"], dtype=object), "w": [3, 4]})
+        result = engine.execute(
+            "SELECT k, v, w FROM l INNER JOIN r ON l.k = r.k ORDER BY k"
+        )
+        assert result.column("k").tolist() == ["a", "b"]
+
+    def test_ambiguous_in_query_raises(self):
+        engine = Database(optimize=True)
+        engine.register_table("l", {"k": np.array(["a", "b"], dtype=object), "v": [1, 2]})
+        engine.register_table("r", {"k": np.array(["b", "c"], dtype=object), "w": [1, 2]})
+        with pytest.raises(ExecutionError, match="ambiguous column"):
+            engine.execute("SELECT v FROM l INNER JOIN r ON l.v = r.w WHERE k = 'a'")
+
+
+# ---------------------------------------------------------------------------
+# satellite: LIKE escape handling + regex memoization
+# ---------------------------------------------------------------------------
+
+
+class TestLikeCompilation:
+    @pytest.fixture()
+    def engine(self):
+        engine = Database(optimize=True)
+        engine.register_table(
+            "t",
+            {
+                "s": np.array(
+                    ["100%", "100x", "a_b", "axb", "plain", None], dtype=object
+                )
+            },
+        )
+        return engine
+
+    def test_escaped_percent_is_literal(self, engine):
+        result = engine.execute("SELECT s FROM t WHERE s LIKE '100\\%'")
+        assert result.column("s").tolist() == ["100%"]
+
+    def test_unescaped_percent_is_wildcard(self, engine):
+        result = engine.execute("SELECT s FROM t WHERE s LIKE '100%'")
+        assert sorted(result.column("s").tolist()) == ["100%", "100x"]
+
+    def test_escaped_underscore_is_literal(self, engine):
+        result = engine.execute("SELECT s FROM t WHERE s LIKE 'a\\_b'")
+        assert result.column("s").tolist() == ["a_b"]
+
+    def test_unescaped_underscore_is_wildcard(self, engine):
+        result = engine.execute("SELECT s FROM t WHERE s LIKE 'a_b'")
+        assert sorted(result.column("s").tolist()) == ["a_b", "axb"]
+
+    def test_compiled_patterns_are_memoized(self):
+        from repro.sqlengine.expressions import _compile_like
+
+        assert _compile_like("abc%") is _compile_like("abc%")
+
+    def test_null_rows_never_match(self, engine):
+        assert engine.execute("SELECT count(*) FROM t WHERE s LIKE '%'").scalar() == 5
+
+
+# ---------------------------------------------------------------------------
+# middleware rewrite cache
+# ---------------------------------------------------------------------------
+
+
+class TestRewriteCache:
+    def test_repeated_queries_hit_the_rewrite_cache(self, verdict):
+        verdict._rewrite_cache.clear()
+        verdict._rewrite_cache.hits = verdict._rewrite_cache.misses = 0
+        query = "SELECT city, avg(price) AS m FROM orders GROUP BY city"
+        first = verdict.sql(query)
+        second = verdict.sql(query)
+        assert verdict._rewrite_cache.hits >= 1
+        assert first.raw.column_names == second.raw.column_names
+        assert first.column("m").tolist() == second.column("m").tolist()
+
+    def test_sample_changes_invalidate_the_rewrite_cache(self, orders_columns):
+        from repro import SampleSpec, VerdictContext
+        from repro.core.sample_planner import PlannerConfig
+
+        context = VerdictContext(
+            planner_config=PlannerConfig(io_budget=0.2, large_table_rows=5_000)
+        )
+        context.load_table("orders", orders_columns)
+        context.create_sample("orders", SampleSpec("uniform", (), 0.05))
+        query = "SELECT avg(price) AS m FROM orders"
+        approx = context.sql(query)
+        assert not approx.is_exact
+        assert len(context._rewrite_cache) == 1
+        context.drop_samples("orders")
+        assert len(context._rewrite_cache) == 0
+        exact = context.sql(query)  # falls back to exact: no samples remain
+        assert exact.is_exact
+
+    def test_scan_plan_defaults(self):
+        scan = ScanPlan()
+        assert scan.predicates == []
+        assert scan.columns is None
