@@ -177,4 +177,8 @@ def test_planner_hotpath_speedups(report):
 
 
 if __name__ == "__main__":
-    print(json.dumps(run(), indent=2))
+    fresh = run()
+    print(json.dumps(fresh, indent=2))
+    from compare_bench import compare_and_check
+
+    raise SystemExit(compare_and_check(RESULTS_PATH.name, fresh))

@@ -1,0 +1,202 @@
+"""Benchmark — the AQP middleware hot path, end to end.
+
+Every query the middleware approximates executes as the same physical shape:
+an outer aggregation over a ``vdb_inner`` derived table that groups the
+sample by (group keys, subsample id).  This benchmark tracks that shape —
+not just the raw engine — across PRs, exercising the derived-table-aware
+optimizer round (predicate pushdown *into* subqueries, derived-output
+pruning, ON-clause pushdown, smaller-build-side joins, fused aggregation):
+
+* **flat** — a grouped aggregate over the sampled fact table with selective
+  predicates: the rewritten inner query's WHERE is pushed to the sample scan
+  and the grouped per-subsample pass runs over dictionary codes.
+* **join** — the sampled fact table joined to an unsampled dimension table:
+  single-side conjuncts move below the join, dead columns never cross it and
+  the dimension side builds the hash table.
+* **nested** — an aggregate over an aggregate derived table (Section 5.2):
+  the variational-table rewrite produces a derived table inside a derived
+  table; the outer predicate travels through both levels down to the scan.
+
+Each workload runs three ways — the full middleware over
+``Database(optimize=True)``, the same middleware over ``optimize=False``
+(the naive engine: no planner, no caches, no dictionary codes), and exact
+execution of the original query — and asserts that both middleware modes
+return identical rows (the samples are seeded identically, so the rewritten
+queries must agree bit for bit).
+
+Results are written to ``benchmarks/BENCH_verdict.json``.  Run standalone
+with ``PYTHONPATH=src python benchmarks/bench_verdict_hotpath.py`` — the
+standalone path also diffs the fresh numbers against the committed baseline
+via ``compare_bench`` and fails on any floor regression.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import SampleSpec, VerdictContext
+from repro.connectors import BuiltinConnector
+from repro.core.sample_planner import PlannerConfig
+from repro.sqlengine import Database
+
+RESULTS_PATH = Path(__file__).resolve().parent / "BENCH_verdict.json"
+
+CITIES = ["ann arbor", "detroit", "chicago", "nyc", "boston", "austin", "seattle", "la"]
+SEGMENTS = ["consumer", "corporate", "home office", "government", "smb"]
+
+FACT_ROWS = 120_000
+DIM_ROWS = 800
+SAMPLE_RATIO = 0.1
+
+WORKLOADS = {
+    "flat": {
+        "sql": (
+            "SELECT city, count(*) AS n, sum(price) AS total, avg(price) AS avg_price "
+            "FROM orders WHERE status = 'open' AND qty >= 2 "
+            "GROUP BY city ORDER BY city"
+        ),
+        "repeats": 12,
+        "floor": 1.5,
+    },
+    "join": {
+        "sql": (
+            "SELECT c.segment, count(*) AS n, sum(o.price * o.qty) AS revenue, "
+            "avg(o.price) AS avg_price "
+            "FROM orders AS o INNER JOIN customers AS c ON o.customer_id = c.customer_id "
+            "WHERE o.status = 'open' AND c.segment <> 'smb' "
+            "GROUP BY c.segment ORDER BY c.segment"
+        ),
+        "repeats": 12,
+        "floor": 2.0,
+    },
+    "nested": {
+        "sql": (
+            "SELECT avg(t.city_total) AS mean_total, count(*) AS cities "
+            "FROM (SELECT city, sum(price) AS city_total FROM orders GROUP BY city) AS t "
+            "WHERE t.city <> 'la'"
+        ),
+        "repeats": 12,
+        "floor": 2.0,
+    },
+}
+
+
+def _build_context(optimize: bool) -> VerdictContext:
+    rng = np.random.default_rng(42)
+    orders = {
+        "order_id": np.arange(FACT_ROWS),
+        "customer_id": rng.integers(0, DIM_ROWS, FACT_ROWS),
+        "price": np.round(rng.gamma(2.0, 8.0, FACT_ROWS), 2),
+        "qty": rng.integers(1, 20, FACT_ROWS),
+        "city": rng.choice(np.array(CITIES, dtype=object), FACT_ROWS),
+        "status": rng.choice(
+            np.array(["open", "closed", "returned"], dtype=object), FACT_ROWS
+        ),
+        # dead weight the derived-table pruning must never materialize
+        "note_1": rng.normal(size=FACT_ROWS),
+        "note_2": rng.choice(np.array([f"n{i}" for i in range(50)], dtype=object), FACT_ROWS),
+        "note_3": rng.normal(size=FACT_ROWS),
+    }
+    customers = {
+        "customer_id": np.arange(DIM_ROWS),
+        "segment": np.array(
+            [SEGMENTS[i % len(SEGMENTS)] for i in range(DIM_ROWS)], dtype=object
+        ),
+        "name": np.array([f"customer_{i}" for i in range(DIM_ROWS)], dtype=object),
+    }
+    context = VerdictContext(
+        connector=BuiltinConnector(database=Database(seed=0, optimize=optimize)),
+        planner_config=PlannerConfig(io_budget=0.15, large_table_rows=20_000),
+    )
+    context.load_table("orders", orders)
+    context.load_table("customers", customers)
+    context.create_sample("orders", SampleSpec("uniform", (), SAMPLE_RATIO))
+    return context
+
+
+def _time_middleware(context: VerdictContext, sql: str, repeats: int):
+    result = context.sql(sql)  # warmup: fills analysis/rewrite/statement caches
+    if result.is_exact:
+        raise AssertionError(f"workload fell back to exact execution: {sql}")
+    started = time.perf_counter()
+    for _ in range(repeats):
+        result = context.sql(sql)
+    return (time.perf_counter() - started) / repeats, result
+
+
+def _time_exact(context: VerdictContext, sql: str, repeats: int) -> float:
+    context.execute_exact(sql)  # warmup
+    started = time.perf_counter()
+    for _ in range(repeats):
+        context.execute_exact(sql)
+    return (time.perf_counter() - started) / repeats
+
+
+def _results_match(left, right) -> bool:
+    left_raw, right_raw = left.raw, right.raw
+    if left_raw.column_names != right_raw.column_names:
+        return False
+    if left_raw.num_rows != right_raw.num_rows:
+        return False
+    for left_column, right_column in zip(left_raw.columns(), right_raw.columns()):
+        for a, b in zip(left_column.tolist(), right_column.tolist()):
+            if isinstance(a, float) and isinstance(b, float):
+                if not (a == b or (np.isnan(a) and np.isnan(b))):
+                    return False
+            elif a != b:
+                return False
+    return True
+
+
+def run() -> dict:
+    """Run every workload in all three modes and write the comparison JSON."""
+    optimized = _build_context(optimize=True)
+    baseline = _build_context(optimize=False)
+
+    report: dict = {"unit": "seconds_per_query", "workloads": {}}
+    for name, spec in WORKLOADS.items():
+        optimized_seconds, optimized_result = _time_middleware(
+            optimized, spec["sql"], spec["repeats"]
+        )
+        baseline_seconds, baseline_result = _time_middleware(
+            baseline, spec["sql"], spec["repeats"]
+        )
+        if not _results_match(optimized_result, baseline_result):
+            raise AssertionError(f"workload {name!r}: optimize=True changed the results")
+        exact_seconds = _time_exact(optimized, spec["sql"], spec["repeats"])
+        report["workloads"][name] = {
+            "baseline_seconds": round(baseline_seconds, 6),
+            "optimized_seconds": round(optimized_seconds, 6),
+            "exact_seconds": round(exact_seconds, 6),
+            "speedup": round(baseline_seconds / optimized_seconds, 2),
+            "aqp_vs_exact": round(exact_seconds / optimized_seconds, 2),
+            "floor": spec["floor"],
+            "repeats": spec["repeats"],
+        }
+    RESULTS_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+def test_verdict_hotpath_speedups(report):
+    records = run()
+    rows = [
+        {"workload": name, **metrics} for name, metrics in records["workloads"].items()
+    ]
+    report["Verdict hot path — naive vs optimized vs exact"] = rows
+    for name, metrics in records["workloads"].items():
+        # Conservative floors (observed speedups are far higher; see
+        # BENCH_verdict.json): the derived-table round must at least double
+        # throughput on the join and nested AQP shapes.
+        assert metrics["speedup"] >= metrics["floor"], (name, metrics)
+
+
+if __name__ == "__main__":
+    fresh = run()
+    print(json.dumps(fresh, indent=2))
+    from compare_bench import compare_and_check
+
+    raise SystemExit(compare_and_check(RESULTS_PATH.name, fresh))

@@ -1,0 +1,129 @@
+"""Compare benchmark reports against the committed baselines and floors.
+
+``BENCH_*.json`` files committed to the repository are the performance
+baselines: each records per-workload ``speedup`` values (baseline seconds /
+optimized seconds) measured when the PR landed.  This module
+
+* diffs a freshly produced report against the committed JSON (so a PR that
+  erodes a speedup is visible in review), and
+* fails — returns a non-zero exit status — when any workload's speedup drops
+  below the floor asserted by its benchmark.
+
+The benchmark scripts call :func:`compare_and_check` from their ``__main__``
+path after rewriting the JSON; running this module directly re-checks every
+committed report against the floors without re-running anything:
+
+    PYTHONPATH=src python benchmarks/compare_bench.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).resolve().parent
+
+# Speedup floors per report file.  These mirror the assertions inside the
+# benchmark tests; keeping them here as well lets CI re-check the *committed*
+# numbers without paying for a benchmark run.
+FLOORS: dict[str, dict[str, float]] = {
+    "BENCH_planner.json": {
+        "repeated_statement": 3.0,
+        "join_heavy": 1.5,
+        "string_group": 1.1,
+    },
+    "BENCH_verdict.json": {
+        "flat": 1.5,
+        "join": 2.0,
+        "nested": 2.0,
+    },
+}
+
+
+def load_committed(name: str) -> dict | None:
+    """The committed report for ``name``, or None when absent."""
+    path = BENCH_DIR / name
+    if not path.exists():
+        return None
+    return json.loads(path.read_text())
+
+
+def check_floors(name: str, report: dict) -> list[str]:
+    """Return a failure message per workload whose speedup is below floor."""
+    failures: list[str] = []
+    floors = FLOORS.get(name, {})
+    workloads = report.get("workloads", {})
+    for workload, floor in floors.items():
+        metrics = workloads.get(workload)
+        if metrics is None:
+            failures.append(f"{name}: workload {workload!r} is missing")
+            continue
+        speedup = float(metrics.get("speedup", 0.0))
+        if speedup < floor:
+            failures.append(
+                f"{name}: {workload} speedup {speedup:.2f}x regressed below "
+                f"the {floor:.2f}x floor"
+            )
+    return failures
+
+
+def diff_reports(name: str, fresh: dict, committed: dict | None) -> list[str]:
+    """Human-readable per-workload deltas between fresh and committed runs."""
+    lines: list[str] = []
+    fresh_workloads = fresh.get("workloads", {})
+    committed_workloads = (committed or {}).get("workloads", {})
+    for workload, metrics in fresh_workloads.items():
+        new = float(metrics.get("speedup", 0.0))
+        old_metrics = committed_workloads.get(workload)
+        if old_metrics is None:
+            lines.append(f"  {workload}: {new:.2f}x (new workload)")
+            continue
+        old = float(old_metrics.get("speedup", 0.0))
+        delta = new - old
+        lines.append(f"  {workload}: {old:.2f}x -> {new:.2f}x ({delta:+.2f})")
+    for workload in committed_workloads:
+        if workload not in fresh_workloads:
+            lines.append(f"  {workload}: removed (was committed)")
+    return lines
+
+
+def compare_and_check(name: str, fresh: dict) -> int:
+    """Diff ``fresh`` against the committed ``name`` and enforce the floors.
+
+    Returns a process exit status (0 = ok) so benchmark ``__main__`` paths
+    can hand it straight to ``SystemExit``.  Note the benchmark has already
+    overwritten the committed file by the time this runs, so the committed
+    numbers are read before the benchmark in CI setups that need the diff —
+    here the diff is informational and the floors are the gate.
+    """
+    committed = load_committed(name)
+    print(f"\n=== {name} vs committed baseline ===")
+    for line in diff_reports(name, fresh, committed):
+        print(line)
+    failures = check_floors(name, fresh)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        print("all speedup floors hold")
+    return 1 if failures else 0
+
+
+def main() -> int:
+    status = 0
+    for name in sorted(FLOORS):
+        committed = load_committed(name)
+        if committed is None:
+            print(f"{name}: not present, skipping")
+            continue
+        failures = check_floors(name, committed)
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+            status = 1
+        if not failures:
+            print(f"{name}: all speedup floors hold")
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -10,8 +10,6 @@ rewritten SQL text exactly as written.
 
 from __future__ import annotations
 
-import dataclasses
-
 import numpy as np
 
 from repro.errors import ExecutionError
@@ -24,11 +22,29 @@ from repro.sqlengine.expressions import (
     contains_aggregate,
     encode_grouping_key,
     evaluate,
-    group_rows,
     group_rows_encoded,
 )
 from repro.sqlengine.planner import SelectPlan
 from repro.sqlengine.resultset import ResultSet
+
+
+class _JoinCounter:
+    """Numbers join nodes in pre-order during frame building.
+
+    The planner numbers joins with the same traversal
+    (``planner._joins_preorder``), so ``SelectPlan.join_residuals`` entries
+    line up with the joins the executor encounters.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def next(self) -> int:
+        index = self.value
+        self.value += 1
+        return index
 
 
 class Executor:
@@ -84,8 +100,13 @@ class Executor:
     # -- FROM clause ----------------------------------------------------------
 
     def _build_frame(
-        self, relation: ast.Relation | None, plan: SelectPlan | None = None
+        self,
+        relation: ast.Relation | None,
+        plan: SelectPlan | None = None,
+        joins: _JoinCounter | None = None,
     ) -> Frame:
+        if joins is None:
+            joins = _JoinCounter()
         if relation is None:
             # SELECT without FROM: a single anonymous row.
             frame = Frame(num_rows=1)
@@ -109,7 +130,14 @@ class Executor:
                 frame.num_rows = table.num_rows
             return self._apply_scan_predicates(frame, scan)
         if isinstance(relation, ast.DerivedTable):
-            result = self.execute_select(relation.query)
+            derived = plan.derived_for(relation.binding_name) if plan is not None else None
+            if derived is not None:
+                # Execute the planner's rewritten subquery (outer conjuncts
+                # folded into its WHERE, unused outputs pruned) with its
+                # precomputed plan instead of re-planning per execution.
+                result = self.execute_select(derived.statement, plan=derived.plan)
+            else:
+                result = self.execute_select(relation.query)
             frame = Frame()
             for column_name, array in zip(result.column_names, result.columns()):
                 frame.add_column(relation.alias, column_name, array)
@@ -118,7 +146,7 @@ class Executor:
             scan = plan.scan_for(relation.binding_name) if plan is not None else None
             return self._apply_scan_predicates(frame, scan)
         if isinstance(relation, ast.Join):
-            return self._build_join(relation, plan)
+            return self._build_join(relation, plan, joins)
         raise ExecutionError(f"unsupported relation type {type(relation).__name__}")
 
     def _apply_scan_predicates(self, frame: Frame, scan) -> Frame:
@@ -130,14 +158,27 @@ class Executor:
         mask = evaluate(predicate, frame, context, self._scalar_subquery)
         return frame.filter(mask)
 
-    def _build_join(self, join: ast.Join, plan: SelectPlan | None = None) -> Frame:
+    def _build_join(
+        self,
+        join: ast.Join,
+        plan: SelectPlan | None = None,
+        joins: _JoinCounter | None = None,
+    ) -> Frame:
         if join.join_type not in ("INNER", "CROSS"):
             raise ExecutionError(f"{join.join_type} joins are not supported")
-        left = self._build_frame(join.left, plan)
-        right = self._build_frame(join.right, plan)
+        if joins is None:
+            joins = _JoinCounter()
+        index = joins.next()
+        left = self._build_frame(join.left, plan, joins)
+        right = self._build_frame(join.right, plan, joins)
         context = functions.EvaluationContext(num_rows=left.num_rows, rng=self._rng)
 
-        equi_pairs, residual = _split_join_condition(join.condition, left, right)
+        condition = join.condition
+        if plan is not None and plan.join_residuals is not None:
+            # Single-side conjuncts were already applied at the scans; only
+            # the equi-join/cross-relation residual remains here.
+            condition = plan.join_residuals.get(index, join.condition)
+        equi_pairs, residual = _split_join_condition(condition, left, right)
         if not equi_pairs:
             left_indices, right_indices = _cross_join_indices(left.num_rows, right.num_rows)
         else:
@@ -152,7 +193,11 @@ class Executor:
             left_encodings = [_key_encoding(expr, left) for expr, _ in equi_pairs]
             right_encodings = [_key_encoding(expr, right) for _, expr in equi_pairs]
             left_indices, right_indices = hash_join_indices(
-                left_keys, right_keys, left_encodings, right_encodings
+                left_keys,
+                right_keys,
+                left_encodings,
+                right_encodings,
+                prefer_smaller_build=self._optimize,
             )
 
         joined = Frame.concat(left.take(left_indices), right.take(right_indices))
@@ -172,33 +217,48 @@ class Executor:
     ) -> ResultSet:
         column_names: list[str] = []
         columns: list[np.ndarray] = []
+        # Scan-attached dictionary codes of each output column, collected so
+        # DISTINCT can group on the existing rank codes instead of re-running
+        # ``np.unique`` over object arrays.
+        encodings: list[tuple[np.ndarray, np.ndarray] | None] | None = (
+            [] if statement.distinct and self._optimize else None
+        )
         alias_frame = Frame(num_rows=frame.num_rows)
         for binding, name, array, codes in frame.entries_with_codes():
             alias_frame.add_column(binding, name, array, codes=codes)
 
         for position, item in enumerate(statement.select_items):
             if isinstance(item.expression, ast.Star):
-                for binding, name, array in frame.entries():
+                for binding, name, array, codes in frame.entries_with_codes():
                     if item.expression.table and (
                         binding is None or binding.lower() != item.expression.table.lower()
                     ):
                         continue
                     column_names.append(name)
                     columns.append(array)
+                    if encodings is not None:
+                        encodings.append(codes.resolve() if codes is not None else None)
                 continue
             array = evaluate(item.expression, frame, context, self._scalar_subquery)
             name = item.output_name(position)
             column_names.append(name)
             columns.append(array)
+            if encodings is not None:
+                encodings.append(_key_encoding(item.expression, frame))
             alias_frame.add_column(None, name, array)
 
         order_indices = self._order_indices(statement, alias_frame, context)
         if order_indices is not None:
             columns = [column[order_indices] for column in columns]
+            if encodings is not None:
+                encodings = [
+                    None if encoded is None else (encoded[0][order_indices], encoded[1])
+                    for encoded in encodings
+                ]
 
         result = ResultSet(column_names, columns)
         if statement.distinct:
-            result = _distinct(result)
+            result = _distinct(result, encodings)
         return _apply_limit(result, statement.limit, statement.offset)
 
     # -- grouped / aggregate SELECT --------------------------------------------
@@ -219,14 +279,12 @@ class Executor:
             for expr in statement.group_by:
                 key_array = evaluate(expr, frame, context, self._scalar_subquery)
                 keys.append(key_array)
-                encoded = _key_encoding(expr, frame)
-                if encoded is not None:
-                    # Reuse the scan's dictionary codes: injective over the
-                    # full dictionary, so grouping on them is grouping on the
-                    # normalized string values without re-encoding the rows.
-                    encoded_keys.append((encoded[0], max(1, len(encoded[1]))))
-                else:
-                    encoded_keys.append(encode_grouping_key(key_array))
+                # Reuse the scan's dictionary codes when present: injective
+                # over the full dictionary, so grouping on them is grouping
+                # on the normalized values without re-encoding the rows.
+                encoded_keys.append(
+                    _grouping_encoding(key_array, _key_encoding(expr, frame))
+                )
             inverse, num_groups = group_rows_encoded(encoded_keys, frame.num_rows)
         else:
             keys = []
@@ -255,10 +313,19 @@ class Executor:
                 name_substitutions[expr.name.lower()] = column_name
 
         aggregate_nodes = self._collect_aggregates(statement)
+        argument_substitutions: dict[str, str] = {}
+        if self._optimize and aggregate_nodes:
+            argument_substitutions = self._materialize_shared_arguments(
+                statement, aggregate_nodes, frame, keys, context
+            )
         for position, (sql_key, node) in enumerate(aggregate_nodes.items()):
             column_name = f"__agg_{position}"
             post_frame.add_column(
-                None, column_name, self._compute_aggregate(node, frame, context, inverse, num_groups)
+                None,
+                column_name,
+                self._compute_aggregate(
+                    node, frame, context, inverse, num_groups, argument_substitutions
+                ),
             )
             substitutions[sql_key] = column_name
 
@@ -326,6 +393,68 @@ class Executor:
                 nodes.setdefault(node.to_sql(), node)
         return nodes
 
+    def _materialize_shared_arguments(
+        self,
+        statement: ast.SelectStatement,
+        aggregate_nodes: dict[str, ast.FunctionCall],
+        frame: Frame,
+        keys: list[np.ndarray],
+        context: functions.EvaluationContext,
+    ) -> dict[str, str]:
+        """Evaluate subexpressions shared by several aggregate arguments once.
+
+        The rewritten AQP inner query computes several Horvitz–Thompson
+        building blocks per subsample id whose arguments share subexpressions
+        (``x / prob``, ``1.0 / prob``, non-trivial grouping expressions); the
+        naive path re-evaluates each occurrence.  This fuses the aggregation
+        input into a single pass: every repeated, deterministic subexpression
+        is evaluated once, materialized as a hidden frame column, and the
+        aggregate arguments are rewritten to reference it.  Grouping-key
+        expressions are seeded for free — their arrays are already computed.
+        Expressions containing ``rand()`` or scalar subqueries never
+        participate (each occurrence must keep its own evaluation so the RNG
+        stream matches the naive path).
+        """
+        substitutions: dict[str, str] = {}
+
+        def materialize(sql: str, array: np.ndarray) -> None:
+            name = f"\x00shared_{len(substitutions)}"
+            frame.add_column(None, name, array)
+            substitutions[sql] = name
+
+        for expression, key_array in zip(statement.group_by, keys):
+            if isinstance(expression, (ast.Literal, ast.ColumnRef, ast.Star)):
+                continue  # resolving a column (or broadcasting) is already free
+            sql = expression.to_sql()
+            if sql not in substitutions and _shareable(expression):
+                materialize(sql, key_array)
+
+        counts: dict[str, int] = {}
+        nodes_by_sql: dict[str, ast.Expression] = {}
+        for node in aggregate_nodes.values():
+            for argument in node.args:
+                if isinstance(argument, ast.Star):
+                    continue
+                for sub in argument.walk():
+                    if isinstance(sub, (ast.Literal, ast.ColumnRef, ast.Star)):
+                        continue
+                    sql = sub.to_sql()
+                    counts[sql] = counts.get(sql, 0) + 1
+                    nodes_by_sql.setdefault(sql, sub)
+
+        # Inner-most first (a contained subexpression renders strictly
+        # shorter), so outer shared expressions evaluate through the already
+        # materialized columns of their inner ones.
+        for sql in sorted(nodes_by_sql, key=len):
+            if counts[sql] < 2 or sql in substitutions:
+                continue
+            expression = nodes_by_sql[sql]
+            if not _shareable(expression):
+                continue
+            substituted = _substitute(expression, substitutions, {})
+            materialize(sql, evaluate(substituted, frame, context, self._scalar_subquery))
+        return substitutions
+
     def _compute_aggregate(
         self,
         node: ast.FunctionCall,
@@ -333,14 +462,21 @@ class Executor:
         context: functions.EvaluationContext,
         inverse: np.ndarray,
         num_groups: int,
+        argument_substitutions: dict[str, str] | None = None,
     ) -> np.ndarray:
         is_star = bool(node.args) and isinstance(node.args[0], ast.Star)
         if is_star or not node.args:
             args: list[np.ndarray] = []
         else:
+            arguments = node.args
+            if argument_substitutions:
+                arguments = [
+                    _substitute(argument, argument_substitutions, {})
+                    for argument in arguments
+                ]
             args = [
                 evaluate(argument, frame, context, self._scalar_subquery)
-                for argument in node.args
+                for argument in arguments
             ]
         return functions.aggregate(
             node.name, args, inverse, num_groups, distinct=node.distinct, is_star=is_star
@@ -420,11 +556,28 @@ def _key_encoding(expr: ast.Expression, frame: Frame):
     return frame.codes_for(expr.name, expr.table)
 
 
+def _grouping_encoding(
+    values: np.ndarray, encoded: tuple[np.ndarray, np.ndarray] | None
+) -> tuple[np.ndarray, int]:
+    """``(codes, cardinality)`` for one grouping key column.
+
+    Prefers the scan-attached ``(codes, dictionary)`` pair — codes are
+    injective over the dictionary, so grouping on them partitions rows
+    exactly like grouping on the values — and falls back to encoding the
+    values.  Shared by GROUP BY and DISTINCT so both agree on key semantics.
+    """
+    if encoded is not None:
+        codes, dictionary = encoded
+        return codes, max(1, len(dictionary))
+    return encode_grouping_key(values)
+
+
 def hash_join_indices(
     left_keys: list[np.ndarray],
     right_keys: list[np.ndarray],
     left_encodings: list | None = None,
     right_encodings: list | None = None,
+    prefer_smaller_build: bool = False,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Return matching (left, right) row indices for an inner equi-join.
 
@@ -432,25 +585,49 @@ def hash_join_indices(
     ``(codes, dictionary)`` pairs from the scans; when both sides of a key
     are encoded, only their dictionaries are merged instead of re-encoding
     every row of both inputs.
+
+    The build (sorted) side is the right input.  With
+    ``prefer_smaller_build`` the sides are swapped internally when the left
+    input is smaller — sorting the small side instead of the large one — and
+    the matches are restored to the canonical (left-major, right ascending
+    within) order afterwards, so the emitted pairs are identical either way.
     """
     left_codes, right_codes = _encode_key_pairs(
         left_keys, right_keys, left_encodings, right_encodings
     )
+    if prefer_smaller_build and len(left_codes) < len(right_codes):
+        right_indices, left_indices = _probe_build_join(right_codes, left_codes)
+        # The swapped pass emits right-major order; a stable sort on the left
+        # index restores left-major order and keeps right ascending within
+        # each left row — exactly what the unswapped pass produces.
+        order = np.argsort(left_indices, kind="stable")
+        return left_indices[order], right_indices[order]
+    return _probe_build_join(left_codes, right_codes)
 
-    right_order = np.argsort(right_codes, kind="stable")
-    sorted_right = right_codes[right_order]
-    starts = np.searchsorted(sorted_right, left_codes, side="left")
-    ends = np.searchsorted(sorted_right, left_codes, side="right")
+
+def _probe_build_join(
+    probe_codes: np.ndarray, build_codes: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sort the build side, probe it with every probe row, emit match pairs."""
+    build_order = np.argsort(build_codes, kind="stable")
+    sorted_build = build_codes[build_order]
+    starts = np.searchsorted(sorted_build, probe_codes, side="left")
+    ends = np.searchsorted(sorted_build, probe_codes, side="right")
     counts = ends - starts
     total = int(counts.sum())
     if total == 0:
         return np.array([], dtype=np.int64), np.array([], dtype=np.int64)
-    left_indices = np.repeat(np.arange(len(left_codes)), counts)
+    probe_indices = np.repeat(np.arange(len(probe_codes)), counts)
     cumulative = np.cumsum(counts) - counts
     within = np.arange(total) - np.repeat(cumulative, counts)
     positions = np.repeat(starts, counts) + within
-    right_indices = right_order[positions]
-    return left_indices, right_indices
+    build_indices = build_order[positions]
+    return probe_indices, build_indices
+
+
+# Packed multi-column codes must stay below this bound; past it the packing
+# is re-densified instead of silently wrapping around int64.
+_MAX_PACKED_CODE = 1 << 62
 
 
 def _encode_key_pairs(
@@ -465,6 +642,12 @@ def _encode_key_pairs(
     sides' precomputed dictionaries are merged (cheap: proportional to the
     number of *distinct* values) or a union dictionary is built from the raw
     rows (the pre-existing fallback).
+
+    Packing is positional (``combined * cardinality + codes``); when the
+    running cardinality product would overflow int64 — possible once several
+    high-cardinality key columns multiply past 2**63 — the packed prefix is
+    re-encoded to dense codes first, so distinct key tuples can never be
+    conflated by silent wraparound.
     """
     if not left_keys:
         return np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64)
@@ -472,6 +655,7 @@ def _encode_key_pairs(
     right_rows = len(right_keys[0])
     left_combined = np.zeros(left_rows, dtype=np.int64)
     right_combined = np.zeros(right_rows, dtype=np.int64)
+    current_cardinality = 1
     for position, (left_key, right_key) in enumerate(zip(left_keys, right_keys)):
         left_encoded = left_encodings[position] if left_encodings else None
         right_encoded = right_encodings[position] if right_encodings else None
@@ -487,9 +671,27 @@ def _encode_key_pairs(
             cardinality = int(codes.max()) + 1 if len(codes) else 1
             left_codes = codes[:left_rows]
             right_codes = codes[left_rows:]
+        cardinality = max(1, int(cardinality))
+        if current_cardinality > _MAX_PACKED_CODE // cardinality:
+            left_combined, right_combined, current_cardinality = _densify_pair(
+                left_combined, right_combined
+            )
         left_combined = left_combined * cardinality + left_codes
         right_combined = right_combined * cardinality + right_codes
+        current_cardinality *= cardinality
     return left_combined, right_combined
+
+
+def _densify_pair(
+    left_combined: np.ndarray, right_combined: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """Re-encode two packed code arrays against their joint value universe."""
+    left_rows = len(left_combined)
+    universe = np.concatenate([left_combined, right_combined])
+    _, dense = np.unique(universe, return_inverse=True)
+    dense = dense.astype(np.int64, copy=False)
+    cardinality = int(dense.max()) + 1 if len(dense) else 1
+    return dense[:left_rows], dense[left_rows:], cardinality
 
 
 def _normalize_key(key: np.ndarray) -> np.ndarray:
@@ -509,84 +711,36 @@ def _substitute(
     name_substitutions: dict[str, str],
 ) -> ast.Expression:
     """Replace aggregate calls and grouping keys with post-aggregation columns."""
-    sql_key = expression.to_sql()
-    if sql_key in substitutions:
-        return ast.ColumnRef(substitutions[sql_key])
-    if isinstance(expression, ast.ColumnRef):
-        replacement = name_substitutions.get(expression.name.lower())
-        if replacement is not None:
-            return ast.ColumnRef(replacement)
-        return expression
-    if isinstance(expression, (ast.Literal, ast.Star)):
-        return expression
-    if isinstance(expression, ast.UnaryOp):
-        return dataclasses.replace(
-            expression, operand=_substitute(expression.operand, substitutions, name_substitutions)
-        )
-    if isinstance(expression, ast.BinaryOp):
-        return dataclasses.replace(
-            expression,
-            left=_substitute(expression.left, substitutions, name_substitutions),
-            right=_substitute(expression.right, substitutions, name_substitutions),
-        )
-    if isinstance(expression, ast.FunctionCall):
-        return dataclasses.replace(
-            expression,
-            args=[_substitute(arg, substitutions, name_substitutions) for arg in expression.args],
-        )
-    if isinstance(expression, ast.WindowFunction):
-        return dataclasses.replace(
-            expression,
-            function=_substitute(expression.function, substitutions, name_substitutions),
-            partition_by=[
-                _substitute(key, substitutions, name_substitutions)
-                for key in expression.partition_by
-            ],
-        )
-    if isinstance(expression, ast.CaseWhen):
-        return dataclasses.replace(
-            expression,
-            whens=[
-                (
-                    _substitute(condition, substitutions, name_substitutions),
-                    _substitute(result, substitutions, name_substitutions),
-                )
-                for condition, result in expression.whens
-            ],
-            else_result=(
-                None
-                if expression.else_result is None
-                else _substitute(expression.else_result, substitutions, name_substitutions)
-            ),
-        )
-    if isinstance(expression, ast.InList):
-        return dataclasses.replace(
-            expression,
-            operand=_substitute(expression.operand, substitutions, name_substitutions),
-            values=[
-                _substitute(value, substitutions, name_substitutions)
-                for value in expression.values
-            ],
-        )
-    if isinstance(expression, ast.Between):
-        return dataclasses.replace(
-            expression,
-            operand=_substitute(expression.operand, substitutions, name_substitutions),
-            low=_substitute(expression.low, substitutions, name_substitutions),
-            high=_substitute(expression.high, substitutions, name_substitutions),
-        )
-    if isinstance(expression, ast.LikePredicate):
-        return dataclasses.replace(
-            expression,
-            operand=_substitute(expression.operand, substitutions, name_substitutions),
-            pattern=_substitute(expression.pattern, substitutions, name_substitutions),
-        )
-    if isinstance(expression, ast.IsNull):
-        return dataclasses.replace(
-            expression,
-            operand=_substitute(expression.operand, substitutions, name_substitutions),
-        )
-    return expression
+
+    def visit(node: ast.Expression) -> ast.Expression | None:
+        sql_key = node.to_sql()
+        if sql_key in substitutions:
+            return ast.ColumnRef(substitutions[sql_key])
+        if isinstance(node, ast.ColumnRef):
+            replacement = name_substitutions.get(node.name.lower())
+            if replacement is not None:
+                return ast.ColumnRef(replacement)
+            return node
+        return None
+
+    return ast.transform_expression(expression, visit)
+
+
+def _shareable(expression: ast.Expression) -> bool:
+    """Whether one evaluation of the expression can stand in for several.
+
+    ``rand()`` must draw once per occurrence and scalar subqueries execute
+    per evaluation (either may touch the engine's RNG stream), so neither can
+    be deduplicated without diverging from the naive path.
+    """
+    for node in expression.walk():
+        if isinstance(node, (ast.ScalarSubquery, ast.WindowFunction)):
+            return False
+        if isinstance(node, ast.FunctionCall) and functions.is_nondeterministic_function(
+            node.name
+        ):
+            return False
+    return True
 
 
 # ---------------------------------------------------------------------------
@@ -595,29 +749,54 @@ def _substitute(
 
 
 def sort_indices(keys: list[tuple[np.ndarray, bool]]) -> np.ndarray:
-    """Stable multi-key sort; each key is (values, ascending)."""
+    """Stable multi-key sort; each key is (values, ascending).
+
+    Integer and boolean keys are sorted directly: casting them to float64
+    (the old behavior) loses precision above 2**53, silently reordering or
+    tying large keys.  Descending integer order uses the bitwise complement
+    ``~x`` — a strictly decreasing reflection with no overflow (negating
+    ``int64 min`` would wrap).
+    """
     if not keys:
         return np.arange(0)
-    num_rows = len(keys[0][0])
     sortable: list[np.ndarray] = []
     for values, ascending in keys:
         if values.dtype == object:
             normalized = normalize_object_key(values)
             _, codes = np.unique(normalized, return_inverse=True)
-            key_array = codes.astype(np.float64)
+            key_array = codes.astype(np.int64, copy=False)
+            if not ascending:
+                key_array = -key_array  # dense codes: negation cannot overflow
+        elif values.dtype.kind in "iub":
+            key_array = values if ascending else ~values
         else:
             key_array = values.astype(np.float64, copy=False)
-        if not ascending:
-            key_array = -key_array
+            if not ascending:
+                key_array = -key_array
         sortable.append(key_array)
     # np.lexsort sorts by the last key first, so reverse the list.
-    return np.lexsort(tuple(reversed(sortable))) if sortable else np.arange(num_rows)
+    return np.lexsort(tuple(reversed(sortable)))
 
 
-def _distinct(result: ResultSet) -> ResultSet:
+def _distinct(
+    result: ResultSet,
+    encodings: list[tuple[np.ndarray, np.ndarray] | None] | None = None,
+) -> ResultSet:
+    """Keep the first occurrence of every distinct row.
+
+    ``encodings`` optionally carries the scan-attached ``(codes,
+    dictionary)`` pair of each result column: coded columns group on their
+    existing rank codes instead of re-running ``np.unique`` over object
+    arrays (the codes are injective over the dictionary, so the row
+    partition is identical).
+    """
     if result.num_rows == 0 or not result.column_names:
         return result
-    inverse, num_groups = group_rows(result.columns())
+    encoded_keys = [
+        _grouping_encoding(column, encodings[position] if encodings is not None else None)
+        for position, column in enumerate(result.columns())
+    ]
+    inverse, num_groups = group_rows_encoded(encoded_keys, result.num_rows)
     representative = np.full(num_groups, result.num_rows, dtype=np.int64)
     np.minimum.at(representative, inverse, np.arange(result.num_rows))
     representative = np.sort(representative)

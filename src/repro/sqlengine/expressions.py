@@ -594,6 +594,12 @@ def encode_grouping_key(key: np.ndarray) -> tuple[np.ndarray, int]:
     return codes.astype(np.int64, copy=False), cardinality
 
 
+# Packed multi-column codes must stay below this bound; past it the packing
+# is re-densified instead of silently wrapping around int64 (mirrors the
+# executor's join-key packing guard).
+_MAX_PACKED_CODE = 1 << 62
+
+
 def group_rows_encoded(
     encoded_keys: list[tuple[np.ndarray, int]], num_rows: int
 ) -> tuple[np.ndarray, int]:
@@ -601,13 +607,24 @@ def group_rows_encoded(
 
     Each key is ``(codes, cardinality)`` where codes injectively map key
     values to ``[0, cardinality)``.  Returns ``(inverse, num_groups)`` with
-    group ids ordered by first appearance.
+    group ids ordered by first appearance.  When the running cardinality
+    product would overflow int64 — possible once several high-cardinality
+    key columns multiply past 2**63 — the packed prefix is re-encoded to
+    dense codes first, so distinct key tuples can never be conflated by
+    silent wraparound.
     """
     if num_rows == 0:
         return np.zeros(0, dtype=np.int64), 0
     combined = np.zeros(num_rows, dtype=np.int64)
+    current_cardinality = 1
     for codes, cardinality in encoded_keys:
+        cardinality = max(1, int(cardinality))
+        if current_cardinality > _MAX_PACKED_CODE // cardinality:
+            _, combined = np.unique(combined, return_inverse=True)
+            combined = combined.astype(np.int64, copy=False)
+            current_cardinality = int(combined.max()) + 1 if len(combined) else 1
         combined = combined * cardinality + codes
+        current_cardinality *= cardinality
     unique_combined, inverse = np.unique(combined, return_inverse=True)
     # Re-number groups by first appearance so output order is deterministic
     # and matches the input ordering (useful for tests and readability).

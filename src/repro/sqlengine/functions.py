@@ -222,6 +222,17 @@ SCALAR_FUNCTIONS: dict[str, ScalarFunction] = {
 }
 
 
+# Functions whose value changes per evaluation.  The planner must never move
+# an expression containing one (the number of rows it is evaluated over — and
+# thus the engine's RNG stream — would change), and the executor must never
+# deduplicate one across aggregate arguments.
+NONDETERMINISTIC_FUNCTIONS = frozenset({"rand", "random"})
+
+
+def is_nondeterministic_function(name: str) -> bool:
+    return name.lower() in NONDETERMINISTIC_FUNCTIONS
+
+
 def is_scalar_function(name: str) -> bool:
     return name.lower() in SCALAR_FUNCTIONS
 

@@ -10,9 +10,10 @@ controls identifier quoting and function spelling (see
 
 from __future__ import annotations
 
+import dataclasses
 import re
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import Callable, Iterable, Sequence
 
 
 _SAFE_IDENTIFIER = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
@@ -516,6 +517,82 @@ def flatten_and(expression: Expression) -> list[Expression]:
     if isinstance(expression, BinaryOp) and expression.op.upper() == "AND":
         return flatten_and(expression.left) + flatten_and(expression.right)
     return [expression]
+
+
+def transform_expression(
+    expression: Expression, visit: Callable[[Expression], Expression | None]
+) -> Expression:
+    """Rebuild an expression tree top-down.
+
+    ``visit(node)`` may return a replacement expression — which is used as-is,
+    without recursing into it — or None to keep the node and transform its
+    children.  Scalar subqueries are treated as leaves: their inner statements
+    are never descended into.  Used by the executor's post-aggregation
+    substitution and by the planner's derived-table conjunct rewriting.
+    """
+    replaced = visit(expression)
+    if replaced is not None:
+        return replaced
+    if isinstance(expression, UnaryOp):
+        return dataclasses.replace(
+            expression, operand=transform_expression(expression.operand, visit)
+        )
+    if isinstance(expression, BinaryOp):
+        return dataclasses.replace(
+            expression,
+            left=transform_expression(expression.left, visit),
+            right=transform_expression(expression.right, visit),
+        )
+    if isinstance(expression, FunctionCall):
+        return dataclasses.replace(
+            expression,
+            args=[transform_expression(argument, visit) for argument in expression.args],
+        )
+    if isinstance(expression, WindowFunction):
+        return dataclasses.replace(
+            expression,
+            function=transform_expression(expression.function, visit),
+            partition_by=[
+                transform_expression(key, visit) for key in expression.partition_by
+            ],
+        )
+    if isinstance(expression, CaseWhen):
+        return dataclasses.replace(
+            expression,
+            whens=[
+                (transform_expression(condition, visit), transform_expression(result, visit))
+                for condition, result in expression.whens
+            ],
+            else_result=(
+                None
+                if expression.else_result is None
+                else transform_expression(expression.else_result, visit)
+            ),
+        )
+    if isinstance(expression, InList):
+        return dataclasses.replace(
+            expression,
+            operand=transform_expression(expression.operand, visit),
+            values=[transform_expression(value, visit) for value in expression.values],
+        )
+    if isinstance(expression, Between):
+        return dataclasses.replace(
+            expression,
+            operand=transform_expression(expression.operand, visit),
+            low=transform_expression(expression.low, visit),
+            high=transform_expression(expression.high, visit),
+        )
+    if isinstance(expression, LikePredicate):
+        return dataclasses.replace(
+            expression,
+            operand=transform_expression(expression.operand, visit),
+            pattern=transform_expression(expression.pattern, visit),
+        )
+    if isinstance(expression, IsNull):
+        return dataclasses.replace(
+            expression, operand=transform_expression(expression.operand, visit)
+        )
+    return expression
 
 
 def base_tables(relation: Relation | None) -> list[TableRef]:

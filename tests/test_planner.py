@@ -175,6 +175,70 @@ AB_CORPUS = [
     # count(*) only — prunes every column
     "SELECT count(*) FROM orders",
     "SELECT count(*) FROM orders AS o INNER JOIN customers AS c ON o.customer_id = c.customer_id",
+    # --- round 2: derived-table pushdown -------------------------------------
+    # group-key conjunct moves inside the subquery (and on to the base scan)
+    "SELECT t.city, t.n FROM (SELECT city, count(*) AS n FROM orders GROUP BY city) AS t "
+    "WHERE t.city = 'detroit'",
+    "SELECT t.city, t.n FROM (SELECT city, count(*) AS n FROM orders GROUP BY city) AS t "
+    "WHERE t.city <> 'nyc' AND t.n > 40 ORDER BY t.n DESC",
+    # pass-through expression key (upper(city)) referenced by the outer WHERE
+    "SELECT t.u, t.n FROM (SELECT upper(city) AS u, count(*) AS n FROM orders "
+    "WHERE city IS NOT NULL GROUP BY upper(city)) AS t WHERE t.u < 'D' ORDER BY t.u",
+    # plain (non-aggregating) subquery: any deterministic item is pass-through
+    "SELECT s.order_id FROM (SELECT order_id, price * qty AS amount FROM orders) AS s "
+    "WHERE s.amount > 30 ORDER BY s.order_id LIMIT 20",
+    # nested aggregates: outer aggregate over an aggregate derived table
+    "SELECT avg(t.n) AS m, count(*) AS groups FROM "
+    "(SELECT city, status, count(*) AS n FROM orders GROUP BY city, status) AS t "
+    "WHERE t.status = 'open'",
+    # LIMIT / OFFSET blockers: the conjunct must stay outside the subquery
+    "SELECT t.city FROM (SELECT city, count(*) AS n FROM orders GROUP BY city "
+    "ORDER BY n DESC LIMIT 3) AS t WHERE t.city IS NOT NULL ORDER BY t.city",
+    "SELECT t.order_id FROM (SELECT order_id, city FROM orders ORDER BY order_id "
+    "LIMIT 50 OFFSET 5) AS t WHERE t.city = 'detroit' ORDER BY t.order_id",
+    # DISTINCT blocker
+    "SELECT t.city FROM (SELECT DISTINCT city, status FROM orders) AS t "
+    "WHERE t.city = 'chicago' ORDER BY t.city, t.status",
+    # window-function blocker
+    "SELECT t.city, t.share FROM (SELECT city, count(*) AS n, "
+    "sum(count(*)) OVER (PARTITION BY city) AS share FROM orders GROUP BY city, status) AS t "
+    "WHERE t.city = 'detroit' ORDER BY t.share DESC",
+    # rand() in the subquery: nothing may move inside (RNG stream must match)
+    "SELECT t.city FROM (SELECT city, rand() AS r FROM orders) AS t "
+    "WHERE t.city = 'detroit' ORDER BY t.city LIMIT 10",
+    # correlated column names: city exists in orders, regions and the outer scope
+    "SELECT t.city, r.state FROM (SELECT city, count(*) AS n FROM orders "
+    "WHERE city IS NOT NULL GROUP BY city) AS t "
+    "INNER JOIN regions AS r ON t.city = r.city WHERE t.city <> 'nyc' AND r.state = 'MI' "
+    "ORDER BY t.city",
+    # aggregate-output conjunct: not a pass-through column, stays as a post-filter
+    "SELECT t.city FROM (SELECT city, sum(price) AS s FROM orders GROUP BY city) AS t "
+    "WHERE t.s > 500 ORDER BY t.city",
+    # --- round 2: derived-table output pruning --------------------------------
+    # outer touches one of four subquery outputs
+    "SELECT t.city FROM (SELECT city, count(*) AS n, sum(price) AS s, avg(qty) AS m "
+    "FROM orders GROUP BY city) AS t ORDER BY t.city",
+    # outer count(*) over a wide subquery: every output is prunable but one
+    "SELECT count(*) FROM (SELECT city, status, count(*) AS n, sum(price) AS s "
+    "FROM orders GROUP BY city, status) AS t",
+    # subquery ORDER BY references an otherwise-unused alias: it must survive
+    "SELECT t.city FROM (SELECT city, sum(price) AS s FROM orders GROUP BY city "
+    "ORDER BY s DESC) AS t LIMIT 2",
+    # --- round 2: ON-clause pushdown and join ordering ------------------------
+    "SELECT c.segment, count(*) AS n FROM orders AS o INNER JOIN customers AS c "
+    "ON o.customer_id = c.customer_id AND c.segment = 'corporate' AND o.price > 10 "
+    "GROUP BY c.segment",
+    # small left input joined to the large fact table (build-side swap)
+    "SELECT c.segment, count(*) AS n, sum(o.price) AS s FROM customers AS c "
+    "INNER JOIN orders AS o ON c.customer_id = o.customer_id "
+    "WHERE o.qty > 2 GROUP BY c.segment ORDER BY c.segment",
+    # ON residual that references both sides survives below the pushed conjunct
+    "SELECT count(*) FROM orders AS o INNER JOIN customers AS c "
+    "ON o.customer_id = c.customer_id AND o.order_id > c.customer_id AND o.price > 12",
+    # derived table on the join's right side with a pushable ON conjunct
+    "SELECT o.order_id, t.n FROM orders AS o INNER JOIN "
+    "(SELECT city, count(*) AS n FROM orders GROUP BY city) AS t "
+    "ON o.city = t.city AND t.city <> 'nyc' WHERE o.price > 15 ORDER BY o.order_id LIMIT 25",
 ]
 
 
@@ -331,6 +395,156 @@ class TestPlanAnalysis:
 
 
 # ---------------------------------------------------------------------------
+# round 2: derived-table-aware planning
+# ---------------------------------------------------------------------------
+
+
+class TestDerivedTablePlanning:
+    def _plan(self, engine: Database, sql: str):
+        return plan_select(parse_select(sql), engine.catalog)
+
+    def test_group_key_conjunct_is_pushed_inside_and_down_to_the_scan(self):
+        engine, _ = _pair()
+        plan = self._plan(
+            engine,
+            "SELECT t.city, t.n FROM (SELECT city, count(*) AS n FROM orders "
+            "GROUP BY city) AS t WHERE t.city = 'detroit'",
+        )
+        derived = plan.derived_for("t")
+        assert derived is not None
+        assert derived.pushed_conjuncts == 1
+        assert plan.scan_for("t").predicates == []
+        assert plan.residual_where is None
+        assert derived.statement.where is not None
+        assert "city" in derived.statement.where.to_sql()
+        # the recursive round drives the conjunct on to the base-table scan
+        assert len(derived.plan.scan_for("orders").predicates) == 1
+
+    def test_aggregate_output_conjunct_stays_as_post_filter(self):
+        engine, _ = _pair()
+        plan = self._plan(
+            engine,
+            "SELECT t.city FROM (SELECT city, count(*) AS n FROM orders "
+            "GROUP BY city) AS t WHERE t.n > 40",
+        )
+        derived = plan.derived_for("t")
+        assert derived.pushed_conjuncts == 0
+        assert derived.statement.where is None
+        assert len(plan.scan_for("t").predicates) == 1
+
+    @pytest.mark.parametrize(
+        "subquery",
+        [
+            "SELECT city, count(*) AS n FROM orders GROUP BY city LIMIT 3",
+            "SELECT city, count(*) AS n FROM orders GROUP BY city ORDER BY n LIMIT 2 OFFSET 1",
+            "SELECT DISTINCT city, status FROM orders",
+            "SELECT city, count(*) AS n, sum(count(*)) OVER (PARTITION BY city) AS w "
+            "FROM orders GROUP BY city, status",
+            "SELECT city, rand() AS r FROM orders",
+        ],
+    )
+    def test_blockers_keep_the_conjunct_outside(self, subquery):
+        engine, _ = _pair()
+        plan = self._plan(
+            engine, f"SELECT t.city FROM ({subquery}) AS t WHERE t.city = 'detroit'"
+        )
+        derived = plan.derived_for("t")
+        assert derived.pushed_conjuncts == 0
+        assert derived.statement.where is None
+        assert len(plan.scan_for("t").predicates) == 1
+
+    def test_unused_outputs_are_pruned(self):
+        engine, _ = _pair()
+        plan = self._plan(
+            engine,
+            "SELECT t.city FROM (SELECT city, count(*) AS n, sum(price) AS s, "
+            "avg(qty) AS m FROM orders GROUP BY city) AS t",
+        )
+        derived = plan.derived_for("t")
+        assert derived.pruned_columns == 3
+        names = [
+            item.output_name(position)
+            for position, item in enumerate(derived.statement.select_items)
+        ]
+        assert names == ["city"]
+
+    def test_order_by_alias_survives_pruning(self):
+        engine, _ = _pair()
+        plan = self._plan(
+            engine,
+            "SELECT t.city FROM (SELECT city, sum(price) AS s FROM orders "
+            "GROUP BY city ORDER BY s DESC) AS t",
+        )
+        derived = plan.derived_for("t")
+        assert derived.pruned_columns == 0
+
+    def test_rand_item_is_never_pruned(self):
+        engine, _ = _pair()
+        plan = self._plan(
+            engine,
+            "SELECT t.order_id FROM (SELECT order_id, rand() AS r FROM orders) AS t",
+        )
+        derived = plan.derived_for("t")
+        assert derived.pruned_columns == 0
+
+    def test_distinct_subquery_is_not_pruned(self):
+        engine, _ = _pair()
+        plan = self._plan(
+            engine,
+            "SELECT t.city FROM (SELECT DISTINCT city, status FROM orders) AS t",
+        )
+        assert plan.derived_for("t").pruned_columns == 0
+
+    def test_single_side_on_conjuncts_move_to_the_scans(self):
+        engine, _ = _pair()
+        plan = self._plan(
+            engine,
+            "SELECT count(*) FROM orders AS o INNER JOIN customers AS c "
+            "ON o.customer_id = c.customer_id AND c.segment = 'corporate' "
+            "AND o.price > 10 AND o.order_id > c.customer_id",
+        )
+        assert len(plan.scan_for("c").predicates) == 1
+        assert len(plan.scan_for("o").predicates) == 1
+        residual = plan.join_residuals[0]
+        assert residual is not None
+        residual_sql = residual.to_sql()
+        assert "customer_id = c.customer_id" in residual_sql  # equi pair stays
+        assert "order_id > c.customer_id" in residual_sql  # cross-side stays
+        assert "segment" not in residual_sql
+        assert "price" not in residual_sql
+
+    def test_conjuncts_survive_past_the_derived_depth_limit(self):
+        # Beyond _MAX_DERIVED_DEPTH no DerivedPlans are built; the filter
+        # must then stay as a scan predicate instead of being silently lost.
+        for optimize in (True, False):
+            engine = Database(seed=0, optimize=optimize)
+            engine.register_table(
+                "t", {"city": np.array(["a", "a", "b", "c"], dtype=object)}
+            )
+            inner = "SELECT city FROM t"
+            for _ in range(10):
+                inner = f"SELECT city FROM ({inner}) AS s"
+            result = engine.execute(inner)
+            deep = engine.execute(
+                f"SELECT city FROM ({inner}) AS q WHERE city = 'a'"
+            )
+            assert result.num_rows == 4
+            assert deep.column("city").tolist() == ["a", "a"]
+
+    def test_nondeterministic_on_disables_all_pushdown(self):
+        engine, _ = _pair()
+        plan = self._plan(
+            engine,
+            "SELECT count(*) FROM orders AS o INNER JOIN customers AS c "
+            "ON o.customer_id = c.customer_id AND rand() < 0.9 "
+            "WHERE o.price > 10",
+        )
+        assert plan.join_residuals is None
+        assert plan.scan_for("o").predicates == []
+        assert plan.residual_where is not None
+
+
+# ---------------------------------------------------------------------------
 # cache invalidation: DDL/DML after a cached plan must not serve stale data
 # ---------------------------------------------------------------------------
 
@@ -477,6 +691,152 @@ class TestLikeCompilation:
 
     def test_null_rows_never_match(self, engine):
         assert engine.execute("SELECT count(*) FROM t WHERE s LIKE '%'").scalar() == 5
+
+
+# ---------------------------------------------------------------------------
+# satellite: integer sort precision above 2**53
+# ---------------------------------------------------------------------------
+
+
+class TestIntegerSortPrecision:
+    def test_sort_indices_distinguishes_large_int64_keys(self):
+        from repro.sqlengine.executor import sort_indices
+
+        # adjacent int64 values that collapse to the same float64
+        values = np.array([2**53 + 1, 2**53, 2**53 + 3, 2**53 + 2], dtype=np.int64)
+        ascending = sort_indices([(values, True)])
+        assert values[ascending].tolist() == sorted(values.tolist())
+        descending = sort_indices([(values, False)])
+        assert values[descending].tolist() == sorted(values.tolist(), reverse=True)
+
+    def test_descending_int64_min_does_not_overflow(self):
+        from repro.sqlengine.executor import sort_indices
+
+        info = np.iinfo(np.int64)
+        values = np.array([0, info.min, info.max], dtype=np.int64)
+        order = sort_indices([(values, False)])
+        assert values[order].tolist() == [info.max, 0, info.min]
+
+    def test_order_by_large_integers_matches_across_modes(self):
+        base = 2**53
+        ids = np.array([base + 2, base, base + 3, base + 1], dtype=np.int64)
+        results = []
+        for optimize in (True, False):
+            engine = Database(seed=0, optimize=optimize)
+            engine.register_table("t", {"k": ids, "v": np.arange(4)})
+            results.append(
+                engine.execute("SELECT k, v FROM t ORDER BY k DESC").fetchall()
+            )
+        assert results[0] == results[1]
+        assert [row[0] for row in results[0]] == sorted(ids.tolist(), reverse=True)
+
+
+# ---------------------------------------------------------------------------
+# satellite: join-key packing overflow guard
+# ---------------------------------------------------------------------------
+
+
+class TestJoinKeyPackingOverflow:
+    def _collision_tables(self):
+        """Nine key columns whose cardinalities multiply to 256**9 = 2**72.
+
+        Without the guard the packing weight of the first column is
+        ``256**8 = 2**64 ≡ 0 (mod 2**64)``, so rows differing *only* in the
+        first column silently collide.  Row A is all zeros, row B differs
+        from A in the first column alone; the filler rows give every column
+        its full 256-value range.
+        """
+        filler = np.arange(1, 256, dtype=np.int64)
+        columns = {}
+        for position in range(9):
+            first = 0 if position != 0 else 0  # row A value
+            row_b = 1 if position == 0 else 0
+            columns[f"k{position}"] = np.concatenate(
+                [np.array([first, row_b], dtype=np.int64), filler]
+            )
+        right = {f"k{position}": np.array([0], dtype=np.int64) for position in range(9)}
+        return columns, right
+
+    def test_packed_codes_do_not_conflate_distinct_tuples(self):
+        from repro.sqlengine.executor import _encode_key_pairs
+
+        left_columns, right_columns = self._collision_tables()
+        left_keys = [left_columns[f"k{i}"] for i in range(9)]
+        right_keys = [right_columns[f"k{i}"] for i in range(9)]
+        left_codes, right_codes = _encode_key_pairs(left_keys, right_keys, None, None)
+        # row 0 (all zeros) must match the probe row; row 1 must not
+        assert left_codes[0] == right_codes[0]
+        assert left_codes[1] != right_codes[0]
+        # packed codes must be injective over the distinct left tuples
+        assert len(np.unique(left_codes)) == len(left_codes)
+
+    def test_nine_column_join_returns_exactly_one_match(self):
+        left_columns, right_columns = self._collision_tables()
+        condition = " AND ".join(f"l.k{i} = r.k{i}" for i in range(9))
+        for optimize in (True, False):
+            engine = Database(seed=0, optimize=optimize)
+            engine.register_table("l", left_columns)
+            engine.register_table("r", right_columns)
+            result = engine.execute(
+                f"SELECT count(*) FROM l INNER JOIN r ON {condition}"
+            )
+            assert result.scalar() == 1
+
+    def test_nine_column_group_by_keeps_groups_apart(self):
+        # Same collision construction for the GROUP BY packing: rows A and B
+        # differ only in the first key column, whose packing weight would be
+        # 256**8 = 2**64 (= 0 under silent wraparound).
+        left_columns, _ = self._collision_tables()
+        keys = ", ".join(f"k{i}" for i in range(9))
+        for optimize in (True, False):
+            engine = Database(seed=0, optimize=optimize)
+            engine.register_table("l", left_columns)
+            result = engine.execute(f"SELECT {keys}, count(*) AS n FROM l GROUP BY {keys}")
+            assert result.num_rows == 257  # every row is its own group
+            assert result.column("n").tolist() == [1.0] * 257
+
+
+# ---------------------------------------------------------------------------
+# satellite: DISTINCT over dictionary codes
+# ---------------------------------------------------------------------------
+
+
+class TestDistinctOverCodes:
+    def test_distinct_consumes_scan_codes(self, monkeypatch):
+        import repro.sqlengine.executor as executor_module
+
+        engine = Database(seed=0, optimize=True)
+        engine.register_table(
+            "t",
+            {
+                "city": np.array(["b", "a", None, "b", "a"], dtype=object),
+                "status": np.array(["x", "y", "x", "x", "y"], dtype=object),
+            },
+        )
+        calls = {"object_encodes": 0}
+        original = executor_module.encode_grouping_key
+
+        def counting(key):
+            if key.dtype == object:
+                calls["object_encodes"] += 1
+            return original(key)
+
+        monkeypatch.setattr(executor_module, "encode_grouping_key", counting)
+        result = engine.execute("SELECT DISTINCT city, status FROM t")
+        # both columns carried scan codes, so no object column was re-encoded
+        assert calls["object_encodes"] == 0
+        assert result.num_rows == 3
+
+    def test_distinct_results_identical_across_modes(self):
+        rows = np.array(["b", "a", None, "b", "a", "c"], dtype=object)
+        results = []
+        for optimize in (True, False):
+            engine = Database(seed=0, optimize=optimize)
+            engine.register_table("t", {"city": rows, "n": [1, 2, 3, 1, 2, 4]})
+            results.append(
+                engine.execute("SELECT DISTINCT city, n FROM t").fetchall()
+            )
+        assert results[0] == results[1]
 
 
 # ---------------------------------------------------------------------------
