@@ -1,0 +1,47 @@
+"""Run every tracked benchmark suite and gate the speedup floors.
+
+Runs the engine hot-path, middleware hot-path and storage-skipping
+benchmarks back to back, rewrites their ``BENCH_*.json`` reports, diffs each
+against the committed baseline and exits non-zero when any asserted speedup
+floor regresses:
+
+    PYTHONPATH=src python benchmarks/run_all.py
+
+The cheap counterpart — re-checking the *committed* reports without running
+anything — is ``compare_bench.main()``, wired into the test suite as the
+``bench_floor`` pytest marker (``tests/test_bench_floors.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).resolve().parent
+sys.path.insert(0, str(BENCH_DIR))
+
+import bench_planner_hotpath  # noqa: E402
+import bench_storage_skipping  # noqa: E402
+import bench_verdict_hotpath  # noqa: E402
+import compare_bench  # noqa: E402
+
+SUITES = [
+    (bench_planner_hotpath, "BENCH_planner.json"),
+    (bench_verdict_hotpath, "BENCH_verdict.json"),
+    (bench_storage_skipping, "BENCH_storage.json"),
+]
+
+
+def main() -> int:
+    status = 0
+    for module, name in SUITES:
+        print(f"\n### running {module.__name__} -> {name}")
+        fresh = module.run()
+        print(json.dumps(fresh, indent=2))
+        status |= compare_bench.compare_and_check(name, fresh)
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

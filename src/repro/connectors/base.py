@@ -90,6 +90,21 @@ class Connector(abc.ABC):
         clause = "IF EXISTS " if if_exists else ""
         self.execute(f"DROP TABLE {clause}{self.dialect.quote_identifier(name)}")
 
+    def create_table_sorted_copy(self, source: str, target: str, order_column: str) -> None:
+        """Materialize ``target`` as ``source`` ordered by ``order_column``.
+
+        Plain ``CREATE TABLE ... AS SELECT * ... ORDER BY`` so it works on
+        every backend.  The sample builder uses it to cluster scrambles by
+        subsample id: with chunked storage the sid column's zone maps become
+        tight, so per-sid reads skip most of the scramble.
+        """
+        select = ast.SelectStatement(
+            select_items=[ast.SelectItem(ast.Star())],
+            from_relation=ast.TableRef(source),
+            order_by=[ast.OrderItem(ast.ColumnRef(order_column))],
+        )
+        self.execute(ast.CreateTableStatement(table_name=target, as_select=select))
+
     def insert_rows(self, table: str, columns: Sequence[str], rows: Iterable[Sequence]) -> None:
         """Append rows to an existing table using INSERT statements."""
         rows = list(rows)

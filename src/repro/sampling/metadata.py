@@ -24,6 +24,7 @@ _COLUMNS = [
     ("original_rows", "bigint"),
     ("sample_rows", "bigint"),
     ("subsample_count", "bigint"),
+    ("sid_clustered", "bigint"),
 ]
 
 
@@ -37,7 +38,27 @@ class MetadataStore:
     # -- schema -----------------------------------------------------------------
 
     def ensure_schema(self) -> None:
-        """Create the metadata table when it does not exist yet."""
+        """Create the metadata table, migrating an outdated schema in place.
+
+        A metadata table written by an older version may lack columns added
+        since (e.g. ``sid_clustered``); ``CREATE TABLE IF NOT EXISTS`` alone
+        would leave it stale and break the INSERTs.  The rows are re-read
+        with the tolerant reader, the table rebuilt with the current schema
+        and the rows re-recorded (metadata tables are tiny).
+        """
+        if self._connector.has_table(self.table_name):
+            existing = {name.lower() for name in self._connector.column_names(self.table_name)}
+            if existing == {name for name, _ in _COLUMNS}:
+                return
+            rows = self.all_samples()
+            self._connector.drop_table(self.table_name, if_exists=True)
+            self._create_table()
+            for info in rows:
+                self._insert(info)
+            return
+        self._create_table()
+
+    def _create_table(self) -> None:
         statement = ast.CreateTableStatement(
             table_name=self.table_name,
             columns=[ast.ColumnDefinition(name, type_name) for name, type_name in _COLUMNS],
@@ -50,6 +71,9 @@ class MetadataStore:
     def record(self, info: SampleInfo) -> None:
         """Insert a metadata row for a newly created sample."""
         self.ensure_schema()
+        self._insert(info)
+
+    def _insert(self, info: SampleInfo) -> None:
         statement = ast.InsertStatement(
             table_name=self.table_name,
             columns=[name for name, _ in _COLUMNS],
@@ -63,6 +87,7 @@ class MetadataStore:
                     ast.Literal(int(info.original_rows)),
                     ast.Literal(int(info.sample_rows)),
                     ast.Literal(int(info.subsample_count)),
+                    ast.Literal(int(bool(info.sid_clustered))),
                 ]
             ],
         )
@@ -94,6 +119,7 @@ class MetadataStore:
                     original_rows=original_rows,
                     sample_rows=sample_rows,
                     subsample_count=info.subsample_count,
+                    sid_clustered=info.sid_clustered,
                 )
             updated.append(info)
         self._connector.drop_table(self.table_name, if_exists=True)
@@ -124,6 +150,8 @@ class MetadataStore:
                     original_rows=int(float(record["original_rows"])),
                     sample_rows=int(float(record["sample_rows"])),
                     subsample_count=int(float(record["subsample_count"])),
+                    # tolerate metadata rows written before the column existed
+                    sid_clustered=bool(int(float(record.get("sid_clustered") or 0))),
                 )
             )
         return infos

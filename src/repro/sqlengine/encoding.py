@@ -52,6 +52,30 @@ def normalize_object_key(array: np.ndarray) -> np.ndarray:
     )
 
 
+def escaped_bounds(values) -> tuple[str | None, str | None, int]:
+    """Min/max normalized key and NULL count of an object array.
+
+    Zone maps store these per chunk: the bounds use the same
+    order-isomorphic escaping as the dictionary entries, so comparing an
+    escaped literal against them agrees with the row-level string
+    comparison (and with the sorted dictionary).  NULLs are counted, not
+    folded into the bounds — the sentinel would otherwise always be the
+    minimum and comparisons could never rule a chunk out.
+    """
+    low = high = None
+    null_count = 0
+    for value in values:
+        if value is None:
+            null_count += 1
+            continue
+        key = escape_key(str(value))
+        if low is None or key < low:
+            low = key
+        if high is None or key > high:
+            high = key
+    return low, high, null_count
+
+
 def encode_object_array(array: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     """Dictionary-encode an object column.
 

@@ -46,12 +46,14 @@ class Database:
         seed: seed for the engine's random generator (``rand()``); passing a
             fixed seed makes query results involving randomness reproducible.
         optimize: enable the logical planner (predicate pushdown, projection
-            pruning, dictionary-coded keys) plus the statement and plan
-            caches.  ``optimize=False`` is the naive A/B escape hatch: every
-            call re-parses and executes without any planner advice, producing
-            identical results.
+            pruning, zone-map chunk skipping, dictionary-coded keys) plus the
+            statement and plan caches.  ``optimize=False`` is the naive A/B
+            escape hatch: every call re-parses and executes without any
+            planner advice, producing identical results.
         statement_cache_size: maximum number of parsed statements (and their
             plans) kept in the LRU caches.
+        chunk_rows: storage chunk size (rows per chunk / zone map) for tables
+            created through this engine; None uses the storage default.
     """
 
     def __init__(
@@ -59,8 +61,9 @@ class Database:
         seed: int | None = None,
         optimize: bool = True,
         statement_cache_size: int = 256,
+        chunk_rows: int | None = None,
     ) -> None:
-        self.catalog = Catalog()
+        self.catalog = Catalog(chunk_rows=chunk_rows)
         self._rng = np.random.default_rng(seed)
         self.optimize = optimize
         # SQL text -> parsed statement.  Parsing is pure syntax, so entries
@@ -83,7 +86,7 @@ class Database:
         if isinstance(columns, Table):
             table = columns if columns.name == name else columns.copy(name)
         else:
-            table = Table(name, columns)
+            table = Table(name, columns, chunk_rows=self.catalog.chunk_rows)
         self.catalog.register(table, replace=replace)
         return table
 
@@ -159,12 +162,12 @@ class Database:
             result = Executor(
                 self.catalog, self._rng, optimize=self.optimize
             ).execute_select(statement.as_select)
-            table = Table(statement.table_name)
+            table = self.catalog.new_table(statement.table_name)
             for column_name, array in zip(result.column_names, result.columns()):
                 table.add_column(column_name, array)
             self.catalog.register(table)
             return ResultSet.empty([])
-        table = Table(statement.table_name)
+        table = self.catalog.new_table(statement.table_name)
         for column in statement.columns:
             dtype = _EMPTY_TYPES.get(column.type_name.lower(), object)
             table.add_column(column.name, np.array([], dtype=dtype))

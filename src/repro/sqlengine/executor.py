@@ -116,18 +116,38 @@ class Executor:
             table = self._catalog.get(relation.name)
             scan = plan.scan_for(relation.binding_name) if plan is not None else None
             wanted = scan.columns if scan is not None else None
+            # Zone-map chunk skipping: evaluate the plan-time-classified
+            # conjuncts against per-chunk min/max summaries and materialize
+            # only the chunks that could hold a matching row.  Skipped
+            # chunks provably contain no matches, so filtering the surviving
+            # rows with the full conjunction below is bit-identical to the
+            # naive full-column scan.
+            surviving = None
+            selection = None
+            if self._optimize and scan is not None and scan.zone_predicates:
+                surviving = table.prune_chunks(scan.zone_predicates)
+                if surviving is not None:
+                    selection = table.chunk_row_indices(surviving)
             frame = Frame()
-            for column_name, array in table.columns().items():
+            for column_name in table.column_names:
                 if wanted is not None and column_name.lower() not in wanted:
                     continue
+                if surviving is None:
+                    array = table.column(column_name)
+                else:
+                    array = table.gather_chunks(column_name, surviving)
                 codes = None
                 if self._optimize and array.dtype == object:
                     codes = LazyCodes(
                         lambda t=table, n=column_name: t.dictionary_codes(n)
                     )
+                    if selection is not None:
+                        codes = codes.sliced(selection)
                 frame.add_column(relation.binding_name, column_name, array, codes=codes)
             if not frame.entries():
-                frame.num_rows = table.num_rows
+                frame.num_rows = (
+                    len(selection) if selection is not None else table.num_rows
+                )
             return self._apply_scan_predicates(frame, scan)
         if isinstance(relation, ast.DerivedTable):
             derived = plan.derived_for(relation.binding_name) if plan is not None else None
@@ -139,8 +159,16 @@ class Executor:
             else:
                 result = self.execute_select(relation.query)
             frame = Frame()
-            for column_name, array in zip(result.column_names, result.columns()):
-                frame.add_column(relation.alias, column_name, array)
+            # Reuse the dictionary codes the subquery propagated for its
+            # output columns (round 3a): the outer aggregation then groups,
+            # joins, sorts and compares on the inherited codes instead of
+            # re-encoding the string group keys on every execution.
+            encodings = result.encodings() if self._optimize else None
+            for position, (column_name, array) in enumerate(
+                zip(result.column_names, result.columns())
+            ):
+                codes = encodings[position] if encodings is not None else None
+                frame.add_column(relation.alias, column_name, array, codes=codes)
             if not frame.entries():
                 frame.num_rows = result.num_rows
             scan = plan.scan_for(relation.binding_name) if plan is not None else None
@@ -217,12 +245,11 @@ class Executor:
     ) -> ResultSet:
         column_names: list[str] = []
         columns: list[np.ndarray] = []
-        # Scan-attached dictionary codes of each output column, collected so
-        # DISTINCT can group on the existing rank codes instead of re-running
-        # ``np.unique`` over object arrays.
-        encodings: list[tuple[np.ndarray, np.ndarray] | None] | None = (
-            [] if statement.distinct and self._optimize else None
-        )
+        # Lazy dictionary codes of each output column: consumed by DISTINCT
+        # (grouping on the existing rank codes instead of re-running
+        # ``np.unique``) and propagated on the result set so derived tables
+        # hand their string columns to the outer query pre-encoded.
+        encodings: list[LazyCodes | None] | None = [] if self._optimize else None
         alias_frame = Frame(num_rows=frame.num_rows)
         for binding, name, array, codes in frame.entries_with_codes():
             alias_frame.add_column(binding, name, array, codes=codes)
@@ -237,14 +264,14 @@ class Executor:
                     column_names.append(name)
                     columns.append(array)
                     if encodings is not None:
-                        encodings.append(codes.resolve() if codes is not None else None)
+                        encodings.append(codes)
                 continue
             array = evaluate(item.expression, frame, context, self._scalar_subquery)
             name = item.output_name(position)
             column_names.append(name)
             columns.append(array)
             if encodings is not None:
-                encodings.append(_key_encoding(item.expression, frame))
+                encodings.append(_lazy_key_encoding(item.expression, frame))
             alias_frame.add_column(None, name, array)
 
         order_indices = self._order_indices(statement, alias_frame, context)
@@ -252,13 +279,18 @@ class Executor:
             columns = [column[order_indices] for column in columns]
             if encodings is not None:
                 encodings = [
-                    None if encoded is None else (encoded[0][order_indices], encoded[1])
+                    None if encoded is None else encoded.sliced(order_indices)
                     for encoded in encodings
                 ]
 
-        result = ResultSet(column_names, columns)
+        result = ResultSet(column_names, columns, encodings=encodings)
         if statement.distinct:
-            result = _distinct(result, encodings)
+            resolved = (
+                [None if encoded is None else encoded.resolve() for encoded in encodings]
+                if encodings is not None
+                else None
+            )
+            result = _distinct(result, resolved)
         return _apply_limit(result, statement.limit, statement.offset)
 
     # -- grouped / aggregate SELECT --------------------------------------------
@@ -276,18 +308,20 @@ class Executor:
         if statement.group_by:
             keys = []
             encoded_keys = []
+            key_encodings = []
             for expr in statement.group_by:
                 key_array = evaluate(expr, frame, context, self._scalar_subquery)
                 keys.append(key_array)
                 # Reuse the scan's dictionary codes when present: injective
                 # over the full dictionary, so grouping on them is grouping
                 # on the normalized values without re-encoding the rows.
-                encoded_keys.append(
-                    _grouping_encoding(key_array, _key_encoding(expr, frame))
-                )
+                encoded = _key_encoding(expr, frame)
+                key_encodings.append(encoded)
+                encoded_keys.append(_grouping_encoding(key_array, encoded))
             inverse, num_groups = group_rows_encoded(encoded_keys, frame.num_rows)
         else:
             keys = []
+            key_encodings = []
             inverse = np.zeros(frame.num_rows, dtype=np.int64)
             num_groups = 1
 
@@ -305,9 +339,18 @@ class Executor:
         for position, (expr, key_array) in enumerate(zip(statement.group_by, keys)):
             column_name = f"__group_{position}"
             values = key_array[representative] if frame.num_rows else key_array[:0]
+            # Carry the key's dictionary codes onto the per-group column
+            # (codes of each group's representative row): HAVING/ORDER BY
+            # consume them here, and they are propagated to the result set
+            # so an outer query over this derived table never re-encodes.
+            codes = None
+            encoded = key_encodings[position]
+            if encoded is not None and len(values) == num_groups:
+                group_codes = encoded[0][representative] if frame.num_rows else encoded[0][:0]
+                codes = LazyCodes.presolved(group_codes, encoded[1])
             if num_groups and len(values) != num_groups:
                 values = np.resize(values, num_groups)
-            post_frame.add_column(None, column_name, values)
+            post_frame.add_column(None, column_name, values, codes=codes)
             substitutions[expr.to_sql()] = column_name
             if isinstance(expr, ast.ColumnRef):
                 name_substitutions[expr.name.lower()] = column_name
@@ -333,12 +376,15 @@ class Executor:
 
         column_names: list[str] = []
         columns: list[np.ndarray] = []
+        output_encodings: list[LazyCodes | None] | None = [] if self._optimize else None
         for position, item in enumerate(statement.select_items):
             substituted = _substitute(item.expression, substitutions, name_substitutions)
             array = evaluate(substituted, post_frame, post_context, self._scalar_subquery)
             name = item.output_name(position)
             column_names.append(name)
             columns.append(array)
+            if output_encodings is not None:
+                output_encodings.append(_lazy_key_encoding(substituted, post_frame))
             post_frame.add_column(None, name, array)
             substitutions[ast.ColumnRef(name).to_sql()] = name
 
@@ -361,12 +407,22 @@ class Executor:
         if keep_mask is not None:
             columns = [column[keep_mask] for column in columns]
             order_keys = [(key[keep_mask], ascending) for key, ascending in order_keys]
+            if output_encodings is not None:
+                output_encodings = [
+                    None if encoded is None else encoded.sliced(keep_mask)
+                    for encoded in output_encodings
+                ]
 
         if order_keys:
             order_indices = sort_indices(order_keys)
             columns = [column[order_indices] for column in columns]
+            if output_encodings is not None:
+                output_encodings = [
+                    None if encoded is None else encoded.sliced(order_indices)
+                    for encoded in output_encodings
+                ]
 
-        result = ResultSet(column_names, columns)
+        result = ResultSet(column_names, columns, encodings=output_encodings)
         if statement.distinct:
             result = _distinct(result)
         return _apply_limit(result, statement.limit, statement.offset)
@@ -554,6 +610,18 @@ def _key_encoding(expr: ast.Expression, frame: Frame):
     if not isinstance(expr, ast.ColumnRef):
         return None
     return frame.codes_for(expr.name, expr.table)
+
+
+def _lazy_key_encoding(expr: ast.Expression, frame: Frame):
+    """Like :func:`_key_encoding` but without forcing resolution.
+
+    Used when collecting result-set encodings: nothing is encoded unless a
+    downstream consumer (an outer query over the derived table) actually
+    reads the codes.
+    """
+    if not isinstance(expr, ast.ColumnRef):
+        return None
+    return frame.lazy_codes_for(expr.name, expr.table)
 
 
 def _grouping_encoding(
@@ -810,6 +878,14 @@ def _apply_limit(result: ResultSet, limit: int | None, offset: int | None) -> Re
         return result
     start = offset or 0
     stop = result.num_rows if limit is None else start + limit
+    window = slice(start, stop)
+    encodings = result.encodings()
+    if encodings is not None:
+        encodings = [
+            None if encoded is None else encoded.sliced(window) for encoded in encodings
+        ]
     return ResultSet(
-        result.column_names, [column[start:stop] for column in result.columns()]
+        result.column_names,
+        [column[window] for column in result.columns()],
+        encodings=encodings,
     )

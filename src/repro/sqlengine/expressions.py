@@ -48,12 +48,20 @@ class LazyCodes:
             self._resolver = None
         return self._value
 
-    def sliced(self, indices: np.ndarray) -> "LazyCodes":
+    def sliced(self, indices) -> "LazyCodes":
+        """Lazily compose a row selection (index array, bool mask or slice)."""
+
         def resolver() -> tuple[np.ndarray, np.ndarray]:
             codes, dictionary = self.resolve()
             return codes[indices], dictionary
 
         return LazyCodes(resolver)
+
+    @classmethod
+    def presolved(cls, codes: np.ndarray, dictionary: np.ndarray) -> "LazyCodes":
+        """Wrap an already computed ``(codes, dictionary)`` pair."""
+        wrapped = cls(lambda: (codes, dictionary))
+        return wrapped
 
 
 class Frame:
@@ -155,6 +163,13 @@ class Frame:
             return None
         return codes.resolve() if codes is not None else None
 
+    def lazy_codes_for(self, name: str, table: str | None = None) -> LazyCodes | None:
+        """The column's attached :class:`LazyCodes`, without resolving it."""
+        try:
+            return self._codes[self._resolve_index(name, table)]
+        except ExecutionError:
+            return None
+
     def take(self, indices: np.ndarray) -> "Frame":
         """Return a new frame with rows selected (and repeated) by ``indices``."""
         result = Frame(num_rows=len(indices))
@@ -226,6 +241,9 @@ def evaluate(
             raise ExecutionError(
                 f"aggregate {expression.name!r} is not valid in a row-level context"
             )
+        fast = _evaluate_scalar_via_dictionary(expression, frame, context)
+        if fast is not None:
+            return fast
         args = [
             evaluate(arg, frame, context, subquery_evaluator) for arg in expression.args
         ]
@@ -340,6 +358,40 @@ def _evaluate_binary(expression, frame, context, subquery_evaluator):
     if op in _COMPARISON_OPS:
         return _compare(op, left, right)
     raise ExecutionError(f"unknown binary operator {expression.op!r}")
+
+
+def _evaluate_scalar_via_dictionary(expression, frame, context) -> np.ndarray | None:
+    """Apply a per-value string function to the dictionary, not every row.
+
+    ``upper``/``lower``/``length``/``substr`` are pure per-value maps, so for
+    a dictionary-coded column it suffices to transform each *distinct* entry
+    once and broadcast the results through the codes — the per-row python
+    list comprehensions inside the scalar functions then run over the
+    dictionary (tens of entries) instead of the column (millions of rows).
+    Extra arguments must be literals (``substr`` start/length); NULL rows map
+    through the sentinel entry exactly as the row-level path maps ``None``.
+    """
+    if not functions.is_dictionary_scalar_function(expression.name):
+        return None
+    if not expression.args:
+        return None
+    encoded = column_codes(expression.args[0], frame)
+    if encoded is None:
+        return None
+    extra = expression.args[1:]
+    if any(not isinstance(argument, ast.Literal) for argument in extra):
+        return None
+    codes, dictionary = encoded
+    raw_entries = np.array(
+        [None if entry == NULL_SENTINEL else unescape_key(entry) for entry in dictionary],
+        dtype=object,
+    )
+    entry_context = functions.EvaluationContext(num_rows=len(raw_entries), rng=context.rng)
+    args = [raw_entries] + [
+        _broadcast_literal(argument.value, len(raw_entries)) for argument in extra
+    ]
+    per_entry = functions.call_scalar(expression.name, entry_context, args)
+    return per_entry[codes]
 
 
 def column_codes(expression, frame) -> tuple[np.ndarray, np.ndarray] | None:

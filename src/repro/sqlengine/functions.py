@@ -228,9 +228,20 @@ SCALAR_FUNCTIONS: dict[str, ScalarFunction] = {
 # deduplicate one across aggregate arguments.
 NONDETERMINISTIC_FUNCTIONS = frozenset({"rand", "random"})
 
+# Pure per-value string maps: applying them to a dictionary's distinct
+# entries and broadcasting the results through the codes is equivalent to
+# applying them row by row (NULL maps to NULL — or 0 for ``length`` — on
+# both paths).  The expression layer uses this for coded columns so the
+# python-level comprehensions run over the dictionary, not the column.
+DICTIONARY_SCALAR_FUNCTIONS = frozenset({"upper", "lower", "length", "substr", "substring"})
+
 
 def is_nondeterministic_function(name: str) -> bool:
     return name.lower() in NONDETERMINISTIC_FUNCTIONS
+
+
+def is_dictionary_scalar_function(name: str) -> bool:
+    return name.lower() in DICTIONARY_SCALAR_FUNCTIONS
 
 
 def is_scalar_function(name: str) -> bool:

@@ -46,6 +46,7 @@ from dataclasses import dataclass, field
 from repro.errors import CatalogError
 from repro.sqlengine import functions, sqlast as ast
 from repro.sqlengine.catalog import Catalog
+from repro.sqlengine.zonemaps import ZonePredicate, classify_zone_predicates
 
 # Derived tables nested deeper than this execute with per-call planning (the
 # pre-existing behavior); a backstop against pathological nesting.
@@ -61,6 +62,10 @@ class ScanPlan:
     # Lower-cased column names to materialize; None means "all columns"
     # (unknown schema, or a ``*`` projection that needs everything).
     columns: set[str] | None = None
+    # Zone-map-checkable forms of ``predicates``, classified once at plan
+    # time so repeated executions skip chunks with zero re-analysis.  Only
+    # meaningful for base-table scans; empty when nothing is checkable.
+    zone_predicates: list[ZonePredicate] = field(default_factory=list)
 
 
 @dataclass
@@ -68,8 +73,10 @@ class DerivedPlan:
     """Rewritten subquery (plus its own recursive plan) for a derived table."""
 
     # The subquery to execute in place of the original: outer conjuncts that
-    # passed the safety rules are folded into its WHERE and unreferenced
-    # output columns are dropped from its select list.
+    # passed the safety rules are folded into its WHERE (group-key /
+    # pass-through references) or HAVING (aggregate-output references,
+    # round 3b), and unreferenced output columns are dropped from its
+    # select list.
     statement: ast.SelectStatement
     # Precomputed plan for ``statement`` so repeated executions skip the
     # per-call planning the executor would otherwise do.
@@ -118,6 +125,9 @@ def plan_select(
     _plan_pruning(statement, schemas, plan)
     if allow_inside:
         _plan_deriveds(statement, catalog, plan, inside, _depth)
+    for scan in plan.scans.values():
+        if scan.predicates:
+            scan.zone_predicates = classify_zone_predicates(scan.predicates)
     return plan
 
 
@@ -218,15 +228,15 @@ def _plan_pushdown(
     schemas: dict[str, set[str] | None],
     plan: SelectPlan,
     allow_inside: bool = True,
-) -> dict[str, list[ast.Expression]]:
+) -> dict[str, list[tuple[ast.Expression, str]]]:
     """Push WHERE and single-side ON conjuncts toward the scans.
 
     Returns the conjuncts rewritten *into* derived-table subqueries, keyed by
-    binding (they are folded into the subquery's WHERE by
-    :func:`_plan_deriveds`; everything else pushed lands in
-    ``plan.scans[binding].predicates``).
+    binding, each paired with its placement (``'where'`` or ``'having'``);
+    they are folded into the subquery by :func:`_plan_deriveds`.  Everything
+    else pushed lands in ``plan.scans[binding].predicates``.
     """
-    inside: dict[str, list[ast.Expression]] = {}
+    inside: dict[str, list[tuple[ast.Expression, str]]] = {}
     if not schemas:
         return inside
     # Moving a predicate below the join changes how many rows later
@@ -420,14 +430,23 @@ def _accepts_inner_pushdown(query: ast.SelectStatement) -> bool:
 
 def _rewrite_conjunct_into(
     conjunct: ast.Expression, query: ast.SelectStatement
-) -> ast.Expression | None:
-    """Rewrite an outer conjunct onto a subquery's own columns, or None.
+) -> tuple[ast.Expression, str] | None:
+    """Rewrite an outer conjunct onto a subquery's own expressions, or None.
 
-    Every column reference must map to a *pass-through* select item: for a
-    grouped/aggregating subquery that means a grouping expression (the
-    conjunct then removes whole groups, which commutes with aggregation and
-    HAVING); for a plain subquery any deterministic, aggregate/window/
-    subquery-free item expression qualifies (filters commute with projection).
+    Returns ``(rewritten, placement)`` where ``placement`` is ``'where'`` or
+    ``'having'``.  Every column reference must map to a select item the
+    rewrite can re-evaluate inside the subquery:
+
+    * a grouping expression — the conjunct removes whole groups *before*
+      aggregation (placement ``'where'``), which commutes with aggregation
+      and HAVING;
+    * for a grouped subquery, a deterministic aggregate-bearing item
+      (round 3b) — the conjunct becomes an inner HAVING conjunct (placement
+      ``'having'``): each derived-table output row is exactly one group, so
+      filtering output rows equals filtering groups after aggregation;
+    * for a plain subquery, any deterministic, aggregate/window/subquery-free
+      item expression (filters commute with projection; placement
+      ``'where'``).
     """
     outputs = _unambiguous_outputs(query)
     if outputs is None:
@@ -436,24 +455,31 @@ def _rewrite_conjunct_into(
         _has_aggregate(item.expression) for item in query.select_items
     )
     group_keys = {expression.to_sql() for expression in query.group_by}
+    needs_having = False
 
     def visit(node: ast.Expression) -> ast.Expression | None:
+        nonlocal needs_having
         if isinstance(node, ast.ColumnRef):
             inner = outputs.get(node.name.lower())
             if inner is None:
                 raise _RewriteBlocked
             if grouped:
-                if inner.to_sql() not in group_keys:
-                    raise _RewriteBlocked
-            elif not _safe_passthrough(inner):
+                if inner.to_sql() in group_keys:
+                    return inner
+                if _has_aggregate(inner) and _deterministic_aggregate_item(inner):
+                    needs_having = True
+                    return inner
+                raise _RewriteBlocked
+            if not _safe_passthrough(inner):
                 raise _RewriteBlocked
             return inner
         return None
 
     try:
-        return ast.transform_expression(conjunct, visit)
+        rewritten = ast.transform_expression(conjunct, visit)
     except _RewriteBlocked:
         return None
+    return rewritten, ("having" if needs_having else "where")
 
 
 def _safe_passthrough(expression: ast.Expression) -> bool:
@@ -465,6 +491,22 @@ def _safe_passthrough(expression: ast.Expression) -> bool:
                 return False
             if functions.is_aggregate_function(node.name):
                 return False
+    return True
+
+
+def _deterministic_aggregate_item(expression: ast.Expression) -> bool:
+    """Whether an aggregate-bearing select item may be repeated in HAVING.
+
+    ``Star`` is allowed here (``count(*)``); subqueries, window functions and
+    ``rand()`` are not — re-evaluating them would diverge from the item.
+    """
+    for node in expression.walk():
+        if isinstance(node, (ast.ScalarSubquery, ast.WindowFunction)):
+            return False
+        if isinstance(node, ast.FunctionCall) and functions.is_nondeterministic_function(
+            node.name
+        ):
+            return False
     return True
 
 
@@ -488,9 +530,14 @@ def _plan_deriveds(
     for binding, node in _derived_nodes(statement.from_relation).items():
         query = node.query
         pushed = inside.get(binding, [])
-        if pushed:
-            parts = ([query.where] if query.where is not None else []) + pushed
+        where_parts = [conjunct for conjunct, placement in pushed if placement == "where"]
+        having_parts = [conjunct for conjunct, placement in pushed if placement == "having"]
+        if where_parts:
+            parts = ([query.where] if query.where is not None else []) + where_parts
             query = dataclasses.replace(query, where=ast.conjunction(parts))
+        if having_parts:
+            parts = ([query.having] if query.having is not None else []) + having_parts
+            query = dataclasses.replace(query, having=ast.conjunction(parts))
         scan = plan.scans.get(binding)
         required = scan.columns if scan is not None else None
         query, pruned = _prune_derived_outputs(query, required)

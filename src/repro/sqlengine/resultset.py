@@ -15,9 +15,21 @@ from repro.errors import ExecutionError
 
 
 class ResultSet:
-    """An immutable, column-oriented query result."""
+    """An immutable, column-oriented query result.
 
-    def __init__(self, column_names: Sequence[str], columns: Sequence[np.ndarray]) -> None:
+    ``encodings`` optionally carries one lazy dictionary encoding (or None)
+    per column — the executor propagates scan/group-key codes through result
+    sets so a query over a derived table can group, join, sort and compare
+    its string columns without re-encoding them.  Purely advisory: consumers
+    that ignore it see a plain result set.
+    """
+
+    def __init__(
+        self,
+        column_names: Sequence[str],
+        columns: Sequence[np.ndarray],
+        encodings: Sequence | None = None,
+    ) -> None:
         if len(column_names) != len(columns):
             raise ExecutionError("column name / column count mismatch")
         self._column_names = list(column_names)
@@ -26,6 +38,9 @@ class ResultSet:
         if len(lengths) > 1:
             raise ExecutionError("result columns have differing lengths")
         self._num_rows = lengths.pop() if lengths else 0
+        self._encodings = list(encodings) if encodings is not None else None
+        if self._encodings is not None and len(self._encodings) != len(self._columns):
+            raise ExecutionError("column / encoding count mismatch")
 
     # -- construction ---------------------------------------------------------
 
@@ -63,6 +78,10 @@ class ResultSet:
 
     def columns(self) -> list[np.ndarray]:
         return list(self._columns)
+
+    def encodings(self) -> list | None:
+        """Per-column lazy dictionary encodings, or None when not tracked."""
+        return list(self._encodings) if self._encodings is not None else None
 
     def rows(self) -> Iterator[tuple]:
         for index in range(self._num_rows):

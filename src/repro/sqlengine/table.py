@@ -1,9 +1,20 @@
-"""In-memory columnar table used by the built-in engine.
+"""In-memory chunked columnar table used by the built-in engine.
 
 A :class:`Table` is an ordered mapping of column name to a one-dimensional
-numpy array; all columns have the same length.  Numeric columns are stored as
+column; all columns have the same length.  Numeric columns are stored as
 ``float64`` or ``int64`` arrays, string columns as ``object`` arrays.  NULLs
 are represented as ``NaN`` in float columns and ``None`` in object columns.
+
+Storage is **chunked**: each column is a sequence of fixed-size chunks
+(:data:`DEFAULT_CHUNK_ROWS` rows, configurable per table), every chunk
+carrying a lazily built :class:`~repro.sqlengine.zonemaps.ZoneMap`
+(min/max/null-count).  ``append_rows`` fills the last partial chunk and adds
+new ones without rewriting existing chunks, maintaining current zone maps
+incrementally; any other mutation invalidates them through the table's
+version counter and they are rebuilt lazily on the next pruning request.
+The executor uses :meth:`prune_chunks` / :meth:`gather_chunks` to read only
+the chunks a pushed-down predicate could match, making scan cost
+proportional to the rows a query can actually touch.
 """
 
 from __future__ import annotations
@@ -14,6 +25,12 @@ import numpy as np
 
 from repro.errors import ExecutionError
 from repro.sqlengine.encoding import encode_object_array
+from repro.sqlengine.zonemaps import ZoneMap, ZonePredicate, chunk_may_match, zone_map_for_chunk
+
+# Default rows per chunk.  Large enough that per-chunk bookkeeping is noise,
+# small enough that a selective predicate over a clustered column skips most
+# of a million-row table.
+DEFAULT_CHUNK_ROWS = 16_384
 
 
 def normalize_column(values: Sequence | np.ndarray) -> np.ndarray:
@@ -33,16 +50,33 @@ def normalize_column(values: Sequence | np.ndarray) -> np.ndarray:
 
 
 class Table:
-    """A named collection of equally sized columns."""
+    """A named collection of equally sized, chunked columns."""
 
-    def __init__(self, name: str, columns: Mapping[str, Sequence] | None = None) -> None:
+    def __init__(
+        self,
+        name: str,
+        columns: Mapping[str, Sequence] | None = None,
+        chunk_rows: int | None = None,
+    ) -> None:
         self.name = name
-        self._columns: dict[str, np.ndarray] = {}
+        self.chunk_rows = int(chunk_rows) if chunk_rows else DEFAULT_CHUNK_ROWS
+        if self.chunk_rows <= 0:
+            raise ExecutionError("chunk_rows must be positive")
+        # Column name -> list of chunk arrays.  Chunk ``i`` holds rows
+        # ``[i * chunk_rows, min((i + 1) * chunk_rows, num_rows))``; an empty
+        # column is a single empty chunk so the dtype survives.
+        self._chunks: dict[str, list[np.ndarray]] = {}
         self._num_rows = 0
         # Monotonic version bumped on every mutation; memoized per-column
-        # dictionary encodings are keyed on it so DML invalidates them.
+        # dictionary encodings and zone maps are keyed on it so DML
+        # invalidates them (zone maps are rebuilt lazily on the next use).
         self._version = 0
         self._dictionary_cache: dict[str, tuple[int, np.ndarray, np.ndarray]] = {}
+        # Column name -> contiguous view of the whole column.  Invalidated
+        # explicitly when that column's chunks change (chunks are immutable).
+        self._flat_cache: dict[str, np.ndarray] = {}
+        # Column name -> (version, per-chunk zone maps).
+        self._zone_cache: dict[str, tuple[int, list[ZoneMap]]] = {}
         if columns:
             for column_name, values in columns.items():
                 self.add_column(column_name, values)
@@ -51,7 +85,11 @@ class Table:
 
     @classmethod
     def from_rows(
-        cls, name: str, column_names: Sequence[str], rows: Iterable[Sequence]
+        cls,
+        name: str,
+        column_names: Sequence[str],
+        rows: Iterable[Sequence],
+        chunk_rows: int | None = None,
     ) -> "Table":
         """Build a table from an iterable of row tuples."""
         materialized = [tuple(row) for row in rows]
@@ -59,7 +97,7 @@ class Table:
         for index, column_name in enumerate(column_names):
             values = [row[index] for row in materialized]
             columns[column_name] = _infer_array(values)
-        table = cls(name)
+        table = cls(name, chunk_rows=chunk_rows)
         if not materialized:
             for column_name in column_names:
                 table.add_column(column_name, np.array([], dtype=object))
@@ -71,20 +109,34 @@ class Table:
     def add_column(self, name: str, values: Sequence | np.ndarray) -> None:
         """Add (or replace) a column; its length must match existing columns."""
         array = normalize_column(values)
-        if self._columns and len(array) != self._num_rows:
+        if self._chunks and len(array) != self._num_rows:
             raise ExecutionError(
                 f"column {name!r} has {len(array)} rows, expected {self._num_rows}"
             )
-        if not self._columns:
+        if not self._chunks:
             self._num_rows = len(array)
-        self._columns[name] = array
+        self._chunks[name] = self._split_chunks(array)
+        self._flat_cache[name] = array
+        self._zone_cache.pop(name, None)
         self._version += 1
+
+    def _split_chunks(self, array: np.ndarray) -> list[np.ndarray]:
+        if len(array) == 0:
+            return [array]
+        size = self.chunk_rows
+        return [array[start : start + size] for start in range(0, len(array), size)]
 
     # -- inspection ----------------------------------------------------------
 
     @property
     def num_rows(self) -> int:
         return self._num_rows
+
+    @property
+    def num_chunks(self) -> int:
+        if not self._chunks:
+            return 0
+        return len(next(iter(self._chunks.values())))
 
     @property
     def version(self) -> int:
@@ -110,34 +162,127 @@ class Table:
 
     @property
     def column_names(self) -> list[str]:
-        return list(self._columns.keys())
+        return list(self._chunks.keys())
 
     def __contains__(self, column_name: str) -> bool:
-        return column_name in self._columns
+        return column_name in self._chunks
 
     def column(self, name: str) -> np.ndarray:
-        try:
-            return self._columns[name]
-        except KeyError:
-            raise ExecutionError(f"table {self.name!r} has no column {name!r}") from None
+        """Return the whole column as one contiguous array (memoized)."""
+        chunks = self._chunks.get(name)
+        if chunks is None:
+            raise ExecutionError(f"table {self.name!r} has no column {name!r}")
+        cached = self._flat_cache.get(name)
+        if cached is not None:
+            return cached
+        if len(chunks) == 1:
+            flat = chunks[0]
+        else:
+            flat = np.concatenate(chunks)
+            # Re-point the chunks at views of the flat copy: boundaries and
+            # values are identical (so zone maps stay valid), and the
+            # standalone chunk arrays are freed instead of the column being
+            # held in memory twice.
+            self._chunks[name] = self._split_chunks(flat)
+        self._flat_cache[name] = flat
+        return flat
+
+    def column_chunks(self, name: str) -> list[np.ndarray]:
+        """The chunk arrays of a column (zone-map granularity)."""
+        chunks = self._chunks.get(name)
+        if chunks is None:
+            raise ExecutionError(f"table {self.name!r} has no column {name!r}")
+        return list(chunks)
 
     def columns(self) -> dict[str, np.ndarray]:
-        """Return the underlying column mapping (not a copy)."""
-        return self._columns
+        """Return a name -> contiguous-array mapping of every column."""
+        return {name: self.column(name) for name in self._chunks}
 
     def rows(self) -> Iterable[tuple]:
         """Iterate over rows as tuples (mainly for tests and small results)."""
-        arrays = list(self._columns.values())
+        arrays = [self.column(name) for name in self._chunks]
         for index in range(self._num_rows):
             yield tuple(array[index] for array in arrays)
+
+    # -- zone maps and chunk skipping ----------------------------------------
+
+    def zone_maps(self, name: str) -> list[ZoneMap]:
+        """Per-chunk zone maps of a column, rebuilt lazily after mutations."""
+        chunks = self._chunks.get(name)
+        if chunks is None:
+            raise ExecutionError(f"table {self.name!r} has no column {name!r}")
+        entry = self._zone_cache.get(name)
+        if entry is not None and entry[0] == self._version:
+            return entry[1]
+        zones = [zone_map_for_chunk(chunk) for chunk in chunks]
+        self._zone_cache[name] = (self._version, zones)
+        return zones
+
+    def prune_chunks(self, predicates: Sequence[ZonePredicate]) -> np.ndarray | None:
+        """Chunk indices that may contain rows matching every conjunct.
+
+        Returns ``None`` when no chunk can be ruled out (the caller should
+        use the plain full-column scan), otherwise the int64 array of
+        surviving chunk indices (possibly empty).
+        """
+        if not predicates or not self._chunks or self._num_rows == 0:
+            return None
+        mask = np.ones(self.num_chunks, dtype=bool)
+        pruned_any = False
+        for predicate in predicates:
+            name = self._column_for(predicate.column)
+            if name is None:
+                continue
+            is_object = self._chunks[name][0].dtype == object
+            zones = self.zone_maps(name)
+            for index in np.flatnonzero(mask):
+                if not chunk_may_match(predicate, zones[index], is_object):
+                    mask[index] = False
+                    pruned_any = True
+            if not mask.any():
+                break
+        if not pruned_any:
+            return None
+        return np.flatnonzero(mask)
+
+    def _column_for(self, name: str) -> str | None:
+        """Resolve a predicate's column reference case-insensitively."""
+        if name in self._chunks:
+            return name
+        lowered = name.lower()
+        matches = [column for column in self._chunks if column.lower() == lowered]
+        return matches[0] if len(matches) == 1 else None
+
+    def chunk_row_indices(self, chunk_ids: np.ndarray) -> np.ndarray:
+        """Row indices covered by the given chunks, in table order."""
+        size = self.chunk_rows
+        parts = [
+            np.arange(index * size, min((index + 1) * size, self._num_rows), dtype=np.int64)
+            for index in chunk_ids
+        ]
+        if not parts:
+            return np.zeros(0, dtype=np.int64)
+        return np.concatenate(parts)
+
+    def gather_chunks(self, name: str, chunk_ids: np.ndarray) -> np.ndarray:
+        """Concatenate the selected chunks of a column (O(selected rows))."""
+        chunks = self._chunks.get(name)
+        if chunks is None:
+            raise ExecutionError(f"table {self.name!r} has no column {name!r}")
+        selected = [chunks[index] for index in chunk_ids]
+        if not selected:
+            return chunks[0][:0]
+        if len(selected) == 1:
+            return selected[0]
+        return np.concatenate(selected)
 
     # -- mutation -------------------------------------------------------------
 
     def take(self, indices: np.ndarray) -> "Table":
         """Return a new table containing the rows selected by ``indices``."""
-        result = Table(self.name)
-        for column_name, array in self._columns.items():
-            result.add_column(column_name, array[indices])
+        result = Table(self.name, chunk_rows=self.chunk_rows)
+        for column_name in self._chunks:
+            result.add_column(column_name, self.column(column_name)[indices])
         return result
 
     def filter(self, mask: np.ndarray) -> "Table":
@@ -145,24 +290,65 @@ class Table:
         return self.take(np.flatnonzero(np.asarray(mask, dtype=bool)))
 
     def append_rows(self, column_names: Sequence[str], rows: Iterable[Sequence]) -> None:
-        """Append rows (given in ``column_names`` order) to this table."""
+        """Append rows (given in ``column_names`` order) to this table.
+
+        Only the last (possibly partial) chunk of each column is rewritten;
+        full chunks stay untouched and keep their zone maps, which are
+        extended incrementally when they are currently valid.
+        """
         materialized = [tuple(row) for row in rows]
         if not materialized:
             return
         incoming = {name: [row[i] for row in materialized] for i, name in enumerate(column_names)}
-        missing = set(self._columns) - set(incoming)
+        missing = set(self._chunks) - set(incoming)
         if missing:
             raise ExecutionError(f"INSERT is missing columns: {sorted(missing)}")
-        for column_name in self._columns:
-            old = self._columns[column_name]
+        updated_zones: dict[str, list[ZoneMap] | None] = {}
+        for column_name in self._chunks:
             new = _infer_array(incoming[column_name])
-            if old.dtype == object or new.dtype == object:
-                merged = np.concatenate([old.astype(object), new.astype(object)])
-            else:
-                merged = np.concatenate([old, new.astype(old.dtype, copy=False)])
-            self._columns[column_name] = merged
+            updated_zones[column_name] = self._append_column(column_name, new)
+            self._flat_cache.pop(column_name, None)
         self._num_rows += len(materialized)
         self._version += 1
+        for column_name, zones in updated_zones.items():
+            if zones is not None:
+                self._zone_cache[column_name] = (self._version, zones)
+            else:
+                self._zone_cache.pop(column_name, None)
+
+    def _append_column(self, name: str, new: np.ndarray) -> list[ZoneMap] | None:
+        """Append ``new`` values to one column; returns refreshed zone maps
+        when the column's zone maps were current (else None = rebuild lazily)."""
+        chunks = self._chunks[name]
+        entry = self._zone_cache.get(name)
+        zones = list(entry[1]) if entry is not None and entry[0] == self._version else None
+        old_dtype = chunks[0].dtype
+        if old_dtype == object or new.dtype == object:
+            if old_dtype != object:
+                # Promotion changes every chunk's representation (and the
+                # zone-map domain from floats to strings): rebuild lazily.
+                chunks = [chunk.astype(object) for chunk in chunks]
+                zones = None
+            new = new.astype(object)
+        else:
+            new = new.astype(old_dtype, copy=False)
+        last = chunks[-1]
+        first_dirty = len(chunks)
+        if len(last) < self.chunk_rows:
+            # Fill the trailing partial chunk first: appends straddle chunk
+            # boundaries instead of leaving holes.
+            first_dirty = len(chunks) - 1
+            space = self.chunk_rows - len(last)
+            head, new = new[:space], new[space:]
+            chunks[-1] = head if len(last) == 0 else np.concatenate([last, head])
+        for start in range(0, len(new), self.chunk_rows):
+            chunks.append(new[start : start + self.chunk_rows])
+        self._chunks[name] = chunks
+        if zones is None:
+            return None
+        del zones[first_dirty:]
+        zones.extend(zone_map_for_chunk(chunk) for chunk in chunks[first_dirty:])
+        return zones
 
     def append_table(self, other: "Table") -> None:
         """Append all rows of ``other`` (columns matched by name)."""
@@ -173,18 +359,19 @@ class Table:
     def estimated_bytes(self) -> int:
         """Approximate in-memory footprint, used by the experiment harness."""
         total = 0
-        for array in self._columns.values():
-            if array.dtype == object:
-                total += sum(len(str(value)) for value in array) + 8 * len(array)
-            else:
-                total += array.nbytes
+        for chunks in self._chunks.values():
+            for chunk in chunks:
+                if chunk.dtype == object:
+                    total += sum(len(str(value)) for value in chunk) + 8 * len(chunk)
+                else:
+                    total += chunk.nbytes
         return total
 
     def copy(self, name: str | None = None) -> "Table":
         """Return a deep copy of the table, optionally renamed."""
-        result = Table(name or self.name)
-        for column_name, array in self._columns.items():
-            result.add_column(column_name, array.copy())
+        result = Table(name or self.name, chunk_rows=self.chunk_rows)
+        for column_name in self._chunks:
+            result.add_column(column_name, self.column(column_name).copy())
         return result
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper

@@ -15,6 +15,13 @@ ORDERS_ROWS = 40_000
 CITIES = ["ann arbor", "detroit", "chicago", "nyc"]
 
 
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "bench_floor: cheap validation of the committed benchmark speedup floors",
+    )
+
+
 def build_orders_columns(num_rows: int = ORDERS_ROWS, seed: int = 11) -> dict[str, np.ndarray]:
     """A small sales-like table used across many tests."""
     rng = np.random.default_rng(seed)

@@ -1,0 +1,46 @@
+"""Cheap floor checks over the committed benchmark reports.
+
+Marked ``bench_floor``: these tests re-validate the speedup floors recorded
+in the committed ``benchmarks/BENCH_*.json`` files without running any
+benchmark, so tier-1 catches a PR that commits a regressed baseline.  The
+full (slow) re-measurement lives in ``benchmarks/run_all.py``.
+
+    PYTHONPATH=src python -m pytest -m bench_floor -q
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+pytestmark = pytest.mark.bench_floor
+
+BENCH_DIR = Path(__file__).resolve().parents[1] / "benchmarks"
+
+
+def _load_compare_bench():
+    spec = importlib.util.spec_from_file_location(
+        "compare_bench", BENCH_DIR / "compare_bench.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_every_floor_gated_report_is_committed():
+    compare_bench = _load_compare_bench()
+    for name in compare_bench.FLOORS:
+        assert (BENCH_DIR / name).exists(), f"{name} missing from benchmarks/"
+
+
+def test_committed_reports_hold_their_floors():
+    compare_bench = _load_compare_bench()
+    failures: list[str] = []
+    for name in sorted(compare_bench.FLOORS):
+        committed = compare_bench.load_committed(name)
+        if committed is None:
+            continue  # absence is test_every_floor_gated_report_is_committed's job
+        failures.extend(compare_bench.check_floors(name, committed))
+    assert not failures, failures

@@ -211,9 +211,34 @@ AB_CORPUS = [
     "WHERE city IS NOT NULL GROUP BY city) AS t "
     "INNER JOIN regions AS r ON t.city = r.city WHERE t.city <> 'nyc' AND r.state = 'MI' "
     "ORDER BY t.city",
-    # aggregate-output conjunct: not a pass-through column, stays as a post-filter
+    # aggregate-output conjunct: becomes an inner HAVING clause (round 3b)
     "SELECT t.city FROM (SELECT city, sum(price) AS s FROM orders GROUP BY city) AS t "
     "WHERE t.s > 500 ORDER BY t.city",
+    # --- round 3b: aggregate-output conjuncts as inner HAVING -----------------
+    "SELECT t.city, t.n FROM (SELECT city, count(*) AS n FROM orders GROUP BY city) AS t "
+    "WHERE t.n > 40 ORDER BY t.city",
+    "SELECT t.city FROM (SELECT city, sum(price) AS s FROM orders GROUP BY city "
+    "HAVING count(*) > 5) AS t WHERE t.s > 100 ORDER BY t.city",
+    "SELECT t.city, t.n FROM (SELECT city, count(*) AS n FROM orders GROUP BY city) AS t "
+    "WHERE t.n > 40 AND t.city <> 'nyc' ORDER BY t.n DESC, t.city",
+    "SELECT count(*) FROM (SELECT city, status, avg(price) AS m FROM orders "
+    "GROUP BY city, status) AS t WHERE t.m > 9 AND t.status = 'open'",
+    "SELECT t.d FROM (SELECT city, count(DISTINCT status) AS d FROM orders "
+    "GROUP BY city) AS t WHERE t.d >= 2 ORDER BY t.d",
+    # global aggregate (one group, no GROUP BY) filtered on its output
+    "SELECT t.s FROM (SELECT sum(price) AS s FROM orders) AS t WHERE t.s > 0",
+    # --- round 3a: derived string keys reused by the outer aggregation --------
+    "SELECT t.city, count(*) AS groups, sum(t.n) AS rows_total FROM "
+    "(SELECT city, status, count(*) AS n FROM orders GROUP BY city, status) AS t "
+    "GROUP BY t.city ORDER BY t.city",
+    "SELECT t.city FROM (SELECT city, count(*) AS n FROM orders GROUP BY city) AS t "
+    "WHERE t.city >= 'chicago' ORDER BY t.city DESC",
+    "SELECT DISTINCT t.city FROM (SELECT city, status FROM orders) AS t ORDER BY t.city",
+    # --- dictionary-broadcast scalar string functions --------------------------
+    "SELECT order_id, upper(city) AS u, lower(status) AS l, length(city) AS n, "
+    "substr(city, 2, 3) AS mid FROM orders ORDER BY order_id LIMIT 30",
+    "SELECT upper(city) AS u, count(*) AS n FROM orders GROUP BY upper(city) ORDER BY u",
+    "SELECT count(*) FROM orders WHERE length(city) > 3 AND substr(status, 1, 1) = 'o'",
     # --- round 2: derived-table output pruning --------------------------------
     # outer touches one of four subquery outputs
     "SELECT t.city FROM (SELECT city, count(*) AS n, sum(price) AS s, avg(qty) AS m "
@@ -420,7 +445,9 @@ class TestDerivedTablePlanning:
         # the recursive round drives the conjunct on to the base-table scan
         assert len(derived.plan.scan_for("orders").predicates) == 1
 
-    def test_aggregate_output_conjunct_stays_as_post_filter(self):
+    def test_aggregate_output_conjunct_becomes_inner_having(self):
+        # Round 3b: a conjunct on an aggregate output moves inside as HAVING
+        # (each derived row is exactly one group), not as a post-filter.
         engine, _ = _pair()
         plan = self._plan(
             engine,
@@ -428,9 +455,38 @@ class TestDerivedTablePlanning:
             "GROUP BY city) AS t WHERE t.n > 40",
         )
         derived = plan.derived_for("t")
-        assert derived.pushed_conjuncts == 0
+        assert derived.pushed_conjuncts == 1
         assert derived.statement.where is None
-        assert len(plan.scan_for("t").predicates) == 1
+        assert derived.statement.having is not None
+        assert "count(*)" in derived.statement.having.to_sql()
+        assert plan.scan_for("t").predicates == []
+        assert plan.residual_where is None
+
+    def test_having_pushdown_merges_with_existing_having(self):
+        engine, _ = _pair()
+        plan = self._plan(
+            engine,
+            "SELECT t.city FROM (SELECT city, sum(price) AS s FROM orders "
+            "GROUP BY city HAVING count(*) > 5) AS t WHERE t.s > 100",
+        )
+        derived = plan.derived_for("t")
+        assert derived.pushed_conjuncts == 1
+        having_sql = derived.statement.having.to_sql()
+        assert "count(*)" in having_sql and "sum(price)" in having_sql
+
+    def test_mixed_group_key_and_aggregate_conjunct_goes_to_having(self):
+        engine, _ = _pair()
+        plan = self._plan(
+            engine,
+            "SELECT t.city FROM (SELECT city, count(*) AS n FROM orders "
+            "GROUP BY city) AS t WHERE t.n > 40 AND t.city <> 'nyc'",
+        )
+        derived = plan.derived_for("t")
+        # the aggregate conjunct lands in HAVING, the group-key one in WHERE
+        assert derived.pushed_conjuncts == 2
+        assert derived.statement.having is not None
+        assert derived.statement.where is not None
+        assert plan.residual_where is None
 
     @pytest.mark.parametrize(
         "subquery",

@@ -1,0 +1,478 @@
+"""Tests for chunked columnar storage, zone-map scan skipping and round 3.
+
+Covers the storage layer directly (chunk layout, incremental zone maps,
+staleness after DML), the pruning rules (NULL-only chunks, NUL-escape
+prefixes, float-NaN semantics), the executor's chunk-skipping scan path
+(A/B bit-identical against ``optimize=False``), sid-clustered scrambles,
+and the round-3 satellites (derived-column code propagation, inner-HAVING
+pushdown, dictionary-broadcast scalar string functions).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.connectors import BuiltinConnector
+from repro.sampling import MetadataStore, SampleBuilder, SampleSpec
+from repro.sqlengine import Database
+from repro.sqlengine.table import DEFAULT_CHUNK_ROWS, Table
+from repro.sqlengine.zonemaps import (
+    ZonePredicate,
+    chunk_may_match,
+    zone_map_for_chunk,
+)
+from tests.conftest import build_orders_columns
+from tests.test_planner import assert_identical_results
+
+
+# ---------------------------------------------------------------------------
+# chunk layout
+# ---------------------------------------------------------------------------
+
+
+class TestChunkLayout:
+    def test_default_chunk_size_splits_columns(self):
+        rows = DEFAULT_CHUNK_ROWS * 2 + 17
+        table = Table("t", {"x": np.arange(rows)})
+        assert table.num_chunks == 3
+        chunks = table.column_chunks("x")
+        assert [len(chunk) for chunk in chunks] == [
+            DEFAULT_CHUNK_ROWS,
+            DEFAULT_CHUNK_ROWS,
+            17,
+        ]
+        assert table.column("x").tolist() == list(range(rows))
+
+    def test_append_straddles_chunk_boundaries(self):
+        table = Table("t", {"x": np.arange(10)}, chunk_rows=8)
+        assert [len(c) for c in table.column_chunks("x")] == [8, 2]
+        table.append_rows(["x"], [(value,) for value in range(10, 20)])
+        assert [len(c) for c in table.column_chunks("x")] == [8, 8, 4]
+        assert table.column("x").tolist() == list(range(20))
+        assert table.num_rows == 20
+        # zone maps reflect the straddled layout
+        zones = table.zone_maps("x")
+        assert [(z.low, z.high) for z in zones] == [(0.0, 7.0), (8.0, 15.0), (16.0, 19.0)]
+
+    def test_append_keeps_current_zone_maps_incrementally(self):
+        table = Table("t", {"x": np.arange(8)}, chunk_rows=4)
+        zones_before = table.zone_maps("x")  # make them current
+        assert len(zones_before) == 2
+        table.append_rows(["x"], [(100,), (101,)])
+        # maintained through the append without waiting for the next query
+        entry = table._zone_cache["x"]
+        assert entry[0] == table.version
+        assert (entry[1][2].low, entry[1][2].high) == (100.0, 101.0)
+        # untouched full chunks keep their original zone objects
+        assert entry[1][0] is zones_before[0]
+
+    def test_empty_table_roundtrip(self):
+        table = Table("t")
+        table.add_column("x", np.array([], dtype=np.float64))
+        assert table.num_rows == 0
+        assert table.num_chunks == 1
+        assert table.column("x").tolist() == []
+        assert table.prune_chunks([ZonePredicate("x", "cmp", "=", (1,))]) is None
+        table.append_rows(["x"], [(1.5,), (2.5,)])
+        assert table.column("x").tolist() == [1.5, 2.5]
+
+    def test_object_promotion_on_append(self):
+        table = Table("t", {"x": np.arange(3)}, chunk_rows=2)
+        table.zone_maps("x")
+        table.append_rows(["x"], [("mixed",)])
+        assert table.column("x").dtype == object
+        assert table.column("x").tolist() == [0, 1, 2, "mixed"]
+        # zone maps were rebuilt in the string domain
+        zones = table.zone_maps("x")
+        assert zones[1].high == "mixed"
+
+    def test_flatten_after_append_rechunks_without_duplication(self):
+        table = Table("t", {"x": np.arange(8)}, chunk_rows=4)
+        table.append_rows(["x"], [(8,), (9,)])
+        table.zone_maps("x")
+        flat = table.column("x")
+        assert flat.tolist() == list(range(10))
+        # the chunks now alias the flat array instead of duplicating it
+        for chunk in table.column_chunks("x"):
+            assert np.shares_memory(chunk, flat)
+        # zone maps stayed valid through the re-pointing
+        zones = table.zone_maps("x")
+        assert [(z.low, z.high) for z in zones] == [(0.0, 3.0), (4.0, 7.0), (8.0, 9.0)]
+        surviving = table.prune_chunks([ZonePredicate("x", "cmp", ">=", (8,))])
+        assert surviving.tolist() == [2]
+
+    def test_take_and_copy_preserve_chunk_size(self):
+        table = Table("t", {"x": np.arange(10)}, chunk_rows=4)
+        taken = table.take(np.array([1, 3, 5]))
+        assert taken.chunk_rows == 4
+        assert taken.column("x").tolist() == [1, 3, 5]
+        assert table.copy("u").chunk_rows == 4
+
+
+# ---------------------------------------------------------------------------
+# zone-map construction and pruning rules
+# ---------------------------------------------------------------------------
+
+
+class TestZoneMapRules:
+    def test_numeric_zone_map_ignores_nan(self):
+        zone = zone_map_for_chunk(np.array([np.nan, 2.0, 8.0, np.nan]))
+        assert (zone.low, zone.high, zone.null_count, zone.length) == (2.0, 8.0, 2, 4)
+
+    def test_null_only_chunk_skips_comparisons_keeps_is_null(self):
+        zone = zone_map_for_chunk(np.array([np.nan, np.nan]))
+        assert not chunk_may_match(ZonePredicate("x", "cmp", "=", (1.0,)), zone, False)
+        assert not chunk_may_match(ZonePredicate("x", "cmp", "<", (1.0,)), zone, False)
+        assert not chunk_may_match(ZonePredicate("x", "between", "", (0, 9)), zone, False)
+        assert not chunk_may_match(ZonePredicate("x", "in", "", (1, 2)), zone, False)
+        assert chunk_may_match(ZonePredicate("x", "null", "is"), zone, False)
+        assert not chunk_may_match(ZonePredicate("x", "null", "isnot"), zone, False)
+        # engine float semantics: NaN <> x is True, so <> must keep the chunk
+        assert chunk_may_match(ZonePredicate("x", "cmp", "<>", (1.0,)), zone, False)
+
+    def test_null_only_object_chunk_skips_every_comparison(self):
+        zone = zone_map_for_chunk(np.array([None, None], dtype=object))
+        assert not chunk_may_match(ZonePredicate("s", "cmp", "=", ("a",)), zone, True)
+        # object NULLs never satisfy <>, unlike float NaN
+        assert not chunk_may_match(ZonePredicate("s", "cmp", "<>", ("a",)), zone, True)
+        assert chunk_may_match(ZonePredicate("s", "null", "is"), zone, True)
+
+    def test_object_bounds_use_escaped_keys(self):
+        # Data starting with a NUL byte is escaped so it can never be
+        # conflated with the NULL sentinel; bounds must use the same order.
+        zone = zone_map_for_chunk(np.array(["\0weird", "apple", None], dtype=object))
+        assert zone.low == "\0S\0weird"  # escape prefix applied
+        assert zone.high == "apple"
+        assert zone.null_count == 1
+        # '\0weird' < 'a' in raw order; bounds must agree
+        assert chunk_may_match(ZonePredicate("s", "cmp", "<", ("a",)), zone, True)
+
+    def test_type_mismatch_never_prunes(self):
+        numeric = zone_map_for_chunk(np.array([1.0, 2.0]))
+        assert chunk_may_match(ZonePredicate("x", "cmp", "=", ("1",)), numeric, False)
+        strings = zone_map_for_chunk(np.array(["a", "b"], dtype=object))
+        assert chunk_may_match(ZonePredicate("s", "cmp", "=", (1,)), strings, True)
+
+    def test_comparison_against_null_literal(self):
+        zone = zone_map_for_chunk(np.array([1.0, np.nan]))
+        assert not chunk_may_match(ZonePredicate("x", "cmp", "=", (None,)), zone, False)
+        assert chunk_may_match(ZonePredicate("x", "cmp", "<>", (None,)), zone, False)
+        obj = zone_map_for_chunk(np.array(["a"], dtype=object))
+        assert not chunk_may_match(ZonePredicate("s", "cmp", "<>", (None,)), obj, True)
+
+    def test_prune_chunks_selects_surviving_chunks(self):
+        table = Table("t", {"x": np.arange(100)}, chunk_rows=10)
+        surviving = table.prune_chunks([ZonePredicate("x", "between", "", (35, 44))])
+        assert surviving.tolist() == [3, 4]
+        assert table.chunk_row_indices(surviving).tolist() == list(range(30, 50))
+        assert table.gather_chunks("x", surviving).tolist() == list(range(30, 50))
+        # no pruning possible -> None (fall back to the flat scan)
+        assert table.prune_chunks([ZonePredicate("x", "cmp", ">=", (0,))]) is None
+        # contradiction -> empty selection
+        assert table.prune_chunks([ZonePredicate("x", "cmp", "=", (1000,))]).tolist() == []
+
+    def test_case_insensitive_predicate_column(self):
+        table = Table("t", {"Value": np.arange(40)}, chunk_rows=10)
+        surviving = table.prune_chunks([ZonePredicate("value", "cmp", "=", (35,))])
+        assert surviving.tolist() == [3]
+
+    def test_zone_maps_stale_after_dml_rebuilt_lazily(self):
+        engine = Database(seed=0, optimize=True, chunk_rows=8)
+        engine.register_table("t", {"x": np.arange(32)})
+        query = "SELECT count(*) FROM t WHERE x >= 100"
+        assert engine.execute(query).scalar() == 0.0  # builds zone maps
+        table = engine.table("t")
+        version_before = table.version
+        engine.execute("INSERT INTO t (x) VALUES (100), (200)")
+        assert table.version > version_before
+        # the version bump invalidated the zone maps; the next query must
+        # rebuild them lazily and see the new rows
+        assert engine.execute(query).scalar() == 2.0
+
+
+# ---------------------------------------------------------------------------
+# executor chunk skipping: A/B bit-identical
+# ---------------------------------------------------------------------------
+
+
+def _chunked_pair(chunk_rows: int = 64):
+    rng = np.random.default_rng(11)
+    num_rows = 1000
+    cities = ["ann arbor", "boston", "chicago", "detroit", None]
+    columns = {
+        "order_id": np.arange(num_rows),
+        "price": np.where(
+            rng.random(num_rows) < 0.1, np.nan, np.round(rng.normal(10, 5, num_rows), 2)
+        ),
+        "qty": rng.integers(1, 9, num_rows),
+        # clustered string column: values come in contiguous runs
+        "region": np.repeat(
+            np.array([f"region_{i:02d}" for i in range(10)], dtype=object), num_rows // 10
+        ),
+        "city": rng.choice(np.array(cities, dtype=object), num_rows),
+    }
+    engines = []
+    for optimize in (True, False):
+        engine = Database(seed=0, optimize=optimize, chunk_rows=chunk_rows)
+        engine.register_table("orders", {k: v.copy() for k, v in columns.items()})
+        engines.append(engine)
+    return engines
+
+
+ZONE_AB_CORPUS = [
+    "SELECT count(*) AS n, sum(qty) AS s FROM orders WHERE order_id BETWEEN 300 AND 340",
+    "SELECT order_id FROM orders WHERE order_id = 512",
+    "SELECT order_id FROM orders WHERE order_id = -5",
+    "SELECT count(*) FROM orders WHERE order_id < 10",
+    "SELECT count(*) FROM orders WHERE order_id <= 10",
+    "SELECT count(*) FROM orders WHERE order_id > 990",
+    "SELECT count(*) FROM orders WHERE order_id >= 990",
+    "SELECT count(*) FROM orders WHERE order_id <> 500",
+    "SELECT count(*) FROM orders WHERE order_id IN (3, 700, 5000)",
+    "SELECT count(*) FROM orders WHERE price IS NULL",
+    "SELECT count(*) FROM orders WHERE price IS NOT NULL AND order_id < 100",
+    # float column with NaN NULLs: <> must keep NaN rows (engine semantics)
+    "SELECT count(*) FROM orders WHERE price <> 10.5",
+    "SELECT count(*) FROM orders WHERE price > 25",
+    # clustered string column: equality and ranges skip most chunks
+    "SELECT count(*) AS n, sum(qty) AS s FROM orders WHERE region = 'region_07'",
+    "SELECT count(*) FROM orders WHERE region < 'region_02'",
+    "SELECT count(*) FROM orders WHERE region BETWEEN 'region_03' AND 'region_04'",
+    "SELECT count(*) FROM orders WHERE region IN ('region_00', 'region_09', 'nope')",
+    "SELECT count(*) FROM orders WHERE region = 'missing'",
+    # unclustered string column with NULLs
+    "SELECT count(*) FROM orders WHERE city = 'detroit' AND order_id BETWEEN 100 AND 200",
+    "SELECT count(*) FROM orders WHERE city IS NULL AND order_id < 50",
+    # combined predicates across columns
+    "SELECT city, count(*) AS n FROM orders WHERE order_id BETWEEN 450 AND 463 "
+    "AND qty > 2 GROUP BY city ORDER BY city",
+    # contradiction: every chunk skipped
+    "SELECT count(*) FROM orders WHERE order_id > 5000",
+    "SELECT order_id FROM orders WHERE order_id BETWEEN 700 AND 650",
+]
+
+
+@pytest.mark.parametrize("query", ZONE_AB_CORPUS)
+def test_zone_skipping_matches_naive(query):
+    optimized, naive = _chunked_pair()
+    assert_identical_results(optimized.execute(query), naive.execute(query))
+
+
+def test_zone_skipping_after_appends_matches_naive():
+    optimized, naive = _chunked_pair(chunk_rows=16)
+    queries = [
+        "SELECT count(*) AS n FROM orders WHERE order_id BETWEEN 995 AND 1015",
+        "SELECT count(*) FROM orders WHERE region = 'region_new'",
+    ]
+    for engine in (optimized, naive):
+        for _ in range(2):  # warm plan/zone caches, then mutate
+            engine.execute(queries[0])
+        engine.execute(
+            "INSERT INTO orders (order_id, price, qty, region, city) "
+            "VALUES (1010, 1.0, 2, 'region_new', 'nyc'), (1011, 2.0, 3, 'region_new', 'nyc')"
+        )
+    for query in queries:
+        assert_identical_results(optimized.execute(query), naive.execute(query))
+
+
+def test_chunk_skipping_actually_skips(monkeypatch):
+    engine = Database(seed=0, optimize=True, chunk_rows=100)
+    engine.register_table("t", {"x": np.arange(1000), "v": np.ones(1000)})
+    table = engine.table("t")
+    calls = {}
+    original = table.prune_chunks
+
+    def spy(predicates):
+        result = original(predicates)
+        calls["surviving"] = None if result is None else result.tolist()
+        return result
+
+    monkeypatch.setattr(table, "prune_chunks", spy)
+    result = engine.execute("SELECT sum(v) FROM t WHERE x BETWEEN 250 AND 260")
+    assert result.scalar() == 11.0
+    assert calls["surviving"] == [2]
+
+
+# ---------------------------------------------------------------------------
+# sid-clustered scrambles
+# ---------------------------------------------------------------------------
+
+
+class TestSidClusteredScrambles:
+    def test_sample_is_written_sid_sorted(self):
+        connector = BuiltinConnector(seed=2)
+        connector.load_table("orders", build_orders_columns(num_rows=20_000, seed=5))
+        builder = SampleBuilder(connector, subsample_count=50)
+        info = builder.create_sample("orders", SampleSpec("uniform", (), 0.1))
+        assert info.sid_clustered
+        sids = connector.execute(f"SELECT vdb_sid FROM {info.sample_table}").column("vdb_sid")
+        values = sids.astype(np.float64)
+        assert np.all(np.diff(values) >= 0)  # nondecreasing = clustered
+        # the staging table is cleaned up
+        assert not connector.has_table(f"{info.sample_table}_vdb_stage")
+
+    def test_clustering_recorded_in_metadata(self):
+        connector = BuiltinConnector(seed=2)
+        connector.load_table("orders", build_orders_columns(num_rows=20_000, seed=5))
+        metadata = MetadataStore(connector)
+        builder = SampleBuilder(connector, metadata, subsample_count=50)
+        info = builder.create_sample("orders", SampleSpec("uniform", (), 0.1))
+        stored = {record.sample_table: record for record in metadata.samples_for("orders")}
+        assert stored[info.sample_table].sid_clustered is True
+
+    def test_outdated_metadata_schema_is_migrated(self):
+        # A metadata table written before the sid_clustered column existed
+        # must be migrated in place, not break sample creation.
+        from repro.sampling import metadata as metadata_module
+        from repro.sqlengine import sqlast as ast
+
+        connector = BuiltinConnector(seed=2)
+        connector.load_table("orders", build_orders_columns(num_rows=20_000, seed=5))
+        old_columns = [
+            (name, type_name)
+            for name, type_name in metadata_module._COLUMNS
+            if name != "sid_clustered"
+        ]
+        connector.execute(
+            ast.CreateTableStatement(
+                table_name=metadata_module.METADATA_TABLE,
+                columns=[ast.ColumnDefinition(n, t) for n, t in old_columns],
+            )
+        )
+        connector.execute(
+            f"INSERT INTO {metadata_module.METADATA_TABLE} VALUES "
+            "('orders', 'orders_old_sample', 'uniform', '', 0.1, 20000, 2000, 100)"
+        )
+        metadata = MetadataStore(connector)
+        builder = SampleBuilder(connector, metadata, subsample_count=50)
+        info = builder.create_sample("orders", SampleSpec("uniform", (), 0.1))
+        stored = {record.sample_table: record for record in metadata.samples_for("orders")}
+        # the pre-migration row survives with the default flag, the new one
+        # records its clustering
+        assert stored["orders_old_sample"].sid_clustered is False
+        assert stored[info.sample_table].sid_clustered is True
+
+    def test_per_sid_reads_match_across_modes(self):
+        results = []
+        for optimize in (True, False):
+            connector = BuiltinConnector(
+                database=Database(seed=2, optimize=optimize, chunk_rows=256)
+            )
+            connector.load_table("orders", build_orders_columns(num_rows=20_000, seed=5))
+            builder = SampleBuilder(connector, subsample_count=50)
+            info = builder.create_sample("orders", SampleSpec("uniform", (), 0.2))
+            result = connector.execute(
+                f"SELECT count(*) AS n, sum(price) AS s FROM {info.sample_table} "
+                "WHERE vdb_sid = 7"
+            )
+            results.append(result.fetchall())
+        assert results[0] == results[1]
+        assert results[0][0][0] > 0
+
+
+# ---------------------------------------------------------------------------
+# round 3a: derived-column encodings reused by the outer query
+# ---------------------------------------------------------------------------
+
+
+class TestDerivedEncodingPropagation:
+    def test_outer_group_by_reuses_inner_codes(self, monkeypatch):
+        import repro.sqlengine.executor as executor_module
+
+        engine = Database(seed=0, optimize=True)
+        rng = np.random.default_rng(3)
+        engine.register_table(
+            "orders",
+            {
+                "city": rng.choice(np.array(["a", "b", "c", None], dtype=object), 2000),
+                "status": rng.choice(np.array(["x", "y"], dtype=object), 2000),
+                "price": rng.normal(10, 2, 2000),
+            },
+        )
+        calls = {"object_encodes": 0}
+        original = executor_module.encode_grouping_key
+
+        def counting(key):
+            if key.dtype == object:
+                calls["object_encodes"] += 1
+            return original(key)
+
+        monkeypatch.setattr(executor_module, "encode_grouping_key", counting)
+        monkeypatch.setattr(
+            "repro.sqlengine.expressions.encode_grouping_key", counting
+        )
+        result = engine.execute(
+            "SELECT t.city, count(*) AS groups FROM "
+            "(SELECT city, status, sum(price) AS s FROM orders GROUP BY city, status) AS t "
+            "GROUP BY t.city ORDER BY t.city"
+        )
+        # the outer GROUP BY consumed the propagated codes: no object column
+        # was re-encoded anywhere in the statement
+        assert calls["object_encodes"] == 0
+        assert result.num_rows == 4
+
+    def test_propagated_codes_survive_having_order_and_limit(self):
+        queries = [
+            "SELECT t.city, t.n FROM (SELECT city, count(*) AS n FROM orders "
+            "GROUP BY city HAVING count(*) > 10 ORDER BY city DESC LIMIT 3) AS t "
+            "WHERE t.city <> 'nyc' ORDER BY t.city",
+            "SELECT t.city, count(*) AS n FROM "
+            "(SELECT city, qty FROM orders ORDER BY order_id LIMIT 200 OFFSET 10) AS t "
+            "GROUP BY t.city ORDER BY t.city",
+        ]
+        for query in queries:
+            results = []
+            for optimize in (True, False):
+                engine = Database(seed=0, optimize=optimize)
+                engine.register_table("orders", build_orders_columns(num_rows=2_000, seed=9))
+                results.append(engine.execute(query).fetchall())
+            assert results[0] == results[1], query
+
+
+# ---------------------------------------------------------------------------
+# dictionary-broadcast scalar string functions
+# ---------------------------------------------------------------------------
+
+
+class TestDictionaryScalarFunctions:
+    CORPUS = [
+        "SELECT s, upper(s) AS u FROM t ORDER BY k",
+        "SELECT s, lower(s) AS l FROM t ORDER BY k",
+        "SELECT s, length(s) AS n FROM t ORDER BY k",
+        "SELECT s, substr(s, 2) AS tail FROM t ORDER BY k",
+        "SELECT s, substr(s, 1, 2) AS head FROM t ORDER BY k",
+        "SELECT count(*) FROM t WHERE upper(s) = 'APPLE'",
+        "SELECT upper(s) AS u, count(*) AS n FROM t GROUP BY upper(s) ORDER BY u",
+    ]
+
+    @pytest.mark.parametrize("query", CORPUS)
+    def test_matches_naive(self, query):
+        rows = np.array(
+            ["apple", "Banana", None, "", "\0weird", "apple", 42], dtype=object
+        )
+        results = []
+        for optimize in (True, False):
+            engine = Database(seed=0, optimize=optimize)
+            engine.register_table("t", {"s": rows.copy(), "k": np.arange(len(rows))})
+            results.append(engine.execute(query).fetchall())
+        assert results[0] == results[1], query
+
+    def test_per_row_comprehension_runs_over_dictionary(self, monkeypatch):
+        import repro.sqlengine.functions as functions_module
+
+        engine = Database(seed=0, optimize=True)
+        engine.register_table(
+            "t", {"s": np.array(["a", "b"] * 500, dtype=object)}
+        )
+        seen = {}
+        original = functions_module.SCALAR_FUNCTIONS["upper"]
+
+        def spy(context, values):
+            seen["rows"] = len(values)
+            return original(context, values)
+
+        monkeypatch.setitem(functions_module.SCALAR_FUNCTIONS, "upper", spy)
+        result = engine.execute("SELECT upper(s) AS u FROM t")
+        assert result.num_rows == 1000
+        assert seen["rows"] == 2  # dictionary entries, not rows
