@@ -37,11 +37,11 @@ SEGMENTS = ["consumer", "corporate", "home office", "government", "smb"]
 CITIES = ["ann arbor", "detroit", "chicago", "nyc", "boston", "austin", "seattle", "la"]
 
 
-def _build_engine(optimize: bool) -> Database:
+def _build_engine(optimize: bool, quick: bool = False) -> Database:
     engine = Database(seed=0, optimize=optimize)
     rng = np.random.default_rng(42)
 
-    fact_rows = 60_000
+    fact_rows = 12_000 if quick else 60_000
     engine.register_table(
         "orders",
         {
@@ -70,7 +70,7 @@ def _build_engine(optimize: bool) -> Database:
         },
     )
 
-    group_rows = 200_000
+    group_rows = 40_000 if quick else 200_000
     engine.register_table(
         "events",
         {
@@ -122,39 +122,32 @@ def _time_workload(engine: Database, sql: str, repeats: int) -> tuple[float, obj
     return (time.perf_counter() - started) / repeats, result
 
 
-def _results_match(left, right) -> bool:
-    if left.column_names != right.column_names or left.num_rows != right.num_rows:
-        return False
-    for left_column, right_column in zip(left.columns(), right.columns()):
-        for a, b in zip(left_column.tolist(), right_column.tolist()):
-            if isinstance(a, float) and isinstance(b, float):
-                if not (a == b or (np.isnan(a) and np.isnan(b))):
-                    return False
-            elif a != b:
-                return False
-    return True
+def run(quick: bool = False) -> dict:
+    """Run every workload in both modes and write the comparison JSON.
 
-
-def run() -> dict:
-    """Run every workload in both modes and write the comparison JSON."""
-    optimized = _build_engine(optimize=True)
-    baseline = _build_engine(optimize=False)
+    ``quick`` shrinks the tables and repeat counts so a full
+    ``run_all.py --quick`` pass finishes in minutes (CI's measured-floor
+    job); the resulting numbers are noisier than a full run.
+    """
+    optimized = _build_engine(optimize=True, quick=quick)
+    baseline = _build_engine(optimize=False, quick=quick)
 
     report: dict = {"unit": "seconds_per_query", "workloads": {}}
     for name, spec in WORKLOADS.items():
+        repeats = max(3, spec["repeats"] // 4) if quick else spec["repeats"]
         optimized_seconds, optimized_result = _time_workload(
-            optimized, spec["sql"], spec["repeats"]
+            optimized, spec["sql"], repeats
         )
         baseline_seconds, baseline_result = _time_workload(
-            baseline, spec["sql"], spec["repeats"]
+            baseline, spec["sql"], repeats
         )
-        if not _results_match(optimized_result, baseline_result):
+        if not optimized_result.equals(baseline_result):
             raise AssertionError(f"workload {name!r}: optimize=True changed the results")
         report["workloads"][name] = {
             "baseline_seconds": round(baseline_seconds, 6),
             "optimized_seconds": round(optimized_seconds, 6),
             "speedup": round(baseline_seconds / optimized_seconds, 2),
-            "repeats": spec["repeats"],
+            "repeats": repeats,
         }
     RESULTS_PATH.write_text(json.dumps(report, indent=2) + "\n")
     return report

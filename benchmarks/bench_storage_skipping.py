@@ -36,14 +36,17 @@ from repro.sqlengine import Database
 RESULTS_PATH = Path(__file__).resolve().parent / "BENCH_storage.json"
 
 READING_ROWS = 1_200_000
+QUICK_READING_ROWS = 200_000
 SCRAMBLE_BASE_ROWS = 600_000
+QUICK_SCRAMBLE_BASE_ROWS = 120_000
 SCRAMBLE_RATIO = 0.5
 
 WORKLOADS = {
     "selective_scan": {
+        # range rendered per run: [rows/2, rows/2 + 5999]
         "sql": (
             "SELECT count(*) AS n, sum(value) AS total, avg(value) AS mean "
-            "FROM readings WHERE order_id BETWEEN 600000 AND 605999"
+            "FROM readings WHERE order_id BETWEEN {low} AND {high}"
         ),
         "repeats": 15,
         "floor": 3.0,
@@ -64,18 +67,20 @@ WORKLOADS = {
 }
 
 
-def _build_engine(optimize: bool) -> tuple[Database, str]:
+def _build_engine(optimize: bool, quick: bool = False) -> tuple[Database, str]:
     engine = Database(seed=0, optimize=optimize)
     rng = np.random.default_rng(7)
+    reading_rows = QUICK_READING_ROWS if quick else READING_ROWS
+    scramble_rows = QUICK_SCRAMBLE_BASE_ROWS if quick else SCRAMBLE_BASE_ROWS
     stations = np.array([f"station_{i:03d}" for i in range(100)], dtype=object)
     engine.register_table(
         "readings",
         {
-            "order_id": np.arange(READING_ROWS),
-            "value": rng.gamma(2.0, 8.0, READING_ROWS),
+            "order_id": np.arange(reading_rows),
+            "value": rng.gamma(2.0, 8.0, reading_rows),
             # run-clustered string column: contiguous blocks per station
-            "station": np.repeat(stations, READING_ROWS // len(stations)),
-            "flag": rng.integers(0, 2, READING_ROWS),
+            "station": np.repeat(stations, reading_rows // len(stations)),
+            "flag": rng.integers(0, 2, reading_rows),
         },
     )
 
@@ -83,9 +88,9 @@ def _build_engine(optimize: bool) -> tuple[Database, str]:
     connector.load_table(
         "orders",
         {
-            "order_id": np.arange(SCRAMBLE_BASE_ROWS),
-            "price": np.round(rng.gamma(2.0, 8.0, SCRAMBLE_BASE_ROWS), 2),
-            "qty": rng.integers(1, 20, SCRAMBLE_BASE_ROWS),
+            "order_id": np.arange(scramble_rows),
+            "price": np.round(rng.gamma(2.0, 8.0, scramble_rows), 2),
+            "qty": rng.integers(1, 20, scramble_rows),
         },
     )
     builder = SampleBuilder(connector, subsample_count=100)
@@ -102,25 +107,16 @@ def _time_workload(engine: Database, sql: str, repeats: int):
     return (time.perf_counter() - started) / repeats, result
 
 
-def _results_match(left, right) -> bool:
-    if left.column_names != right.column_names or left.num_rows != right.num_rows:
-        return False
-    for left_column, right_column in zip(left.columns(), right.columns()):
-        for a, b in zip(left_column.tolist(), right_column.tolist()):
-            if isinstance(a, float) and isinstance(b, float):
-                if not (a == b or (np.isnan(a) and np.isnan(b))):
-                    return False
-            elif a != b:
-                return False
-    return True
+def run(quick: bool = False) -> dict:
+    """Run every workload in both modes and write the comparison JSON.
 
-
-def run() -> dict:
-    """Run every workload in both modes and write the comparison JSON."""
-    optimized, sample_table = _build_engine(optimize=True)
-    baseline, baseline_sample = _build_engine(optimize=False)
+    ``quick`` shrinks the tables and repeat counts for CI-sized runs.
+    """
+    optimized, sample_table = _build_engine(optimize=True, quick=quick)
+    baseline, baseline_sample = _build_engine(optimize=False, quick=quick)
     assert sample_table == baseline_sample
 
+    reading_rows = QUICK_READING_ROWS if quick else READING_ROWS
     scramble_sql = (
         f"SELECT count(*) AS n, sum(price / vdb_sampling_prob) AS ht, "
         f"avg(price) AS mean FROM {sample_table} WHERE vdb_sid = 17"
@@ -129,16 +125,18 @@ def run() -> dict:
     report: dict = {"unit": "seconds_per_query", "workloads": {}}
     for name, spec in WORKLOADS.items():
         sql = spec["sql"] or scramble_sql
-        optimized_seconds, optimized_result = _time_workload(optimized, sql, spec["repeats"])
-        baseline_seconds, baseline_result = _time_workload(baseline, sql, spec["repeats"])
-        if not _results_match(optimized_result, baseline_result):
+        sql = sql.format(low=reading_rows // 2, high=reading_rows // 2 + 5_999)
+        repeats = max(3, spec["repeats"] // 4) if quick else spec["repeats"]
+        optimized_seconds, optimized_result = _time_workload(optimized, sql, repeats)
+        baseline_seconds, baseline_result = _time_workload(baseline, sql, repeats)
+        if not optimized_result.equals(baseline_result):
             raise AssertionError(f"workload {name!r}: optimize=True changed the results")
         report["workloads"][name] = {
             "baseline_seconds": round(baseline_seconds, 6),
             "optimized_seconds": round(optimized_seconds, 6),
             "speedup": round(baseline_seconds / optimized_seconds, 2),
             "floor": spec["floor"],
-            "repeats": spec["repeats"],
+            "repeats": repeats,
         }
     RESULTS_PATH.write_text(json.dumps(report, indent=2) + "\n")
     return report

@@ -85,21 +85,22 @@ WORKLOADS = {
 }
 
 
-def _build_context(optimize: bool) -> VerdictContext:
+def _build_context(optimize: bool, quick: bool = False) -> VerdictContext:
     rng = np.random.default_rng(42)
+    fact_rows = FACT_ROWS // 5 if quick else FACT_ROWS
     orders = {
-        "order_id": np.arange(FACT_ROWS),
-        "customer_id": rng.integers(0, DIM_ROWS, FACT_ROWS),
-        "price": np.round(rng.gamma(2.0, 8.0, FACT_ROWS), 2),
-        "qty": rng.integers(1, 20, FACT_ROWS),
-        "city": rng.choice(np.array(CITIES, dtype=object), FACT_ROWS),
+        "order_id": np.arange(fact_rows),
+        "customer_id": rng.integers(0, DIM_ROWS, fact_rows),
+        "price": np.round(rng.gamma(2.0, 8.0, fact_rows), 2),
+        "qty": rng.integers(1, 20, fact_rows),
+        "city": rng.choice(np.array(CITIES, dtype=object), fact_rows),
         "status": rng.choice(
-            np.array(["open", "closed", "returned"], dtype=object), FACT_ROWS
+            np.array(["open", "closed", "returned"], dtype=object), fact_rows
         ),
         # dead weight the derived-table pruning must never materialize
-        "note_1": rng.normal(size=FACT_ROWS),
-        "note_2": rng.choice(np.array([f"n{i}" for i in range(50)], dtype=object), FACT_ROWS),
-        "note_3": rng.normal(size=FACT_ROWS),
+        "note_1": rng.normal(size=fact_rows),
+        "note_2": rng.choice(np.array([f"n{i}" for i in range(50)], dtype=object), fact_rows),
+        "note_3": rng.normal(size=fact_rows),
     }
     customers = {
         "customer_id": np.arange(DIM_ROWS),
@@ -136,38 +137,26 @@ def _time_exact(context: VerdictContext, sql: str, repeats: int) -> float:
     return (time.perf_counter() - started) / repeats
 
 
-def _results_match(left, right) -> bool:
-    left_raw, right_raw = left.raw, right.raw
-    if left_raw.column_names != right_raw.column_names:
-        return False
-    if left_raw.num_rows != right_raw.num_rows:
-        return False
-    for left_column, right_column in zip(left_raw.columns(), right_raw.columns()):
-        for a, b in zip(left_column.tolist(), right_column.tolist()):
-            if isinstance(a, float) and isinstance(b, float):
-                if not (a == b or (np.isnan(a) and np.isnan(b))):
-                    return False
-            elif a != b:
-                return False
-    return True
+def run(quick: bool = False) -> dict:
+    """Run every workload in all three modes and write the comparison JSON.
 
-
-def run() -> dict:
-    """Run every workload in all three modes and write the comparison JSON."""
-    optimized = _build_context(optimize=True)
-    baseline = _build_context(optimize=False)
+    ``quick`` shrinks the fact table and repeat counts for CI-sized runs.
+    """
+    optimized = _build_context(optimize=True, quick=quick)
+    baseline = _build_context(optimize=False, quick=quick)
 
     report: dict = {"unit": "seconds_per_query", "workloads": {}}
     for name, spec in WORKLOADS.items():
+        repeats = max(3, spec["repeats"] // 4) if quick else spec["repeats"]
         optimized_seconds, optimized_result = _time_middleware(
-            optimized, spec["sql"], spec["repeats"]
+            optimized, spec["sql"], repeats
         )
         baseline_seconds, baseline_result = _time_middleware(
-            baseline, spec["sql"], spec["repeats"]
+            baseline, spec["sql"], repeats
         )
-        if not _results_match(optimized_result, baseline_result):
+        if not optimized_result.raw.equals(baseline_result.raw):
             raise AssertionError(f"workload {name!r}: optimize=True changed the results")
-        exact_seconds = _time_exact(optimized, spec["sql"], spec["repeats"])
+        exact_seconds = _time_exact(optimized, spec["sql"], repeats)
         report["workloads"][name] = {
             "baseline_seconds": round(baseline_seconds, 6),
             "optimized_seconds": round(optimized_seconds, 6),
@@ -175,7 +164,7 @@ def run() -> dict:
             "speedup": round(baseline_seconds / optimized_seconds, 2),
             "aqp_vs_exact": round(exact_seconds / optimized_seconds, 2),
             "floor": spec["floor"],
-            "repeats": spec["repeats"],
+            "repeats": repeats,
         }
     RESULTS_PATH.write_text(json.dumps(report, indent=2) + "\n")
     return report

@@ -15,7 +15,6 @@ Run with ``python examples/retail_analytics.py``.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro import SampleSpec, VerdictContext
 from repro.core.sample_planner import PlannerConfig

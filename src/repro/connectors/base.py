@@ -90,13 +90,17 @@ class Connector(abc.ABC):
         clause = "IF EXISTS " if if_exists else ""
         self.execute(f"DROP TABLE {clause}{self.dialect.quote_identifier(name)}")
 
-    def create_table_sorted_copy(self, source: str, target: str, order_column: str) -> None:
+    def create_table_sorted_copy(self, source: str, target: str, order_column: str) -> bool:
         """Materialize ``target`` as ``source`` ordered by ``order_column``.
 
         Plain ``CREATE TABLE ... AS SELECT * ... ORDER BY`` so it works on
         every backend.  The sample builder uses it to cluster scrambles by
         subsample id: with chunked storage the sid column's zone maps become
-        tight, so per-sid reads skip most of the scramble.
+        tight (per-sid reads skip most of the scramble) and the built-in
+        engine additionally records ``Table.clustered_on`` so the planner can
+        pick sorted-merge joins over the copy.  Returns whether the backend
+        materialized the requested physical order (True here; an override
+        may return False when its backend cannot guarantee it).
         """
         select = ast.SelectStatement(
             select_items=[ast.SelectItem(ast.Star())],
@@ -104,6 +108,7 @@ class Connector(abc.ABC):
             order_by=[ast.OrderItem(ast.ColumnRef(order_column))],
         )
         self.execute(ast.CreateTableStatement(table_name=target, as_select=select))
+        return True
 
     def insert_rows(self, table: str, columns: Sequence[str], rows: Iterable[Sequence]) -> None:
         """Append rows to an existing table using INSERT statements."""

@@ -24,7 +24,6 @@ from repro.core.rewriter import (
     AqpRewriter,
     PreparedRewrite,
     RewriteCache,
-    RewriteOutput,
     plan_signature,
 )
 from repro.core.sample_planner import PlannerConfig, SamplePlan, SamplePlanner

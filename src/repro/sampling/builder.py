@@ -82,7 +82,9 @@ class SampleBuilder:
             raise SamplingError(f"cannot build sample of type {spec.sample_type!r}")
 
         try:
-            self._connector.create_table_sorted_copy(staging_table, sample_table, SID_COLUMN)
+            clustered = self._connector.create_table_sorted_copy(
+                staging_table, sample_table, SID_COLUMN
+            )
         finally:
             self._connector.drop_table(staging_table, if_exists=True)
 
@@ -96,7 +98,9 @@ class SampleBuilder:
             original_rows=original_rows,
             sample_rows=sample_rows,
             subsample_count=subsample_count,
-            sid_clustered=True,
+            # Legacy overrides may return None from create_table_sorted_copy;
+            # only an explicit False marks the copy as unclustered.
+            sid_clustered=clustered is not False,
         )
         self.metadata.record(info)
         return info

@@ -8,6 +8,8 @@ off-the-shelf engine behind a JDBC driver would.
 
 from __future__ import annotations
 
+import os
+from concurrent.futures import ThreadPoolExecutor
 from typing import Mapping, Sequence
 
 import numpy as np
@@ -18,7 +20,7 @@ from repro.sqlengine import functions, parser, sqlast as ast
 from repro.sqlengine.catalog import Catalog
 from repro.sqlengine.executor import Executor
 from repro.sqlengine.expressions import Frame, evaluate
-from repro.sqlengine.planner import SelectPlan, plan_select
+from repro.sqlengine.planner import SelectPlan, ordering_target, plan_select
 from repro.sqlengine.resultset import ResultSet
 from repro.sqlengine.table import Table
 
@@ -54,6 +56,13 @@ class Database:
             plans) kept in the LRU caches.
         chunk_rows: storage chunk size (rows per chunk / zone map) for tables
             created through this engine; None uses the storage default.
+        parallel_scan: chunk-parallel scan evaluation.  ``True`` uses one
+            worker per CPU core, an integer sets the worker count explicitly,
+            and ``None``/``False``/``1`` keep scans sequential.  Pushed-down
+            predicates are then evaluated per storage chunk on a thread pool
+            (numpy releases the GIL for the bulk of the comparison work) and
+            the surviving rows reassembled in chunk order — bit-identical to
+            the sequential scan.
     """
 
     def __init__(
@@ -62,10 +71,26 @@ class Database:
         optimize: bool = True,
         statement_cache_size: int = 256,
         chunk_rows: int | None = None,
+        parallel_scan: int | bool | None = None,
     ) -> None:
         self.catalog = Catalog(chunk_rows=chunk_rows)
         self._rng = np.random.default_rng(seed)
         self.optimize = optimize
+        if parallel_scan is True:
+            self.scan_workers = os.cpu_count() or 1
+        elif parallel_scan in (None, False):
+            self.scan_workers = 1
+        else:
+            self.scan_workers = max(1, int(parallel_scan))
+        self._scan_pool: ThreadPoolExecutor | None = None
+        # Fast-path observability: which round-4 paths ran (zone-map
+        # aggregate answering, sorted-merge joins, chunk-parallel scans).
+        # Consumed by tests and benchmarks; purely informational.
+        self.stats: dict[str, int] = {
+            "zone_map_aggregates": 0,
+            "merge_joins": 0,
+            "parallel_scans": 0,
+        }
         # SQL text -> parsed statement.  Parsing is pure syntax, so entries
         # never go stale; the LRU bound caps memory under ad-hoc traffic.
         self._statement_cache: LRUCache[str, ast.Statement] = LRUCache(
@@ -123,8 +148,7 @@ class Database:
     ) -> ResultSet:
         """Execute an already parsed statement."""
         if isinstance(statement, ast.SelectStatement):
-            executor = Executor(self.catalog, self._rng, optimize=self.optimize)
-            return executor.execute_select(statement, plan=plan)
+            return self._executor().execute_select(statement, plan=plan)
         if isinstance(statement, ast.CreateTableStatement):
             return self._execute_create(statement)
         if isinstance(statement, ast.DropTableStatement):
@@ -133,6 +157,43 @@ class Database:
         if isinstance(statement, ast.InsertStatement):
             return self._execute_insert(statement)
         raise ExecutionError(f"unsupported statement type {type(statement).__name__}")
+
+    def _executor(self) -> Executor:
+        return Executor(
+            self.catalog,
+            self._rng,
+            optimize=self.optimize,
+            stats=self.stats,
+            scan_workers=self.scan_workers,
+            scan_pool=self._scan_pool_factory,
+        )
+
+    def _scan_pool_factory(self) -> ThreadPoolExecutor | None:
+        """Lazily create the shared chunk-scan thread pool."""
+        if self.scan_workers <= 1:
+            return None
+        if self._scan_pool is None:
+            self._scan_pool = ThreadPoolExecutor(
+                max_workers=self.scan_workers, thread_name_prefix="repro-scan"
+            )
+        return self._scan_pool
+
+    def close(self) -> None:
+        """Release the chunk-scan worker threads (idempotent).
+
+        Long-running processes that create many ``parallel_scan`` engines
+        should close each one (or use the engine as a context manager);
+        queries issued afterwards simply recreate the pool on demand.
+        """
+        if self._scan_pool is not None:
+            self._scan_pool.shutdown(wait=True)
+            self._scan_pool = None
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # -- statement / plan caches -------------------------------------------------
 
@@ -159,12 +220,16 @@ class Database:
                 return ResultSet.empty([])
             raise CatalogError(f"table {statement.table_name!r} already exists")
         if statement.as_select is not None:
-            result = Executor(
-                self.catalog, self._rng, optimize=self.optimize
-            ).execute_select(statement.as_select)
+            result = self._executor().execute_select(statement.as_select)
             table = self.catalog.new_table(statement.table_name)
             for column_name, array in zip(result.column_names, result.columns()):
                 table.add_column(column_name, array)
+            # ``... ORDER BY col`` materializes the rows sorted by that
+            # column: record the physical clustering so the planner can pick
+            # sorted-merge joins over this table (cleared by any later DML).
+            table.clustered_on = _clustering_from_select(
+                statement.as_select, result.column_names
+            )
             self.catalog.register(table)
             return ResultSet.empty([])
         table = self.catalog.new_table(statement.table_name)
@@ -178,9 +243,7 @@ class Database:
         table = self.catalog.get(statement.table_name)
         column_names = statement.columns or table.column_names
         if statement.from_select is not None:
-            result = Executor(
-                self.catalog, self._rng, optimize=self.optimize
-            ).execute_select(statement.from_select)
+            result = self._executor().execute_select(statement.from_select)
             table.append_rows(column_names, result.rows())
             return ResultSet.empty([])
         rows = []
@@ -190,6 +253,26 @@ class Database:
             rows.append(tuple(_literal_value(expression) for expression in row_expressions))
         table.append_rows(column_names, rows)
         return ResultSet.empty([])
+
+
+def _clustering_from_select(
+    select: ast.SelectStatement, column_names: Sequence[str]
+) -> str | None:
+    """Clustered column of a ``CREATE TABLE AS SELECT`` result, or None.
+
+    :func:`planner.ordering_target` supplies the shared shape rule; here the
+    name must additionally match exactly one *result* column (which covers
+    ``SELECT *`` expansions the planner's derived-table variant cannot see).
+    The executor resolves the reference against the output alias or an
+    identically valued input column — an ambiguous mismatch fails the query
+    before any table is created — so the matching output column holds the
+    sort key and is non-decreasing, NULLs last.
+    """
+    target = ordering_target(select)
+    if target is None:
+        return None
+    matches = [name for name in column_names if name.lower() == target]
+    return target if len(matches) == 1 else None
 
 
 def _literal_value(expression: ast.Expression) -> object:

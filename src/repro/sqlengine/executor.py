@@ -10,9 +10,11 @@ rewritten SQL text exactly as written.
 
 from __future__ import annotations
 
+from typing import Callable
+
 import numpy as np
 
-from repro.errors import ExecutionError
+from repro.errors import CatalogError, ExecutionError
 from repro.sqlengine import functions, planner as logical_planner, sqlast as ast
 from repro.sqlengine.catalog import Catalog
 from repro.sqlengine.encoding import merge_dictionaries, normalize_object_key
@@ -24,8 +26,10 @@ from repro.sqlengine.expressions import (
     evaluate,
     group_rows_encoded,
 )
-from repro.sqlengine.planner import SelectPlan
+from repro.sqlengine.planner import MergeJoinPlan, SelectPlan
 from repro.sqlengine.resultset import ResultSet
+from repro.sqlengine.table import Table
+from repro.sqlengine.zonemaps import zone_extreme, zone_non_null_count
 
 
 class _JoinCounter:
@@ -59,11 +63,28 @@ class Executor:
     """
 
     def __init__(
-        self, catalog: Catalog, rng: np.random.Generator, optimize: bool = True
+        self,
+        catalog: Catalog,
+        rng: np.random.Generator,
+        optimize: bool = True,
+        stats: dict[str, int] | None = None,
+        scan_workers: int = 1,
+        scan_pool: Callable[[], object] | None = None,
     ) -> None:
         self._catalog = catalog
         self._rng = rng
         self._optimize = optimize
+        # Round-4 observability: the owning Database passes a counter dict so
+        # tests and benchmarks can assert which fast path actually ran.
+        self._stats = stats
+        # Chunk-parallel scan configuration (``Database(parallel_scan=...)``):
+        # worker count and a lazy thread-pool factory.
+        self._scan_workers = scan_workers
+        self._scan_pool = scan_pool
+
+    def _count(self, key: str) -> None:
+        if self._stats is not None:
+            self._stats[key] = self._stats.get(key, 0) + 1
 
     # -- entry points --------------------------------------------------------
 
@@ -72,6 +93,14 @@ class Executor:
     ) -> ResultSet:
         if self._optimize and plan is None:
             plan = logical_planner.plan_select(statement, self._catalog)
+        if self._optimize:
+            # Metadata-only aggregates: MIN/MAX/COUNT over one unfiltered
+            # base table are answered from the zone maps without touching a
+            # single row (bit-identical; see _try_zone_aggregate for the
+            # eligibility rules and fallback guarantees).
+            fast = self._try_zone_aggregate(statement)
+            if fast is not None:
+                return fast
         frame = self._build_frame(statement.from_relation, plan)
         context = functions.EvaluationContext(num_rows=frame.num_rows, rng=self._rng)
 
@@ -96,6 +125,94 @@ class Executor:
     def _scalar_subquery(self, statement: ast.SelectStatement) -> object:
         result = self.execute_select(statement)
         return result.scalar()
+
+    # -- metadata-only aggregates ---------------------------------------------
+
+    def _try_zone_aggregate(self, statement: ast.SelectStatement) -> ResultSet | None:
+        """Answer MIN/MAX/COUNT over one unfiltered base table from zone maps.
+
+        Eligibility (anything else returns None and takes the normal path,
+        which produces the identical result):
+
+        * the FROM clause is a single base table — no joins, no derived
+          tables, no WHERE/GROUP BY/HAVING/DISTINCT/ORDER BY (a predicate
+          means the aggregate ranges over a subset the chunk bounds cannot
+          summarize);
+        * every select item is a bare ``min(col)``, ``max(col)``,
+          ``count(col)`` or ``count(*)`` call without DISTINCT;
+        * MIN/MAX columns are numeric (int64/float64/bool) — their zone
+          bounds are exactly the float64 values ``functions._group_extreme``
+          computes, NULL-only chunks carry ``None`` bounds and are skipped,
+          and an all-NULL column yields NaN.  Object columns fall back: the
+          row path compares raw Python values, which the normalized-key
+          bounds do not mirror.
+
+        Stale zone maps are never consumed: ``Table.zone_maps`` is keyed on
+        the table's version counter, so any DML since the last build forces a
+        rebuild (cost: one pass over the aggregated columns, at most what the
+        fallback scan would pay — then memoized again).  ``count(*)`` needs
+        only the catalog row count.
+        """
+        relation = statement.from_relation
+        if not isinstance(relation, ast.TableRef):
+            return None
+        if (
+            statement.where is not None
+            or statement.group_by
+            or statement.having is not None
+            or statement.distinct
+            or statement.order_by
+            or not statement.select_items
+        ):
+            return None
+        try:
+            table = self._catalog.get(relation.name)
+        except CatalogError:
+            return None  # the normal path raises the identical error
+        binding = relation.binding_name.lower()
+        specs: list[tuple[str, str | None]] = []
+        for item in statement.select_items:
+            node = item.expression
+            if not isinstance(node, ast.FunctionCall) or node.distinct:
+                return None
+            name = node.name.lower()
+            if name == "count" and (
+                not node.args or (len(node.args) == 1 and isinstance(node.args[0], ast.Star))
+            ):
+                specs.append(("count_star", None))
+                continue
+            if name not in ("min", "max", "count") or len(node.args) != 1:
+                return None
+            argument = node.args[0]
+            if not isinstance(argument, ast.ColumnRef):
+                return None
+            if argument.table is not None and argument.table.lower() != binding:
+                return None
+            column = table.resolve_column(argument.name)
+            if column is None:
+                return None
+            if name in ("min", "max") and table.column_chunks(column)[0].dtype == object:
+                return None
+            specs.append((name, column))
+
+        column_names: list[str] = []
+        columns: list[np.ndarray] = []
+        for position, (item, (kind, column)) in enumerate(
+            zip(statement.select_items, specs)
+        ):
+            if kind == "count_star":
+                value = float(table.num_rows)
+            else:
+                zones = table.zone_maps(column)
+                if kind == "count":
+                    value = float(zone_non_null_count(zones))
+                else:
+                    value = zone_extreme(zones, take_max=(kind == "max"))
+            column_names.append(item.output_name(position))
+            columns.append(np.array([value], dtype=np.float64))
+        self._count("zone_map_aggregates")
+        result = ResultSet(column_names, columns, encodings=[None] * len(columns))
+        return _apply_limit(result, statement.limit, statement.offset)
 
     # -- FROM clause ----------------------------------------------------------
 
@@ -123,11 +240,30 @@ class Executor:
             # rows with the full conjunction below is bit-identical to the
             # naive full-column scan.
             surviving = None
-            selection = None
             if self._optimize and scan is not None and scan.zone_predicates:
                 surviving = table.prune_chunks(scan.zone_predicates)
-                if surviving is not None:
-                    selection = table.chunk_row_indices(surviving)
+            if (
+                self._optimize
+                and self._scan_workers > 1
+                and scan is not None
+                and scan.predicates
+            ):
+                frame = self._parallel_scan_frame(
+                    table, relation.binding_name, wanted, surviving, scan
+                )
+                if frame is not None:
+                    return frame  # scan predicates already applied per chunk
+
+            # Row indices covered by the surviving chunks, built only if an
+            # object column's dictionary codes are actually resolved (an
+            # all-numeric pruned scan never pays the O(selected rows) array).
+            selection_cache: list[np.ndarray] = []
+
+            def chunk_selection() -> np.ndarray:
+                if not selection_cache:
+                    selection_cache.append(table.chunk_row_indices(surviving))
+                return selection_cache[0]
+
             frame = Frame()
             for column_name in table.column_names:
                 if wanted is not None and column_name.lower() not in wanted:
@@ -138,15 +274,22 @@ class Executor:
                     array = table.gather_chunks(column_name, surviving)
                 codes = None
                 if self._optimize and array.dtype == object:
-                    codes = LazyCodes(
-                        lambda t=table, n=column_name: t.dictionary_codes(n)
-                    )
-                    if selection is not None:
-                        codes = codes.sliced(selection)
+                    if surviving is None:
+                        codes = LazyCodes(
+                            lambda t=table, n=column_name: t.dictionary_codes(n)
+                        )
+                    else:
+                        def sliced_codes(t=table, n=column_name):
+                            full_codes, dictionary = t.dictionary_codes(n)
+                            return full_codes[chunk_selection()], dictionary
+
+                        codes = LazyCodes(sliced_codes)
                 frame.add_column(relation.binding_name, column_name, array, codes=codes)
             if not frame.entries():
                 frame.num_rows = (
-                    len(selection) if selection is not None else table.num_rows
+                    _chunk_row_count(table, surviving)
+                    if surviving is not None
+                    else table.num_rows
                 )
             return self._apply_scan_predicates(frame, scan)
         if isinstance(relation, ast.DerivedTable):
@@ -176,6 +319,101 @@ class Executor:
         if isinstance(relation, ast.Join):
             return self._build_join(relation, plan, joins)
         raise ExecutionError(f"unsupported relation type {type(relation).__name__}")
+
+    def _parallel_scan_frame(
+        self,
+        table: Table,
+        binding: str,
+        wanted: set[str] | None,
+        surviving: np.ndarray | None,
+        scan,
+    ) -> Frame | None:
+        """Evaluate a scan's pushed-down predicates chunk-parallel, or None.
+
+        Each zone-map-surviving chunk is filtered independently on a worker
+        thread (numpy releases the GIL for the bulk of the comparison work)
+        and the surviving rows are reassembled in chunk order, so the frame
+        is bit-identical to the sequential gather-then-filter path: pushed
+        conjuncts are deterministic, scalar-subquery-free and row-local by
+        the planner's pushdown rules, making per-chunk evaluation exact.
+        Object columns reuse the table-level dictionary (resolved once, on
+        the calling thread) so coded comparisons stay coded per chunk.
+        """
+        if table.num_rows == 0:
+            return None
+        chunk_ids = (
+            surviving
+            if surviving is not None
+            else np.arange(table.num_chunks, dtype=np.int64)
+        )
+        if len(chunk_ids) < 2 or self._scan_pool is None:
+            return None
+        names = [
+            name
+            for name in table.column_names
+            if wanted is None or name.lower() in wanted
+        ]
+        if not names:
+            return None
+        predicate = ast.conjunction(scan.predicates)
+        if not _row_local(predicate):
+            return None
+        pool = self._scan_pool()
+        if pool is None:
+            return None
+        column_chunks = {name: table.column_chunks(name) for name in names}
+        encodings: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+        for name in names:
+            if column_chunks[name][0].dtype == object:
+                encoded = table.dictionary_codes(name)
+                if encoded is not None:
+                    encodings[name] = encoded
+        size = table.chunk_rows
+
+        def filter_chunk(chunk_id: int) -> np.ndarray:
+            chunk_id = int(chunk_id)
+            start = chunk_id * size
+            chunk_frame = Frame()
+            for name in names:
+                chunk = column_chunks[name][chunk_id]
+                codes = None
+                encoded = encodings.get(name)
+                if encoded is not None:
+                    codes = LazyCodes.presolved(
+                        encoded[0][start : start + len(chunk)], encoded[1]
+                    )
+                chunk_frame.add_column(binding, name, chunk, codes=codes)
+            context = functions.EvaluationContext(
+                num_rows=chunk_frame.num_rows, rng=self._rng
+            )
+            mask = evaluate(predicate, chunk_frame, context)
+            return np.flatnonzero(np.asarray(mask, dtype=bool))
+
+        local_indices = list(pool.map(filter_chunk, chunk_ids))
+        frame = Frame()
+        selected = [
+            int(chunk_id) * size + local
+            for chunk_id, local in zip(chunk_ids, local_indices)
+            if len(local)
+        ]
+        selection = (
+            np.concatenate(selected) if selected else np.zeros(0, dtype=np.int64)
+        )
+        for name in names:
+            chunks = column_chunks[name]
+            parts = [
+                chunks[int(chunk_id)][local]
+                for chunk_id, local in zip(chunk_ids, local_indices)
+                if len(local)
+            ]
+            array = np.concatenate(parts) if parts else chunks[0][:0]
+            codes = None
+            encoded = encodings.get(name)
+            if encoded is not None:
+                codes = LazyCodes.presolved(encoded[0][selection], encoded[1])
+            frame.add_column(binding, name, array, codes=codes)
+        self._count("parallel_scans")
+        return frame
 
     def _apply_scan_predicates(self, frame: Frame, scan) -> Frame:
         """Filter a scan frame with its pushed-down WHERE conjuncts."""
@@ -218,15 +456,34 @@ class Executor:
                 evaluate(expr, right, right_context, self._scalar_subquery)
                 for _, expr in equi_pairs
             ]
-            left_encodings = [_key_encoding(expr, left) for expr, _ in equi_pairs]
-            right_encodings = [_key_encoding(expr, right) for _, expr in equi_pairs]
-            left_indices, right_indices = hash_join_indices(
-                left_keys,
-                right_keys,
-                left_encodings,
-                right_encodings,
-                prefer_smaller_build=self._optimize,
-            )
+            merged = None
+            if self._optimize and plan is not None:
+                merge = plan.merge_joins.get(index)
+                if (
+                    merge is not None
+                    and len(equi_pairs) == 1
+                    and _merge_pair_matches(merge, equi_pairs[0])
+                    and self._merge_sources_clustered(merge)
+                ):
+                    # Both inputs are clustered on the join key: merge them
+                    # in place of building a hash table.  merge_join_indices
+                    # re-verifies sortedness and dtype and returns None when
+                    # the metadata over-promised, so the fallback is always
+                    # bit-identical.
+                    merged = merge_join_indices(left_keys[0], right_keys[0])
+            if merged is not None:
+                left_indices, right_indices = merged
+                self._count("merge_joins")
+            else:
+                left_encodings = [_key_encoding(expr, left) for expr, _ in equi_pairs]
+                right_encodings = [_key_encoding(expr, right) for _, expr in equi_pairs]
+                left_indices, right_indices = hash_join_indices(
+                    left_keys,
+                    right_keys,
+                    left_encodings,
+                    right_encodings,
+                    prefer_smaller_build=self._optimize,
+                )
 
         joined = Frame.concat(left.take(left_indices), right.take(right_indices))
         if residual is not None:
@@ -234,6 +491,30 @@ class Executor:
             mask = evaluate(residual, joined, joined_context, self._scalar_subquery)
             joined = joined.filter(mask)
         return joined
+
+    def _merge_sources_clustered(self, merge: MergeJoinPlan) -> bool:
+        """Re-verify base-table clustering at execution time.
+
+        Cached plans outlive DML (the plan cache is keyed on the catalog's
+        *schema* version), but DML clears ``Table.clustered_on`` — so a plan
+        that chose a merge join may describe a table that has since lost its
+        order.  Derived inputs need no check: their ORDER BY re-executes
+        fresh every time.
+        """
+        for table_name, column in (
+            (merge.left_table, merge.left_column),
+            (merge.right_table, merge.right_column),
+        ):
+            if table_name is None:
+                continue
+            try:
+                table = self._catalog.get(table_name)
+            except CatalogError:
+                return False
+            clustered = table.clustered_on
+            if clustered is None or clustered.lower() != column:
+                return False
+        return True
 
     # -- plain (non-aggregate) SELECT -----------------------------------------
 
@@ -563,6 +844,15 @@ class Executor:
         return sort_indices(keys)
 
 
+def _chunk_row_count(table: Table, chunk_ids: np.ndarray) -> int:
+    """Rows covered by the given chunks, without materializing their indices."""
+    if not len(chunk_ids):
+        return 0
+    size = table.chunk_rows
+    counts = np.minimum((chunk_ids + 1) * size, table.num_rows) - chunk_ids * size
+    return int(counts.sum())
+
+
 # ---------------------------------------------------------------------------
 # join helpers
 # ---------------------------------------------------------------------------
@@ -638,6 +928,97 @@ def _grouping_encoding(
         codes, dictionary = encoded
         return codes, max(1, len(dictionary))
     return encode_grouping_key(values)
+
+
+def _merge_pair_matches(merge: MergeJoinPlan, pair: tuple) -> bool:
+    """Whether the executor's resolved equi pair is the one the plan chose."""
+    left_ref, right_ref = pair
+    if left_ref.name.lower() != merge.left_column:
+        return False
+    if right_ref.name.lower() != merge.right_column:
+        return False
+    if left_ref.table is not None and left_ref.table.lower() != merge.left_binding:
+        return False
+    if right_ref.table is not None and right_ref.table.lower() != merge.right_binding:
+        return False
+    return True
+
+
+def _row_local(expression: ast.Expression) -> bool:
+    """Whether per-chunk evaluation of ``expression`` equals whole-column
+    evaluation (no subqueries, window functions or random draws)."""
+    for node in expression.walk():
+        if isinstance(node, (ast.ScalarSubquery, ast.WindowFunction)):
+            return False
+        if isinstance(node, ast.FunctionCall) and (
+            functions.is_nondeterministic_function(node.name)
+            or functions.is_aggregate_function(node.name)
+        ):
+            return False
+    return True
+
+
+def merge_join_indices(
+    left_key: np.ndarray, right_key: np.ndarray
+) -> tuple[np.ndarray, np.ndarray] | None:
+    """Inner equi-join of two already sorted numeric key columns, or None.
+
+    Emits exactly the pairs :func:`hash_join_indices` would — left-major,
+    right index ascending within each left row — without building a hash
+    table (no union dictionary, no argsort): equality ranges on the sorted
+    right side come straight from two ``searchsorted`` calls.
+
+    Keys compare as float64, like the hash path's ``_normalize_key``.  The
+    hash path's ``np.unique`` collapses NaNs to a single code, so NaN keys
+    *do* match each other there — the sorted inputs keep their NaNs in a
+    contiguous tail (the engine's ORDER BY places NULLs last), and the same
+    cross-matching is reproduced by pairing the two tails explicitly.
+
+    Sortedness and the NaN-tail shape are re-verified in O(n) — far cheaper
+    than the O(n log n) sort the hash build pays — and ``None`` is returned
+    when the clustering metadata over-promised (or a key is an object
+    column), letting the caller fall back bit-identically.
+    """
+    if left_key.dtype == object or right_key.dtype == object:
+        return None
+    left = left_key.astype(np.float64, copy=False)
+    right = right_key.astype(np.float64, copy=False)
+    left_valid = _sorted_non_nan_prefix(left)
+    right_valid = _sorted_non_nan_prefix(right)
+    if left_valid is None or right_valid is None:
+        return None
+    starts = np.searchsorted(right[:right_valid], left[:left_valid], side="left")
+    ends = np.searchsorted(right[:right_valid], left[:left_valid], side="right")
+    counts = ends - starts
+    matched = int(counts.sum())
+    left_indices = np.repeat(np.arange(left_valid, dtype=np.int64), counts)
+    cumulative = np.cumsum(counts) - counts
+    within = np.arange(matched, dtype=np.int64) - np.repeat(cumulative, counts)
+    right_indices = (np.repeat(starts, counts) + within).astype(np.int64, copy=False)
+    left_nan = len(left) - left_valid
+    right_nan = len(right) - right_valid
+    if left_nan and right_nan:
+        left_indices = np.concatenate(
+            [left_indices, np.repeat(np.arange(left_valid, len(left), dtype=np.int64), right_nan)]
+        )
+        right_indices = np.concatenate(
+            [right_indices, np.tile(np.arange(right_valid, len(right), dtype=np.int64), left_nan)]
+        )
+    return left_indices, right_indices
+
+
+def _sorted_non_nan_prefix(key: np.ndarray) -> int | None:
+    """Length of the sorted non-NaN prefix, or None when the array is not
+    (non-NaN-ascending + NaN tail) — the engine's ORDER BY layout."""
+    nan_mask = np.isnan(key)
+    nan_count = int(nan_mask.sum())
+    valid = len(key) - nan_count
+    if nan_count and not nan_mask[valid:].all():
+        return None
+    head = key[:valid]
+    if valid > 1 and not np.all(head[1:] >= head[:-1]):
+        return None
+    return valid
 
 
 def hash_join_indices(

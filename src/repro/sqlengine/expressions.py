@@ -21,7 +21,6 @@ from repro.sqlengine.encoding import (
     code_for_value,
     encode_object_array,
     escape_key,
-    normalize_object_key,
     null_code,
     unescape_key,
 )

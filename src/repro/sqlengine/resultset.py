@@ -83,6 +83,26 @@ class ResultSet:
         """Per-column lazy dictionary encodings, or None when not tracked."""
         return list(self._encodings) if self._encodings is not None else None
 
+    def equals(self, other: "ResultSet") -> bool:
+        """Bit-identical comparison: names, row order and values (NaN == NaN).
+
+        The A/B harness — benchmarks and property tests comparing an
+        optimized engine against ``Database(optimize=False)`` — uses this to
+        assert that every fast path reproduces the naive results exactly.
+        """
+        if self._column_names != other.column_names:
+            return False
+        if self._num_rows != other.num_rows:
+            return False
+        for left, right in zip(self._columns, other.columns()):
+            for a, b in zip(left.tolist(), right.tolist()):
+                if isinstance(a, float) and isinstance(b, float):
+                    if not (a == b or (np.isnan(a) and np.isnan(b))):
+                        return False
+                elif a != b:
+                    return False
+        return True
+
     def rows(self) -> Iterator[tuple]:
         for index in range(self._num_rows):
             yield tuple(column[index] for column in self._columns)

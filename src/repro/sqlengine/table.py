@@ -77,6 +77,12 @@ class Table:
         self._flat_cache: dict[str, np.ndarray] = {}
         # Column name -> (version, per-chunk zone maps).
         self._zone_cache: dict[str, tuple[int, list[ZoneMap]]] = {}
+        # Physical clustering metadata: the lower-cased name of a column the
+        # rows are sorted by (ascending, NULLs last — the engine's ORDER BY
+        # order), or None.  Set by ``CREATE TABLE AS SELECT ... ORDER BY col``
+        # and cleared by any mutation; the planner uses it to choose
+        # sorted-merge joins over hash joins.
+        self.clustered_on: str | None = None
         if columns:
             for column_name, values in columns.items():
                 self.add_column(column_name, values)
@@ -119,6 +125,7 @@ class Table:
         self._flat_cache[name] = array
         self._zone_cache.pop(name, None)
         self._version += 1
+        self.clustered_on = None
 
     def _split_chunks(self, array: np.ndarray) -> list[np.ndarray]:
         if len(array) == 0:
@@ -218,6 +225,17 @@ class Table:
         self._zone_cache[name] = (self._version, zones)
         return zones
 
+    def zone_maps_fresh(self, name: str) -> bool:
+        """Whether the column's zone maps are built and match the current data.
+
+        Stale entries (a version-counter mismatch after DML) are never
+        consumed — :meth:`zone_maps` rebuilds them before returning — so this
+        only reports whether the next zone-map read is metadata-cost or pays
+        the one-off rebuild.
+        """
+        entry = self._zone_cache.get(name)
+        return entry is not None and entry[0] == self._version
+
     def prune_chunks(self, predicates: Sequence[ZonePredicate]) -> np.ndarray | None:
         """Chunk indices that may contain rows matching every conjunct.
 
@@ -245,13 +263,16 @@ class Table:
             return None
         return np.flatnonzero(mask)
 
-    def _column_for(self, name: str) -> str | None:
-        """Resolve a predicate's column reference case-insensitively."""
+    def resolve_column(self, name: str) -> str | None:
+        """Resolve a column reference case-insensitively (None = no unique match)."""
         if name in self._chunks:
             return name
         lowered = name.lower()
         matches = [column for column in self._chunks if column.lower() == lowered]
         return matches[0] if len(matches) == 1 else None
+
+    # Backward-compatible private alias (pre-round-4 internal name).
+    _column_for = resolve_column
 
     def chunk_row_indices(self, chunk_ids: np.ndarray) -> np.ndarray:
         """Row indices covered by the given chunks, in table order."""
@@ -310,6 +331,8 @@ class Table:
             self._flat_cache.pop(column_name, None)
         self._num_rows += len(materialized)
         self._version += 1
+        # Appended rows land after the sorted prefix in arbitrary key order.
+        self.clustered_on = None
         for column_name, zones in updated_zones.items():
             if zones is not None:
                 self._zone_cache[column_name] = (self._version, zones)
@@ -372,6 +395,7 @@ class Table:
         result = Table(name or self.name, chunk_rows=self.chunk_rows)
         for column_name in self._chunks:
             result.add_column(column_name, self.column(column_name).copy())
+        result.clustered_on = self.clustered_on  # row order is preserved
         return result
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper

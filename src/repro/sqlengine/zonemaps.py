@@ -79,6 +79,41 @@ def zone_map_for_chunk(chunk: np.ndarray) -> ZoneMap:
 
 
 # ---------------------------------------------------------------------------
+# metadata-only aggregates
+# ---------------------------------------------------------------------------
+
+
+def zone_extreme(zones: list[ZoneMap], take_max: bool) -> float:
+    """MIN/MAX of a numeric column from its zone maps alone.
+
+    Mirrors ``functions._group_extreme`` for non-object columns exactly: the
+    bounds are the float64 values the row-level aggregate would compute
+    (including the same precision loss above 2**53 for int64 columns), NULL
+    rows are ignored, and a column with no non-NULL values yields NaN.
+    NULL-only chunks carry ``low = high = None`` and simply do not
+    participate.  ``_group_extreme`` uses ``-inf``/``+inf`` as its empty-group
+    fill sentinel and collapses a result equal to the fill to NaN — so a
+    column whose true maximum is ``-inf`` (or minimum ``+inf``) yields NaN
+    there, and must here too.
+    """
+    fill = float("-inf") if take_max else float("inf")
+    best: float | None = None
+    for zone in zones:
+        bound = zone.high if take_max else zone.low
+        if bound is None:
+            continue
+        value = float(bound)
+        if best is None or (value > best if take_max else value < best):
+            best = value
+    return float("nan") if best is None or best == fill else best
+
+
+def zone_non_null_count(zones: list[ZoneMap]) -> int:
+    """COUNT(col) — number of non-NULL rows — from the zone maps alone."""
+    return sum(zone.non_null for zone in zones)
+
+
+# ---------------------------------------------------------------------------
 # plan-time classification of zone-map-eligible conjuncts
 # ---------------------------------------------------------------------------
 

@@ -1,4 +1,18 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite.
+
+Markers
+-------
+``bench_floor`` marks the cheap re-validation of the committed benchmark
+speedup floors (``tests/test_bench_floors.py``).  CI's Python-version matrix
+runs the fast path::
+
+    PYTHONPATH=src python -m pytest -x -q -m "not bench_floor"
+
+and the floors are checked once, in the dedicated ``bench-floors`` job
+(``benchmarks/run_all.py --quick`` through ``compare_bench.py``), instead of
+once per interpreter.  Run ``pytest -m bench_floor -q`` locally to check the
+committed floors in milliseconds.
+"""
 
 from __future__ import annotations
 

@@ -9,7 +9,6 @@ from repro.connectors import (
     IMPALA_LIKE,
     REDSHIFT_LIKE,
     SQLITE,
-    SqliteConnector,
     SyntaxChanger,
     get_dialect,
 )

@@ -1,6 +1,5 @@
 """Tests for query analysis, subquery flattening and the sample planner."""
 
-import pytest
 
 from repro.core.flattener import flatten
 from repro.core.query_info import analyze, classify_aggregate

@@ -1,6 +1,5 @@
 """Integration tests: every experiment module runs and produces sane records."""
 
-import pytest
 
 from repro.experiments import (
     figure4_speedups,

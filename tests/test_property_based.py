@@ -6,7 +6,7 @@ import numpy as np
 from hypothesis import given, settings, strategies as st
 
 from repro.sampling.bernoulli import guarantee_function, required_sampling_probability
-from repro.sqlengine import sqlast as ast
+from repro.sqlengine import Database, sqlast as ast
 from repro.sqlengine.expressions import group_rows
 from repro.sqlengine.parser import parse_select
 from repro.sqlengine.tokens import tokenize
@@ -82,6 +82,95 @@ def test_group_rows_assigns_consistent_ids(first, second):
             else:
                 seen[key] = inverse[index]
         assert len(seen) == num_groups
+
+
+# ---------------------------------------------------------------------------
+# round-4 fast paths vs the naive engine (A/B bit-identity)
+# ---------------------------------------------------------------------------
+
+maybe_floats = st.lists(
+    st.one_of(
+        st.none(),
+        st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False),
+    ),
+    min_size=0,
+    max_size=120,
+)
+
+
+def _ab_engines(columns, chunk_rows=16, parallel=2):
+    """An optimized engine (tiny chunks + parallel scan) and a naive twin."""
+    optimized = Database(seed=0, chunk_rows=chunk_rows, parallel_scan=parallel)
+    naive = Database(seed=0, optimize=False, chunk_rows=chunk_rows)
+    for engine in (optimized, naive):
+        engine.register_table("t", columns)
+    return optimized, naive
+
+
+def _assert_ab(optimized, naive, sql):
+    fast, slow = optimized.execute(sql), naive.execute(sql)
+    assert fast.equals(slow), (sql, fast.fetchall(), slow.fetchall())
+
+
+@given(maybe_floats)
+@settings(max_examples=60, deadline=None)
+def test_zone_map_aggregates_match_naive(values):
+    """MIN/MAX/COUNT answered from zone maps == the naive full scan,
+    including NULLs, NULL-only chunks and the empty table."""
+    column = np.array(
+        [np.nan if value is None else value for value in values], dtype=np.float64
+    )
+    optimized, naive = _ab_engines({"v": column})
+    sql = "SELECT min(v) AS lo, max(v) AS hi, count(*) AS n, count(v) AS nv FROM t"
+    _assert_ab(optimized, naive, sql)
+    if len(values):
+        assert optimized.stats["zone_map_aggregates"] == 1
+
+
+@given(maybe_floats, st.integers(min_value=-4, max_value=4))
+@settings(max_examples=60, deadline=None)
+def test_chunk_parallel_scan_matches_naive(values, threshold):
+    """Per-chunk predicate evaluation reassembles to the sequential rows."""
+    column = np.array(
+        [np.nan if value is None else value for value in values], dtype=np.float64
+    )
+    optimized, naive = _ab_engines(
+        {"v": column, "k": np.arange(len(column)) % 5}
+    )
+    sql = (
+        f"SELECT count(*) AS n, sum(v) AS x FROM t "
+        f"WHERE v > {threshold} AND k <> 2"
+    )
+    _assert_ab(optimized, naive, sql)
+
+
+@given(
+    st.lists(st.integers(min_value=-30, max_value=30), min_size=0, max_size=80),
+    st.lists(st.integers(min_value=-30, max_value=30), min_size=0, max_size=40),
+)
+@settings(max_examples=60, deadline=None)
+def test_sorted_merge_join_matches_naive(left_keys, right_keys):
+    """Merge joins over CTAS-clustered inputs == the naive hash join,
+    duplicate keys and all."""
+    left = {"k": np.array(sorted(left_keys), dtype=np.int64)}
+    right = {"k": np.array(sorted(right_keys), dtype=np.int64)}
+    left["v"] = np.arange(len(left["k"]), dtype=np.float64)
+    right["w"] = np.arange(len(right["k"]), dtype=np.float64)
+    optimized = Database(seed=0, chunk_rows=16)
+    naive = Database(seed=0, optimize=False, chunk_rows=16)
+    for engine in (optimized, naive):
+        engine.register_table("l", left)
+        engine.register_table("r", right)
+        engine.execute("CREATE TABLE ls AS SELECT * FROM l ORDER BY k")
+        engine.execute("CREATE TABLE rs AS SELECT * FROM r ORDER BY k")
+    sql = (
+        "SELECT count(*) AS n, sum(ls.v * rs.w) AS x "
+        "FROM ls INNER JOIN rs ON ls.k = rs.k"
+    )
+    fast, slow = optimized.execute(sql), naive.execute(sql)
+    assert fast.equals(slow), (fast.fetchall(), slow.fetchall())
+    if len(left["k"]) and len(right["k"]):
+        assert optimized.stats["merge_joins"] == 1
 
 
 # ---------------------------------------------------------------------------

@@ -10,7 +10,6 @@ from repro.core.rewriter import AqpRewriter
 from repro.core.sample_planner import SamplePlan
 from repro.errors import RewriteError
 from repro.sampling.params import SampleInfo
-from repro.sqlengine import sqlast as ast
 from repro.sqlengine.parser import parse_select
 from repro.sqlengine.resultset import ResultSet
 

@@ -1,0 +1,400 @@
+"""Storage round 4: zone-map aggregates, sorted-merge joins, parallel scans.
+
+Every fast path is A/B-tested against ``Database(optimize=False)`` — the
+naive engine that scans whole columns and always hash-joins — and asserted
+bit-identical via ``ResultSet.equals``.  ``Database.stats`` verifies which
+path actually ran, so a silently disabled fast path fails loudly instead of
+passing on the fallback.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sqlengine import Database
+from repro.sqlengine.executor import merge_join_indices
+from repro.sqlengine.table import Table
+from repro.sqlengine.zonemaps import zone_extreme, zone_non_null_count
+
+
+def _ab_pair(columns: dict, chunk_rows: int | None = None, parallel: int | None = None):
+    optimized = Database(seed=0, chunk_rows=chunk_rows, parallel_scan=parallel)
+    naive = Database(seed=0, optimize=False, chunk_rows=chunk_rows)
+    for engine in (optimized, naive):
+        engine.register_table("t", columns)
+    return optimized, naive
+
+
+def _assert_identical(optimized: Database, naive: Database, sql: str):
+    fast = optimized.execute(sql)
+    slow = naive.execute(sql)
+    assert fast.equals(slow), (sql, fast.fetchall(), slow.fetchall())
+    return fast
+
+
+# ---------------------------------------------------------------------------
+# zone-map MIN/MAX/COUNT answering
+# ---------------------------------------------------------------------------
+
+
+class TestZoneMapAggregates:
+    def test_min_max_count_answered_from_zone_maps(self):
+        rng = np.random.default_rng(3)
+        optimized, naive = _ab_pair(
+            {"k": np.arange(5_000), "v": rng.normal(size=5_000)}, chunk_rows=512
+        )
+        sql = "SELECT min(v) AS lo, max(v) AS hi, count(*) AS n, count(v) AS nv FROM t"
+        _assert_identical(optimized, naive, sql)
+        assert optimized.stats["zone_map_aggregates"] == 1
+
+    def test_int_bool_and_qualified_columns(self):
+        optimized, naive = _ab_pair(
+            {"i": np.arange(1_000) - 500, "b": np.arange(1_000) % 2 == 0},
+            chunk_rows=128,
+        )
+        _assert_identical(
+            optimized, naive, "SELECT min(t.i) AS a, max(i) AS b, min(b) AS c FROM t"
+        )
+        assert optimized.stats["zone_map_aggregates"] == 1
+
+    def test_nulls_and_null_only_chunks(self):
+        values = np.arange(600, dtype=np.float64)
+        values[100:300] = np.nan  # chunk 1 (rows 128..256) is entirely NULL
+        optimized, naive = _ab_pair({"v": values}, chunk_rows=128)
+        _assert_identical(
+            optimized, naive, "SELECT min(v) AS lo, max(v) AS hi, count(v) AS nv FROM t"
+        )
+        assert optimized.stats["zone_map_aggregates"] == 1
+
+    def test_all_null_column_yields_nan(self):
+        optimized, naive = _ab_pair({"v": np.full(300, np.nan)}, chunk_rows=64)
+        result = _assert_identical(
+            optimized, naive, "SELECT min(v) AS lo, max(v) AS hi, count(v) AS nv FROM t"
+        )
+        assert np.isnan(result.column("lo")[0]) and result.column("nv")[0] == 0.0
+
+    def test_infinite_extremes_collapse_to_nan_like_naive(self):
+        # functions._group_extreme uses +/-inf as its empty-group fill and
+        # collapses a result equal to the fill to NaN — a true max of -inf
+        # (or min of +inf) must round-trip identically through zone maps.
+        optimized, naive = _ab_pair(
+            {"v": np.array([-np.inf, -np.inf]), "w": np.array([np.inf, np.inf])}
+        )
+        result = _assert_identical(
+            optimized, naive,
+            "SELECT max(v) AS hi, min(w) AS lo, min(v) AS v_lo, max(w) AS w_hi FROM t",
+        )
+        assert np.isnan(result.column("hi")[0]) and np.isnan(result.column("lo")[0])
+        assert optimized.stats["zone_map_aggregates"] == 1
+
+    def test_empty_table(self):
+        optimized, naive = _ab_pair({"v": np.array([], dtype=np.float64)})
+        _assert_identical(
+            optimized, naive, "SELECT min(v) AS lo, count(*) AS n, count(v) AS nv FROM t"
+        )
+        assert optimized.stats["zone_map_aggregates"] == 1
+
+    def test_count_of_object_column_counts_none_only(self):
+        optimized, naive = _ab_pair(
+            {"s": np.array(["a", None, "b", None, "c"] * 50, dtype=object)},
+            chunk_rows=32,
+        )
+        _assert_identical(optimized, naive, "SELECT count(s) AS n, count(*) AS all_n FROM t")
+        assert optimized.stats["zone_map_aggregates"] == 1
+
+    def test_object_min_max_falls_back(self):
+        optimized, naive = _ab_pair(
+            {"s": np.array(["b", "a", "c"], dtype=object)}
+        )
+        _assert_identical(optimized, naive, "SELECT min(s) AS lo, max(s) AS hi FROM t")
+        assert optimized.stats["zone_map_aggregates"] == 0
+
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "SELECT min(v) AS lo FROM t WHERE v > 0",  # predicate: subset
+            "SELECT k, min(v) AS lo FROM t GROUP BY k",  # grouped
+            "SELECT min(v + 1) AS lo FROM t",  # non-bare argument
+            "SELECT min(v) + 1 AS lo FROM t",  # expression over the aggregate
+            "SELECT count(DISTINCT v) AS n FROM t",  # DISTINCT
+            "SELECT sum(v) AS s FROM t",  # unsupported aggregate
+        ],
+    )
+    def test_ineligible_shapes_fall_back_identically(self, sql):
+        rng = np.random.default_rng(5)
+        optimized, naive = _ab_pair(
+            {"k": np.arange(400) % 7, "v": rng.normal(size=400)}, chunk_rows=64
+        )
+        _assert_identical(optimized, naive, sql)
+        assert optimized.stats["zone_map_aggregates"] == 0
+
+    def test_limit_and_offset_apply(self):
+        optimized, naive = _ab_pair({"v": np.arange(10.0)})
+        _assert_identical(optimized, naive, "SELECT min(v) AS lo FROM t LIMIT 1")
+        _assert_identical(optimized, naive, "SELECT min(v) AS lo FROM t LIMIT 5 OFFSET 1")
+
+    def test_staleness_append_refreshes_incrementally(self):
+        optimized, naive = _ab_pair({"v": np.arange(200.0)}, chunk_rows=64)
+        sql = "SELECT min(v) AS lo, max(v) AS hi, count(*) AS n FROM t"
+        _assert_identical(optimized, naive, sql)
+        table = optimized.table("t")
+        assert table.zone_maps_fresh("v")
+        # append_rows bumps the version but refreshes the touched chunks in
+        # place, so the maps stay fresh and the new extremes are visible.
+        for engine in (optimized, naive):
+            engine.execute("INSERT INTO t (v) VALUES (-5.0), (999.0)")
+        assert table.zone_maps_fresh("v")
+        result = _assert_identical(optimized, naive, sql)
+        assert result.column("lo")[0] == -5.0 and result.column("hi")[0] == 999.0
+        assert optimized.stats["zone_map_aggregates"] == 2
+
+    def test_staleness_destructive_dml_refuses_stale_maps(self):
+        optimized, naive = _ab_pair({"v": np.arange(200.0)}, chunk_rows=64)
+        sql = "SELECT min(v) AS lo, max(v) AS hi FROM t"
+        _assert_identical(optimized, naive, sql)
+        assert optimized.table("t").zone_maps_fresh("v")
+        # Replacing the column drops the zone-map cache entirely: the stale
+        # maps (version mismatch) must never be consumed.
+        for engine in (optimized, naive):
+            engine.table("t").add_column("v", np.arange(200.0) - 1_000.0)
+        assert not optimized.table("t").zone_maps_fresh("v")
+        result = _assert_identical(optimized, naive, sql)
+        assert result.column("lo")[0] == -1_000.0
+        assert optimized.table("t").zone_maps_fresh("v")  # rebuilt, memoized
+
+    def test_zone_helper_functions(self):
+        table = Table("x", {"v": np.array([3.0, np.nan, 1.0, 7.0])}, chunk_rows=2)
+        zones = table.zone_maps("v")
+        assert zone_extreme(zones, take_max=False) == 1.0
+        assert zone_extreme(zones, take_max=True) == 7.0
+        assert zone_non_null_count(zones) == 3
+
+
+# ---------------------------------------------------------------------------
+# sorted-merge joins over clustered inputs
+# ---------------------------------------------------------------------------
+
+
+def _merge_pair(left: dict, right: dict, chunk_rows: int | None = None):
+    """Two engines with ``ls``/``rs`` sorted copies of the same two tables."""
+    optimized = Database(seed=0, chunk_rows=chunk_rows)
+    naive = Database(seed=0, optimize=False, chunk_rows=chunk_rows)
+    for engine in (optimized, naive):
+        engine.register_table("l", left)
+        engine.register_table("r", right)
+        engine.execute("CREATE TABLE ls AS SELECT * FROM l ORDER BY k")
+        engine.execute("CREATE TABLE rs AS SELECT * FROM r ORDER BY k")
+    return optimized, naive
+
+
+class TestSortedMergeJoin:
+    def test_ctas_order_by_records_clustering(self):
+        engine = Database(seed=0)
+        engine.register_table("l", {"k": np.array([3, 1, 2]), "v": np.arange(3.0)})
+        engine.execute("CREATE TABLE ls AS SELECT * FROM l ORDER BY k")
+        assert engine.table("ls").clustered_on == "k"
+        engine.execute("CREATE TABLE ld AS SELECT * FROM l ORDER BY k DESC")
+        assert engine.table("ld").clustered_on is None
+        engine.execute("CREATE TABLE la AS SELECT k AS kk, v FROM l ORDER BY kk")
+        assert engine.table("la").clustered_on == "kk"
+
+    def test_dml_clears_clustering(self):
+        engine = Database(seed=0)
+        engine.register_table("l", {"k": np.arange(10), "v": np.arange(10.0)})
+        engine.execute("CREATE TABLE ls AS SELECT * FROM l ORDER BY k")
+        engine.execute("INSERT INTO ls (k, v) VALUES (0, 0.0)")
+        assert engine.table("ls").clustered_on is None
+
+    def test_merge_join_bit_identical(self):
+        rng = np.random.default_rng(9)
+        optimized, naive = _merge_pair(
+            {"k": rng.integers(0, 200, 3_000), "v": rng.normal(size=3_000)},
+            {"k": rng.integers(0, 200, 500), "w": rng.normal(size=500)},
+            chunk_rows=256,
+        )
+        sql = (
+            "SELECT count(*) AS n, sum(ls.v * rs.w) AS x "
+            "FROM ls INNER JOIN rs ON ls.k = rs.k"
+        )
+        _assert_identical(optimized, naive, sql)
+        assert optimized.stats["merge_joins"] == 1
+
+    def test_merge_join_with_pushed_predicates_keeps_order(self):
+        rng = np.random.default_rng(10)
+        optimized, naive = _merge_pair(
+            {"k": rng.integers(0, 100, 2_000), "v": rng.normal(size=2_000)},
+            {"k": rng.integers(0, 100, 400), "w": rng.normal(size=400)},
+            chunk_rows=128,
+        )
+        sql = (
+            "SELECT count(*) AS n, sum(ls.v) AS x FROM ls INNER JOIN rs "
+            "ON ls.k = rs.k WHERE ls.v > 0 AND rs.k BETWEEN 10 AND 80"
+        )
+        _assert_identical(optimized, naive, sql)
+        assert optimized.stats["merge_joins"] == 1
+
+    def test_nan_keys_cross_match_like_hash(self):
+        optimized, naive = _merge_pair(
+            {"k": np.array([1.0, 2.0, np.nan, np.nan]), "v": np.arange(4.0)},
+            {"k": np.array([2.0, np.nan]), "w": np.array([10.0, 20.0])},
+        )
+        sql = (
+            "SELECT ls.v, rs.w FROM ls INNER JOIN rs ON ls.k = rs.k "
+            "ORDER BY ls.v, rs.w"
+        )
+        _assert_identical(optimized, naive, sql)
+        assert optimized.stats["merge_joins"] == 1
+
+    def test_derived_table_side(self):
+        rng = np.random.default_rng(11)
+        optimized, naive = _merge_pair(
+            {"k": rng.integers(0, 50, 2_000), "v": rng.normal(size=2_000)},
+            {"k": rng.integers(0, 50, 600), "w": rng.normal(size=600)},
+        )
+        sql = (
+            "SELECT count(*) AS n, sum(ls.v * d.m) AS x FROM ls INNER JOIN "
+            "(SELECT k AS kk, min(w) AS m FROM rs GROUP BY k ORDER BY k) AS d "
+            "ON ls.k = d.kk"
+        )
+        _assert_identical(optimized, naive, sql)
+        assert optimized.stats["merge_joins"] == 1
+
+    def test_cached_plan_falls_back_after_dml(self):
+        rng = np.random.default_rng(12)
+        optimized, naive = _merge_pair(
+            {"k": rng.integers(0, 30, 500), "v": rng.normal(size=500)},
+            {"k": rng.integers(0, 30, 200), "w": rng.normal(size=200)},
+        )
+        sql = "SELECT count(*) AS n FROM ls INNER JOIN rs ON ls.k = rs.k"
+        _assert_identical(optimized, naive, sql)
+        assert optimized.stats["merge_joins"] == 1
+        # DML clears Table.clustered_on but not the cached plan (the plan
+        # cache is keyed on the catalog's schema version): the executor's
+        # run-time re-check must route back to the hash join.
+        for engine in (optimized, naive):
+            engine.execute("INSERT INTO rs (k, w) VALUES (0, 1.5)")
+        _assert_identical(optimized, naive, sql)
+        assert optimized.stats["merge_joins"] == 1
+
+    def test_lying_metadata_detected_by_sortedness_check(self):
+        rng = np.random.default_rng(13)
+        left = {"k": rng.integers(0, 40, 300), "v": rng.normal(size=300)}
+        right = {"k": rng.integers(0, 40, 100), "w": rng.normal(size=100)}
+        optimized = Database(seed=0)
+        naive = Database(seed=0, optimize=False)
+        for engine in (optimized, naive):
+            engine.register_table("ls", left)  # NOT sorted
+            engine.register_table("rs", right)
+            engine.table("ls").clustered_on = "k"  # metadata over-promises
+            engine.table("rs").clustered_on = "k"
+        sql = "SELECT count(*) AS n FROM ls INNER JOIN rs ON ls.k = rs.k"
+        _assert_identical(optimized, naive, sql)
+        assert optimized.stats["merge_joins"] == 0  # O(n) verification refused
+
+    def test_object_keys_fall_back(self):
+        optimized, naive = _merge_pair(
+            {"k": np.array(["a", "b", "c"], dtype=object), "v": np.arange(3.0)},
+            {"k": np.array(["b", "c"], dtype=object), "w": np.arange(2.0)},
+        )
+        sql = "SELECT count(*) AS n FROM ls INNER JOIN rs ON ls.k = rs.k"
+        _assert_identical(optimized, naive, sql)
+        assert optimized.stats["merge_joins"] == 0
+
+    def test_multi_key_join_falls_back(self):
+        rng = np.random.default_rng(14)
+        optimized, naive = _merge_pair(
+            {"k": rng.integers(0, 20, 300), "g": rng.integers(0, 3, 300)},
+            {"k": rng.integers(0, 20, 100), "g": rng.integers(0, 3, 100)},
+        )
+        sql = (
+            "SELECT count(*) AS n FROM ls INNER JOIN rs "
+            "ON ls.k = rs.k AND ls.g = rs.g"
+        )
+        _assert_identical(optimized, naive, sql)
+        assert optimized.stats["merge_joins"] == 0
+
+    def test_merge_join_indices_matches_hash_semantics(self):
+        left = np.array([1.0, 1.0, 2.0, 5.0])
+        right = np.array([1.0, 2.0, 2.0, 7.0])
+        pairs = merge_join_indices(left, right)
+        assert pairs is not None
+        assert pairs[0].tolist() == [0, 1, 2, 2]
+        assert pairs[1].tolist() == [0, 0, 1, 2]
+        assert merge_join_indices(np.array([2.0, 1.0]), right) is None  # unsorted
+        assert (
+            merge_join_indices(np.array([np.nan, 1.0]), right) is None
+        )  # NaN not in tail
+
+
+# ---------------------------------------------------------------------------
+# chunk-parallel scans
+# ---------------------------------------------------------------------------
+
+
+class TestParallelScan:
+    @pytest.mark.parametrize(
+        "predicate",
+        [
+            "v BETWEEN -0.5 AND 0.5",
+            "s = 'b' AND v > 0",
+            "s LIKE 'b%' OR v < -1",
+            "k IN (1, 3, 5) AND s IS NOT NULL",
+            "s IS NULL",
+            "upper(s) = 'A'",
+        ],
+    )
+    def test_parallel_filter_bit_identical(self, predicate):
+        rng = np.random.default_rng(21)
+        columns = {
+            "k": np.arange(4_000) % 7,
+            "v": rng.normal(size=4_000),
+            "s": rng.choice(np.array(["a", "b", "ba", None], dtype=object), 4_000),
+        }
+        optimized, naive = _ab_pair(columns, chunk_rows=256, parallel=3)
+        sql = f"SELECT count(*) AS n, sum(v) AS x FROM t WHERE {predicate}"
+        _assert_identical(optimized, naive, sql)
+        assert optimized.stats["parallel_scans"] >= 1
+
+    def test_parallel_scan_composes_with_zone_skipping(self):
+        rng = np.random.default_rng(22)
+        columns = {"k": np.arange(8_000), "v": rng.normal(size=8_000)}
+        optimized, naive = _ab_pair(columns, chunk_rows=256, parallel=2)
+        # The clustered BETWEEN prunes most chunks; the survivors are
+        # filtered in parallel and reassembled in chunk order.
+        sql = (
+            "SELECT count(*) AS n, sum(v) AS x FROM t "
+            "WHERE k BETWEEN 1000 AND 2500 AND v > 0"
+        )
+        _assert_identical(optimized, naive, sql)
+        assert optimized.stats["parallel_scans"] == 1
+
+    def test_single_chunk_stays_sequential(self):
+        optimized, naive = _ab_pair(
+            {"v": np.arange(100.0)}, chunk_rows=1_024, parallel=4
+        )
+        _assert_identical(optimized, naive, "SELECT count(*) AS n FROM t WHERE v > 50")
+        assert optimized.stats["parallel_scans"] == 0
+
+    def test_parallel_scan_feeds_grouping_and_codes(self):
+        rng = np.random.default_rng(23)
+        columns = {
+            "g": rng.choice(np.array(["x", "y", "z"], dtype=object), 3_000),
+            "v": rng.normal(size=3_000),
+        }
+        optimized, naive = _ab_pair(columns, chunk_rows=128, parallel=3)
+        sql = (
+            "SELECT g, count(*) AS n, sum(v) AS x FROM t "
+            "WHERE v > -1 GROUP BY g ORDER BY g"
+        )
+        _assert_identical(optimized, naive, sql)
+        assert optimized.stats["parallel_scans"] == 1
+
+    def test_rand_predicate_never_parallelized(self):
+        # rand() is never pushed down, so the parallel path cannot see it;
+        # results must still match the naive engine's RNG stream exactly.
+        columns = {"v": np.arange(2_000.0)}
+        optimized, naive = _ab_pair(columns, chunk_rows=128, parallel=3)
+        sql = "SELECT count(*) AS n FROM t WHERE rand() < 0.5 AND v >= 0"
+        _assert_identical(optimized, naive, sql)
+        assert optimized.stats["parallel_scans"] == 0

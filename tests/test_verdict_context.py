@@ -1,6 +1,5 @@
 """End-to-end tests of the VerdictContext middleware."""
 
-import numpy as np
 import pytest
 
 from repro import SampleSpec, VerdictContext
