@@ -69,6 +69,9 @@ FLOORS: dict[str, dict[str, float]] = {
         "merge_join_sid": 1.2,
         "parallel_scan": 1.0,
     },
+    "BENCH_api.json": {
+        "prepared_reexec": 3.0,
+    },
 }
 
 # workload -> minimum CPU cores its floor assumes.  Reports record the core

@@ -13,6 +13,7 @@ Run with ``python examples/error_estimation_tour.py``.
 
 from __future__ import annotations
 
+import os
 import time
 
 import numpy as np
@@ -28,8 +29,9 @@ from repro.subsampling import (
 
 def main() -> None:
     rng = np.random.default_rng(42)
-    population = rng.normal(10.0, 10.0, 2_000_000)
-    sample = rng.choice(population, 100_000, replace=False)
+    quick = bool(os.environ.get("REPRO_EXAMPLES_QUICK"))
+    population = rng.normal(10.0, 10.0, 400_000 if quick else 2_000_000)
+    sample = rng.choice(population, 20_000 if quick else 100_000, replace=False)
     true_mean = float(population.mean())
     print(f"population mean = {true_mean:.4f}; sample of {len(sample):,} rows\n")
 

@@ -1,0 +1,75 @@
+"""Quickstart for the legacy ``VerdictContext`` interface.
+
+This is the pre-API-redesign version of ``quickstart.py``, kept (with only
+the CI quick-sizing knob added) as a migration reference: ``VerdictContext``
+remains fully supported (it is a thin shim over the same session layer the
+DB-API interface uses), so this script runs unchanged.  New applications should start from ``quickstart.py``
+and ``repro.connect()`` instead.
+
+Run with ``python examples/quickstart_legacy.py`` (set
+``REPRO_EXAMPLES_QUICK=1`` for a CI-sized run).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro import SampleSpec, VerdictContext
+from repro.core.sample_planner import PlannerConfig
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    num_rows = 100_000 if os.environ.get("REPRO_EXAMPLES_QUICK") else 1_000_000
+
+    # 1. Load a sales table (this stands in for data already living in your DB).
+    verdict = VerdictContext(
+        planner_config=PlannerConfig(io_budget=0.05, large_table_rows=100_000)
+    )
+    verdict.load_table(
+        "sales",
+        {
+            "sale_id": np.arange(num_rows),
+            "price": rng.lognormal(3.0, 0.8, num_rows),
+            "quantity": rng.integers(1, 10, num_rows),
+            "region": rng.choice(
+                ["north", "south", "east", "west"], num_rows, p=[0.4, 0.3, 0.2, 0.1]
+            ).astype(object),
+        },
+    )
+
+    # 2. Offline stage: build a 1% uniform sample inside the database.
+    info = verdict.create_sample("sales", SampleSpec("uniform", (), 0.01))
+    print(f"built sample {info.sample_table!r}: {info.sample_rows} rows "
+          f"({info.effective_ratio:.2%} of the table)\n")
+
+    # 3. Online stage: ordinary SQL goes to the middleware.
+    query = """
+        SELECT region, count(*) AS num_sales, sum(price * quantity) AS revenue
+        FROM sales
+        WHERE price > 20
+        GROUP BY region
+        ORDER BY region
+    """
+    answer = verdict.sql(query)
+
+    # 4. Approximate answer plus error semantics.
+    print("approximate answer (plan:", answer.plan_description, ")")
+    for row in answer.fetchall():
+        print("  ", row)
+    print("\n95% confidence interval for the first region's revenue:")
+    print("  ", answer.confidence_interval("revenue", row=0))
+    print("rewritten SQL sent to the underlying database:")
+    print("  ", (answer.rewritten_sql or "")[:160], "...")
+
+    # 5. Compare with the exact answer.
+    exact = verdict.execute_exact(query)
+    print("\nexact answer:")
+    for row in exact.fetchall():
+        print("  ", row)
+
+
+if __name__ == "__main__":
+    main()

@@ -10,11 +10,13 @@ large online-grocery order log interactively.  It shows
   requested accuracy cannot be met, and
 * incremental sample maintenance when a new day of orders arrives.
 
-Run with ``python examples/retail_analytics.py``.
+Run with ``python examples/retail_analytics.py`` (set
+``REPRO_EXAMPLES_QUICK=1`` for a CI-sized run).
 """
 
 from __future__ import annotations
 
+import os
 
 from repro import SampleSpec, VerdictContext
 from repro.core.sample_planner import PlannerConfig
@@ -22,7 +24,8 @@ from repro.workloads import instacart
 
 
 def main() -> None:
-    dataset = instacart.generate(scale_factor=4.0, seed=7)
+    scale = 1.0 if os.environ.get("REPRO_EXAMPLES_QUICK") else 4.0
+    dataset = instacart.generate(scale_factor=scale, seed=7)
     verdict = VerdictContext(
         planner_config=PlannerConfig(io_budget=0.1, large_table_rows=20_000)
     )

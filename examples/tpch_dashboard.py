@@ -5,11 +5,13 @@ fact tables and runs a handful of the tq-* benchmark queries both exactly and
 approximately, printing latency, speedup and the actual error — a miniature
 version of Figures 4 and 10.
 
-Run with ``python examples/tpch_dashboard.py``.
+Run with ``python examples/tpch_dashboard.py`` (set
+``REPRO_EXAMPLES_QUICK=1`` for a CI-sized run).
 """
 
 from __future__ import annotations
 
+import os
 import time
 
 from repro.experiments import harness
@@ -21,8 +23,9 @@ DASHBOARD_QUERIES = ["tq-1", "tq-5", "tq-6", "tq-12", "tq-14", "tq-19"]
 
 def main() -> None:
     print("loading TPC-H-like data and preparing samples ...")
+    scale = 1.0 if os.environ.get("REPRO_EXAMPLES_QUICK") else 5.0
     workbench = harness.build_tpch_workbench(
-        scale_factor=5.0, sample_ratio=0.02, engine="generic", seed=1
+        scale_factor=scale, sample_ratio=0.02, engine="generic", seed=1
     )
     verdict = workbench.verdict
 

@@ -6,19 +6,33 @@ relational engine returns enough information to compute an unbiased
 approximate answer together with an error estimate, using *variational
 subsampling* for error estimation.
 
-Quick start::
+Quick start (DB-API-shaped interface)::
 
     import numpy as np
-    from repro import VerdictContext
-    from repro.sampling import SampleSpec
+    import repro
+    from repro import SampleSpec
 
-    verdict = VerdictContext()
-    verdict.load_table("orders", {"price": np.random.rand(100_000), ...})
-    verdict.create_sample("orders", SampleSpec("uniform", (), 0.01))
-    answer = verdict.sql("SELECT count(*) AS c FROM orders WHERE price > 0.5")
-    print(answer.column("c")[0], answer.confidence_interval("c"))
+    connection = repro.connect()
+    connection.session.load_table("orders", {"price": np.random.rand(100_000), ...})
+    connection.session.create_sample("orders", SampleSpec("uniform", (), 0.01))
+    cursor = connection.cursor()
+    cursor.execute("SELECT count(*) AS c FROM orders WHERE price > ?", (0.5,))
+    print(cursor.fetchone(), cursor.last_result.confidence_interval("c"))
+
+The historical :class:`VerdictContext` interface remains available as a thin
+shim over the same session layer.
 """
 
+from repro.api import (
+    ExecutionOptions,
+    PreparedStatement,
+    VerdictConnection,
+    VerdictSession,
+    apilevel,
+    connect,
+    paramstyle,
+    threadsafety,
+)
 from repro.core.answer import ApproximateResult
 from repro.core.hac import AccuracyContract
 from repro.core.sample_planner import PlannerConfig
@@ -27,16 +41,24 @@ from repro.sampling.params import SampleSpec, SamplingPolicyConfig
 from repro.sqlengine.engine import Database
 from repro.sqlengine.resultset import ResultSet
 
-__version__ = "1.0.0"
+__version__ = "2.0.0"
 
 __all__ = [
     "AccuracyContract",
     "ApproximateResult",
     "Database",
+    "ExecutionOptions",
     "PlannerConfig",
+    "PreparedStatement",
     "ResultSet",
     "SampleSpec",
     "SamplingPolicyConfig",
+    "VerdictConnection",
     "VerdictContext",
+    "VerdictSession",
     "__version__",
+    "apilevel",
+    "connect",
+    "paramstyle",
+    "threadsafety",
 ]

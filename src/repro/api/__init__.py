@@ -1,0 +1,70 @@
+"""Public DB-API-shaped entry point of the middleware.
+
+Quick start::
+
+    import repro
+
+    with repro.connect() as connection:
+        connection.session.load_table("orders", {...})
+        connection.session.create_sample("orders", SampleSpec("uniform", (), 0.01))
+        with connection.cursor() as cursor:
+            cursor.execute(
+                "SELECT city, count(*) AS n FROM orders WHERE price > ? GROUP BY city",
+                (30.0,),
+            )
+            for row in cursor:
+                print(row)
+            print(cursor.last_result.confidence_interval("n"))
+
+The module also re-exports the PEP 249 exception hierarchy so DB-API-generic
+application code (``except connection_module.ProgrammingError``) works
+unchanged.
+"""
+
+from repro.api.connection import (
+    Cursor,
+    PreparedStatement,
+    VerdictConnection,
+    apilevel,
+    connect,
+    paramstyle,
+    threadsafety,
+)
+from repro.api.options import DEFAULT_OPTIONS, ExecutionOptions
+from repro.api.session import PreparedTemplate, VerdictSession
+from repro.errors import (
+    AccuracyContractError,
+    BindParameterError,
+    DatabaseError,
+    DataError,
+    InterfaceError,
+    NotSupportedError,
+    OperationalError,
+    ProgrammingError,
+    ReproError,
+    UnsupportedQueryError,
+)
+
+__all__ = [
+    "AccuracyContractError",
+    "BindParameterError",
+    "Cursor",
+    "DEFAULT_OPTIONS",
+    "DataError",
+    "DatabaseError",
+    "ExecutionOptions",
+    "InterfaceError",
+    "NotSupportedError",
+    "OperationalError",
+    "PreparedStatement",
+    "PreparedTemplate",
+    "ProgrammingError",
+    "ReproError",
+    "UnsupportedQueryError",
+    "VerdictConnection",
+    "VerdictSession",
+    "apilevel",
+    "connect",
+    "paramstyle",
+    "threadsafety",
+]

@@ -1,0 +1,168 @@
+"""AST-level query-parameter binding.
+
+Parameter binding happens *below* the cache layer: the SQL template (with
+its ``?`` / ``:name`` placeholders) is parsed, analyzed, sample-planned and
+rewritten exactly once, and only the placeholder *values* change per call —
+supplied to the engine at execution time through the evaluation context.
+The parser already gives every positional placeholder a canonical name
+(``?`` → ``:p<i>``, see :class:`repro.sqlengine.sqlast.Placeholder`), so the
+rewriting layers may drop, duplicate or reorder fragments of the statement
+without ever losing the association between a placeholder and its value.
+
+The public helpers:
+
+* :func:`collect_placeholders` — every placeholder of a statement, in
+  syntactic order, descending into derived tables and scalar subqueries;
+* :func:`canonicalize_placeholders` — validates the template's parameter
+  style (rejecting statements that mix ``?`` with ``:name``);
+* :func:`bind_parameters` — validate user-supplied parameters against the
+  template's placeholders and produce the mapping handed to the engine.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import BindParameterError
+from repro.sqlengine import sqlast as ast
+
+
+def iter_statement_expressions(statement: ast.Statement):
+    """Yield every top-level expression of a statement, in syntactic order.
+
+    Derived tables, ``INSERT ... SELECT`` and ``CREATE TABLE ... AS SELECT``
+    recurse into their inner statements; scalar subqueries are *not* expanded
+    here (callers that need them descend via :func:`_walk_deep`).
+    """
+    if isinstance(statement, ast.SelectStatement):
+        for item in statement.select_items:
+            yield item.expression
+        yield from _iter_relation_expressions(statement.from_relation)
+        if statement.where is not None:
+            yield statement.where
+        yield from statement.group_by
+        if statement.having is not None:
+            yield statement.having
+        for order_item in statement.order_by:
+            yield order_item.expression
+    elif isinstance(statement, ast.InsertStatement):
+        for row in statement.rows:
+            yield from row
+        if statement.from_select is not None:
+            yield from iter_statement_expressions(statement.from_select)
+    elif isinstance(statement, ast.CreateTableStatement):
+        if statement.as_select is not None:
+            yield from iter_statement_expressions(statement.as_select)
+
+
+def _iter_relation_expressions(relation: ast.Relation | None):
+    if isinstance(relation, ast.Join):
+        yield from _iter_relation_expressions(relation.left)
+        yield from _iter_relation_expressions(relation.right)
+        if relation.condition is not None:
+            yield relation.condition
+    elif isinstance(relation, ast.DerivedTable):
+        yield from iter_statement_expressions(relation.query)
+
+
+def _walk_deep(expression: ast.Expression):
+    """Like ``Expression.walk`` but descending into scalar subqueries."""
+    yield expression
+    if isinstance(expression, ast.ScalarSubquery):
+        for inner in iter_statement_expressions(expression.query):
+            yield from _walk_deep(inner)
+        return
+    for child in expression.children():
+        yield from _walk_deep(child)
+
+
+def collect_placeholders(statement: ast.Statement) -> list[ast.Placeholder]:
+    """Every placeholder of ``statement``, in syntactic order."""
+    found: list[ast.Placeholder] = []
+    for expression in iter_statement_expressions(statement):
+        for node in _walk_deep(expression):
+            if isinstance(node, ast.Placeholder):
+                found.append(node)
+    return found
+
+
+def canonicalize_placeholders(statement: ast.Statement) -> ast.Statement:
+    """Validate the statement's parameter style and return it unchanged.
+
+    The parser already names positional placeholders (``?`` → ``:p<i>``);
+    what remains is rejecting templates that mix positional and named
+    placeholders — the two numbering schemes cannot be combined soundly.
+    """
+    placeholders = collect_placeholders(statement)
+    positional = [node for node in placeholders if node.index is not None]
+    if positional and len(positional) != len(placeholders):
+        raise BindParameterError(
+            "cannot mix positional '?' and named ':name' parameters in one statement"
+        )
+    return statement
+
+
+def _bindable_value(value: object, what: str) -> object:
+    """Normalize one parameter value to a plain python literal."""
+    if isinstance(value, np.generic):
+        value = value.item()
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise BindParameterError(
+        f"parameter {what} has unbindable type {type(value).__name__}; "
+        "expected None, bool, int, float or str"
+    )
+
+
+def bind_parameters(
+    placeholders: Sequence[ast.Placeholder],
+    params: Sequence | Mapping | None,
+    style: str | None,
+) -> dict[str, object] | None:
+    """Check ``params`` against a template's placeholders; return the mapping.
+
+    ``style`` is how the template spelled its placeholders — ``"qmark"``
+    (positional, canonically named ``:p<i>``), ``"named"`` or ``None`` (no
+    placeholders).  The returned dict is keyed by the canonical placeholder
+    names and is what the engine's evaluation context consumes; ``None`` is
+    returned for parameterless statements.  Raises
+    :class:`BindParameterError` on count or name mismatches so binding errors
+    surface before any SQL is executed.
+    """
+    if style is None:
+        if params:
+            raise BindParameterError(
+                f"statement takes no parameters but {len(params)} were given"
+            )
+        return None
+    names = {node.name for node in placeholders}
+    if params is None:
+        raise BindParameterError(
+            f"statement expects {len(names)} parameters but none were given"
+        )
+    if style == "named":
+        if not isinstance(params, Mapping):
+            raise BindParameterError(
+                "statement uses named ':name' parameters; pass a mapping"
+            )
+        bound = {}
+        for name in names:
+            if name not in params:
+                raise BindParameterError(f"no value supplied for parameter :{name}")
+            bound[name] = _bindable_value(params[name], f":{name}")
+        return bound
+    if isinstance(params, Mapping) or isinstance(params, (str, bytes)):
+        raise BindParameterError(
+            "statement uses positional '?' parameters; pass a sequence"
+        )
+    values = list(params)
+    if len(values) != len(names):
+        raise BindParameterError(
+            f"statement expects {len(names)} parameters, got {len(values)}"
+        )
+    return {
+        ast.positional_parameter_name(index): _bindable_value(value, f"#{index}")
+        for index, value in enumerate(values)
+    }

@@ -1,0 +1,806 @@
+"""The AQP session: the engine room behind connections and the legacy context.
+
+A :class:`VerdictSession` owns everything one logical client needs — a
+connector to the underlying database, the sample builder/maintainer, the
+sample planner, the rewriter and four caches (parse/analysis, prepared
+rewrites, row counts, column cardinalities).  It mirrors the deployment
+picture of Figure 1: the application sends SQL to the session, the session
+plans samples, rewrites the query, sends the rewritten SQL to the underlying
+database through the connector, and converts the returned result set into an
+approximate answer with error estimates.  Unsupported queries are passed
+through unchanged.
+
+Two things distinguish it from the historical ``VerdictContext`` (which now
+subclasses it as a thin compatibility shim):
+
+* **parameter binding below the caches** — :meth:`execute` takes a SQL
+  *template* with ``?`` / ``:name`` placeholders plus a parameter set;
+  parsing, analysis, sample planning and rewriting all happen on the
+  template, so every cache (and the engine's statement/plan caches, which
+  see the same placeholder-preserving rewritten text each call) hits across
+  parameter values;
+* **multi-session safety** — several sessions may share one backend engine.
+  Sample builds and metadata rebuilds serialize on the connector's
+  cross-session lock, and the session snapshots the backend's catalog/data
+  version to drop its derived caches when *another* session changes the
+  database (new samples, DML, schema changes).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+import time
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.api.binding import (
+    bind_parameters,
+    canonicalize_placeholders,
+    collect_placeholders,
+)
+from repro.api.options import DEFAULT_OPTIONS, ExecutionOptions
+from repro.cache import LRUCache
+from repro.connectors.base import Connector
+from repro.connectors.builtin import BuiltinConnector
+from repro.core.answer import ApproximateResult, merge_by_group
+from repro.core.flattener import flatten
+from repro.core.hac import AccuracyContract
+from repro.core.query_info import QueryAnalysis, analyze
+from repro.core.rewriter import (
+    AqpRewriter,
+    PreparedRewrite,
+    RewriteCache,
+    plan_signature,
+)
+from repro.core.sample_planner import PlannerConfig, SamplePlan, SamplePlanner
+from repro.errors import (
+    AccuracyContractError,
+    InterfaceError,
+    RewriteError,
+)
+from repro.sampling.builder import SampleBuilder
+from repro.sampling.maintenance import SampleMaintainer
+from repro.sampling.metadata import MetadataStore
+from repro.sampling.params import SampleInfo, SampleSpec, SamplingPolicyConfig
+from repro.sqlengine import parser, sqlast as ast
+from repro.sqlengine.engine import Database
+from repro.sqlengine.expressions import contains_aggregate
+from repro.sqlengine.resultset import ResultSet
+
+
+@dataclass(frozen=True)
+class PreparedTemplate:
+    """Everything derived from one SQL template's *text* alone.
+
+    Pure function of the SQL, so instances never go stale and are cached per
+    template text (and embedded in prepared statements).  ``statement`` has
+    positional placeholders canonicalized to named ones; ``param_style`` is
+    ``"qmark"``, ``"named"`` or None and ``param_count`` the number of
+    distinct parameters the template expects.
+    """
+
+    text: str
+    statement: ast.Statement
+    flattened: ast.SelectStatement | None
+    analysis: QueryAnalysis | None
+    placeholders: tuple = ()
+    param_style: str | None = None
+
+    @property
+    def param_count(self) -> int:
+        return len({node.name for node in self.placeholders})
+
+    @property
+    def is_select(self) -> bool:
+        return isinstance(self.statement, ast.SelectStatement)
+
+    def bind(self, params: Sequence | Mapping | None) -> dict | None:
+        """Validate ``params`` against this template and return the mapping."""
+        return bind_parameters(self.placeholders, params, self.param_style)
+
+
+class VerdictSession:
+    """Database-agnostic AQP middleware session.
+
+    Args:
+        connector: driver to the underlying database.  When omitted, a fresh
+            in-process :class:`~repro.sqlengine.engine.Database` is used.
+        database: engine to attach a builtin connector to (ignored when
+            ``connector`` is given); pass the same engine to several sessions
+            to share one database between connections.
+        subsample_count: number of subsamples ``b`` carried by newly built
+            samples (must be a perfect square so sample joins work).
+        io_budget: default fraction of a large table the planner may touch.
+        confidence: confidence level of reported error estimates.
+        planner_config: full planner configuration (overrides ``io_budget``).
+        include_errors: whether rewritten queries also compute error columns.
+        default_options: session-wide default :class:`ExecutionOptions`.
+    """
+
+    def __init__(
+        self,
+        connector: Connector | None = None,
+        database: Database | None = None,
+        subsample_count: int = 100,
+        io_budget: float = 0.02,
+        confidence: float = 0.95,
+        planner_config: PlannerConfig | None = None,
+        include_errors: bool = True,
+        default_options: ExecutionOptions | None = None,
+    ) -> None:
+        if connector is None:
+            connector = BuiltinConnector(database=database)
+        self.connector = connector
+        self.confidence = confidence
+        self.subsample_count = subsample_count
+        self.default_options = default_options or DEFAULT_OPTIONS
+        self.metadata = MetadataStore(connector)
+        self.sample_builder = SampleBuilder(connector, self.metadata, subsample_count)
+        self.sample_maintainer = SampleMaintainer(connector, self.metadata)
+        self.planner = SamplerFacade(
+            planner_config or PlannerConfig(io_budget=io_budget)
+        )
+        self.rewriter = AqpRewriter(include_errors=include_errors)
+        self.include_errors = include_errors
+        self._cardinality_cache: dict[tuple[str, str], int] = {}
+        self._row_count_cache: dict[str, int] = {}
+        self._samples_cache: list[SampleInfo] | None = None
+        # Parse/flatten/analyze results per template text.  Pure functions of
+        # the SQL, so entries never go stale; the LRU bound caps memory.
+        self._template_cache: LRUCache[str, PreparedTemplate] = LRUCache(maxsize=128)
+        # Prepared rewrites keyed on (template, sample plan, include_errors);
+        # cleared whenever the sample universe changes.
+        self._rewrite_cache = RewriteCache()
+        # Guards the invalidation bookkeeping (volatile caches + backend
+        # version snapshot) so concurrent cursors over one session observe a
+        # consistent "invalidate, then re-read" sequence.  The epoch counter
+        # rises on every invalidation; cache *population* paths re-check it
+        # so a read begun before an invalidation can never write a stale
+        # value back afterwards.
+        self._invalidation_lock = threading.RLock()
+        self._invalidation_epoch = 0
+        # Last observed (schema version, data version) of the backend; None
+        # for backends that cannot report one.
+        self._backend_state = self.connector.catalog_state()
+        self._closed = False
+        self.last_rewritten_sql: str | None = None
+        self.last_plan: SamplePlan | None = None
+
+    # -- lifecycle -------------------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Release backend resources (idempotent).
+
+        For the builtin engine this shuts down the ``parallel_scan`` worker
+        pool; the engine object itself stays usable by other sessions (a
+        later query simply recreates the pool on demand).
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self.connector.close()
+
+    def __enter__(self) -> "VerdictSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise InterfaceError("session is closed")
+
+    # -- offline stage: sample preparation ------------------------------------------
+
+    def load_table(self, name: str, columns: Mapping[str, Sequence]) -> None:
+        """Load a base table into the underlying database (ETL stand-in)."""
+        self._check_open()
+        self.connector.load_table(name, columns)
+        self._invalidate_caches()
+
+    def create_sample(self, table: str, spec: SampleSpec) -> SampleInfo:
+        """Create one sample table for ``table``."""
+        self._check_open()
+        with self.connector.session_lock:
+            info = self.sample_builder.create_sample(table, spec)
+        self._invalidate_caches()
+        return info
+
+    def create_samples(
+        self,
+        table: str,
+        specs: list[SampleSpec] | None = None,
+        ratio: float | None = None,
+        policy_config: SamplingPolicyConfig | None = None,
+    ) -> list[SampleInfo]:
+        """Create samples for ``table`` (defaults to the Appendix F policy)."""
+        self._check_open()
+        if specs is None and ratio is not None:
+            policy_config = policy_config or SamplingPolicyConfig(min_table_rows=0)
+            policy_config.default_ratio = ratio
+        with self.connector.session_lock:
+            infos = self.sample_builder.create_samples(table, specs, policy_config)
+        self._invalidate_caches()
+        return infos
+
+    def drop_samples(self, table: str) -> None:
+        """Drop every sample previously built for ``table``."""
+        self._check_open()
+        with self.connector.session_lock:
+            self.sample_builder.drop_samples_for(table)
+        self._invalidate_caches()
+
+    def samples(self, table: str | None = None) -> list[SampleInfo]:
+        """List the samples known to the metadata store."""
+        self._check_open()
+        if table is None:
+            return self.metadata.all_samples()
+        return self.metadata.samples_for(table)
+
+    def append_data(self, table: str, columns: Mapping[str, Sequence]) -> dict[str, int]:
+        """Append a batch of rows and incrementally maintain the samples (App. D)."""
+        self._check_open()
+        with self.connector.session_lock:
+            inserted = self.sample_maintainer.append(table, columns)
+        self._invalidate_caches()
+        return inserted
+
+    # -- online stage: query processing -----------------------------------------------
+
+    def prepare(self, query: str) -> PreparedTemplate:
+        """Parse, canonicalize and analyze a SQL template (memoized)."""
+        self._check_open()
+        cached = self._template_cache.get(query)
+        if cached is not None:
+            self.connector.record_stat("analysis_cache_hits")
+            return cached
+        self.connector.record_stat("analysis_cache_misses")
+        statement = canonicalize_placeholders(parser.parse(query))
+        placeholders = tuple(collect_placeholders(statement))
+        style = None
+        if placeholders:
+            # canonicalize_placeholders rejected mixed styles, so the first
+            # placeholder's origin decides: canonical names p<i> come from
+            # positional '?' templates (index is set), others were named.
+            style = "qmark" if placeholders[0].index is not None else "named"
+        if isinstance(statement, ast.SelectStatement):
+            flattened = flatten(statement)
+            template = PreparedTemplate(
+                query, statement, flattened, analyze(flattened), placeholders, style
+            )
+        else:
+            template = PreparedTemplate(query, statement, None, None, placeholders, style)
+        self._template_cache.put(query, template)
+        return template
+
+    def execute(
+        self,
+        query: str | PreparedTemplate,
+        params: Sequence | Mapping | None = None,
+        options: ExecutionOptions | None = None,
+    ) -> ApproximateResult:
+        """Run one statement (approximately when possible) with bound parameters.
+
+        Args:
+            query: SQL template text, or a :class:`PreparedTemplate` from
+                :meth:`prepare`.
+            params: values for the template's ``?`` / ``:name`` placeholders
+                (sequence / mapping respectively).
+            options: per-call execution options; defaults to the session's.
+        """
+        self._check_open()
+        options = options or self.default_options
+        started = time.perf_counter()
+        template = query if isinstance(query, PreparedTemplate) else self.prepare(query)
+        bound = template.bind(params)
+        self._sync_with_backend()
+
+        statement = template.statement
+        if not isinstance(statement, ast.SelectStatement):
+            result = self.connector.execute(statement, bound)
+            return self._exact_result(result, started)
+
+        if options.mode == "exact":
+            return self._execute_exact_select(
+                statement, started, "exact mode requested", bound
+            )
+
+        analysis = template.analysis
+        if not analysis.supported:
+            return self._execute_exact_select(
+                statement, started, analysis.unsupported_reason, bound
+            )
+
+        plan = self._plan(analysis, sample_hint=options.sample_hint)
+        if plan is None:
+            reason = "no feasible sample plan within the I/O budget"
+            if options.sample_hint is not None:
+                reason = f"no feasible plan using sample hint {options.sample_hint!r}"
+            return self._execute_exact_select(statement, started, reason, bound)
+
+        confidence = (
+            self.confidence if options.confidence is None else options.confidence
+        )
+        try:
+            result = self._execute_approximate(
+                template.flattened,
+                analysis,
+                plan,
+                options.include_errors,
+                query_text=template.text,
+                params=bound,
+                confidence=confidence,
+            )
+        except RewriteError as error:
+            return self._execute_exact_select(statement, started, str(error), bound)
+        result.elapsed_seconds = time.perf_counter() - started
+
+        if options.accuracy is not None:
+            result = self._enforce_contract(
+                result, statement, options, started, bound, confidence
+            )
+        return result
+
+    def executemany(
+        self,
+        query: str | PreparedTemplate,
+        seq_of_params: Sequence[Sequence | Mapping],
+        options: ExecutionOptions | None = None,
+    ) -> list[ApproximateResult]:
+        """Run one template once per parameter set (prepared once, bound N times)."""
+        template = query if isinstance(query, PreparedTemplate) else self.prepare(query)
+        return [self.execute(template, params, options) for params in seq_of_params]
+
+    def sql(
+        self,
+        query: str,
+        accuracy: float | None = None,
+        include_errors: bool | None = None,
+        params: Sequence | Mapping | None = None,
+        options: ExecutionOptions | None = None,
+    ) -> ApproximateResult:
+        """Run a query approximately (exactly when approximation is not possible).
+
+        The historical entry point: ``accuracy`` / ``include_errors`` are
+        keyword shorthands merged over ``options``.
+
+        Args:
+            query: the SQL text the user would have sent to the database.
+            accuracy: optional HAC minimum accuracy (e.g. 0.99); when the
+                estimated error violates it the query is re-run exactly.
+            include_errors: override the session-wide error-column setting.
+            params: optional placeholder values (see :meth:`execute`).
+            options: base execution options the shorthands are merged onto.
+        """
+        merged = (options or self.default_options).merged(
+            accuracy=accuracy, include_errors=include_errors
+        )
+        return self.execute(query, params, merged)
+
+    def execute_exact(
+        self, query: str, params: Sequence | Mapping | None = None
+    ) -> ResultSet:
+        """Run a query exactly against the underlying database (no rewriting)."""
+        self._check_open()
+        template = self.prepare(query)
+        return self.connector.execute(template.statement, template.bind(params))
+
+    # -- internals ---------------------------------------------------------------------
+
+    def _enforce_contract(
+        self,
+        result: ApproximateResult,
+        statement: ast.SelectStatement,
+        options: ExecutionOptions,
+        started: float,
+        params: dict | None,
+        confidence: float,
+    ) -> ApproximateResult:
+        """Apply the accuracy contract to an approximate result."""
+        contract = AccuracyContract(min_accuracy=options.accuracy, confidence=confidence)
+        if contract.is_satisfied_by(result):
+            return result
+        if options.on_contract_violation == "raise":
+            raise AccuracyContractError(
+                f"estimated relative error {result.max_relative_error():.4f} exceeds "
+                f"the contract's {contract.max_relative_error:.4f}",
+                estimated_error=result.max_relative_error(),
+                required_error=contract.max_relative_error,
+            )
+        elapsed = time.perf_counter() - started
+        if options.on_contract_violation == "keep" or (
+            options.time_budget_seconds is not None
+            and elapsed >= options.time_budget_seconds
+        ):
+            result.plan_description = (
+                f"{result.plan_description} "
+                "(accuracy contract violated; approximate answer kept)"
+            )
+            result.elapsed_seconds = elapsed
+            return result
+        # Exact re-run.  Timing note: ``started`` is the start of the whole
+        # call, so the reported elapsed_seconds includes the approximate
+        # attempt that failed the contract — the latency the caller actually
+        # experienced — not just the fallback execution.
+        return self._execute_exact_select(
+            statement, started, "accuracy contract violated; re-running exactly", params
+        )
+
+    def _sync_with_backend(self) -> None:
+        """Drop derived caches when another session changed the backend.
+
+        The builtin engine reports a (schema version, data version) pair that
+        moves on every DDL/DML — including zone-map-affecting appends — from
+        *any* session sharing it.  When it moved since our last look, every
+        cache derived from backend state (row counts, cardinalities, sample
+        metadata, prepared rewrites) is stale and dropped; the engine's own
+        plan cache re-validates against the catalog version itself.
+        """
+        state = self.connector.catalog_state()
+        if state is None:
+            return
+        with self._invalidation_lock:
+            if state != self._backend_state:
+                self._backend_state = state
+                self._invalidate_volatile()
+
+    def _invalidate_volatile(self) -> None:
+        self._invalidation_epoch += 1
+        self._cardinality_cache.clear()
+        self._row_count_cache.clear()
+        self._samples_cache = None
+        self._rewrite_cache.clear()
+
+    def _invalidate_caches(self) -> None:
+        with self._invalidation_lock:
+            self._invalidate_volatile()
+            self._backend_state = self.connector.catalog_state()
+
+    def _cached_samples_for(self, table: str) -> list[SampleInfo]:
+        """Sample metadata, cached per session (re-read after any DDL/append)."""
+        samples = self._samples_cache
+        if samples is None:
+            epoch = self._invalidation_epoch
+            samples = self.metadata.all_samples()
+            with self._invalidation_lock:
+                # Only cache if no invalidation happened during the read —
+                # a pre-invalidation list written back afterwards would
+                # otherwise survive until the next unrelated DDL/DML.
+                if epoch == self._invalidation_epoch:
+                    self._samples_cache = samples
+        lowered = table.lower()
+        return [info for info in samples if info.original_table.lower() == lowered]
+
+    def _exact_result(self, result: ResultSet, started: float) -> ApproximateResult:
+        return ApproximateResult(
+            result,
+            is_exact=True,
+            confidence=self.confidence,
+            elapsed_seconds=time.perf_counter() - started,
+        )
+
+    def _execute_exact_select(
+        self,
+        statement: ast.SelectStatement,
+        started: float,
+        reason: str,
+        params: dict | None = None,
+    ) -> ApproximateResult:
+        result = self.connector.execute(statement, params)
+        answer = self._exact_result(result, started)
+        answer.plan_description = f"exact execution ({reason})"
+        return answer
+
+    def _row_count(self, table: str) -> int:
+        key = table.lower()
+        value = self._row_count_cache.get(key)
+        if value is None:
+            epoch = self._invalidation_epoch
+            value = self.connector.row_count(table)
+            with self._invalidation_lock:
+                if epoch == self._invalidation_epoch:
+                    self._row_count_cache[key] = value
+        return value
+
+    def _cardinality(self, table: str, column: str) -> int:
+        key = (table.lower(), column.lower())
+        value = self._cardinality_cache.get(key)
+        if value is None:
+            epoch = self._invalidation_epoch
+            value = self.connector.column_cardinality(table, column)
+            with self._invalidation_lock:
+                if epoch == self._invalidation_epoch:
+                    self._cardinality_cache[key] = value
+        return value
+
+    def _plan(
+        self, analysis: QueryAnalysis, sample_hint: str | None = None
+    ) -> SamplePlan | None:
+        samples_by_table: dict[str, list[SampleInfo]] = {}
+        table_rows: dict[str, int] = {}
+        for table in analysis.base_tables:
+            key = table.name.lower()
+            if key in samples_by_table:
+                continue
+            candidates = self._cached_samples_for(table.name)
+            if sample_hint is not None:
+                hinted = sample_hint.lower()
+                candidates = [
+                    info for info in candidates if info.sample_table.lower() == hinted
+                ]
+            samples_by_table[key] = candidates
+            table_rows[key] = self._row_count(table.name)
+        expected_groups = self._estimate_groups(analysis)
+        plan = self.planner.planner.plan(analysis, samples_by_table, table_rows, expected_groups)
+        self.last_plan = plan
+        return plan
+
+    def _estimate_groups(self, analysis: QueryAnalysis) -> int | None:
+        """Estimate the number of output groups from column cardinalities.
+
+        For nested aggregate queries the *derived table's* grouping columns
+        are what determine how many sample rows each estimated group gets, so
+        they are included in the estimate (this is what makes queries like
+        per-customer / per-order roll-ups fall back to exact execution when
+        the sample cannot support that many groups).
+        """
+        group_exprs = list(analysis.statement.group_by)
+        for derived in analysis.derived_tables:
+            group_exprs.extend(derived.query.group_by)
+        if not group_exprs:
+            return 1
+        estimate = 1
+        binding_to_table = {
+            table.binding_name.lower(): table.name for table in analysis.base_tables
+        }
+        for expr in group_exprs:
+            if not isinstance(expr, ast.ColumnRef):
+                continue
+            owner = None
+            if expr.table is not None:
+                owner = binding_to_table.get(expr.table.lower())
+            else:
+                for table in analysis.base_tables:
+                    if expr.name in self.connector.column_names(table.name):
+                        owner = table.name
+                        break
+            if owner is None:
+                continue
+            try:
+                estimate *= max(1, self._cardinality(owner, expr.name))
+            except Exception:  # pragma: no cover - defensive: missing column
+                continue
+        return estimate
+
+    # -- approximate execution -----------------------------------------------------------
+
+    def _execute_approximate(
+        self,
+        statement: ast.SelectStatement,
+        analysis: QueryAnalysis,
+        plan: SamplePlan,
+        include_errors: bool | None,
+        query_text: str | None = None,
+        params: dict | None = None,
+        confidence: float | None = None,
+    ) -> ApproximateResult:
+        include_errors = self.include_errors if include_errors is None else include_errors
+        confidence = self.confidence if confidence is None else confidence
+        prepared = self._prepare_rewrite(statement, analysis, plan, include_errors, query_text)
+        if prepared is None:
+            result = self.connector.execute(statement, params)
+            answer = ApproximateResult(result, is_exact=True, confidence=confidence)
+            answer.plan_description = "exact execution (mixed aggregate kinds in one item)"
+            return answer
+
+        group_names = prepared.group_names
+        primary_result: ResultSet | None = None
+        estimate_columns: dict[str, str | None] = {}
+
+        # Execute the pre-rendered SQL text: on cache hits this skips the
+        # per-call AST-to-SQL rendering entirely, and because the text still
+        # carries the (named) placeholders it is byte-identical across
+        # parameter sets — the engine's statement/plan caches hit too.  The
+        # parts run under one consistent-read block so a concurrent session's
+        # DML cannot land between them (a merged answer must not mix two
+        # data versions).
+        with self.connector.consistent_read():
+            if prepared.primary is not None:
+                primary_result = self.connector.execute(prepared.primary_sql, params)
+                estimate_columns.update(prepared.primary.estimate_columns)
+
+            secondary_results: list[tuple[ResultSet, dict[str, str | None]]] = []
+            if prepared.distinct is not None:
+                secondary_results.append(
+                    (
+                        self.connector.execute(prepared.distinct_sql, params),
+                        prepared.distinct.estimate_columns,
+                    )
+                )
+            if prepared.extreme_statement is not None:
+                secondary_results.append(
+                    (
+                        self.connector.execute(prepared.extreme_sql, params),
+                        prepared.extreme_columns,
+                    )
+                )
+
+        if primary_result is None:
+            # No mean-like part: promote the first secondary result to primary.
+            primary_result, columns = secondary_results.pop(0)
+            estimate_columns.update(columns)
+
+        merged = primary_result
+        for secondary, columns in secondary_results:
+            value_columns = [name for name in columns] + [
+                error for error in columns.values() if error
+            ]
+            merged = merge_by_group(merged, secondary, group_names, value_columns)
+            estimate_columns.update(columns)
+
+        merged = _reorder_columns(merged, statement, estimate_columns)
+        self.last_rewritten_sql = ";\n".join(prepared.rewritten_sql_parts)
+        return ApproximateResult(
+            merged,
+            group_columns=group_names,
+            estimate_columns=estimate_columns,
+            confidence=confidence,
+            is_exact=False,
+            rewritten_sql=self.last_rewritten_sql,
+            plan_description=plan.describe(),
+        )
+
+    def _prepare_rewrite(
+        self,
+        statement: ast.SelectStatement,
+        analysis: QueryAnalysis,
+        plan: SamplePlan,
+        include_errors: bool,
+        query_text: str | None,
+    ) -> PreparedRewrite | None:
+        """Decompose and rewrite a query, reusing the per-plan rewrite cache.
+
+        Returns None when a single select item mixes aggregate kinds (the
+        query must then run exactly; that verdict is cheap to recompute, so
+        it is not cached).
+        """
+        key: tuple | None = None
+        if query_text is not None:
+            key = (query_text, plan_signature(plan), include_errors)
+            cached = self._rewrite_cache.get(key)
+            if cached is not None:
+                self.connector.record_stat("rewrite_cache_hits")
+                return cached
+            self.connector.record_stat("rewrite_cache_misses")
+
+        parts = self._decompose(statement, analysis)
+        if parts is None:
+            return None
+        mean_statement, distinct_statement, extreme_statement, group_names = parts
+
+        rewriter = AqpRewriter(include_errors=include_errors)
+        prepared = PreparedRewrite(group_names=group_names)
+        if mean_statement is not None:
+            mean_analysis = analyze(mean_statement)
+            prepared.primary = rewriter.rewrite(mean_statement, mean_analysis, plan)
+            prepared.primary_sql = self.connector.syntax_changer.to_sql(
+                prepared.primary.statement
+            )
+            prepared.rewritten_sql_parts.append(prepared.primary_sql)
+        if distinct_statement is not None:
+            distinct_analysis = analyze(distinct_statement)
+            prepared.distinct = rewriter.rewrite_count_distinct(
+                distinct_statement, distinct_analysis, plan
+            )
+            prepared.distinct_sql = self.connector.syntax_changer.to_sql(
+                prepared.distinct.statement
+            )
+            prepared.rewritten_sql_parts.append(prepared.distinct_sql)
+        if extreme_statement is not None:
+            prepared.extreme_statement = extreme_statement
+            prepared.extreme_sql = self.connector.syntax_changer.to_sql(extreme_statement)
+            prepared.extreme_columns = {
+                item.output_name(index): None
+                for index, item in enumerate(extreme_statement.select_items)
+                if contains_aggregate(item.expression)
+            }
+            prepared.rewritten_sql_parts.append(prepared.extreme_sql)
+
+        if key is not None:
+            self._rewrite_cache.put(key, prepared)
+        return prepared
+
+    def _decompose(
+        self, statement: ast.SelectStatement, analysis: QueryAnalysis
+    ) -> tuple[
+        ast.SelectStatement | None,
+        ast.SelectStatement | None,
+        ast.SelectStatement | None,
+        list[str],
+    ] | None:
+        """Split the select list by aggregate kind (Section 2.2 decomposition).
+
+        Returns ``(mean_like, count_distinct, extreme, group_output_names)``;
+        any of the three statements may be None.  Returns None when a single
+        select item mixes aggregate kinds (the query then runs exactly).
+        """
+        kinds_per_item: dict[int, set[str]] = {}
+        for aggregate in analysis.aggregates:
+            kinds_per_item.setdefault(aggregate.item_index, set()).add(aggregate.kind)
+        if any(len(kinds) > 1 for kinds in kinds_per_item.values()):
+            return None
+
+        group_items: list[tuple[int, ast.SelectItem]] = []
+        items_by_kind: dict[str, list[tuple[int, ast.SelectItem]]] = {
+            "mean_like": [],
+            "count_distinct": [],
+            "extreme": [],
+        }
+        group_names: list[str] = []
+        for index, item in enumerate(statement.select_items):
+            if not contains_aggregate(item.expression):
+                named = ast.SelectItem(item.expression, alias=item.output_name(index))
+                group_items.append((index, named))
+                group_names.append(item.output_name(index))
+                continue
+            kind = kinds_per_item.get(index, {"mean_like"}).pop()
+            named = ast.SelectItem(item.expression, alias=item.output_name(index))
+            items_by_kind[kind].append((index, named))
+
+        def build(kind: str, keep_post_clauses: bool) -> ast.SelectStatement | None:
+            if not items_by_kind[kind]:
+                return None
+            chosen = sorted(group_items + items_by_kind[kind], key=lambda pair: pair[0])
+            replacement = dataclasses.replace(
+                statement, select_items=[item for _, item in chosen]
+            )
+            if not keep_post_clauses:
+                replacement = dataclasses.replace(
+                    replacement, having=None, order_by=[], limit=None, offset=None
+                )
+            return replacement
+
+        has_mean = bool(items_by_kind["mean_like"])
+        mean_statement = build("mean_like", keep_post_clauses=True)
+        distinct_statement = build("count_distinct", keep_post_clauses=not has_mean)
+        extreme_statement = build(
+            "extreme", keep_post_clauses=not has_mean and not items_by_kind["count_distinct"]
+        )
+        return mean_statement, distinct_statement, extreme_statement, group_names
+
+
+def _reorder_columns(
+    result: ResultSet,
+    statement: ast.SelectStatement,
+    estimate_columns: dict[str, str | None],
+) -> ResultSet:
+    """Put the merged result's columns back into the original select order.
+
+    Each estimate's error column (when present) immediately follows it, which
+    is also where users expect it when they opt into error reporting.
+    """
+    desired: list[str] = []
+    for index, item in enumerate(statement.select_items):
+        name = item.output_name(index)
+        if name in result.column_names and name not in desired:
+            desired.append(name)
+            error_name = estimate_columns.get(name)
+            if error_name and result.has_column(error_name):
+                desired.append(error_name)
+    for name in result.column_names:
+        if name not in desired:
+            desired.append(name)
+    return ResultSet(desired, [result.column(name) for name in desired])
+
+
+class SamplerFacade:
+    """Small holder so the planner configuration stays user-adjustable."""
+
+    def __init__(self, config: PlannerConfig) -> None:
+        self.config = config
+        self.planner = SamplePlanner(config)

@@ -4,10 +4,23 @@ The statement, plan, analysis and rewrite caches all need the same
 mechanics — bounded size, recency ordering, hit/miss counters — so they
 share this one implementation instead of re-rolling ``OrderedDict``
 bookkeeping (and its easy-to-miss ``move_to_end`` bugs) at every site.
+
+The cache is thread-safe: concurrent sessions share one engine (and thus its
+statement/plan caches), so ``get``/``put``/``clear`` serialize on a private
+lock.  The critical sections are a handful of dict operations, so the lock
+is uncontended in practice; values are returned by reference and must be
+treated as immutable by callers.  All current uses cache parsed statements,
+plans and prepared rewrites, which are never mutated after construction —
+with one deliberate exception: the executor lazily fills
+``SelectPlan.grouped_memo`` on a cached plan.  That write is monotonic and
+idempotent (the memo is a pure function of the plan's statement), so
+concurrent fillers at worst duplicate the computation; last write wins with
+an identical value.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Generic, Hashable, TypeVar
 
@@ -21,28 +34,32 @@ class LRUCache(Generic[K, V]):
     def __init__(self, maxsize: int = 128) -> None:
         self._maxsize = maxsize
         self._entries: OrderedDict[K, V] = OrderedDict()
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
 
     def get(self, key: K) -> V | None:
         """Return the cached value (refreshing its recency), or None."""
-        entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
 
     def put(self, key: K, value: V) -> None:
         """Insert or refresh an entry, evicting the oldest when full."""
-        self._entries[key] = value
-        self._entries.move_to_end(key)
-        if len(self._entries) > self._maxsize:
-            self._entries.popitem(last=False)
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            if len(self._entries) > self._maxsize:
+                self._entries.popitem(last=False)
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -9,6 +9,9 @@ cardinalities for the default sampling policy).
 from __future__ import annotations
 
 import abc
+import threading
+from collections import deque
+from contextlib import nullcontext
 from typing import Iterable, Mapping, Sequence
 
 from repro.connectors.dialects import Dialect
@@ -23,22 +26,79 @@ class Connector(abc.ABC):
     def __init__(self, dialect: Dialect) -> None:
         self.dialect = dialect
         self.syntax_changer = SyntaxChanger(dialect)
-        self.queries_issued: list[str] = []
+        # Recent statements sent through this connector (debug/observability).
+        # Bounded: long-lived connections issue statements indefinitely, so an
+        # unbounded log would be a slow leak.
+        self.queries_issued: deque[str] = deque(maxlen=512)
+        # Created eagerly: a lazily created lock could hand two racing
+        # threads two different lock objects on first contended use.
+        self._session_lock = threading.RLock()
 
     # -- statement execution ---------------------------------------------------
 
     @abc.abstractmethod
-    def execute_sql(self, sql: str) -> ResultSet:
-        """Execute raw SQL text on the backend and return its result."""
+    def execute_sql(
+        self, sql: str, params: Sequence | Mapping | None = None
+    ) -> ResultSet:
+        """Execute raw SQL text on the backend and return its result.
 
-    def execute(self, statement: ast.Statement | str) -> ResultSet:
+        ``params`` binds ``?`` / ``:name`` placeholders in the text; backends
+        without native parameter support may raise
+        :class:`~repro.errors.NotSupportedError` when given any.
+        """
+
+    def execute(
+        self,
+        statement: ast.Statement | str,
+        params: Sequence | Mapping | None = None,
+    ) -> ResultSet:
         """Execute an AST statement (rendered via the Syntax Changer) or raw SQL."""
         if isinstance(statement, str):
             sql = statement
         else:
             sql = self.syntax_changer.to_sql(statement)
         self.queries_issued.append(sql)
-        return self.execute_sql(sql)
+        return self.execute_sql(sql, params)
+
+    # -- cross-session coordination ---------------------------------------------
+
+    @property
+    def session_lock(self) -> threading.RLock:
+        """Lock serializing multi-statement critical sections across sessions.
+
+        Sample builds and metadata-table rebuilds are read-modify-write
+        sequences of several statements; every session sharing a backend must
+        wrap them in the *same* lock.  The default is per-connector (correct
+        for backends owned by a single connector); connectors whose backend
+        object can be shared between connectors override this to return a
+        lock owned by the backend itself.
+        """
+        return self._session_lock
+
+    def consistent_read(self):
+        """Context manager making several reads see one backend state.
+
+        The session wraps a decomposed approximate query's parts (primary /
+        count-distinct / extreme statements) in this so their results cannot
+        straddle another session's DML — one merged answer must not mix two
+        data versions.  Default: a no-op (backends without shared-engine
+        concurrency have nothing to snapshot); the builtin connector holds
+        the engine's shared read lock across the block.
+        """
+        return nullcontext()
+
+    def catalog_state(self) -> object | None:
+        """Opaque version token of the backend's schema + data, or None.
+
+        Sessions compare successive tokens to notice that *another* session
+        changed the backend (new samples, DML) and drop their derived caches.
+        ``None`` means the backend cannot report one; sessions then rely on
+        their own explicit invalidation only.
+        """
+        return None
+
+    def record_stat(self, key: str) -> None:
+        """Record one observability event on the backend's stats, if any."""
 
     # -- catalog introspection --------------------------------------------------
 

@@ -46,10 +46,26 @@ class BuiltinConnector(Connector):
         )
         self.fixed_overhead_seconds = fixed_overhead_seconds
 
-    def execute_sql(self, sql: str) -> ResultSet:
+    def execute_sql(self, sql: str, params=None) -> ResultSet:
         if self.fixed_overhead_seconds > 0:
             time.sleep(self.fixed_overhead_seconds)
-        return self.database.execute(sql)
+        return self.database.execute(sql, params=params)
+
+    @property
+    def session_lock(self):
+        # The engine object may be shared by several connectors (one per
+        # session), so cross-session critical sections must serialize on a
+        # lock owned by the engine, not by any one connector.
+        return self.database.session_lock
+
+    def catalog_state(self):
+        return (self.database.catalog.version, self.database.data_version)
+
+    def consistent_read(self):
+        return self.database.consistent_read()
+
+    def record_stat(self, key: str) -> None:
+        self.database.bump_stat(key)
 
     def table_names(self) -> list[str]:
         return self.database.table_names()
@@ -63,6 +79,10 @@ class BuiltinConnector(Connector):
 
     def load_table(self, name: str, columns: Mapping[str, Sequence]) -> None:
         self.database.register_table(name, columns, replace=True)
+
+    def close(self) -> None:
+        """Release the engine's worker threads (the engine object survives)."""
+        self.database.close()
 
 
 def impala_like_connector(database: Database | None = None, **kwargs) -> BuiltinConnector:

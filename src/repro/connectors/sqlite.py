@@ -92,9 +92,18 @@ class SqliteConnector(Connector):
 
     # -- Connector API ----------------------------------------------------------
 
-    def execute_sql(self, sql: str) -> ResultSet:
+    def execute_sql(self, sql: str, params=None) -> ResultSet:
         try:
-            cursor = self._connection.execute(sql)
+            if params is None:
+                cursor = self._connection.execute(sql)
+            else:
+                # sqlite3 natively understands both qmark ('?', sequence)
+                # and named (':name', mapping) parameters.  Any Mapping
+                # (not just dict) must bind by name — tuple(mapping) would
+                # silently bind the *keys* positionally.
+                cursor = self._connection.execute(
+                    sql, dict(params) if isinstance(params, Mapping) else tuple(params)
+                )
         except sqlite3.Error as error:
             raise ConnectorError(f"sqlite error: {error} (sql: {sql[:200]})") from error
         if cursor.description is None:

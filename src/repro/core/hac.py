@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.answer import ApproximateResult
+from repro.errors import ConfigurationError
 
 
 @dataclass(frozen=True)
@@ -30,9 +31,9 @@ class AccuracyContract:
 
     def __post_init__(self) -> None:
         if not 0.0 < self.min_accuracy < 1.0:
-            raise ValueError("min_accuracy must be strictly between 0 and 1")
+            raise ConfigurationError("min_accuracy must be strictly between 0 and 1")
         if not 0.0 < self.confidence < 1.0:
-            raise ValueError("confidence must be strictly between 0 and 1")
+            raise ConfigurationError("confidence must be strictly between 0 and 1")
 
     @property
     def max_relative_error(self) -> float:

@@ -1,515 +1,29 @@
-"""VerdictContext: the public entry point of the middleware.
+"""VerdictContext: the historical public entry point of the middleware.
 
-Mirrors the deployment picture of Figure 1: the user (or application) sends
-SQL to the context, the context plans samples, rewrites the query, sends the
-rewritten SQL to the underlying database through a connector, and converts
-the returned result set into an approximate answer with error estimates.
-Unsupported queries are passed through unchanged.
+Since the API redesign the real machinery lives in
+:class:`repro.api.session.VerdictSession` (and applications are expected to
+use :func:`repro.connect`, which layers DB-API-style connections and cursors
+on top of a session).  ``VerdictContext`` survives as a thin compatibility
+shim — a session under its original name, with the original constructor
+signature and methods (``load_table`` / ``create_sample`` / ``sql`` /
+``execute_exact`` / ...), so existing applications, tests and the
+experiment harness keep working unchanged.  It additionally supports
+``close()`` and the context-manager protocol, releasing the engine's
+``parallel_scan`` worker pool exactly like the raw
+:class:`~repro.sqlengine.engine.Database` context manager does.
 """
 
 from __future__ import annotations
 
-import dataclasses
-import time
-from typing import Mapping, Sequence
+from repro.api.session import SamplerFacade, VerdictSession
 
-from repro.cache import LRUCache
-from repro.connectors.base import Connector
-from repro.connectors.builtin import BuiltinConnector
-from repro.core.answer import ApproximateResult, merge_by_group
-from repro.core.flattener import flatten
-from repro.core.hac import AccuracyContract
-from repro.core.query_info import QueryAnalysis, analyze
-from repro.core.rewriter import (
-    AqpRewriter,
-    PreparedRewrite,
-    RewriteCache,
-    plan_signature,
-)
-from repro.core.sample_planner import PlannerConfig, SamplePlan, SamplePlanner
-from repro.errors import RewriteError
-from repro.sampling.builder import SampleBuilder
-from repro.sampling.maintenance import SampleMaintainer
-from repro.sampling.metadata import MetadataStore
-from repro.sampling.params import SampleInfo, SampleSpec, SamplingPolicyConfig
-from repro.sqlengine import parser, sqlast as ast
-from repro.sqlengine.engine import Database
-from repro.sqlengine.expressions import contains_aggregate
-from repro.sqlengine.resultset import ResultSet
+__all__ = ["SamplerFacade", "VerdictContext"]
 
 
-class VerdictContext:
-    """Database-agnostic AQP middleware session.
+class VerdictContext(VerdictSession):
+    """Database-agnostic AQP middleware session (legacy facade).
 
-    Args:
-        connector: driver to the underlying database.  When omitted, a fresh
-            in-process :class:`~repro.sqlengine.engine.Database` is used.
-        subsample_count: number of subsamples ``b`` carried by newly built
-            samples (must be a perfect square so sample joins work).
-        io_budget: default fraction of a large table the planner may touch.
-        confidence: confidence level of reported error estimates.
-        planner_config: full planner configuration (overrides ``io_budget``).
-        include_errors: whether rewritten queries also compute error columns.
+    See :class:`repro.api.session.VerdictSession` for the constructor
+    arguments and :func:`repro.connect` for the DB-API-shaped interface
+    (connections, cursors, prepared statements, ``ExecutionOptions``).
     """
-
-    def __init__(
-        self,
-        connector: Connector | None = None,
-        database: Database | None = None,
-        subsample_count: int = 100,
-        io_budget: float = 0.02,
-        confidence: float = 0.95,
-        planner_config: PlannerConfig | None = None,
-        include_errors: bool = True,
-    ) -> None:
-        if connector is None:
-            connector = BuiltinConnector(database=database)
-        self.connector = connector
-        self.confidence = confidence
-        self.subsample_count = subsample_count
-        self.metadata = MetadataStore(connector)
-        self.sample_builder = SampleBuilder(connector, self.metadata, subsample_count)
-        self.sample_maintainer = SampleMaintainer(connector, self.metadata)
-        self.planner = SamplerFacade(
-            planner_config or PlannerConfig(io_budget=io_budget)
-        )
-        self.rewriter = AqpRewriter(include_errors=include_errors)
-        self.include_errors = include_errors
-        self._cardinality_cache: dict[tuple[str, str], int] = {}
-        self._row_count_cache: dict[str, int] = {}
-        self._samples_cache: list[SampleInfo] | None = None
-        # Parse/flatten/analyze results per query text.  Pure functions of
-        # the SQL, so entries never go stale; the LRU bound caps memory.
-        self._analysis_cache: LRUCache[
-            str, tuple[ast.Statement, ast.SelectStatement | None, QueryAnalysis | None]
-        ] = LRUCache(maxsize=128)
-        # Prepared rewrites keyed on (query, sample plan, include_errors);
-        # cleared whenever the sample universe changes.
-        self._rewrite_cache = RewriteCache()
-        self.last_rewritten_sql: str | None = None
-        self.last_plan: SamplePlan | None = None
-
-    # -- offline stage: sample preparation ------------------------------------------
-
-    def load_table(self, name: str, columns: Mapping[str, Sequence]) -> None:
-        """Load a base table into the underlying database (ETL stand-in)."""
-        self.connector.load_table(name, columns)
-        self._invalidate_caches()
-
-    def create_sample(self, table: str, spec: SampleSpec) -> SampleInfo:
-        """Create one sample table for ``table``."""
-        info = self.sample_builder.create_sample(table, spec)
-        self._invalidate_caches()
-        return info
-
-    def create_samples(
-        self,
-        table: str,
-        specs: list[SampleSpec] | None = None,
-        ratio: float | None = None,
-        policy_config: SamplingPolicyConfig | None = None,
-    ) -> list[SampleInfo]:
-        """Create samples for ``table`` (defaults to the Appendix F policy)."""
-        if specs is None and ratio is not None:
-            policy_config = policy_config or SamplingPolicyConfig(min_table_rows=0)
-            policy_config.default_ratio = ratio
-        infos = self.sample_builder.create_samples(table, specs, policy_config)
-        self._invalidate_caches()
-        return infos
-
-    def drop_samples(self, table: str) -> None:
-        """Drop every sample previously built for ``table``."""
-        self.sample_builder.drop_samples_for(table)
-        self._invalidate_caches()
-
-    def samples(self, table: str | None = None) -> list[SampleInfo]:
-        """List the samples known to the metadata store."""
-        if table is None:
-            return self.metadata.all_samples()
-        return self.metadata.samples_for(table)
-
-    def append_data(self, table: str, columns: Mapping[str, Sequence]) -> dict[str, int]:
-        """Append a batch of rows and incrementally maintain the samples (App. D)."""
-        inserted = self.sample_maintainer.append(table, columns)
-        self._invalidate_caches()
-        return inserted
-
-    # -- online stage: query processing -----------------------------------------------
-
-    def sql(
-        self,
-        query: str,
-        accuracy: float | None = None,
-        include_errors: bool | None = None,
-    ) -> ApproximateResult:
-        """Run a query approximately (exactly when approximation is not possible).
-
-        Args:
-            query: the SQL text the user would have sent to the database.
-            accuracy: optional HAC minimum accuracy (e.g. 0.99); when the
-                estimated error violates it the query is re-run exactly.
-            include_errors: override the context-wide error-column setting.
-        """
-        started = time.perf_counter()
-        statement, flattened, analysis = self._analyzed(query)
-        if not isinstance(statement, ast.SelectStatement):
-            result = self.connector.execute(statement)
-            return self._exact_result(result, started)
-
-        if not analysis.supported:
-            return self._execute_exact_select(statement, started, analysis.unsupported_reason)
-
-        plan = self._plan(analysis)
-        if plan is None:
-            return self._execute_exact_select(
-                statement, started, "no feasible sample plan within the I/O budget"
-            )
-
-        try:
-            result = self._execute_approximate(
-                flattened, analysis, plan, include_errors, query_text=query
-            )
-        except RewriteError as error:
-            return self._execute_exact_select(statement, started, str(error))
-        result.elapsed_seconds = time.perf_counter() - started
-
-        if accuracy is not None:
-            contract = AccuracyContract(min_accuracy=accuracy, confidence=self.confidence)
-            if not contract.is_satisfied_by(result):
-                return self._execute_exact_select(
-                    statement, started, "accuracy contract violated; re-running exactly"
-                )
-        return result
-
-    def execute_exact(self, query: str) -> ResultSet:
-        """Run a query exactly against the underlying database (no rewriting)."""
-        return self.connector.execute(parser.parse(query))
-
-    # -- internals ---------------------------------------------------------------------
-
-    def _invalidate_caches(self) -> None:
-        self._cardinality_cache.clear()
-        self._row_count_cache.clear()
-        self._samples_cache = None
-        self._rewrite_cache.clear()
-
-    def _analyzed(
-        self, query: str
-    ) -> tuple[ast.Statement, ast.SelectStatement | None, QueryAnalysis | None]:
-        """Parse, flatten and analyze a query (memoized per SQL text)."""
-        cached = self._analysis_cache.get(query)
-        if cached is not None:
-            return cached
-        statement = parser.parse(query)
-        if isinstance(statement, ast.SelectStatement):
-            flattened = flatten(statement)
-            entry = (statement, flattened, analyze(flattened))
-        else:
-            entry = (statement, None, None)
-        self._analysis_cache.put(query, entry)
-        return entry
-
-    def _cached_samples_for(self, table: str) -> list[SampleInfo]:
-        """Sample metadata, cached per context (re-read after any DDL/append)."""
-        if self._samples_cache is None:
-            self._samples_cache = self.metadata.all_samples()
-        lowered = table.lower()
-        return [
-            info for info in self._samples_cache if info.original_table.lower() == lowered
-        ]
-
-    def _exact_result(self, result: ResultSet, started: float) -> ApproximateResult:
-        return ApproximateResult(
-            result,
-            is_exact=True,
-            confidence=self.confidence,
-            elapsed_seconds=time.perf_counter() - started,
-        )
-
-    def _execute_exact_select(
-        self, statement: ast.SelectStatement, started: float, reason: str
-    ) -> ApproximateResult:
-        result = self.connector.execute(statement)
-        answer = self._exact_result(result, started)
-        answer.plan_description = f"exact execution ({reason})"
-        return answer
-
-    def _row_count(self, table: str) -> int:
-        key = table.lower()
-        if key not in self._row_count_cache:
-            self._row_count_cache[key] = self.connector.row_count(table)
-        return self._row_count_cache[key]
-
-    def _cardinality(self, table: str, column: str) -> int:
-        key = (table.lower(), column.lower())
-        if key not in self._cardinality_cache:
-            self._cardinality_cache[key] = self.connector.column_cardinality(table, column)
-        return self._cardinality_cache[key]
-
-    def _plan(self, analysis: QueryAnalysis) -> SamplePlan | None:
-        samples_by_table: dict[str, list[SampleInfo]] = {}
-        table_rows: dict[str, int] = {}
-        for table in analysis.base_tables:
-            key = table.name.lower()
-            if key in samples_by_table:
-                continue
-            samples_by_table[key] = self._cached_samples_for(table.name)
-            table_rows[key] = self._row_count(table.name)
-        expected_groups = self._estimate_groups(analysis)
-        plan = self.planner.planner.plan(analysis, samples_by_table, table_rows, expected_groups)
-        self.last_plan = plan
-        return plan
-
-    def _estimate_groups(self, analysis: QueryAnalysis) -> int | None:
-        """Estimate the number of output groups from column cardinalities.
-
-        For nested aggregate queries the *derived table's* grouping columns
-        are what determine how many sample rows each estimated group gets, so
-        they are included in the estimate (this is what makes queries like
-        per-customer / per-order roll-ups fall back to exact execution when
-        the sample cannot support that many groups).
-        """
-        group_exprs = list(analysis.statement.group_by)
-        for derived in analysis.derived_tables:
-            group_exprs.extend(derived.query.group_by)
-        if not group_exprs:
-            return 1
-        estimate = 1
-        binding_to_table = {
-            table.binding_name.lower(): table.name for table in analysis.base_tables
-        }
-        for expr in group_exprs:
-            if not isinstance(expr, ast.ColumnRef):
-                continue
-            owner = None
-            if expr.table is not None:
-                owner = binding_to_table.get(expr.table.lower())
-            else:
-                for table in analysis.base_tables:
-                    if expr.name in self.connector.column_names(table.name):
-                        owner = table.name
-                        break
-            if owner is None:
-                continue
-            try:
-                estimate *= max(1, self._cardinality(owner, expr.name))
-            except Exception:  # pragma: no cover - defensive: missing column
-                continue
-        return estimate
-
-    # -- approximate execution -----------------------------------------------------------
-
-    def _execute_approximate(
-        self,
-        statement: ast.SelectStatement,
-        analysis: QueryAnalysis,
-        plan: SamplePlan,
-        include_errors: bool | None,
-        query_text: str | None = None,
-    ) -> ApproximateResult:
-        include_errors = self.include_errors if include_errors is None else include_errors
-        prepared = self._prepare_rewrite(statement, analysis, plan, include_errors, query_text)
-        if prepared is None:
-            result = self.connector.execute(statement)
-            answer = ApproximateResult(result, is_exact=True, confidence=self.confidence)
-            answer.plan_description = "exact execution (mixed aggregate kinds in one item)"
-            return answer
-
-        group_names = prepared.group_names
-        primary_result: ResultSet | None = None
-        estimate_columns: dict[str, str | None] = {}
-
-        # Execute the pre-rendered SQL text: on cache hits this skips the
-        # per-call AST-to-SQL rendering entirely.
-        if prepared.primary is not None:
-            primary_result = self.connector.execute(prepared.primary_sql)
-            estimate_columns.update(prepared.primary.estimate_columns)
-
-        secondary_results: list[tuple[ResultSet, dict[str, str | None]]] = []
-        if prepared.distinct is not None:
-            secondary_results.append(
-                (
-                    self.connector.execute(prepared.distinct_sql),
-                    prepared.distinct.estimate_columns,
-                )
-            )
-        if prepared.extreme_statement is not None:
-            secondary_results.append(
-                (
-                    self.connector.execute(prepared.extreme_sql),
-                    prepared.extreme_columns,
-                )
-            )
-
-        if primary_result is None:
-            # No mean-like part: promote the first secondary result to primary.
-            primary_result, columns = secondary_results.pop(0)
-            estimate_columns.update(columns)
-
-        merged = primary_result
-        for secondary, columns in secondary_results:
-            value_columns = [name for name in columns] + [
-                error for error in columns.values() if error
-            ]
-            merged = merge_by_group(merged, secondary, group_names, value_columns)
-            estimate_columns.update(columns)
-
-        merged = _reorder_columns(merged, statement, estimate_columns)
-        self.last_rewritten_sql = ";\n".join(prepared.rewritten_sql_parts)
-        return ApproximateResult(
-            merged,
-            group_columns=group_names,
-            estimate_columns=estimate_columns,
-            confidence=self.confidence,
-            is_exact=False,
-            rewritten_sql=self.last_rewritten_sql,
-            plan_description=plan.describe(),
-        )
-
-    def _prepare_rewrite(
-        self,
-        statement: ast.SelectStatement,
-        analysis: QueryAnalysis,
-        plan: SamplePlan,
-        include_errors: bool,
-        query_text: str | None,
-    ) -> PreparedRewrite | None:
-        """Decompose and rewrite a query, reusing the per-plan rewrite cache.
-
-        Returns None when a single select item mixes aggregate kinds (the
-        query must then run exactly; that verdict is cheap to recompute, so
-        it is not cached).
-        """
-        key: tuple | None = None
-        if query_text is not None:
-            key = (query_text, plan_signature(plan), include_errors)
-            cached = self._rewrite_cache.get(key)
-            if cached is not None:
-                return cached
-
-        parts = self._decompose(statement, analysis)
-        if parts is None:
-            return None
-        mean_statement, distinct_statement, extreme_statement, group_names = parts
-
-        rewriter = AqpRewriter(include_errors=include_errors)
-        prepared = PreparedRewrite(group_names=group_names)
-        if mean_statement is not None:
-            mean_analysis = analyze(mean_statement)
-            prepared.primary = rewriter.rewrite(mean_statement, mean_analysis, plan)
-            prepared.primary_sql = self.connector.syntax_changer.to_sql(
-                prepared.primary.statement
-            )
-            prepared.rewritten_sql_parts.append(prepared.primary_sql)
-        if distinct_statement is not None:
-            distinct_analysis = analyze(distinct_statement)
-            prepared.distinct = rewriter.rewrite_count_distinct(
-                distinct_statement, distinct_analysis, plan
-            )
-            prepared.distinct_sql = self.connector.syntax_changer.to_sql(
-                prepared.distinct.statement
-            )
-            prepared.rewritten_sql_parts.append(prepared.distinct_sql)
-        if extreme_statement is not None:
-            prepared.extreme_statement = extreme_statement
-            prepared.extreme_sql = self.connector.syntax_changer.to_sql(extreme_statement)
-            prepared.extreme_columns = {
-                item.output_name(index): None
-                for index, item in enumerate(extreme_statement.select_items)
-                if contains_aggregate(item.expression)
-            }
-            prepared.rewritten_sql_parts.append(prepared.extreme_sql)
-
-        if key is not None:
-            self._rewrite_cache.put(key, prepared)
-        return prepared
-
-    def _decompose(
-        self, statement: ast.SelectStatement, analysis: QueryAnalysis
-    ) -> tuple[
-        ast.SelectStatement | None,
-        ast.SelectStatement | None,
-        ast.SelectStatement | None,
-        list[str],
-    ] | None:
-        """Split the select list by aggregate kind (Section 2.2 decomposition).
-
-        Returns ``(mean_like, count_distinct, extreme, group_output_names)``;
-        any of the three statements may be None.  Returns None when a single
-        select item mixes aggregate kinds (the query then runs exactly).
-        """
-        kinds_per_item: dict[int, set[str]] = {}
-        for aggregate in analysis.aggregates:
-            kinds_per_item.setdefault(aggregate.item_index, set()).add(aggregate.kind)
-        if any(len(kinds) > 1 for kinds in kinds_per_item.values()):
-            return None
-
-        group_items: list[tuple[int, ast.SelectItem]] = []
-        items_by_kind: dict[str, list[tuple[int, ast.SelectItem]]] = {
-            "mean_like": [],
-            "count_distinct": [],
-            "extreme": [],
-        }
-        group_names: list[str] = []
-        for index, item in enumerate(statement.select_items):
-            if not contains_aggregate(item.expression):
-                named = ast.SelectItem(item.expression, alias=item.output_name(index))
-                group_items.append((index, named))
-                group_names.append(item.output_name(index))
-                continue
-            kind = kinds_per_item.get(index, {"mean_like"}).pop()
-            named = ast.SelectItem(item.expression, alias=item.output_name(index))
-            items_by_kind[kind].append((index, named))
-
-        def build(kind: str, keep_post_clauses: bool) -> ast.SelectStatement | None:
-            if not items_by_kind[kind]:
-                return None
-            chosen = sorted(group_items + items_by_kind[kind], key=lambda pair: pair[0])
-            replacement = dataclasses.replace(
-                statement, select_items=[item for _, item in chosen]
-            )
-            if not keep_post_clauses:
-                replacement = dataclasses.replace(
-                    replacement, having=None, order_by=[], limit=None, offset=None
-                )
-            return replacement
-
-        has_mean = bool(items_by_kind["mean_like"])
-        mean_statement = build("mean_like", keep_post_clauses=True)
-        distinct_statement = build("count_distinct", keep_post_clauses=not has_mean)
-        extreme_statement = build(
-            "extreme", keep_post_clauses=not has_mean and not items_by_kind["count_distinct"]
-        )
-        return mean_statement, distinct_statement, extreme_statement, group_names
-
-
-def _reorder_columns(
-    result: ResultSet,
-    statement: ast.SelectStatement,
-    estimate_columns: dict[str, str | None],
-) -> ResultSet:
-    """Put the merged result's columns back into the original select order.
-
-    Each estimate's error column (when present) immediately follows it, which
-    is also where users expect it when they opt into error reporting.
-    """
-    desired: list[str] = []
-    for index, item in enumerate(statement.select_items):
-        name = item.output_name(index)
-        if name in result.column_names and name not in desired:
-            desired.append(name)
-            error_name = estimate_columns.get(name)
-            if error_name and result.has_column(error_name):
-                desired.append(error_name)
-    for name in result.column_names:
-        if name not in desired:
-            desired.append(name)
-    return ResultSet(desired, [result.column(name) for name in desired])
-
-
-class SamplerFacade:
-    """Small holder so the planner configuration stays user-adjustable."""
-
-    def __init__(self, config: PlannerConfig) -> None:
-        self.config = config
-        self.planner = SamplePlanner(config)

@@ -1,9 +1,18 @@
 """Exception hierarchy shared by all repro subpackages.
 
 Every error raised by the library derives from :class:`ReproError` so that
-applications embedding the middleware can catch a single base class.  The
-subclasses mirror the layers of the system: the SQL substrate, the driver
-layer, the sampling subsystem and the middleware itself.
+applications embedding the middleware can catch a single base class.  Below
+it the hierarchy is shaped like PEP 249 (the Python DB-API), because the
+public entry point (:mod:`repro.api`) presents the middleware as a database
+driver: :class:`InterfaceError` marks misuse of the driver objects
+themselves, :class:`DatabaseError` marks everything that went wrong while
+processing a statement, and the classic subclasses (:class:`ProgrammingError`,
+:class:`OperationalError`, :class:`NotSupportedError`, :class:`DataError`)
+partition it the way application frameworks expect.  The pre-existing
+layer-specific classes (the SQL substrate, the driver layer, the sampling
+subsystem and the middleware) keep their names and are re-parented into the
+DB-API branches, so both ``except ParseError`` and ``except ProgrammingError``
+keep working.
 """
 
 from __future__ import annotations
@@ -13,7 +22,54 @@ class ReproError(Exception):
     """Base class for every exception raised by this library."""
 
 
-class SQLError(ReproError):
+# ---------------------------------------------------------------------------
+# DB-API 2.0 (PEP 249) shaped branches
+# ---------------------------------------------------------------------------
+
+
+class InterfaceError(ReproError):
+    """Misuse of the driver objects themselves (closed connection, bad cursor
+    state, parameter-count mismatches) rather than of the database."""
+
+
+class DatabaseError(ReproError):
+    """Base class for errors raised while processing a statement."""
+
+
+class ProgrammingError(DatabaseError):
+    """The statement itself is wrong: syntax errors, unknown tables or
+    columns, unbound or mistyped query parameters."""
+
+
+class OperationalError(DatabaseError):
+    """The statement was fine but the system failed to process it (backend
+    driver failures, sample build failures, resource problems)."""
+
+
+class DataError(DatabaseError):
+    """A value could not be processed (bad casts, out-of-range parameters)."""
+
+
+class NotSupportedError(DatabaseError):
+    """The request is valid SQL but outside what this system supports."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An invalid configuration value was supplied to a library object.
+
+    Subclasses :class:`ValueError` for backward compatibility: these were
+    historically raised as bare ``ValueError`` (sample specs, contract
+    bounds, sketch precisions), so existing ``except ValueError`` handlers
+    keep working while new code can catch the typed hierarchy.
+    """
+
+
+# ---------------------------------------------------------------------------
+# SQL substrate
+# ---------------------------------------------------------------------------
+
+
+class SQLError(ProgrammingError):
     """Base class for errors raised by the SQL engine substrate."""
 
 
@@ -41,7 +97,16 @@ class CatalogError(SQLError):
     """A table or schema referenced by a statement does not exist (or already does)."""
 
 
-class ConnectorError(ReproError):
+class BindParameterError(ProgrammingError):
+    """A query parameter is missing, superfluous or of an unbindable type."""
+
+
+# ---------------------------------------------------------------------------
+# driver layer
+# ---------------------------------------------------------------------------
+
+
+class ConnectorError(OperationalError):
     """A backend driver failed or does not support the requested feature."""
 
 
@@ -49,19 +114,29 @@ class UnsupportedDialectFeature(ConnectorError):
     """The target dialect cannot express the requested SQL construct."""
 
 
-class SamplingError(ReproError):
+# ---------------------------------------------------------------------------
+# sampling subsystem
+# ---------------------------------------------------------------------------
+
+
+class SamplingError(OperationalError):
     """Sample creation or maintenance failed."""
 
 
-class SamplePlanningError(ReproError):
+class SamplePlanningError(OperationalError):
     """No feasible sample plan exists for the requested I/O budget."""
+
+
+# ---------------------------------------------------------------------------
+# middleware
+# ---------------------------------------------------------------------------
 
 
 class RewriteError(ReproError):
     """The AQP rewriter could not produce an approximate form of the query."""
 
 
-class UnsupportedQueryError(RewriteError):
+class UnsupportedQueryError(RewriteError, NotSupportedError):
     """The query is outside the class of queries VerdictDB can approximate.
 
     Such queries are not an application failure: the middleware passes them
@@ -70,10 +145,19 @@ class UnsupportedQueryError(RewriteError):
     """
 
 
-class AccuracyContractViolation(ReproError):
-    """The estimated error violates the user's high-level accuracy contract."""
+class AccuracyContractError(DatabaseError):
+    """The estimated error violates the user's high-level accuracy contract.
+
+    Only raised when :class:`repro.api.ExecutionOptions` asks for
+    ``on_contract_violation="raise"``; the default behavior re-runs the query
+    exactly instead.
+    """
 
     def __init__(self, message: str, estimated_error: float, required_error: float) -> None:
         super().__init__(message)
         self.estimated_error = estimated_error
         self.required_error = required_error
+
+
+# Historical name of :class:`AccuracyContractError`, kept as an alias.
+AccuracyContractViolation = AccuracyContractError

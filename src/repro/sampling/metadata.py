@@ -29,7 +29,13 @@ _COLUMNS = [
 
 
 class MetadataStore:
-    """Reads and writes the sample catalog through a connector."""
+    """Reads and writes the sample catalog through a connector.
+
+    Writes are read-modify-write sequences (the supported SQL subset has no
+    DELETE/UPDATE, so the table is rebuilt), so every mutation serializes on
+    the connector's cross-session :attr:`~repro.connectors.base.Connector.session_lock`
+    — two sessions sharing one backend cannot interleave their rebuilds.
+    """
 
     def __init__(self, connector: Connector, table_name: str = METADATA_TABLE) -> None:
         self._connector = connector
@@ -46,17 +52,20 @@ class MetadataStore:
         with the tolerant reader, the table rebuilt with the current schema
         and the rows re-recorded (metadata tables are tiny).
         """
-        if self._connector.has_table(self.table_name):
-            existing = {name.lower() for name in self._connector.column_names(self.table_name)}
-            if existing == {name for name, _ in _COLUMNS}:
+        with self._connector.session_lock:
+            if self._connector.has_table(self.table_name):
+                existing = {
+                    name.lower() for name in self._connector.column_names(self.table_name)
+                }
+                if existing == {name for name, _ in _COLUMNS}:
+                    return
+                rows = self.all_samples()
+                self._connector.drop_table(self.table_name, if_exists=True)
+                self._create_table()
+                for info in rows:
+                    self._insert(info)
                 return
-            rows = self.all_samples()
-            self._connector.drop_table(self.table_name, if_exists=True)
             self._create_table()
-            for info in rows:
-                self._insert(info)
-            return
-        self._create_table()
 
     def _create_table(self) -> None:
         statement = ast.CreateTableStatement(
@@ -70,8 +79,9 @@ class MetadataStore:
 
     def record(self, info: SampleInfo) -> None:
         """Insert a metadata row for a newly created sample."""
-        self.ensure_schema()
-        self._insert(info)
+        with self._connector.session_lock:
+            self.ensure_schema()
+            self._insert(info)
 
     def _insert(self, info: SampleInfo) -> None:
         statement = ast.InsertStatement(
@@ -99,38 +109,53 @@ class MetadataStore:
         The supported SQL subset has no DELETE, so the table is rebuilt
         without the forgotten rows (metadata tables are tiny).
         """
-        remaining = [info for info in self.all_samples() if info.sample_table != sample_table]
-        self._connector.drop_table(self.table_name, if_exists=True)
-        self.ensure_schema()
-        for info in remaining:
-            self.record(info)
+        with self._connector.session_lock:
+            remaining = [
+                info for info in self.all_samples() if info.sample_table != sample_table
+            ]
+            self._connector.drop_table(self.table_name, if_exists=True)
+            self.ensure_schema()
+            for info in remaining:
+                self.record(info)
 
     def update_counts(self, sample_table: str, original_rows: int, sample_rows: int) -> None:
         """Update the stored row counts after incremental maintenance."""
-        updated = []
-        for info in self.all_samples():
-            if info.sample_table == sample_table:
-                info = SampleInfo(
-                    original_table=info.original_table,
-                    sample_table=info.sample_table,
-                    sample_type=info.sample_type,
-                    columns=info.columns,
-                    ratio=info.ratio,
-                    original_rows=original_rows,
-                    sample_rows=sample_rows,
-                    subsample_count=info.subsample_count,
-                    sid_clustered=info.sid_clustered,
-                )
-            updated.append(info)
-        self._connector.drop_table(self.table_name, if_exists=True)
-        self.ensure_schema()
-        for info in updated:
-            self.record(info)
+        with self._connector.session_lock:
+            updated = []
+            for info in self.all_samples():
+                if info.sample_table == sample_table:
+                    info = SampleInfo(
+                        original_table=info.original_table,
+                        sample_table=info.sample_table,
+                        sample_type=info.sample_type,
+                        columns=info.columns,
+                        ratio=info.ratio,
+                        original_rows=original_rows,
+                        sample_rows=sample_rows,
+                        subsample_count=info.subsample_count,
+                        sid_clustered=info.sid_clustered,
+                    )
+                updated.append(info)
+            self._connector.drop_table(self.table_name, if_exists=True)
+            self.ensure_schema()
+            for info in updated:
+                self.record(info)
 
     # -- reads ------------------------------------------------------------------
 
     def all_samples(self) -> list[SampleInfo]:
-        """Return every recorded sample."""
+        """Return every recorded sample.
+
+        Reads take the same cross-session lock as the rebuild-style writes:
+        without it a concurrent ``forget``/``update_counts`` from another
+        session could be observed mid-rebuild (table briefly absent or half
+        re-inserted), making this session silently plan with a wrong sample
+        set.
+        """
+        with self._connector.session_lock:
+            return self._read_samples()
+
+    def _read_samples(self) -> list[SampleInfo]:
         if not self._connector.has_table(self.table_name):
             return []
         result = self._connector.execute(f"SELECT * FROM {self.table_name}")

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.errors import ConfigurationError
+
 
 SAMPLE_TYPES = ("uniform", "hashed", "stratified", "irregular")
 
@@ -28,11 +30,11 @@ class SampleSpec:
 
     def __post_init__(self) -> None:
         if self.sample_type not in SAMPLE_TYPES:
-            raise ValueError(f"unknown sample type {self.sample_type!r}")
+            raise ConfigurationError(f"unknown sample type {self.sample_type!r}")
         if not 0.0 < self.ratio <= 1.0:
-            raise ValueError(f"sampling ratio must be in (0, 1], got {self.ratio}")
+            raise ConfigurationError(f"sampling ratio must be in (0, 1], got {self.ratio}")
         if self.sample_type in ("hashed", "stratified") and not self.columns:
-            raise ValueError(f"{self.sample_type} samples require a column set")
+            raise ConfigurationError(f"{self.sample_type} samples require a column set")
 
 
 @dataclass(frozen=True)

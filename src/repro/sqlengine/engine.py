@@ -9,6 +9,7 @@ off-the-shelf engine behind a JDBC driver would.
 from __future__ import annotations
 
 import os
+import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Mapping, Sequence
 
@@ -22,6 +23,7 @@ from repro.sqlengine.executor import Executor
 from repro.sqlengine.expressions import Frame, evaluate
 from repro.sqlengine.planner import SelectPlan, ordering_target, plan_select
 from repro.sqlengine.resultset import ResultSet
+from repro.sqlengine.rwlock import ReadWriteLock
 from repro.sqlengine.table import Table
 
 
@@ -83,14 +85,40 @@ class Database:
         else:
             self.scan_workers = max(1, int(parallel_scan))
         self._scan_pool: ThreadPoolExecutor | None = None
+        self._pool_lock = threading.Lock()
+        self._stats_lock = threading.Lock()
         # Fast-path observability: which round-4 paths ran (zone-map
-        # aggregate answering, sorted-merge joins, chunk-parallel scans).
-        # Consumed by tests and benchmarks; purely informational.
+        # aggregate answering, sorted-merge joins, chunk-parallel scans) and
+        # how often the statement/plan caches hit.  The session layer
+        # additionally mirrors its rewrite-cache hits here (see
+        # ``Connector.record_stat``), so one dict answers "did this query
+        # re-parse / re-plan / re-rewrite?".  Consumed by tests and
+        # benchmarks; purely informational.
         self.stats: dict[str, int] = {
             "zone_map_aggregates": 0,
             "merge_joins": 0,
             "parallel_scans": 0,
+            "statement_cache_hits": 0,
+            "statement_cache_misses": 0,
+            "plan_cache_hits": 0,
+            "plan_cache_misses": 0,
         }
+        # Reader/writer lock: SELECTs take the shared side (and still run in
+        # parallel with each other), catalog-mutating statements take the
+        # exclusive side — a scan can never observe a half-applied append or
+        # a mid-flight CREATE/DROP.
+        self._statement_lock = ReadWriteLock()
+        # Coarser lock exported to the session layer: multi-statement
+        # critical sections (sample builds, metadata-table rebuilds) wrap
+        # themselves in it so two connections sharing this engine cannot
+        # interleave their read-modify-write sequences.
+        self.session_lock = threading.RLock()
+        # Monotonic data version: bumped by every DML/DDL statement and every
+        # programmatic load.  Sessions snapshot (catalog.version,
+        # data_version) to decide when their row-count / cardinality /
+        # sample-metadata caches — and zone-map-derived planner advice — must
+        # be re-read because *another* connection changed the data.
+        self.data_version = 0
         # SQL text -> parsed statement.  Parsing is pure syntax, so entries
         # never go stale; the LRU bound caps memory under ad-hoc traffic.
         self._statement_cache: LRUCache[str, ast.Statement] = LRUCache(
@@ -112,7 +140,9 @@ class Database:
             table = columns if columns.name == name else columns.copy(name)
         else:
             table = Table(name, columns, chunk_rows=self.catalog.chunk_rows)
-        self.catalog.register(table, replace=replace)
+        with self._statement_lock.writing():
+            self.catalog.register(table, replace=replace)
+            self.data_version += 1
         return table
 
     def table(self, name: str) -> Table:
@@ -127,38 +157,59 @@ class Database:
 
     # -- SQL execution ---------------------------------------------------------
 
-    def execute(self, sql: str) -> ResultSet:
+    def execute(self, sql: str, params: Sequence | Mapping | None = None) -> ResultSet:
         """Parse and execute one SQL statement, returning its result set.
 
         DDL and DML statements return an empty result set.  With
         ``optimize=True`` the parsed statement and its logical plan are
         cached per SQL text, so repeated statements skip both the parser and
         the planner entirely.
+
+        ``params`` binds ``?`` / ``:name`` placeholders in the statement at
+        execution time: a sequence for positional, a mapping for named
+        parameters.  The caches are keyed on the *template* text, so one
+        parameterized statement re-uses its parsed form and plan across every
+        parameter set.  Plan-time, literal-only advice (zone-map chunk
+        skipping) is simply not generated for placeholder predicates; the
+        run-time fast paths (dictionary comparisons, IN-list probes) resolve
+        the bound value per call and stay engaged.
         """
         if not self.optimize:
-            return self.execute_statement(parser.parse(sql))
+            return self.execute_statement(parser.parse(sql), params=params)
         statement = self._cached_statement(sql)
         plan = None
         if isinstance(statement, ast.SelectStatement):
             plan = self._cached_plan(sql, statement)
-        return self.execute_statement(statement, plan=plan)
+        return self.execute_statement(statement, plan=plan, params=params)
 
     def execute_statement(
-        self, statement: ast.Statement, plan: SelectPlan | None = None
+        self,
+        statement: ast.Statement,
+        plan: SelectPlan | None = None,
+        params: Sequence | Mapping | None = None,
     ) -> ResultSet:
         """Execute an already parsed statement."""
         if isinstance(statement, ast.SelectStatement):
-            return self._executor().execute_select(statement, plan=plan)
+            with self._statement_lock.reading():
+                return self._executor(params).execute_select(statement, plan=plan)
         if isinstance(statement, ast.CreateTableStatement):
-            return self._execute_create(statement)
+            with self._statement_lock.writing():
+                result = self._execute_create(statement, params)
+                self.data_version += 1
+                return result
         if isinstance(statement, ast.DropTableStatement):
-            self.catalog.drop(statement.table_name, if_exists=statement.if_exists)
+            with self._statement_lock.writing():
+                self.catalog.drop(statement.table_name, if_exists=statement.if_exists)
+                self.data_version += 1
             return ResultSet.empty([])
         if isinstance(statement, ast.InsertStatement):
-            return self._execute_insert(statement)
+            with self._statement_lock.writing():
+                result = self._execute_insert(statement, params)
+                self.data_version += 1
+                return result
         raise ExecutionError(f"unsupported statement type {type(statement).__name__}")
 
-    def _executor(self) -> Executor:
+    def _executor(self, params: Sequence | Mapping | None = None) -> Executor:
         return Executor(
             self.catalog,
             self._rng,
@@ -166,28 +217,39 @@ class Database:
             stats=self.stats,
             scan_workers=self.scan_workers,
             scan_pool=self._scan_pool_factory,
+            params=params,
+            count=self.bump_stat,
         )
 
     def _scan_pool_factory(self) -> ThreadPoolExecutor | None:
-        """Lazily create the shared chunk-scan thread pool."""
+        """Lazily create the shared chunk-scan thread pool.
+
+        Guarded by a lock: concurrent sessions may fire their first
+        chunk-parallel scans simultaneously, and double-creating the pool
+        would orphan one executor's worker threads.
+        """
         if self.scan_workers <= 1:
             return None
-        if self._scan_pool is None:
-            self._scan_pool = ThreadPoolExecutor(
-                max_workers=self.scan_workers, thread_name_prefix="repro-scan"
-            )
-        return self._scan_pool
+        with self._pool_lock:
+            if self._scan_pool is None:
+                self._scan_pool = ThreadPoolExecutor(
+                    max_workers=self.scan_workers, thread_name_prefix="repro-scan"
+                )
+            return self._scan_pool
 
     def close(self) -> None:
         """Release the chunk-scan worker threads (idempotent).
 
         Long-running processes that create many ``parallel_scan`` engines
         should close each one (or use the engine as a context manager);
-        queries issued afterwards simply recreate the pool on demand.
+        queries issued afterwards simply recreate the pool on demand.  A
+        query in flight on another session when the pool shuts down falls
+        back to the (bit-identical) sequential scan.
         """
-        if self._scan_pool is not None:
-            self._scan_pool.shutdown(wait=True)
-            self._scan_pool = None
+        with self._pool_lock:
+            if self._scan_pool is not None:
+                self._scan_pool.shutdown(wait=True)
+                self._scan_pool = None
 
     def __enter__(self) -> "Database":
         return self
@@ -197,30 +259,61 @@ class Database:
 
     # -- statement / plan caches -------------------------------------------------
 
+    def consistent_read(self):
+        """Hold the shared (read) side of the statement lock over a block.
+
+        Several SELECTs issued inside the block observe one data state: DML
+        and DDL from any session wait until the block exits.  Reentrant with
+        the per-statement read acquisition, so ordinary ``execute`` calls
+        work unchanged inside.
+        """
+        return self._statement_lock.reading()
+
+    def bump_stat(self, key: str) -> None:
+        """Increment one observability counter (thread-safe)."""
+        with self._stats_lock:
+            self.stats[key] = self.stats.get(key, 0) + 1
+
     def _cached_statement(self, sql: str) -> ast.Statement:
         statement = self._statement_cache.get(sql)
         if statement is None:
+            self.bump_stat("statement_cache_misses")
             statement = parser.parse(sql)
             self._statement_cache.put(sql, statement)
+        else:
+            self.bump_stat("statement_cache_hits")
         return statement
 
     def _cached_plan(self, sql: str, statement: ast.SelectStatement) -> SelectPlan:
         entry = self._plan_cache.get(sql)
         if entry is not None and entry[0] == self.catalog.version:
+            self.bump_stat("plan_cache_hits")
             return entry[1]
-        plan = plan_select(statement, self.catalog)
-        self._plan_cache.put(sql, (self.catalog.version, plan))
+        self.bump_stat("plan_cache_misses")
+        # Plan under the shared lock, and key the cache entry with the
+        # version observed inside it: a concurrent DDL/DML cannot mutate the
+        # catalog mid-walk, and a plan can never be stored under a version
+        # bumped after it was computed (which would make a stale plan pass
+        # the freshness check forever).
+        with self._statement_lock.reading():
+            version = self.catalog.version
+            plan = plan_select(statement, self.catalog)
+        self._plan_cache.put(sql, (version, plan))
         return plan
 
     # -- DDL / DML --------------------------------------------------------------
 
-    def _execute_create(self, statement: ast.CreateTableStatement) -> ResultSet:
+    def _execute_create(
+        self,
+        statement: ast.CreateTableStatement,
+        params: Sequence | Mapping | None = None,
+    ) -> ResultSet:
         if self.catalog.has(statement.table_name):
             if statement.if_not_exists:
                 return ResultSet.empty([])
             raise CatalogError(f"table {statement.table_name!r} already exists")
         if statement.as_select is not None:
-            result = self._executor().execute_select(statement.as_select)
+            result = self._executor(params).execute_select(statement.as_select)
             table = self.catalog.new_table(statement.table_name)
             for column_name, array in zip(result.column_names, result.columns()):
                 table.add_column(column_name, array)
@@ -239,18 +332,24 @@ class Database:
         self.catalog.register(table)
         return ResultSet.empty([])
 
-    def _execute_insert(self, statement: ast.InsertStatement) -> ResultSet:
+    def _execute_insert(
+        self,
+        statement: ast.InsertStatement,
+        params: Sequence | Mapping | None = None,
+    ) -> ResultSet:
         table = self.catalog.get(statement.table_name)
         column_names = statement.columns or table.column_names
         if statement.from_select is not None:
-            result = self._executor().execute_select(statement.from_select)
+            result = self._executor(params).execute_select(statement.from_select)
             table.append_rows(column_names, result.rows())
             return ResultSet.empty([])
         rows = []
         for row_expressions in statement.rows:
             if len(row_expressions) != len(column_names):
                 raise ExecutionError("INSERT row has the wrong number of values")
-            rows.append(tuple(_literal_value(expression) for expression in row_expressions))
+            rows.append(
+                tuple(_literal_value(expression, params) for expression in row_expressions)
+            )
         table.append_rows(column_names, rows)
         return ResultSet.empty([])
 
@@ -275,11 +374,15 @@ def _clustering_from_select(
     return target if len(matches) == 1 else None
 
 
-def _literal_value(expression: ast.Expression) -> object:
+def _literal_value(
+    expression: ast.Expression, params: Sequence | Mapping | None = None
+) -> object:
     """Evaluate a constant expression appearing in an INSERT ... VALUES row."""
     frame = Frame(num_rows=1)
     frame.add_column(None, "__dummy", np.zeros(1, dtype=np.int64))
-    context = functions.EvaluationContext(num_rows=1, rng=np.random.default_rng(0))
+    context = functions.EvaluationContext(
+        num_rows=1, rng=np.random.default_rng(0), params=params
+    )
     value = evaluate(expression, frame, context)[0]
     if isinstance(value, np.generic):
         value = value.item()

@@ -70,20 +70,37 @@ class Executor:
         stats: dict[str, int] | None = None,
         scan_workers: int = 1,
         scan_pool: Callable[[], object] | None = None,
+        params: object | None = None,
+        count: Callable[[str], None] | None = None,
     ) -> None:
         self._catalog = catalog
         self._rng = rng
         self._optimize = optimize
         # Round-4 observability: the owning Database passes a counter dict so
-        # tests and benchmarks can assert which fast path actually ran.
+        # tests and benchmarks can assert which fast path actually ran, and a
+        # lock-guarded incrementer (its ``bump_stat``) so concurrent SELECTs
+        # over one shared engine never lose increments.
         self._stats = stats
+        self._count_stat = count
         # Chunk-parallel scan configuration (``Database(parallel_scan=...)``):
         # worker count and a lazy thread-pool factory.
         self._scan_workers = scan_workers
         self._scan_pool = scan_pool
+        # Bound query-parameter values for Placeholder expressions; threaded
+        # into every evaluation context (including scalar subqueries and
+        # precomputed derived-table plans) so one cached plan serves every
+        # parameter set.
+        self._params = params
+
+    def _context(self, num_rows: int) -> functions.EvaluationContext:
+        return functions.EvaluationContext(
+            num_rows=num_rows, rng=self._rng, params=self._params
+        )
 
     def _count(self, key: str) -> None:
-        if self._stats is not None:
+        if self._count_stat is not None:
+            self._count_stat(key)
+        elif self._stats is not None:
             self._stats[key] = self._stats.get(key, 0) + 1
 
     # -- entry points --------------------------------------------------------
@@ -102,13 +119,13 @@ class Executor:
             if fast is not None:
                 return fast
         frame = self._build_frame(statement.from_relation, plan)
-        context = functions.EvaluationContext(num_rows=frame.num_rows, rng=self._rng)
+        context = self._context(frame.num_rows)
 
         where = plan.residual_where if plan is not None else statement.where
         if where is not None:
             mask = evaluate(where, frame, context, self._scalar_subquery)
             frame = frame.filter(mask)
-            context = functions.EvaluationContext(num_rows=frame.num_rows, rng=self._rng)
+            context = self._context(frame.num_rows)
 
         has_aggregates = bool(statement.group_by) or any(
             contains_aggregate(item.expression)
@@ -119,7 +136,7 @@ class Executor:
             has_aggregates = True
 
         if has_aggregates:
-            return self._execute_grouped(statement, frame, context)
+            return self._execute_grouped(statement, frame, context, plan)
         return self._execute_plain(statement, frame, context)
 
     def _scalar_subquery(self, statement: ast.SelectStatement) -> object:
@@ -383,13 +400,17 @@ class Executor:
                         encoded[0][start : start + len(chunk)], encoded[1]
                     )
                 chunk_frame.add_column(binding, name, chunk, codes=codes)
-            context = functions.EvaluationContext(
-                num_rows=chunk_frame.num_rows, rng=self._rng
-            )
+            context = self._context(chunk_frame.num_rows)
             mask = evaluate(predicate, chunk_frame, context)
             return np.flatnonzero(np.asarray(mask, dtype=bool))
 
-        local_indices = list(pool.map(filter_chunk, chunk_ids))
+        try:
+            local_indices = list(pool.map(filter_chunk, chunk_ids))
+        except RuntimeError:
+            # The pool was shut down concurrently (another session closed the
+            # shared engine between our factory call and the submit).  The
+            # caller's sequential path computes the identical frame.
+            return None
         frame = Frame()
         selected = [
             int(chunk_id) * size + local
@@ -420,7 +441,7 @@ class Executor:
         if scan is None or not scan.predicates:
             return frame
         predicate = ast.conjunction(scan.predicates)
-        context = functions.EvaluationContext(num_rows=frame.num_rows, rng=self._rng)
+        context = self._context(frame.num_rows)
         mask = evaluate(predicate, frame, context, self._scalar_subquery)
         return frame.filter(mask)
 
@@ -437,7 +458,7 @@ class Executor:
         index = joins.next()
         left = self._build_frame(join.left, plan, joins)
         right = self._build_frame(join.right, plan, joins)
-        context = functions.EvaluationContext(num_rows=left.num_rows, rng=self._rng)
+        context = self._context(left.num_rows)
 
         condition = join.condition
         if plan is not None and plan.join_residuals is not None:
@@ -451,7 +472,7 @@ class Executor:
             left_keys = [
                 evaluate(expr, left, context, self._scalar_subquery) for expr, _ in equi_pairs
             ]
-            right_context = functions.EvaluationContext(num_rows=right.num_rows, rng=self._rng)
+            right_context = self._context(right.num_rows)
             right_keys = [
                 evaluate(expr, right, right_context, self._scalar_subquery)
                 for _, expr in equi_pairs
@@ -487,7 +508,7 @@ class Executor:
 
         joined = Frame.concat(left.take(left_indices), right.take(right_indices))
         if residual is not None:
-            joined_context = functions.EvaluationContext(num_rows=joined.num_rows, rng=self._rng)
+            joined_context = self._context(joined.num_rows)
             mask = evaluate(residual, joined, joined_context, self._scalar_subquery)
             joined = joined.filter(mask)
         return joined
@@ -576,15 +597,38 @@ class Executor:
 
     # -- grouped / aggregate SELECT --------------------------------------------
 
+    def _grouped_memo(
+        self, statement: ast.SelectStatement, plan: SelectPlan | None
+    ) -> "_GroupedMemo":
+        """The statement's substitution memo, cached on its plan when possible.
+
+        Building the memo walks every select/HAVING/ORDER BY expression and
+        renders SQL keys for the aggregate/group substitutions — pure
+        functions of the statement, re-derived identically on every call
+        before this cache existed.  Plans are cached per SQL text alongside
+        their statements, so repeated executions reuse the memo; the identity
+        check guards against callers pairing a plan with a foreign statement.
+        """
+        if plan is not None:
+            memo = plan.grouped_memo
+            if memo is not None and memo.statement is statement:
+                return memo
+            memo = _GroupedMemo.build(statement, self._collect_aggregates)
+            plan.grouped_memo = memo
+            return memo
+        return _GroupedMemo.build(statement, self._collect_aggregates)
+
     def _execute_grouped(
         self,
         statement: ast.SelectStatement,
         frame: Frame,
         context: functions.EvaluationContext,
+        plan: SelectPlan | None = None,
     ) -> ResultSet:
         for item in statement.select_items:
             if isinstance(item.expression, ast.Star):
                 raise ExecutionError("'*' cannot be used together with aggregates")
+        memo = self._grouped_memo(statement, plan)
 
         if statement.group_by:
             keys = []
@@ -606,8 +650,6 @@ class Executor:
             inverse = np.zeros(frame.num_rows, dtype=np.int64)
             num_groups = 1
 
-        substitutions: dict[str, str] = {}
-        name_substitutions: dict[str, str] = {}
         post_frame = Frame(num_rows=num_groups)
 
         # Representative row index for each group (first occurrence).
@@ -632,34 +674,29 @@ class Executor:
             if num_groups and len(values) != num_groups:
                 values = np.resize(values, num_groups)
             post_frame.add_column(None, column_name, values, codes=codes)
-            substitutions[expr.to_sql()] = column_name
-            if isinstance(expr, ast.ColumnRef):
-                name_substitutions[expr.name.lower()] = column_name
 
-        aggregate_nodes = self._collect_aggregates(statement)
+        aggregate_nodes = memo.aggregate_nodes
         argument_substitutions: dict[str, str] = {}
         if self._optimize and aggregate_nodes:
             argument_substitutions = self._materialize_shared_arguments(
                 statement, aggregate_nodes, frame, keys, context
             )
-        for position, (sql_key, node) in enumerate(aggregate_nodes.items()):
-            column_name = f"__agg_{position}"
+        for position, node in enumerate(aggregate_nodes.values()):
             post_frame.add_column(
                 None,
-                column_name,
+                f"__agg_{position}",
                 self._compute_aggregate(
                     node, frame, context, inverse, num_groups, argument_substitutions
                 ),
             )
-            substitutions[sql_key] = column_name
 
-        post_context = functions.EvaluationContext(num_rows=num_groups, rng=self._rng)
+        post_context = self._context(num_groups)
 
         column_names: list[str] = []
         columns: list[np.ndarray] = []
         output_encodings: list[LazyCodes | None] | None = [] if self._optimize else None
         for position, item in enumerate(statement.select_items):
-            substituted = _substitute(item.expression, substitutions, name_substitutions)
+            substituted = memo.substituted_items[position]
             array = evaluate(substituted, post_frame, post_context, self._scalar_subquery)
             name = item.output_name(position)
             column_names.append(name)
@@ -667,21 +704,19 @@ class Executor:
             if output_encodings is not None:
                 output_encodings.append(_lazy_key_encoding(substituted, post_frame))
             post_frame.add_column(None, name, array)
-            substitutions[ast.ColumnRef(name).to_sql()] = name
 
         keep_mask: np.ndarray | None = None
-        if statement.having is not None:
-            having = _substitute(statement.having, substitutions, name_substitutions)
+        if memo.substituted_having is not None:
+            having = memo.substituted_having
             keep_mask = evaluate(having, post_frame, post_context, self._scalar_subquery)
             keep_mask = keep_mask.astype(bool)
 
         order_keys: list[tuple[np.ndarray, bool]] = []
-        for order_item in statement.order_by:
-            substituted = _substitute(order_item.expression, substitutions, name_substitutions)
+        for substituted, ascending in memo.substituted_order:
             order_keys.append(
                 (
                     evaluate(substituted, post_frame, post_context, self._scalar_subquery),
-                    order_item.ascending,
+                    ascending,
                 )
             )
 
@@ -1152,6 +1187,61 @@ def _normalize_key(key: np.ndarray) -> np.ndarray:
 # ---------------------------------------------------------------------------
 # expression substitution for post-aggregation evaluation
 # ---------------------------------------------------------------------------
+
+
+class _GroupedMemo:
+    """Statement-pure precomputation for grouped execution.
+
+    Grouped execution rewrites every select/HAVING/ORDER BY expression onto
+    the post-aggregation frame, using rendered-SQL keys to recognize the
+    grouping expressions and aggregate calls (``__group_<i>`` /
+    ``__agg_<i>`` columns) and earlier output aliases.  All of that depends
+    only on the statement, so it is computed once here and cached on the
+    statement's (equally cached) :class:`~repro.sqlengine.planner.SelectPlan`
+    — repeated executions of one statement skip the per-call expression
+    walking and SQL rendering entirely.  The construction mirrors the
+    historical per-call loop exactly (including the order in which aliases
+    become visible to later items), so results are bit-identical.
+    """
+
+    __slots__ = ("statement", "aggregate_nodes", "substituted_items",
+                 "substituted_having", "substituted_order")
+
+    def __init__(self, statement, aggregate_nodes, items, having, order) -> None:
+        self.statement = statement
+        self.aggregate_nodes = aggregate_nodes
+        self.substituted_items = items
+        self.substituted_having = having
+        self.substituted_order = order
+
+    @classmethod
+    def build(cls, statement: ast.SelectStatement, collect_aggregates) -> "_GroupedMemo":
+        substitutions: dict[str, str] = {}
+        name_substitutions: dict[str, str] = {}
+        for position, expr in enumerate(statement.group_by):
+            column_name = f"__group_{position}"
+            substitutions[expr.to_sql()] = column_name
+            if isinstance(expr, ast.ColumnRef):
+                name_substitutions[expr.name.lower()] = column_name
+        aggregate_nodes = collect_aggregates(statement)
+        for position, sql_key in enumerate(aggregate_nodes):
+            substitutions[sql_key] = f"__agg_{position}"
+        items: list[ast.Expression] = []
+        for position, item in enumerate(statement.select_items):
+            items.append(_substitute(item.expression, substitutions, name_substitutions))
+            name = item.output_name(position)
+            substitutions[ast.ColumnRef(name).to_sql()] = name
+        having = None
+        if statement.having is not None:
+            having = _substitute(statement.having, substitutions, name_substitutions)
+        order = [
+            (
+                _substitute(order_item.expression, substitutions, name_substitutions),
+                order_item.ascending,
+            )
+            for order_item in statement.order_by
+        ]
+        return cls(statement, aggregate_nodes, items, having, order)
 
 
 def _substitute(

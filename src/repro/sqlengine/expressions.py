@@ -227,6 +227,13 @@ def evaluate(
     """Evaluate ``expression`` over every row of ``frame``."""
     if isinstance(expression, ast.Literal):
         return _broadcast_literal(expression.value, frame.num_rows)
+    if isinstance(expression, ast.Placeholder):
+        # Bound at execution time: the value comes from the context, so one
+        # parsed/planned statement serves every parameter set.  Placeholders
+        # deliberately take none of the Literal-only fast paths (dictionary
+        # comparisons, zone-map classification); they fall through to the
+        # generic row-level evaluation, which is value-independent.
+        return _broadcast_literal(context.param_value(expression), frame.num_rows)
     if isinstance(expression, ast.ColumnRef):
         return frame.resolve(expression.name, expression.table)
     if isinstance(expression, ast.Star):
@@ -330,7 +337,7 @@ _COMPARISON_OPS = {"=", "<>", "<", ">", "<=", ">="}
 def _evaluate_binary(expression, frame, context, subquery_evaluator):
     op = expression.op.upper()
     if op in _COMPARISON_OPS:
-        fast = _compare_coded(expression, frame)
+        fast = _compare_coded(expression, frame, context)
         if fast is not None:
             return fast
     left = evaluate(expression.left, frame, context, subquery_evaluator)
@@ -405,25 +412,49 @@ def column_codes(expression, frame) -> tuple[np.ndarray, np.ndarray] | None:
     return frame.codes_for(expression.name, expression.table)
 
 
-def _compare_coded(expression, frame) -> np.ndarray | None:
+# Sentinel: the expression is not a constant the coded fast paths can use.
+_NOT_CONSTANT = object()
+
+
+def _constant_scalar(expression, context) -> object:
+    """Value of a literal or *bound* placeholder, else :data:`_NOT_CONSTANT`.
+
+    Placeholders resolve through the evaluation context, so the coded fast
+    paths (dictionary comparisons, IN-list probes) work for parameterized
+    statements exactly as for literal text — the cached plan stays
+    value-independent while each execution probes the dictionary with that
+    call's value.  An unbound placeholder returns the sentinel; the generic
+    path then raises the precise binding error.
+    """
+    if isinstance(expression, ast.Literal):
+        return expression.value
+    if isinstance(expression, ast.Placeholder) and context.params is not None:
+        return context.param_value(expression)
+    return _NOT_CONSTANT
+
+
+def _compare_coded(expression, frame, context) -> np.ndarray | None:
     """Vectorized ``column OP 'literal'`` over dictionary codes.
 
-    Valid only when the literal is a string: the row-level comparison then
-    always falls back to string semantics (``str(value) OP literal``), which
-    is exactly the order the sorted dictionary encodes.  NULL rows compare
-    False under every operator, so the sentinel's code is masked out.
+    Valid only when the constant (literal or bound parameter) is a string:
+    the row-level comparison then always falls back to string semantics
+    (``str(value) OP literal``), which is exactly the order the sorted
+    dictionary encodes.  NULL rows compare False under every operator, so
+    the sentinel's code is masked out.
     """
     left_expr, right_expr, op = expression.left, expression.right, expression.op
-    if isinstance(left_expr, ast.Literal) and isinstance(right_expr, ast.ColumnRef):
+    if isinstance(left_expr, (ast.Literal, ast.Placeholder)) and isinstance(
+        right_expr, ast.ColumnRef
+    ):
         left_expr, right_expr = right_expr, left_expr
         op = {"<": ">", ">": "<", "<=": ">=", ">=": "<="}.get(op, op)
-    if not isinstance(right_expr, ast.Literal) or not isinstance(right_expr.value, str):
+    literal = _constant_scalar(right_expr, context)
+    if literal is _NOT_CONSTANT or not isinstance(literal, str):
         return None
     encoded = column_codes(left_expr, frame)
     if encoded is None:
         return None
     codes, dictionary = encoded
-    literal = right_expr.value
     not_null = np.ones(len(codes), dtype=bool)
     sentinel = null_code(dictionary)
     if sentinel >= 0:
@@ -519,15 +550,15 @@ def _evaluate_case(expression, frame, context, subquery_evaluator):
 
 
 def _evaluate_in_list(expression, frame, context, subquery_evaluator):
-    # Fast path: a dictionary-coded column against literal values needs only
-    # one dictionary probe per value plus one vectorized membership test.
-    if all(isinstance(value, ast.Literal) for value in expression.values):
+    # Fast path: a dictionary-coded column against constant values (literals
+    # or bound parameters) needs only one dictionary probe per value plus one
+    # vectorized membership test.
+    constants = [_constant_scalar(value, context) for value in expression.values]
+    if all(value is not _NOT_CONSTANT for value in constants):
         encoded = column_codes(expression.operand, frame)
         if encoded is not None:
             codes, dictionary = encoded
-            scalars = [
-                _broadcast_literal(value.value, 1)[0] for value in expression.values
-            ]
+            scalars = [_broadcast_literal(value, 1)[0] for value in constants]
             # code_for_value escapes the literal, so the NULL sentinel's code
             # can never end up in the wanted set.
             wanted_codes = [

@@ -9,11 +9,11 @@ assignment of each row and return one value per group.
 from __future__ import annotations
 
 import zlib
-from typing import Callable, Sequence
+from typing import Callable, Mapping, Sequence
 
 import numpy as np
 
-from repro.errors import ExecutionError
+from repro.errors import BindParameterError, ExecutionError
 from repro.sqlengine import sketches
 
 
@@ -23,11 +23,50 @@ class EvaluationContext:
     Attributes:
         num_rows: number of rows in the frame currently being evaluated.
         rng: the engine's random generator (used by ``rand()``).
+        params: bound query-parameter values for ``?`` / ``:name``
+            placeholders — a sequence (positional) or mapping (named), or
+            None when the statement was executed without parameters.
     """
 
-    def __init__(self, num_rows: int, rng: np.random.Generator) -> None:
+    def __init__(
+        self,
+        num_rows: int,
+        rng: np.random.Generator,
+        params: Sequence | dict | None = None,
+    ) -> None:
         self.num_rows = num_rows
         self.rng = rng
+        self.params = params
+
+    def param_value(self, placeholder) -> object:
+        """Resolve one :class:`~repro.sqlengine.sqlast.Placeholder`.
+
+        A parameter mapping binds by name; a parameter sequence binds by the
+        placeholder's positional index (the 0-based position of its ``?`` in
+        the template text).  Raises :class:`BindParameterError` when the
+        statement was executed without (or with the wrong shape of)
+        parameters — placeholders never silently evaluate to NULL.
+        """
+        if self.params is None:
+            raise BindParameterError(
+                "statement contains parameter placeholders but no parameters were bound"
+            )
+        if isinstance(self.params, Mapping):
+            if placeholder.name is not None and placeholder.name in self.params:
+                return self.params[placeholder.name]
+            raise BindParameterError(
+                f"no value bound for named parameter :{placeholder.name}"
+            )
+        if placeholder.index is None:
+            raise BindParameterError(
+                f"named parameter :{placeholder.name} requires a parameter mapping"
+            )
+        if placeholder.index >= len(self.params):
+            raise BindParameterError(
+                f"statement expects at least {placeholder.index + 1} parameters, "
+                f"got {len(self.params)}"
+            )
+        return self.params[placeholder.index]
 
 
 ScalarFunction = Callable[..., np.ndarray]

@@ -33,6 +33,9 @@ class Parser:
         self._sql = sql
         self._tokens = tokenize(sql)
         self._index = 0
+        # Number of positional ('?') placeholders seen so far; gives each its
+        # 0-based position in order of appearance.
+        self._positional_parameters = 0
 
     # -- token utilities ---------------------------------------------------
 
@@ -407,6 +410,22 @@ class Parser:
         if token.type is TokenType.OPERATOR and token.value == "*":
             self._advance()
             return ast.Star()
+        if token.type is TokenType.PARAMETER:
+            self._advance()
+            if token.value:
+                return ast.Placeholder(name=token.value)
+            # Positional placeholders are canonicalized at birth: every '?'
+            # becomes the named parameter :p<i> carrying its 0-based position.
+            # Names — not positions in rendered text — are what survive the
+            # rewriting layers (which may drop, duplicate or reorder
+            # fragments) and what keeps rendered-SQL keying unambiguous
+            # (two distinct '?' must never render identically: the grouped
+            # executor keys aggregates by their rendered SQL).
+            position = self._positional_parameters
+            self._positional_parameters += 1
+            return ast.Placeholder(
+                index=position, name=ast.positional_parameter_name(position)
+            )
         if self._accept(TokenType.PUNCTUATION, "("):
             if self._check_keyword("SELECT"):
                 query = self._parse_select()

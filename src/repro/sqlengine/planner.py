@@ -121,6 +121,10 @@ class SelectPlan:
     # Pre-order join-node index -> sorted-merge decision for joins whose two
     # leaf inputs are provably clustered on the (single) equi-join key.
     merge_joins: dict[int, MergeJoinPlan] = field(default_factory=dict)
+    # Lazily filled by the executor on the first grouped execution: the
+    # statement-pure substitution memo (see ``executor._GroupedMemo``).
+    # Plans are cached 1:1 with their statements, so this rides along.
+    grouped_memo: object | None = None
 
     def scan_for(self, binding: str) -> ScanPlan | None:
         return self.scans.get(binding.lower())

@@ -15,6 +15,8 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from repro.errors import ConfigurationError
+
 
 class HyperLogLog:
     """HyperLogLog cardinality sketch (Flajolet et al., 2007).
@@ -25,7 +27,7 @@ class HyperLogLog:
 
     def __init__(self, precision: int = 12) -> None:
         if not 4 <= precision <= 18:
-            raise ValueError("precision must be between 4 and 18")
+            raise ConfigurationError("precision must be between 4 and 18")
         self.precision = precision
         self.num_registers = 1 << precision
         self.registers = np.zeros(self.num_registers, dtype=np.uint8)
@@ -52,7 +54,7 @@ class HyperLogLog:
     def merge(self, other: "HyperLogLog") -> None:
         """Merge another sketch with the same precision into this one."""
         if other.precision != self.precision:
-            raise ValueError("cannot merge sketches with different precisions")
+            raise ConfigurationError("cannot merge sketches with different precisions")
         np.maximum(self.registers, other.registers, out=self.registers)
 
     def estimate(self) -> float:

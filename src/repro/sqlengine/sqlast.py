@@ -86,6 +86,42 @@ class Literal(Expression):
         return repr(self.value) if isinstance(self.value, float) else str(self.value)
 
 
+def positional_parameter_name(index: int) -> str:
+    """Canonical name of the ``index``-th positional placeholder (``p<i>``).
+
+    The single definition of the qmark naming convention: the parser names
+    ``?`` placeholders with it and the binding layer builds the parameter
+    mapping with it — they must agree or every positional query would fail
+    to bind.
+    """
+    return f"p{index}"
+
+
+@dataclass(frozen=True)
+class Placeholder(Expression):
+    """A query parameter: positional ``?`` (qmark) or named ``:name``.
+
+    The parser canonicalizes positional placeholders immediately: a ``?``
+    becomes ``Placeholder(index=i, name="p<i>")`` where ``i`` is its 0-based
+    position in the template text.  ``index`` is therefore the marker of a
+    positional origin (None for user-named parameters) and drives binding
+    from a parameter *sequence*; ``name`` is always set and drives binding
+    from a mapping.  Rendering always emits the named form, so every
+    placeholder renders distinctly — the association with its value survives
+    rewriting layers that drop, duplicate or reorder fragments, and
+    rendered-SQL keys (e.g. the grouped executor's aggregate substitution)
+    can never conflate two different parameters.
+    """
+
+    index: int | None = None
+    name: str | None = None
+
+    def to_sql(self, dialect=DEFAULT_DIALECT) -> str:
+        if self.name is not None:
+            return f":{self.name}"
+        return "?"  # pragma: no cover - parser always names placeholders
+
+
 @dataclass
 class ColumnRef(Expression):
     """A (possibly table-qualified) column reference."""

@@ -23,6 +23,7 @@ class TokenType(Enum):
     STRING = auto()
     OPERATOR = auto()
     PUNCTUATION = auto()
+    PARAMETER = auto()
     EOF = auto()
 
 
@@ -110,6 +111,18 @@ def tokenize(sql: str) -> list[Token]:
             token = _read_word(sql, i)
             tokens.append(token)
             i += len(token.value)
+            continue
+        if ch == "?":
+            # Positional query parameter (DB-API "qmark" style).  The token
+            # value is empty; the parser assigns the 0-based position.
+            tokens.append(Token(TokenType.PARAMETER, "", i))
+            i += 1
+            continue
+        if ch == ":" and i + 1 < n and (sql[i + 1].isalpha() or sql[i + 1] == "_"):
+            # Named query parameter (":name" style); value is the bare name.
+            word = _read_word(sql, i + 1)
+            tokens.append(Token(TokenType.PARAMETER, sql[i + 1 : i + 1 + len(word.value)], i))
+            i += 1 + len(word.value)
             continue
         two = sql[i : i + 2]
         if two in _TWO_CHAR_OPERATORS:

@@ -14,6 +14,8 @@ import math
 
 import numpy as np
 
+from repro.errors import ConfigurationError
+
 
 DEFAULT_SUBSAMPLE_COUNT = 100
 
@@ -88,7 +90,7 @@ def combine_sids(left_sids: np.ndarray, right_sids: np.ndarray, subsample_count:
     """
     root = int(round(math.sqrt(subsample_count)))
     if root * root != subsample_count:
-        raise ValueError(
+        raise ConfigurationError(
             f"subsample_count must be a perfect square for joins, got {subsample_count}"
         )
     left = np.asarray(left_sids, dtype=np.int64)
@@ -102,7 +104,7 @@ def h_function_sql(left_sid_sql: str, right_sid_sql: str, subsample_count: int) 
     """Render ``h(i, j)`` as a SQL expression over two sid columns."""
     root = int(round(math.sqrt(subsample_count)))
     if root * root != subsample_count:
-        raise ValueError(
+        raise ConfigurationError(
             f"subsample_count must be a perfect square for joins, got {subsample_count}"
         )
     return (
