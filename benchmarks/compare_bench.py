@@ -72,6 +72,11 @@ FLOORS: dict[str, dict[str, float]] = {
     "BENCH_api.json": {
         "prepared_reexec": 3.0,
     },
+    "BENCH_parallel.json": {
+        "parallel_group_agg": 2.5,
+        "shm_dispatch": 1.3,
+        "zone_agg_where": 4.0,
+    },
 }
 
 # workload -> minimum CPU cores its floor assumes.  Reports record the core
@@ -79,6 +84,7 @@ FLOORS: dict[str, dict[str, float]] = {
 # measurement is still recorded and diffed).
 FLOOR_MIN_CORES: dict[str, dict[str, int]] = {
     "BENCH_round4.json": {"parallel_scan": 4},
+    "BENCH_parallel.json": {"parallel_group_agg": 4, "shm_dispatch": 2},
 }
 
 

@@ -177,8 +177,10 @@ class VerdictSession:
         """Release backend resources (idempotent).
 
         For the builtin engine this shuts down the ``parallel_scan`` worker
-        pool; the engine object itself stays usable by other sessions (a
-        later query simply recreates the pool on demand).
+        pool and the ``parallel_exec`` shard pool — including unlinking every
+        shared-memory column segment the shard pool published; the engine
+        object itself stays usable by other sessions (a later query simply
+        recreates the pools and republishes columns on demand).
         """
         if self._closed:
             return

@@ -136,6 +136,18 @@ class Connector(abc.ABC):
             for column in self.column_names(table)
         }
 
+    def table_clustered_on(self, table: str) -> str | None:
+        """Column ``table`` is physically clustered on, or None if unknown.
+
+        Sample maintenance uses this after appending rows to a scramble: when
+        the backend reports the sid column is still clustered (the appended
+        key range stayed monotone), the sample keeps its ``sid_clustered``
+        metadata flag instead of unconditionally losing it.  The default —
+        backends without clustering introspection — is None (unknown), which
+        callers must treat as "clustering not preserved".
+        """
+        return None
+
     # -- data loading ------------------------------------------------------------
 
     @abc.abstractmethod

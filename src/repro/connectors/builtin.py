@@ -77,6 +77,11 @@ class BuiltinConnector(Connector):
         # The engine keeps exact row counts in its catalog; avoid a scan.
         return self.database.table(table).num_rows
 
+    def table_clustered_on(self, table: str) -> str | None:
+        # The engine tracks clustering exactly (including survival across
+        # monotone appends), so report its ground truth.
+        return self.database.table(table).clustered_on
+
     def load_table(self, name: str, columns: Mapping[str, Sequence]) -> None:
         self.database.register_table(name, columns, replace=True)
 

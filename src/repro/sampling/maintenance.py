@@ -61,10 +61,21 @@ class SampleMaintainer:
             inserted[info.sample_table] = self._update_sample(
                 info, column_names, arrays, batch_size
             )
+            sid_clustered = info.sid_clustered
+            if inserted[info.sample_table] and sid_clustered:
+                # New rows carry freshly drawn subsample ids, which almost
+                # never extend the sorted sid run.  Ask the backend whether
+                # the physical order actually survived; "unknown" (None)
+                # must be treated as lost.
+                clustered = self._connector.table_clustered_on(info.sample_table)
+                sid_clustered = (
+                    clustered is not None and clustered.lower() == SID_COLUMN
+                )
             self._metadata.update_counts(
                 info.sample_table,
                 original_rows=info.original_rows + batch_size,
                 sample_rows=info.sample_rows + inserted[info.sample_table],
+                sid_clustered=sid_clustered,
             )
         return inserted
 

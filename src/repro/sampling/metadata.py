@@ -118,8 +118,22 @@ class MetadataStore:
             for info in remaining:
                 self.record(info)
 
-    def update_counts(self, sample_table: str, original_rows: int, sample_rows: int) -> None:
-        """Update the stored row counts after incremental maintenance."""
+    def update_counts(
+        self,
+        sample_table: str,
+        original_rows: int,
+        sample_rows: int,
+        sid_clustered: bool | None = None,
+    ) -> None:
+        """Update the stored row counts after incremental maintenance.
+
+        ``sid_clustered`` overrides the stored clustering flag when given a
+        boolean; None keeps the existing value.  Maintenance passes False once
+        an append has interleaved new subsample ids into a previously
+        sid-clustered scramble (and True when the backend reports the physical
+        order survived), so variational-subsampling readers stop assuming
+        tight per-sid zone maps the moment that stops being true.
+        """
         with self._connector.session_lock:
             updated = []
             for info in self.all_samples():
@@ -133,7 +147,9 @@ class MetadataStore:
                         original_rows=original_rows,
                         sample_rows=sample_rows,
                         subsample_count=info.subsample_count,
-                        sid_clustered=info.sid_clustered,
+                        sid_clustered=(
+                            info.sid_clustered if sid_clustered is None else sid_clustered
+                        ),
                     )
                 updated.append(info)
             self._connector.drop_table(self.table_name, if_exists=True)

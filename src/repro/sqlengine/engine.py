@@ -17,7 +17,7 @@ import numpy as np
 
 from repro.cache import LRUCache
 from repro.errors import CatalogError, ExecutionError
-from repro.sqlengine import functions, parser, sqlast as ast
+from repro.sqlengine import functions, parser, shardpool, sqlast as ast
 from repro.sqlengine.catalog import Catalog
 from repro.sqlengine.executor import Executor
 from repro.sqlengine.expressions import Frame, evaluate
@@ -65,6 +65,21 @@ class Database:
             (numpy releases the GIL for the bulk of the comparison work) and
             the surviving rows reassembled in chunk order — bit-identical to
             the sequential scan.
+        parallel_exec: process-sharded aggregation.  ``True`` uses one worker
+            process per CPU core, ``N >= 2`` sets the count explicitly, and
+            ``None``/``False``/``0`` disable sharding.  ``1`` is the
+            in-thread mode: eligible queries run through the shard-split /
+            partial-aggregate / merge machinery inside the calling thread
+            (two shards, no processes) — the A/B-testable core.  With
+            ``N >= 2`` a persistent worker-process pool is spawned lazily;
+            table columns are published once per table version into
+            ``multiprocessing.shared_memory`` segments (never pickled per
+            query) and eligible grouped/scalar aggregations are merged from
+            per-shard partial states, bit-identically to serial execution.
+            Everything ineligible falls back to the serial path; see
+            ``stats['parallel_exec_dispatches'/'parallel_exec_fallbacks'/
+            'shard_publications']``.  ``close()`` (or context-manager exit)
+            stops the workers and unlinks every segment.
     """
 
     def __init__(
@@ -74,6 +89,7 @@ class Database:
         statement_cache_size: int = 256,
         chunk_rows: int | None = None,
         parallel_scan: int | bool | None = None,
+        parallel_exec: int | bool | None = None,
     ) -> None:
         self.catalog = Catalog(chunk_rows=chunk_rows)
         self._rng = np.random.default_rng(seed)
@@ -84,7 +100,16 @@ class Database:
             self.scan_workers = 1
         else:
             self.scan_workers = max(1, int(parallel_scan))
+        if parallel_exec is True:
+            self.exec_workers = os.cpu_count() or 1
+        elif parallel_exec in (None, False):
+            self.exec_workers = 0
+        else:
+            self.exec_workers = max(0, int(parallel_exec))
+        if self.exec_workers >= 2 and not shardpool.shared_memory_available():
+            self.exec_workers = 1  # pragma: no cover - platform fallback
         self._scan_pool: ThreadPoolExecutor | None = None
+        self._shard_pool: shardpool.ShardPool | None = None
         self._pool_lock = threading.Lock()
         self._stats_lock = threading.Lock()
         # Fast-path observability: which round-4 paths ran (zone-map
@@ -98,6 +123,9 @@ class Database:
             "zone_map_aggregates": 0,
             "merge_joins": 0,
             "parallel_scans": 0,
+            "parallel_exec_dispatches": 0,
+            "parallel_exec_fallbacks": 0,
+            "shard_publications": 0,
             "statement_cache_hits": 0,
             "statement_cache_misses": 0,
             "plan_cache_hits": 0,
@@ -219,6 +247,8 @@ class Database:
             scan_pool=self._scan_pool_factory,
             params=params,
             count=self.bump_stat,
+            exec_workers=self.exec_workers,
+            shard_pool=self._shard_pool_factory,
         )
 
     def _scan_pool_factory(self) -> ThreadPoolExecutor | None:
@@ -237,19 +267,43 @@ class Database:
                 )
             return self._scan_pool
 
-    def close(self) -> None:
-        """Release the chunk-scan worker threads (idempotent).
+    def _shard_pool_factory(self) -> "shardpool.ShardPool | None":
+        """Lazily create (or recreate) the shared-memory shard pool.
 
-        Long-running processes that create many ``parallel_scan`` engines
-        should close each one (or use the engine as a context manager);
-        queries issued afterwards simply recreate the pool on demand.  A
-        query in flight on another session when the pool shuts down falls
-        back to the (bit-identical) sequential scan.
+        Mirrors the scan-pool factory: lock-guarded so two sessions firing
+        their first eligible queries simultaneously cannot double-spawn the
+        workers.  A pool marked broken (a worker died or a pipe failed) is
+        closed and replaced on the next dispatch, so one bad query does not
+        disable sharding for the rest of the process.
+        """
+        if self.exec_workers < 2:
+            return None
+        with self._pool_lock:
+            if self._shard_pool is not None and self._shard_pool.broken:
+                self._shard_pool.close()
+                self._shard_pool = None
+            if self._shard_pool is None:
+                self._shard_pool = shardpool.ShardPool(self.exec_workers)
+            return self._shard_pool
+
+    def close(self) -> None:
+        """Release worker threads, worker processes and shared memory.
+
+        Long-running processes that create many ``parallel_scan`` /
+        ``parallel_exec`` engines should close each one (or use the engine as
+        a context manager); queries issued afterwards simply recreate the
+        pools on demand.  A query in flight on another session when a pool
+        shuts down falls back to the (bit-identical) sequential path.
+        Idempotent; closing unlinks every shared-memory segment this engine
+        published.
         """
         with self._pool_lock:
             if self._scan_pool is not None:
                 self._scan_pool.shutdown(wait=True)
                 self._scan_pool = None
+            if self._shard_pool is not None:
+                self._shard_pool.close()
+                self._shard_pool = None
 
     def __enter__(self) -> "Database":
         return self

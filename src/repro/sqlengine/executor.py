@@ -15,7 +15,13 @@ from typing import Callable
 import numpy as np
 
 from repro.errors import CatalogError, ExecutionError
-from repro.sqlengine import functions, planner as logical_planner, sqlast as ast
+from repro.sqlengine import (
+    functions,
+    partialagg,
+    planner as logical_planner,
+    shardpool,
+    sqlast as ast,
+)
 from repro.sqlengine.catalog import Catalog
 from repro.sqlengine.encoding import merge_dictionaries, normalize_object_key
 from repro.sqlengine.expressions import (
@@ -29,7 +35,13 @@ from repro.sqlengine.expressions import (
 from repro.sqlengine.planner import MergeJoinPlan, SelectPlan
 from repro.sqlengine.resultset import ResultSet
 from repro.sqlengine.table import Table
-from repro.sqlengine.zonemaps import zone_extreme, zone_non_null_count
+from repro.sqlengine.zonemaps import (
+    _classify_conjunct as classify_conjunct,
+    chunk_may_match,
+    chunk_must_match,
+    zone_extreme,
+    zone_non_null_count,
+)
 
 
 class _JoinCounter:
@@ -72,6 +84,8 @@ class Executor:
         scan_pool: Callable[[], object] | None = None,
         params: object | None = None,
         count: Callable[[str], None] | None = None,
+        exec_workers: int = 0,
+        shard_pool: Callable[[], object] | None = None,
     ) -> None:
         self._catalog = catalog
         self._rng = rng
@@ -86,6 +100,12 @@ class Executor:
         # worker count and a lazy thread-pool factory.
         self._scan_workers = scan_workers
         self._scan_pool = scan_pool
+        # Process-sharded aggregation (``Database(parallel_exec=...)``):
+        # 1 = in-thread sharded mode (exercises the partial-aggregation merge
+        # with no processes), >= 2 = dispatch to the shared-memory worker
+        # pool produced by the lazy factory.
+        self._exec_workers = exec_workers
+        self._shard_pool = shard_pool
         # Bound query-parameter values for Placeholder expressions; threaded
         # into every evaluation context (including scalar subqueries and
         # precomputed derived-table plans) so one cached plan serves every
@@ -116,6 +136,15 @@ class Executor:
             # single row (bit-identical; see _try_zone_aggregate for the
             # eligibility rules and fallback guarantees).
             fast = self._try_zone_aggregate(statement)
+            if fast is not None:
+                return fast
+        if self._optimize and self._exec_workers:
+            # Process-sharded (or in-thread sharded) partial aggregation:
+            # single-table grouped/scalar aggregation over shardable inputs
+            # is split into per-shard states and merged bit-identically; any
+            # ineligible shape — or a merge that cannot prove exactness —
+            # returns None and the serial path below computes the result.
+            fast = self._try_parallel_aggregate(statement, plan)
             if fast is not None:
                 return fast
         frame = self._build_frame(statement.from_relation, plan)
@@ -174,8 +203,7 @@ class Executor:
         if not isinstance(relation, ast.TableRef):
             return None
         if (
-            statement.where is not None
-            or statement.group_by
+            statement.group_by
             or statement.having is not None
             or statement.distinct
             or statement.order_by
@@ -187,6 +215,15 @@ class Executor:
         except CatalogError:
             return None  # the normal path raises the identical error
         binding = relation.binding_name.lower()
+        # Fully prunable WHERE: when every chunk is either definitely empty
+        # or definitely whole under the conjunction, the aggregate ranges
+        # over exactly the surviving chunks and their zone maps still answer
+        # it.  ``surviving`` stays None for the unfiltered case (all chunks).
+        surviving: np.ndarray | None = None
+        if statement.where is not None:
+            surviving = self._fully_prunable_chunks(statement.where, table, binding)
+            if surviving is None:
+                return None
         specs: list[tuple[str, str | None]] = []
         for item in statement.select_items:
             node = item.expression
@@ -218,9 +255,14 @@ class Executor:
             zip(statement.select_items, specs)
         ):
             if kind == "count_star":
-                value = float(table.num_rows)
+                if surviving is None:
+                    value = float(table.num_rows)
+                else:
+                    value = float(_chunk_row_count(table, surviving))
             else:
                 zones = table.zone_maps(column)
+                if surviving is not None:
+                    zones = [zones[int(index)] for index in surviving]
                 if kind == "count":
                     value = float(zone_non_null_count(zones))
                 else:
@@ -230,6 +272,324 @@ class Executor:
         self._count("zone_map_aggregates")
         result = ResultSet(column_names, columns, encodings=[None] * len(columns))
         return _apply_limit(result, statement.limit, statement.offset)
+
+    def _fully_prunable_chunks(
+        self, where: ast.Expression, table: Table, binding: str
+    ) -> np.ndarray | None:
+        """Surviving chunk ids when the WHERE splits every chunk whole, else None.
+
+        Eligibility: every conjunct classifies into a zone-checkable
+        descriptor (:func:`zonemaps._classify_conjunct`) whose column
+        references resolve unambiguously on this table, and every chunk is
+        either definitely empty (some conjunct false for all of its rows) or
+        definitely whole (every conjunct true for all of its rows).  A single
+        mixed chunk makes the query row-dependent and returns None.
+        """
+        classified: list[tuple] = []
+        for conjunct in ast.flatten_and(where):
+            for node in conjunct.walk():
+                if isinstance(node, ast.ColumnRef):
+                    if node.table is not None and node.table.lower() != binding:
+                        return None
+                    if table.resolve_column(node.name) is None:
+                        return None
+            predicate = classify_conjunct(conjunct)
+            if predicate is None:
+                return None
+            column = table.resolve_column(predicate.column)
+            if column is None:
+                return None
+            is_object = table.column_chunks(column)[0].dtype == object
+            classified.append((predicate, table.zone_maps(column), is_object))
+        surviving: list[int] = []
+        for index in range(table.num_chunks):
+            may = all(
+                chunk_may_match(predicate, zones[index], is_object)
+                for predicate, zones, is_object in classified
+            )
+            if not may:
+                continue  # definitely empty: prune
+            must = all(
+                chunk_must_match(predicate, zones[index], is_object)
+                for predicate, zones, is_object in classified
+            )
+            if not must:
+                return None  # mixed chunk: the bounds cannot answer this
+            surviving.append(index)
+        return np.array(surviving, dtype=np.int64)
+
+    # -- process-sharded aggregation ------------------------------------------
+
+    def _try_parallel_aggregate(
+        self, statement: ast.SelectStatement, plan: SelectPlan | None
+    ) -> ResultSet | None:
+        """Answer a single-table grouped/scalar aggregation via shard merge.
+
+        Eligibility mirrors the provable-bit-identity rules in
+        :mod:`repro.sqlengine.partialagg`: one base table, bare-column group
+        keys, row-local predicates, and aggregate calls the merge can
+        reproduce exactly (any aggregate under group-aligned sharding; the
+        COUNT/MIN/MAX and bounded integer SUM/AVG kernels otherwise).
+        Returns None — and the serial path computes the identical result —
+        for every other shape, for unpublishable inputs, and whenever the
+        merge raises :class:`~repro.sqlengine.partialagg.ParallelFallback`.
+        """
+        if plan is None:
+            return None
+        relation = statement.from_relation
+        if not isinstance(relation, ast.TableRef):
+            return None
+        for item in statement.select_items:
+            if isinstance(item.expression, ast.Star):
+                return None  # the serial path raises the canonical error
+        has_aggregates = (
+            bool(statement.group_by)
+            or statement.having is not None
+            or any(
+                contains_aggregate(item.expression)
+                for item in statement.select_items
+            )
+        )
+        if not has_aggregates:
+            return None
+        try:
+            table = self._catalog.get(relation.name)
+        except CatalogError:
+            return None
+        binding = relation.binding_name
+        scan = plan.scan_for(binding)
+
+        group_columns: list[tuple[str, str | None]] = []
+        group_resolved: list[str] = []
+        for expr in statement.group_by:
+            if not isinstance(expr, ast.ColumnRef):
+                return None
+            if expr.table is not None and expr.table.lower() != binding.lower():
+                return None
+            column = table.resolve_column(expr.name)
+            if column is None:
+                return None
+            group_columns.append((expr.name, expr.table or binding))
+            group_resolved.append(column)
+
+        # The serial evaluation order is (pushed scan conjuncts, residual
+        # WHERE) as two filter stages; workers replay exactly that, so a
+        # later stage can never evaluate rows an earlier one removed.
+        predicates: list[ast.Expression] = []
+        if scan is not None and scan.predicates:
+            predicates.append(ast.conjunction(scan.predicates))
+        if plan.residual_where is not None:
+            predicates.append(plan.residual_where)
+        if any(not _row_local(predicate) for predicate in predicates):
+            return None
+
+        clustered = table.clustered_on
+        aligned = (
+            len(group_resolved) == 1
+            and clustered is not None
+            and clustered.lower() == group_resolved[0].lower()
+        )
+
+        def column_dtype(ref: ast.ColumnRef):
+            if ref.table is not None and ref.table.lower() != binding.lower():
+                return None
+            column = table.resolve_column(ref.name)
+            if column is None:
+                return None
+            return table.column_chunks(column)[0].dtype
+
+        memo = self._grouped_memo(statement, plan)
+        specs: list[partialagg.AggSpec] = []
+        for node in memo.aggregate_nodes.values():
+            spec = partialagg.classify_aggregate(node, column_dtype, aligned, _row_local)
+            if spec is None:
+                return None
+            specs.append(spec)
+
+        # Columns the shards touch; every reference must resolve here so the
+        # worker-side frame never discovers a missing column mid-task.
+        needed: set[str] = set(group_resolved)
+        referenced: list[ast.Expression] = list(predicates)
+        for spec in specs:
+            referenced.extend(
+                argument for argument in spec.args
+                if not isinstance(argument, ast.Star)
+            )
+        for expression in referenced:
+            for node in expression.walk():
+                if isinstance(node, ast.ColumnRef):
+                    if node.table is not None and node.table.lower() != binding.lower():
+                        return None
+                    column = table.resolve_column(node.name)
+                    if column is None:
+                        return None
+                    needed.add(column)
+
+        in_thread = self._exec_workers == 1
+        pool = None
+        if not in_thread:
+            if self._shard_pool is None:
+                return None
+            pool = self._shard_pool()
+            if pool is None:
+                return None
+
+        # The same zone-map pruning the serial scan applies: shards cover
+        # the surviving chunks in chunk order, so the concatenated shard row
+        # order is the serial frame's row order.
+        surviving = None
+        if scan is not None and scan.zone_predicates:
+            surviving = table.prune_chunks(scan.zone_predicates)
+        chunk_rows = table.chunk_rows
+        if surviving is None:
+            total = table.num_rows
+            lengths = cumulative = None
+        else:
+            lengths = (
+                np.minimum((surviving + 1) * chunk_rows, table.num_rows)
+                - surviving * chunk_rows
+            )
+            cumulative = np.cumsum(lengths) if len(lengths) else np.zeros(0, dtype=np.int64)
+            total = int(lengths.sum()) if len(lengths) else 0
+
+        def to_absolute(virtual: int) -> int:
+            if surviving is None:
+                return virtual
+            position = int(np.searchsorted(cumulative, virtual, side="right"))
+            prior = int(cumulative[position - 1]) if position else 0
+            return int(surviving[position]) * chunk_rows + (virtual - prior)
+
+        def virtual_ranges(start: int, stop: int) -> list[tuple[int, int]]:
+            if start >= stop:
+                return []
+            if surviving is None:
+                return [(start, stop)]
+            ranges: list[tuple[int, int]] = []
+            position = int(np.searchsorted(cumulative, start, side="right"))
+            virtual = start
+            while virtual < stop:
+                prior = int(cumulative[position - 1]) if position else 0
+                chunk_id = int(surviving[position])
+                offset = virtual - prior
+                span = min(int(lengths[position]) - offset, stop - virtual)
+                absolute = chunk_id * chunk_rows + offset
+                ranges.append((absolute, absolute + span))
+                virtual += span
+                position += 1
+            return ranges
+
+        num_shards = 2 if in_thread else self._exec_workers
+        bounds = [total * index // num_shards for index in range(num_shards + 1)]
+        if aligned and total:
+            # Place shard boundaries on key-value changes so no group spans
+            # two shards; a wrong promise (duplicate key at merge time) still
+            # falls back, so correctness never depends on this metadata.
+            key_column = group_resolved[0]
+            encoded_key = table.dictionary_codes(key_column)
+            key_values = encoded_key[0] if encoded_key is not None else table.column(key_column)
+
+            def key_equal(a: int, b: int) -> bool:
+                left, right = key_values[a], key_values[b]
+                if left == right:
+                    return True
+                try:
+                    return bool(np.isnan(left)) and bool(np.isnan(right))
+                except TypeError:
+                    return False
+
+            adjusted = [0]
+            for bound in bounds[1:-1]:
+                candidate = max(bound, adjusted[-1])
+                while 0 < candidate < total and key_equal(
+                    to_absolute(candidate - 1), to_absolute(candidate)
+                ):
+                    candidate += 1
+                adjusted.append(min(candidate, total))
+            adjusted.append(total)
+            bounds = adjusted
+
+        columns = sorted(needed)
+        scalar = not statement.group_by
+        tasks = [
+            {
+                "binding": binding,
+                "columns": columns,
+                "ranges": virtual_ranges(bounds[index], bounds[index + 1]),
+                "predicates": predicates,
+                "group_columns": group_columns,
+                "specs": specs,
+                "params": self._params,
+            }
+            for index in range(num_shards)
+        ]
+
+        try:
+            if in_thread:
+                store = shardpool.table_column_store(table, columns)
+                rng = np.random.default_rng(0)
+                states = [
+                    shardpool.run_shard_task(store, task, rng) for task in tasks
+                ]
+            else:
+                with pool.lock:
+                    published, fresh = pool.ensure_published(
+                        table, self._catalog.version
+                    )
+                    if published is None:
+                        self._count("parallel_exec_fallbacks")
+                        return None
+                    if fresh:
+                        self._count("shard_publications")
+                    for column in columns:
+                        if (
+                            table.column_chunks(column)[0].dtype == object
+                            and column not in published.faithful
+                        ):
+                            # Dictionary reconstruction would change the raw
+                            # values (non-string objects normalize lossily).
+                            self._count("parallel_exec_fallbacks")
+                            return None
+                    for task in tasks:
+                        task["segment"] = published.key[-1]
+                    states = pool.run_tasks(tasks)
+            merged = partialagg.merge_shard_states(
+                states, specs, scalar=scalar, aligned=aligned
+            )
+        except partialagg.ParallelFallback:
+            self._count("parallel_exec_fallbacks")
+            return None
+        except shardpool.ShardPoolError:
+            self._count("parallel_exec_fallbacks")
+            return None
+        except Exception:
+            # A shard raised mid-evaluation (e.g. per-value semantics over a
+            # pathological column).  The serial path either raises the
+            # canonical error or computes the answer; defer to it.
+            self._count("parallel_exec_fallbacks")
+            return None
+
+        num_groups = merged.num_groups
+        post_frame = Frame(num_rows=num_groups)
+        for position in range(len(statement.group_by)):
+            stored = group_resolved[position]
+            dtype = table.column_chunks(stored)[0].dtype
+            values = np.empty(num_groups, dtype=dtype)
+            for index, rep in enumerate(merged.reps):
+                values[index] = rep[position]
+            codes = None
+            encoded = table.dictionary_codes(stored)
+            if encoded is not None:
+                group_codes = np.fromiter(
+                    (rep_code[position] for rep_code in merged.rep_codes),
+                    dtype=np.int64,
+                    count=num_groups,
+                )
+                codes = LazyCodes.presolved(group_codes, encoded[1])
+            post_frame.add_column(None, f"__group_{position}", values, codes=codes)
+        for position, aggregate in enumerate(merged.aggregates):
+            post_frame.add_column(None, f"__agg_{position}", aggregate)
+        self._count("parallel_exec_dispatches")
+        return self._finish_grouped(statement, memo, post_frame, num_groups)
 
     # -- FROM clause ----------------------------------------------------------
 
@@ -690,6 +1050,24 @@ class Executor:
                 ),
             )
 
+        return self._finish_grouped(statement, memo, post_frame, num_groups)
+
+    def _finish_grouped(
+        self,
+        statement: ast.SelectStatement,
+        memo: "_GroupedMemo",
+        post_frame: Frame,
+        num_groups: int,
+    ) -> ResultSet:
+        """Evaluate select items, HAVING, ORDER BY, DISTINCT and LIMIT over
+        the per-group frame (``__group_<i>`` / ``__agg_<i>`` columns).
+
+        Shared verbatim between the serial grouped path and the parallel
+        merge path: everything downstream of the per-group arrays — alias
+        visibility, scalar subqueries, ``rand()`` draws in post-aggregation
+        expressions — runs on the coordinator in both, so the two paths can
+        only differ in how the per-group arrays were produced.
+        """
         post_context = self._context(num_groups)
 
         column_names: list[str] = []

@@ -1,0 +1,458 @@
+"""Mergeable partial-aggregation states for process-sharded execution.
+
+The paper's interactive-latency claim rests on aggregation scans that
+parallelize across cores; this module supplies the algebra that makes that
+safe in a bit-identical engine.  A query's input rows are split into
+**shards** (contiguous runs of storage chunks, or whole ``vdb_sid`` ranges of
+a sid-clustered scramble), every shard independently computes a
+:class:`ShardState` — per-group partial aggregates keyed on the table-level
+dictionary codes — and the coordinator :func:`merge_shard_states` into the
+exact arrays the serial executor would have produced.
+
+Bit-identity is the hard constraint: the serial engine folds float sums in
+row order, and re-associating float additions across shards would drift by
+ulps.  Dispatch therefore only ever sees aggregate/shard combinations whose
+merged result is *provably* equal to the serial fold:
+
+* ``COUNT`` (star, non-null, per-group) — integer counts, exact in float64.
+* ``MIN``/``MAX`` over numeric columns — order-independent; the partial
+  states keep the serial ``±inf`` fill sentinel and collapse it to NaN only
+  at finalize, reproducing ``functions._group_extreme`` including its
+  "the true max is ``-inf``" quirk.
+* ``SUM``/``AVG`` over int64/bool columns — every addend is an
+  integer-valued float64; alongside each partial sum the kernels carry the
+  partial sum of *absolute* values, and the merge verifies the combined
+  absolute mass stays below 2**52 per group.  Under that bound every
+  intermediate value of every association order is an exactly-representable
+  integer, so the merged total equals the serial left-fold bit for bit.
+  Groups that exceed the bound raise :class:`ParallelFallback` and the
+  query re-runs serially.
+* **Group-aligned shards** (``mode='general'``): when the table is
+  physically clustered on the single group key — a scramble sorted by
+  ``vdb_sid`` — shard boundaries are placed on key-value changes, so no
+  group ever spans two shards.  Each shard then computes *final* aggregate
+  values with :func:`functions.aggregate` over exactly the rows the serial
+  path would give that group, and the merge is pure placement: any
+  aggregate the engine supports (float sums, stddev, percentiles, count
+  distinct) parallelizes exactly.  A key observed in two shards means the
+  clustering metadata over-promised; the merge raises
+  :class:`ParallelFallback` rather than re-associating.
+
+Group order and representatives also mirror the serial path exactly:
+``expressions.group_rows_encoded`` numbers groups by first appearance in row
+order, so shard-local groups arrive first-appearance-ordered and the global
+order is (shard index, local order); each group's representative key values
+are taken from its first-occurrence shard.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.sqlengine import functions, sqlast as ast
+from repro.sqlengine.expressions import (
+    Frame,
+    encode_grouping_key,
+    evaluate,
+    group_rows_encoded,
+)
+
+# Merged per-group sums of |value| must stay below this for the float64
+# additions to be exact in every association order (integer-valued addends,
+# all partial sums within the contiguous-integer range of float64).
+EXACT_SUM_BOUND = float(1 << 52)
+
+# Canonical merge-key marker for NaN group keys: ``np.unique`` collapses all
+# NaNs into one group, but ``float('nan')`` instances are unequal as dict
+# keys, so NaN keys are replaced by this sentinel before keying.
+_NAN_KEY = ("__nan__",)
+
+
+class ParallelFallback(Exception):
+    """Merged states cannot provably reproduce the serial result bitwise."""
+
+
+@dataclass(frozen=True)
+class AggSpec:
+    """One aggregate call in dispatchable form.
+
+    ``mode`` selects the partial-state kernel: ``count_star``, ``count``
+    (non-null of an evaluated argument), ``min``/``max``/``sum``/``avg``
+    (bare numeric column), or ``general`` (group-aligned shards only —
+    final values computed per shard by :func:`functions.aggregate`).
+    """
+
+    mode: str
+    name: str
+    args: tuple = ()
+    distinct: bool = False
+    is_star: bool = False
+    column: str | None = None
+
+
+@dataclass
+class ShardState:
+    """Partial aggregation results of one shard (picklable, tiny).
+
+    Everything here is per *group*, never per row: ``merge_keys`` are the
+    canonical group keys (dictionary codes for object key columns, python
+    scalars for numeric ones), ``reps`` the raw representative key values of
+    each group's first-occurrence row, ``rep_codes`` the per-key dictionary
+    code (or None for uncoded keys), and ``partials`` one state per
+    :class:`AggSpec` — arrays of one entry per local group.
+    """
+
+    num_groups: int = 0
+    merge_keys: list[tuple] = field(default_factory=list)
+    reps: list[tuple] = field(default_factory=list)
+    rep_codes: list[tuple] = field(default_factory=list)
+    partials: list[dict] = field(default_factory=list)
+
+
+def classify_aggregate(
+    node: ast.FunctionCall,
+    column_dtype,
+    aligned: bool,
+    row_local,
+) -> AggSpec | None:
+    """Dispatchable :class:`AggSpec` for one aggregate call, or None.
+
+    ``column_dtype`` resolves a bare ``ColumnRef`` argument to its storage
+    dtype (or None when it is not a bare reference to a table column);
+    ``row_local`` is the executor's per-chunk-safety predicate.  The rules
+    here are exactly the provable-bit-identity set documented in the module
+    docstring — anything else must take the serial path.
+    """
+    name = node.name.lower()
+    if not functions.is_aggregate_function(name):
+        return None
+    is_star = bool(node.args) and isinstance(node.args[0], ast.Star)
+    if aligned:
+        # Group-aligned shards: the merge never combines values across
+        # shards, so any aggregate works — as long as its arguments evaluate
+        # identically per shard (row-local first argument, literal extras
+        # such as a percentile fraction).
+        if not is_star:
+            for position, argument in enumerate(node.args):
+                if position == 0:
+                    if not row_local(argument):
+                        return None
+                elif not isinstance(argument, ast.Literal):
+                    return None
+        return AggSpec(
+            mode="general",
+            name=name,
+            args=tuple(node.args),
+            distinct=node.distinct,
+            is_star=is_star,
+        )
+    if name == "count":
+        if is_star or not node.args:
+            return AggSpec(mode="count_star", name=name, is_star=True)
+        if node.distinct or len(node.args) != 1 or not row_local(node.args[0]):
+            return None
+        return AggSpec(mode="count", name=name, args=(node.args[0],))
+    if node.distinct or len(node.args) != 1:
+        return None
+    argument = node.args[0]
+    if not isinstance(argument, ast.ColumnRef):
+        return None
+    dtype = column_dtype(argument)
+    if dtype is None or dtype == object:
+        return None
+    if name in ("min", "max"):
+        # Order-independent over numeric columns; the ±inf fill sentinel is
+        # kept in the partial state so the merge is a plain min/max.
+        return AggSpec(mode=name, name=name, args=(argument,), column=argument.name)
+    if name in ("sum", "avg", "mean") and dtype != np.float64:
+        # int64 / bool only: integer-valued addends make the merge-time
+        # exactness bound sufficient for bitwise equality.  Float columns
+        # re-associate inexactly and stay serial (or group-aligned).
+        mode = "sum" if name == "sum" else "avg"
+        return AggSpec(mode=mode, name=name, args=(argument,), column=argument.name)
+    return None
+
+
+# ---------------------------------------------------------------------------
+# per-shard computation
+# ---------------------------------------------------------------------------
+
+
+def _canonical_key(value) -> object:
+    """Merge-key form of one numeric group-key scalar.
+
+    Mirrors ``np.unique`` equality: all NaNs are one group and ``0.0`` /
+    ``-0.0`` coincide (python ``==``/``hash`` already agree on the latter).
+    """
+    if isinstance(value, float) and np.isnan(value):
+        return _NAN_KEY
+    if isinstance(value, np.generic):
+        value = value.item()
+        if isinstance(value, float) and np.isnan(value):
+            return _NAN_KEY
+    return value
+
+
+def compute_shard_state(
+    frame: Frame,
+    group_columns: list[tuple[str, str | None]],
+    specs: list[AggSpec],
+    context: functions.EvaluationContext,
+    scalar_subquery=None,
+) -> ShardState:
+    """Aggregate one shard's (already filtered) frame into a ShardState.
+
+    ``group_columns`` lists ``(column_name, binding)`` of the GROUP BY keys
+    (empty for scalar aggregation).  Grouping reuses the frame's attached
+    dictionary codes exactly like the serial executor, and groups come out
+    numbered by first appearance in shard row order.
+    """
+    num_rows = frame.num_rows
+    key_arrays: list[np.ndarray] = []
+    key_codes: list[tuple[np.ndarray, np.ndarray] | None] = []
+    if group_columns:
+        encoded_keys = []
+        for name, binding in group_columns:
+            values = frame.resolve(name, binding)
+            encoded = frame.codes_for(name, binding)
+            key_arrays.append(values)
+            key_codes.append(encoded)
+            if encoded is not None:
+                encoded_keys.append((encoded[0], max(1, len(encoded[1]))))
+            else:
+                encoded_keys.append(encode_grouping_key(values))
+        inverse, num_groups = group_rows_encoded(encoded_keys, num_rows)
+    else:
+        inverse = np.zeros(num_rows, dtype=np.int64)
+        num_groups = 1
+
+    if num_rows:
+        first_pos = np.full(num_groups, num_rows, dtype=np.int64)
+        np.minimum.at(first_pos, inverse, np.arange(num_rows))
+    else:
+        first_pos = np.zeros(num_groups, dtype=np.int64)
+
+    state = ShardState(num_groups=num_groups)
+    for group in range(num_groups):
+        position = int(first_pos[group])
+        merge_key = []
+        rep = []
+        codes = []
+        for key_array, encoded in zip(key_arrays, key_codes):
+            if num_rows:
+                raw = key_array[position]
+            else:
+                raw = None
+            if encoded is not None:
+                code = int(encoded[0][position]) if num_rows else -1
+                merge_key.append(code)
+                codes.append(code)
+            else:
+                merge_key.append(_canonical_key(raw))
+                codes.append(None)
+            rep.append(raw)
+        state.merge_keys.append(tuple(merge_key))
+        state.reps.append(tuple(rep))
+        state.rep_codes.append(tuple(codes))
+
+    for spec in specs:
+        state.partials.append(
+            _partial_for_spec(spec, frame, inverse, num_groups, context, scalar_subquery)
+        )
+    return state
+
+
+def _partial_for_spec(
+    spec: AggSpec,
+    frame: Frame,
+    inverse: np.ndarray,
+    num_groups: int,
+    context: functions.EvaluationContext,
+    scalar_subquery,
+) -> dict:
+    if spec.mode == "count_star":
+        counts = np.bincount(inverse, minlength=num_groups).astype(np.float64)
+        return {"mode": "count_star", "counts": counts}
+    if spec.mode == "general":
+        if spec.is_star or not spec.args:
+            args: list[np.ndarray] = []
+        else:
+            args = [
+                evaluate(argument, frame, context, scalar_subquery)
+                for argument in spec.args
+            ]
+        values = functions.aggregate(
+            spec.name, args, inverse, num_groups, distinct=spec.distinct,
+            is_star=spec.is_star,
+        )
+        return {"mode": "general", "values": values}
+    values = evaluate(spec.args[0], frame, context, scalar_subquery)
+    if spec.mode == "count":
+        return {
+            "mode": "count",
+            "counts": functions._group_count_non_null(values, inverse, num_groups),
+        }
+    floats = values.astype(np.float64, copy=False)
+    nan_mask = np.isnan(floats)
+    if spec.mode in ("min", "max"):
+        take_max = spec.mode == "max"
+        fill = -np.inf if take_max else np.inf
+        extremes = np.full(num_groups, fill, dtype=np.float64)
+        operator = np.maximum if take_max else np.minimum
+        operator.at(extremes, inverse, np.where(nan_mask, fill, floats))
+        return {"mode": spec.mode, "extremes": extremes}
+    # sum / avg over an int64/bool column: integer-valued addends.
+    weights = np.where(nan_mask, 0.0, floats)
+    totals = np.bincount(inverse, weights=weights, minlength=num_groups)
+    abs_totals = np.bincount(inverse, weights=np.abs(weights), minlength=num_groups)
+    partial = {"mode": spec.mode, "totals": totals, "abs_totals": abs_totals}
+    if spec.mode == "avg":
+        partial["counts"] = functions._group_count_non_null(values, inverse, num_groups)
+    return partial
+
+
+# ---------------------------------------------------------------------------
+# coordinator-side merge + finalize
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class MergedGroups:
+    """Merge result: global group order, keys, and final aggregate arrays."""
+
+    num_groups: int
+    reps: list[tuple]
+    rep_codes: list[tuple]
+    aggregates: list[np.ndarray]
+
+
+def merge_shard_states(
+    states: list[ShardState], specs: list[AggSpec], scalar: bool, aligned: bool
+) -> MergedGroups:
+    """Combine shard states into the serial executor's per-group arrays.
+
+    Raises :class:`ParallelFallback` when exactness cannot be guaranteed
+    (a sum group exceeding :data:`EXACT_SUM_BOUND`, or a group spanning two
+    supposedly aligned shards).
+    """
+    slots: dict[tuple, int] = {}
+    reps: list[tuple] = []
+    rep_codes: list[tuple] = []
+    merged: list[dict] = [dict(partial) for partial in _empty_partials(specs)]
+
+    for state in states:
+        if not state.num_groups:
+            continue
+        targets = np.empty(state.num_groups, dtype=np.int64)
+        for local, key in enumerate(state.merge_keys):
+            slot = slots.get(key)
+            if slot is None:
+                slot = len(reps)
+                slots[key] = slot
+                reps.append(state.reps[local])
+                rep_codes.append(state.rep_codes[local])
+            elif aligned:
+                # A duplicate under aligned sharding means the clustering
+                # metadata lied; combining would re-associate float folds.
+                raise ParallelFallback("group key spans aligned shards")
+            targets[local] = slot
+        for partial, combined in zip(state.partials, merged):
+            _combine_partial(combined, partial, targets, len(reps))
+
+    num_groups = len(reps)
+    if scalar and num_groups == 0:
+        # No shard saw a row, but scalar aggregation always yields one group.
+        reps = [()]
+        rep_codes = [()]
+        num_groups = 1
+    aggregates = [
+        _finalize_partial(combined, spec, num_groups)
+        for combined, spec in zip(merged, specs)
+    ]
+    return MergedGroups(
+        num_groups=num_groups, reps=reps, rep_codes=rep_codes, aggregates=aggregates
+    )
+
+
+def _empty_partials(specs: list[AggSpec]) -> list[dict]:
+    return [{"mode": spec.mode, "slots": {}} for spec in specs]
+
+
+def _combine_partial(
+    combined: dict, partial: dict, targets: np.ndarray, total_slots: int
+) -> None:
+    mode = combined["mode"]
+    if mode == "general":
+        values = combined.setdefault("values", [])
+        if partial["values"].dtype == object:
+            combined["object"] = True
+        if len(values) < total_slots:
+            values.extend([None] * (total_slots - len(values)))
+        for local, slot in enumerate(targets):
+            values[int(slot)] = partial["values"][local]
+        return
+    if mode in ("count_star", "count"):
+        counts = combined.setdefault("counts", np.zeros(0))
+        counts = _grown(counts, total_slots, 0.0)
+        np.add.at(counts, targets, partial["counts"])
+        combined["counts"] = counts
+        return
+    if mode in ("min", "max"):
+        fill = -np.inf if mode == "max" else np.inf
+        extremes = _grown(combined.setdefault("extremes", np.zeros(0)), total_slots, fill)
+        operator = np.maximum if mode == "max" else np.minimum
+        operator.at(extremes, targets, partial["extremes"])
+        combined["extremes"] = extremes
+        return
+    totals = _grown(combined.setdefault("totals", np.zeros(0)), total_slots, 0.0)
+    abs_totals = _grown(combined.setdefault("abs_totals", np.zeros(0)), total_slots, 0.0)
+    np.add.at(totals, targets, partial["totals"])
+    np.add.at(abs_totals, targets, partial["abs_totals"])
+    combined["totals"] = totals
+    combined["abs_totals"] = abs_totals
+    if mode == "avg":
+        counts = _grown(combined.setdefault("counts", np.zeros(0)), total_slots, 0.0)
+        np.add.at(counts, targets, partial["counts"])
+        combined["counts"] = counts
+
+
+def _grown(array: np.ndarray, size: int, fill: float) -> np.ndarray:
+    if len(array) >= size:
+        return array
+    grown = np.full(size, fill, dtype=np.float64)
+    grown[: len(array)] = array
+    return grown
+
+
+def _finalize_partial(combined: dict, spec: AggSpec, num_groups: int) -> np.ndarray:
+    mode = combined["mode"]
+    if mode == "general":
+        values = combined.get("values", [])
+        parts = list(values) + [None] * (num_groups - len(values))
+        if combined.get("object"):
+            result = np.empty(num_groups, dtype=object)
+            for index, value in enumerate(parts):
+                result[index] = value
+            return result
+        return np.array(parts, dtype=np.float64)
+    if mode in ("count_star", "count"):
+        return _grown(combined.get("counts", np.zeros(0)), num_groups, 0.0)
+    if mode in ("min", "max"):
+        fill = -np.inf if mode == "max" else np.inf
+        extremes = _grown(combined.get("extremes", np.zeros(0)), num_groups, fill)
+        # Serial ``_group_extreme`` collapses a result equal to the fill
+        # sentinel to NaN (empty group, or a true extreme of ∓inf).
+        extremes = extremes.copy()
+        extremes[extremes == fill] = np.nan
+        return extremes
+    totals = _grown(combined.get("totals", np.zeros(0)), num_groups, 0.0)
+    abs_totals = _grown(combined.get("abs_totals", np.zeros(0)), num_groups, 0.0)
+    if np.any(abs_totals >= EXACT_SUM_BOUND):
+        raise ParallelFallback("per-group absolute sum exceeds the exactness bound")
+    if mode == "sum":
+        return totals
+    counts = _grown(combined.get("counts", np.zeros(0)), num_groups, 0.0)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        return np.where(counts > 0, totals / counts, np.nan)

@@ -1,0 +1,483 @@
+"""Persistent worker processes over shared-memory column shards.
+
+``Database(parallel_exec=N)`` with ``N >= 2`` owns one :class:`ShardPool`:
+``N`` long-lived worker processes connected by pipes, plus a publish-once
+shared-memory store of table columns.  The flow per eligible query is
+
+1. :meth:`ShardPool.ensure_published` — copy the table's columns into one
+   ``multiprocessing.shared_memory`` segment **once per table version**:
+   numeric columns as raw buffers, object columns as their int64 dictionary
+   codes (the dictionary itself crosses the pipe once, at publish time).
+   Re-publishing happens only when the table's version counter (bumped by
+   every DML) or the catalog's schema version moves — the same snapshots the
+   session layer uses for staleness.
+2. :meth:`ShardPool.run_tasks` — one tiny task message per worker (shard row
+   ranges, predicate/aggregate ASTs, parameter values).  Workers map the
+   segment, slice their shard *zero-copy*, evaluate the WHERE conjuncts and
+   partial aggregates (:mod:`repro.sqlengine.partialagg`) and send back the
+   per-group states.  Column data never crosses a pipe after publication.
+
+Object columns are reconstructed worker-side as ``dictionary[codes]``; the
+dictionary stores *normalized* strings, so a column is only usable in
+workers when reconstruction is faithful — every value ``str`` or ``None``
+(checked once at publish, recorded per column).  Queries touching an
+unfaithful object column fall back to serial execution.
+
+Lifecycle: workers are daemons (interpreter exit can never orphan them) and
+``close()`` — reached from ``VerdictSession.close()`` via the connector and
+``Database.close()`` — stops them and unlinks every live segment.  The
+class-level :func:`ShardPool.live_segment_names` registry lets tests and CI
+assert nothing leaked.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import multiprocessing.reduction
+import os
+import sys
+import threading
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sqlengine import partialagg
+from repro.sqlengine.encoding import NULL_SENTINEL, unescape_key
+from repro.sqlengine.expressions import Frame, LazyCodes, evaluate
+
+try:  # pragma: no cover - platform probe
+    from multiprocessing import shared_memory
+except ImportError:  # pragma: no cover
+    shared_memory = None
+
+SEGMENT_PREFIX = "repro_shm"
+_segment_counter = itertools.count()
+
+
+class ShardPoolError(Exception):
+    """The pool is unusable for this dispatch; callers fall back to serial."""
+
+
+def shared_memory_available() -> bool:
+    return shared_memory is not None
+
+
+def _attach_segment(name: str):
+    """Attach an existing segment without double-registering it for cleanup.
+
+    The creating (coordinator) process owns unlinking; worker-side
+    attachments must not register with the resource tracker or the tracker
+    reports spurious leaks at interpreter shutdown (fixed by ``track=False``
+    in Python 3.13; unregistered manually before that).
+    """
+    if sys.version_info >= (3, 13):
+        return shared_memory.SharedMemory(name=name, track=False)
+    # Suppress registration instead of unregistering afterwards: forked
+    # workers share one tracker, whose cache is a *set* — two workers
+    # attaching the same segment collapse to one registration, and the
+    # second unregister then KeyErrors inside the tracker process.
+    from multiprocessing import resource_tracker
+
+    original = resource_tracker.register
+    resource_tracker.register = lambda *args: None
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
+def _decode_dictionary(dictionary: np.ndarray) -> np.ndarray:
+    """Raw values per dictionary entry (NULL sentinel back to ``None``)."""
+    decoded = np.empty(len(dictionary), dtype=object)
+    for index, entry in enumerate(dictionary):
+        decoded[index] = None if entry == NULL_SENTINEL else unescape_key(str(entry))
+    return decoded
+
+
+@dataclass
+class PublishedTable:
+    """Coordinator-side record of one published table version."""
+
+    key: tuple
+    segment: object
+    meta: dict
+    num_rows: int
+    faithful: frozenset
+
+
+# ---------------------------------------------------------------------------
+# worker process
+# ---------------------------------------------------------------------------
+
+
+def _worker_main(connection) -> None:  # pragma: no cover - separate process
+    """Worker loop: publish/task/release/stop messages over one pipe."""
+    segments: dict[str, dict] = {}
+    rng = np.random.default_rng(0)
+    while True:
+        try:
+            message = connection.recv()
+        except (EOFError, OSError):
+            break
+        kind = message[0]
+        if kind == "stop":
+            break
+        if kind == "publish":
+            _, name, meta = message
+            segments[name] = {"meta": meta, "segment": None, "columns": {}}
+            connection.send(("ok", None))
+            continue
+        if kind == "release":
+            for name in message[1]:
+                entry = segments.pop(name, None)
+                if entry and entry["segment"] is not None:
+                    entry["segment"].close()
+            continue
+        if kind == "task":
+            try:
+                state = _run_task(segments, message[1], rng)
+                connection.send(("ok", state))
+            except BaseException as error:  # noqa: BLE001 - report, don't die
+                connection.send(("err", f"{type(error).__name__}: {error}"))
+            continue
+    for entry in segments.values():
+        if entry["segment"] is not None:
+            entry["segment"].close()
+    connection.close()
+
+
+def _worker_columns(segments: dict, name: str) -> tuple[dict, dict]:
+    entry = segments.get(name)
+    if entry is None:
+        raise ShardPoolError(f"segment {name!r} was never published to this worker")
+    if entry["segment"] is None:
+        entry["segment"] = _attach_segment(name)
+    if not entry["columns"]:
+        meta = entry["meta"]
+        buffer = entry["segment"].buf
+        rows = meta["rows"]
+        for column, info in meta["columns"].items():
+            if info["kind"] == "numeric":
+                array = np.ndarray(
+                    rows, dtype=np.dtype(info["dtype"]), buffer=buffer,
+                    offset=info["offset"],
+                )
+                entry["columns"][column] = {"values": array, "codes": None}
+            else:
+                codes = np.ndarray(
+                    rows, dtype=np.int64, buffer=buffer, offset=info["offset"]
+                )
+                dictionary = info["dictionary"]
+                entry["columns"][column] = {
+                    "codes": codes,
+                    "dictionary": dictionary,
+                    "decoded": _decode_dictionary(dictionary),
+                }
+    return entry["meta"], entry["columns"]
+
+
+def _slice_ranges(array: np.ndarray, ranges: list[tuple[int, int]]) -> np.ndarray:
+    parts = [array[start:stop] for start, stop in ranges]
+    if not parts:
+        return array[:0]
+    if len(parts) == 1:
+        return parts[0]
+    return np.concatenate(parts)
+
+
+def build_shard_frame(columns: dict, task: dict) -> Frame:
+    """Assemble the shard's frame from column stores + the task's row ranges.
+
+    Shared between the worker processes (columns = shm views) and the
+    in-thread ``parallel_exec=1`` path (columns = the table's own arrays) so
+    both execute literally the same code against the same layout.
+    """
+    binding = task["binding"]
+    ranges = task["ranges"]
+    frame = Frame()
+    for name in task["columns"]:
+        store = columns[name]
+        if store["codes"] is None:
+            frame.add_column(binding, name, _slice_ranges(store["values"], ranges))
+        else:
+            codes = _slice_ranges(store["codes"], ranges)
+            if "values" in store and store["values"] is not None:
+                values = _slice_ranges(store["values"], ranges)
+            else:
+                values = store["decoded"][codes]
+            frame.add_column(
+                binding, name, values,
+                codes=LazyCodes.presolved(codes, store["dictionary"]),
+            )
+    if not frame.entries():
+        frame.num_rows = sum(stop - start for start, stop in ranges)
+    return frame
+
+
+def run_shard_task(columns: dict, task: dict, rng) -> partialagg.ShardState:
+    """Filter one shard and compute its partial-aggregation state."""
+    from repro.sqlengine import functions
+
+    frame = build_shard_frame(columns, task)
+    context = functions.EvaluationContext(
+        num_rows=frame.num_rows, rng=rng, params=task.get("params")
+    )
+    for predicate in task["predicates"]:
+        # Two filter stages mirror the serial order (pushed conjuncts at the
+        # scan, residual WHERE after): per-value object semantics may only
+        # raise for rows an earlier stage already removed.
+        mask = evaluate(predicate, frame, context)
+        frame = frame.filter(mask)
+        context = functions.EvaluationContext(
+            num_rows=frame.num_rows, rng=rng, params=task.get("params")
+        )
+    return partialagg.compute_shard_state(
+        frame, task["group_columns"], task["specs"], context
+    )
+
+
+def _run_task(segments: dict, task: dict, rng) -> partialagg.ShardState:
+    _, columns = _worker_columns(segments, task["segment"])
+    return run_shard_task(columns, task, rng)
+
+
+# ---------------------------------------------------------------------------
+# coordinator-side pool
+# ---------------------------------------------------------------------------
+
+
+class ShardPool:
+    """A fixed set of worker processes plus the published-segment store."""
+
+    _registry_lock = threading.Lock()
+    _live_segments: set[str] = set()
+
+    @classmethod
+    def live_segment_names(cls) -> set[str]:
+        """Names of every not-yet-unlinked segment (leak checking)."""
+        with cls._registry_lock:
+            return set(cls._live_segments)
+
+    def __init__(self, workers: int) -> None:
+        if shared_memory is None:  # pragma: no cover - platform guard
+            raise ShardPoolError("multiprocessing.shared_memory is unavailable")
+        self.workers = max(2, int(workers))
+        self.lock = threading.Lock()
+        self.broken = False
+        self._started = False
+        self._connections: list = []
+        self._processes: list = []
+        self._published: dict[str, PublishedTable] = {}
+        try:
+            self._context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX fallback
+            self._context = multiprocessing.get_context()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def _ensure_started(self) -> None:
+        if self._started:
+            return
+        for _ in range(self.workers):
+            parent, child = self._context.Pipe()
+            process = self._context.Process(
+                target=_worker_main, args=(child,), daemon=True
+            )
+            process.start()
+            child.close()
+            self._connections.append(parent)
+            self._processes.append(process)
+        self._started = True
+
+    def close(self) -> None:
+        """Stop workers and unlink every live segment (idempotent)."""
+        self.broken = True
+        for connection in self._connections:
+            try:
+                connection.send(("stop",))
+            except (OSError, ValueError):
+                pass
+        for process in self._processes:
+            process.join(timeout=2)
+            if process.is_alive():  # pragma: no cover - hung worker
+                process.terminate()
+                process.join(timeout=2)
+        for connection in self._connections:
+            try:
+                connection.close()
+            except OSError:  # pragma: no cover
+                pass
+        self._connections = []
+        self._processes = []
+        for published in list(self._published.values()):
+            self._unlink(published)
+        self._published = {}
+
+    def _unlink(self, published: PublishedTable) -> None:
+        try:
+            published.segment.close()
+            published.segment.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+        with self._registry_lock:
+            self._live_segments.discard(published.key[-1])
+
+    # -- publication ---------------------------------------------------------
+
+    def ensure_published(
+        self, table, catalog_version: int
+    ) -> tuple[PublishedTable | None, bool]:
+        """Publish (or reuse) the table's current version.
+
+        Returns ``(published, fresh)`` where ``fresh`` says whether a new
+        segment was created (the caller's ``shard_publications`` counter —
+        the zero-per-query-pickling proof is ``dispatches >> publications``).
+        The key carries the catalog schema version and the table's own
+        mutation counter: any DDL or any DML against this table produces a
+        fresh key, the stale segment is unlinked and the new version
+        published — readers can never consume stale shards.
+        """
+        if self.broken:
+            return None, False
+        name = table.name.lower()
+        key = (name, catalog_version, table.version)
+        published = self._published.get(name)
+        if published is not None and published.key[:3] == key:
+            return published, False
+        self._ensure_started()
+        if published is not None:
+            self._broadcast(("release", [published.key[-1]]))
+            self._unlink(published)
+            self._published.pop(name, None)
+        published = self._publish(table, key)
+        if published is not None:
+            self._published[name] = published
+        return published, True
+
+    def _publish(self, table, key: tuple) -> PublishedTable | None:
+        rows = table.num_rows
+        layouts: dict[str, dict] = {}
+        worker_columns: dict[str, dict] = {}
+        offset = 0
+        faithful: set[str] = set()
+        for column in table.column_names:
+            array = table.column(column)
+            if array.dtype == object:
+                encoded = table.dictionary_codes(column)
+                codes, dictionary = encoded
+                if all(value is None or type(value) is str for value in array):
+                    faithful.add(column)
+                layouts[column] = {
+                    "kind": "coded", "offset": offset, "nbytes": codes.nbytes,
+                    "source": codes, "dictionary": dictionary,
+                }
+                offset += codes.nbytes
+            else:
+                layouts[column] = {
+                    "kind": "numeric", "dtype": array.dtype.str, "offset": offset,
+                    "nbytes": array.nbytes, "source": array,
+                }
+                offset += array.nbytes
+        try:
+            segment = shared_memory.SharedMemory(
+                create=True, size=max(1, offset),
+                name=f"{SEGMENT_PREFIX}_{os.getpid()}_{next(_segment_counter)}",
+            )
+        except OSError as error:  # pragma: no cover - /dev/shm exhausted
+            raise ShardPoolError(f"cannot create shared memory: {error}") from error
+        with self._registry_lock:
+            self._live_segments.add(segment.name)
+        meta_columns: dict[str, dict] = {}
+        for column, layout in layouts.items():
+            source = layout.pop("source")
+            if layout["kind"] == "coded":
+                view = np.ndarray(
+                    rows, dtype=np.int64, buffer=segment.buf, offset=layout["offset"]
+                )
+            else:
+                view = np.ndarray(
+                    rows, dtype=np.dtype(layout["dtype"]), buffer=segment.buf,
+                    offset=layout["offset"],
+                )
+            view[:] = source
+            meta_columns[column] = layout
+        meta = {"rows": rows, "columns": meta_columns}
+        self._broadcast(("publish", segment.name, meta))
+        return PublishedTable(
+            key=key + (segment.name,), segment=segment, meta=meta, num_rows=rows,
+            faithful=frozenset(faithful),
+        )
+
+    def _broadcast(self, message) -> None:
+        for connection in self._connections:
+            try:
+                connection.send(message)
+            except (OSError, ValueError) as error:
+                self.broken = True
+                raise ShardPoolError(f"worker pipe failed: {error}") from error
+        if message[0] == "publish":
+            self._collect(len(self._connections))
+
+    # -- dispatch ------------------------------------------------------------
+
+    def run_tasks(self, tasks: list[dict]) -> list[partialagg.ShardState]:
+        """Run one task per worker and return the shard states in task order."""
+        if self.broken:
+            raise ShardPoolError("pool is closed")
+        self._ensure_started()
+        if len(tasks) > len(self._connections):
+            raise ShardPoolError("more tasks than workers")
+        # Serialize every task before sending the first one: an unpicklable
+        # payload (exotic placeholder parameters) must fail cleanly, not
+        # after some workers already received work — that would desynchronize
+        # the request/response pairing on the pipes.
+        try:
+            payloads = [
+                multiprocessing.reduction.ForkingPickler.dumps(("task", task))
+                for task in tasks
+            ]
+        except Exception as error:  # noqa: BLE001 - any pickling failure
+            raise ShardPoolError(f"task not picklable: {error}") from error
+        for connection, payload in zip(self._connections, payloads):
+            try:
+                connection.send_bytes(bytes(payload))
+            except (OSError, ValueError) as error:
+                self.broken = True
+                raise ShardPoolError(f"worker pipe failed: {error}") from error
+        return self._collect(len(tasks))
+
+    def _collect(self, count: int) -> list:
+        results = []
+        for connection in self._connections[:count]:
+            try:
+                if not connection.poll(300):
+                    self.broken = True
+                    raise ShardPoolError("worker timed out")
+                status, payload = connection.recv()
+            except (EOFError, OSError) as error:
+                self.broken = True
+                raise ShardPoolError(f"worker died: {error}") from error
+            if status == "err":
+                raise ShardPoolError(f"worker error: {payload}")
+            results.append(payload)
+        return results
+
+
+def table_column_store(table, columns: list[str]) -> dict:
+    """In-process column store with the worker-side layout.
+
+    The ``parallel_exec=1`` in-thread path (and the A/B tests) run
+    :func:`run_shard_task` against the table's own arrays through this
+    adapter — the raw object values are used directly, so no faithfulness
+    constraint applies in-thread.
+    """
+    store: dict[str, dict] = {}
+    for name in columns:
+        array = table.column(name)
+        if array.dtype == object:
+            codes, dictionary = table.dictionary_codes(name)
+            store[name] = {"values": array, "codes": codes, "dictionary": dictionary}
+        else:
+            store[name] = {"values": array, "codes": None}
+    return store

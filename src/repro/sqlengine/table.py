@@ -324,20 +324,73 @@ class Table:
         missing = set(self._chunks) - set(incoming)
         if missing:
             raise ExecutionError(f"INSERT is missing columns: {sorted(missing)}")
+        arrays = {name: _infer_array(incoming[name]) for name in self._chunks}
+        # Clustering survives an append whose key batch extends the sorted
+        # order (checked against the pre-append bounds, before any mutation);
+        # otherwise the appended rows land after the sorted prefix in
+        # arbitrary key order and the claim must be dropped.
+        keep_clustering = False
+        if self.clustered_on is not None:
+            stored = self.resolve_column(self.clustered_on)
+            keep_clustering = (
+                stored is not None
+                and stored in arrays
+                and self._clustering_survives_append(stored, arrays[stored])
+            )
         updated_zones: dict[str, list[ZoneMap] | None] = {}
         for column_name in self._chunks:
-            new = _infer_array(incoming[column_name])
-            updated_zones[column_name] = self._append_column(column_name, new)
+            updated_zones[column_name] = self._append_column(column_name, arrays[column_name])
             self._flat_cache.pop(column_name, None)
         self._num_rows += len(materialized)
         self._version += 1
-        # Appended rows land after the sorted prefix in arbitrary key order.
-        self.clustered_on = None
+        if not keep_clustering:
+            self.clustered_on = None
         for column_name, zones in updated_zones.items():
             if zones is not None:
                 self._zone_cache[column_name] = (self._version, zones)
             else:
                 self._zone_cache.pop(column_name, None)
+
+    def _clustering_survives_append(self, name: str, new: np.ndarray) -> bool:
+        """Whether appending ``new`` to the clustered key column keeps the
+        (non-decreasing values, NULLs last) order the clustering claim means.
+
+        Must run *before* the append mutates the chunks: the decision reads
+        the pre-append zone maps, (re)building them when stale — the key
+        column's maps are consumed by every pruned scan anyway, so the
+        rebuild is work the next query would have paid.  An object or
+        dtype-promoting append (whose comparison domain the float bounds
+        cannot summarize) conservatively drops the claim, which is always
+        safe: clustering is advisory and its consumers re-verify order at
+        execution time.
+        """
+        chunks = self._chunks[name]
+        old_dtype = chunks[0].dtype
+        if old_dtype == object or new.dtype == object:
+            return False
+        zones = self.zone_maps(name)
+        floats = new.astype(np.float64, copy=False)
+        nan_mask = np.isnan(floats)
+        nan_count = int(nan_mask.sum())
+        if nan_count and old_dtype.kind != "f":
+            return False  # the cast to the stored dtype mangles NaNs
+        if nan_count == len(new):
+            return True  # a pure NULL batch extends any NULLs-last tail
+        if nan_count and not nan_mask[len(new) - nan_count :].all():
+            return False  # a value after a NaN breaks the NULLs-last tail
+        head = floats[: len(new) - nan_count]
+        if len(head) > 1 and not np.all(head[1:] >= head[:-1]):
+            return False
+        if any(zone.null_count for zone in zones):
+            return False  # new values would land after the existing NULL tail
+        last_high = None
+        for zone in reversed(zones):
+            if zone.high is not None:
+                last_high = float(zone.high)
+                break
+        if last_high is None:
+            return True  # no non-NULL rows yet: any sorted batch clusters
+        return bool(head[0] >= last_high)
 
     def _append_column(self, name: str, new: np.ndarray) -> list[ZoneMap] | None:
         """Append ``new`` values to one column; returns refreshed zone maps
