@@ -40,6 +40,7 @@ sys.path.insert(0, str(BENCH_DIR))
 import bench_api_hotpath  # noqa: E402
 import bench_parallel_agg  # noqa: E402
 import bench_planner_hotpath  # noqa: E402
+import bench_resilience  # noqa: E402
 import bench_round4  # noqa: E402
 import bench_storage_skipping  # noqa: E402
 import bench_verdict_hotpath  # noqa: E402
@@ -52,6 +53,7 @@ SUITES = [
     (bench_round4, "BENCH_round4.json"),
     (bench_api_hotpath, "BENCH_api.json"),
     (bench_parallel_agg, "BENCH_parallel.json"),
+    (bench_resilience, "BENCH_resilience.json"),
 ]
 
 

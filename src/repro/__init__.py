@@ -37,6 +37,8 @@ from repro.core.answer import ApproximateResult
 from repro.core.hac import AccuracyContract
 from repro.core.sample_planner import PlannerConfig
 from repro.core.verdict import VerdictContext
+from repro.errors import QueryCancelledError, QueryTimeoutError
+from repro.faults import FaultInjector, FaultSpec, QueryDeadline
 from repro.sampling.params import SampleSpec, SamplingPolicyConfig
 from repro.sqlengine.engine import Database
 from repro.sqlengine.resultset import ResultSet
@@ -48,8 +50,13 @@ __all__ = [
     "ApproximateResult",
     "Database",
     "ExecutionOptions",
+    "FaultInjector",
+    "FaultSpec",
     "PlannerConfig",
     "PreparedStatement",
+    "QueryCancelledError",
+    "QueryDeadline",
+    "QueryTimeoutError",
     "ResultSet",
     "SampleSpec",
     "SamplingPolicyConfig",

@@ -23,6 +23,7 @@ from repro.api.session import PreparedTemplate, VerdictSession
 from repro.connectors.base import Connector
 from repro.core.answer import ApproximateResult
 from repro.errors import InterfaceError
+from repro.faults import QueryDeadline
 from repro.sqlengine.engine import Database
 
 #: DB-API module attributes (re-exported by :mod:`repro.api`).
@@ -121,6 +122,14 @@ class VerdictConnection:
         self._check_open()
         return PreparedStatement(self.session, sql)
 
+    def health_check(self) -> dict:
+        """Backend liveness/degradation report (circuit state, worker counts).
+
+        Cheap — no query is issued; safe to poll from a monitoring thread.
+        """
+        self._check_open()
+        return self.session.connector.health()
+
     # -- convenience ------------------------------------------------------------
 
     def execute(
@@ -154,6 +163,9 @@ class Cursor:
         self.connection = connection
         self.options = options
         self._closed = False
+        # Deadline token of the in-flight execute (read by cancel() from
+        # another thread); None while idle.
+        self._active_deadline: QueryDeadline | None = None
         self.last_result: ApproximateResult | None = None
         self.description: list[tuple] | None = None
         self.rowcount = -1
@@ -209,11 +221,32 @@ class Cursor:
         """
         self._check_open()
         self._reset_result()
-        result = self.connection.session.execute(
-            self._as_template(sql), params, options or self.options
-        )
+        # Always build a cancellation token so cancel() works even without a
+        # configured timeout; the session arms its expiry from the effective
+        # options' timeout_seconds.
+        deadline = QueryDeadline()
+        self._active_deadline = deadline
+        try:
+            result = self.connection.session.execute(
+                self._as_template(sql), params, options or self.options, deadline=deadline
+            )
+        finally:
+            self._active_deadline = None
         self._install_result(result)
         return self
+
+    def cancel(self) -> None:
+        """Request cancellation of the statement currently executing.
+
+        Safe to call from another thread (that is the point: the executing
+        thread is blocked inside :meth:`execute`).  The running query stops
+        at its next cooperative checkpoint with
+        :class:`~repro.errors.QueryCancelledError`.  A no-op when the cursor
+        is idle.
+        """
+        deadline = self._active_deadline
+        if deadline is not None:
+            deadline.cancel()
 
     def executemany(
         self,

@@ -37,10 +37,17 @@ class ExecutionOptions:
         sample_hint: restrict the sample planner to sample tables whose name
             equals the hint (case-insensitive); when no sample matches, the
             query runs exactly.
-        time_budget_seconds: soft latency budget.  Its one binding effect:
-            when the accuracy contract fails but the approximate attempt has
-            already consumed the budget, the exact re-run is skipped and the
-            approximate answer is returned (annotated) instead.
+        time_budget_seconds: *soft* latency budget.  Two effects: when the
+            accuracy contract fails but the approximate attempt has already
+            consumed the budget, the exact re-run is skipped and the
+            approximate answer is returned with
+            ``ApproximateResult.budget_degraded`` set.
+        timeout_seconds: *hard* deadline.  A cooperative
+            :class:`~repro.faults.QueryDeadline` is threaded through the
+            whole pipeline (executor checkpoints, shard-pool collects,
+            backend drivers); expiry cancels the running query with
+            :class:`~repro.errors.QueryTimeoutError` instead of letting it
+            finish.  Independent of ``time_budget_seconds``.
         on_contract_violation: ``"rerun"`` (re-run exactly, the default),
             ``"raise"`` (raise :class:`~repro.errors.AccuracyContractError`)
             or ``"keep"`` (return the approximate answer anyway).
@@ -52,6 +59,7 @@ class ExecutionOptions:
     mode: str = "approximate"
     sample_hint: str | None = None
     time_budget_seconds: float | None = None
+    timeout_seconds: float | None = None
     on_contract_violation: str = "rerun"
 
     def __post_init__(self) -> None:
@@ -70,6 +78,8 @@ class ExecutionOptions:
             raise ConfigurationError("confidence must be strictly between 0 and 1")
         if self.time_budget_seconds is not None and self.time_budget_seconds <= 0:
             raise ConfigurationError("time_budget_seconds must be positive")
+        if self.timeout_seconds is not None and self.timeout_seconds <= 0:
+            raise ConfigurationError("timeout_seconds must be positive")
         if self.accuracy is not None and self.include_errors is False:
             raise ConfigurationError(
                 "an accuracy contract needs error estimates; "

@@ -57,8 +57,12 @@ from repro.core.sample_planner import PlannerConfig, SamplePlan, SamplePlanner
 from repro.errors import (
     AccuracyContractError,
     InterfaceError,
+    OperationalError,
+    QueryCancelledError,
+    QueryTimeoutError,
     RewriteError,
 )
+from repro.faults import QueryDeadline
 from repro.sampling.builder import SampleBuilder
 from repro.sampling.maintenance import SampleMaintainer
 from repro.sampling.metadata import MetadataStore
@@ -285,6 +289,7 @@ class VerdictSession:
         query: str | PreparedTemplate,
         params: Sequence | Mapping | None = None,
         options: ExecutionOptions | None = None,
+        deadline: QueryDeadline | None = None,
     ) -> ApproximateResult:
         """Run one statement (approximately when possible) with bound parameters.
 
@@ -294,28 +299,40 @@ class VerdictSession:
             params: values for the template's ``?`` / ``:name`` placeholders
                 (sequence / mapping respectively).
             options: per-call execution options; defaults to the session's.
+            deadline: cooperative deadline/cancellation token; created
+                automatically from ``options.timeout_seconds`` when absent.
+                Expiry (or a cross-thread cancel) raises
+                :class:`~repro.errors.QueryTimeoutError` /
+                :class:`~repro.errors.QueryCancelledError`.
         """
         self._check_open()
         options = options or self.default_options
         started = time.perf_counter()
+        if options.timeout_seconds is not None:
+            if deadline is None:
+                deadline = QueryDeadline(options.timeout_seconds)
+            else:
+                # A cursor-created cancellation token arrives without an
+                # expiry; the per-call options supply it here.
+                deadline.arm(options.timeout_seconds)
         template = query if isinstance(query, PreparedTemplate) else self.prepare(query)
         bound = template.bind(params)
         self._sync_with_backend()
 
         statement = template.statement
         if not isinstance(statement, ast.SelectStatement):
-            result = self.connector.execute(statement, bound)
+            result = self.connector.execute(statement, bound, deadline=deadline)
             return self._exact_result(result, started)
 
         if options.mode == "exact":
             return self._execute_exact_select(
-                statement, started, "exact mode requested", bound
+                statement, started, "exact mode requested", bound, deadline
             )
 
         analysis = template.analysis
         if not analysis.supported:
             return self._execute_exact_select(
-                statement, started, analysis.unsupported_reason, bound
+                statement, started, analysis.unsupported_reason, bound, deadline
             )
 
         plan = self._plan(analysis, sample_hint=options.sample_hint)
@@ -323,7 +340,7 @@ class VerdictSession:
             reason = "no feasible sample plan within the I/O budget"
             if options.sample_hint is not None:
                 reason = f"no feasible plan using sample hint {options.sample_hint!r}"
-            return self._execute_exact_select(statement, started, reason, bound)
+            return self._execute_exact_select(statement, started, reason, bound, deadline)
 
         confidence = (
             self.confidence if options.confidence is None else options.confidence
@@ -337,14 +354,31 @@ class VerdictSession:
                 query_text=template.text,
                 params=bound,
                 confidence=confidence,
+                deadline=deadline,
             )
         except RewriteError as error:
-            return self._execute_exact_select(statement, started, str(error), bound)
+            return self._execute_exact_select(statement, started, str(error), bound, deadline)
+        except (QueryTimeoutError, QueryCancelledError):
+            raise  # a dead deadline must not trigger a second, exact attempt
+        except OperationalError as error:
+            # Degradation ladder: an *operational* failure in the approximate
+            # path (backend I/O error, a sample table lost mid-flight) falls
+            # back to exact execution against the base tables, so the caller
+            # still gets a correct answer — or the exact path's own typed
+            # error, never a silent wrong result.
+            self.connector.record_stat("approx_exec_fallbacks")
+            return self._execute_exact_select(
+                statement,
+                started,
+                f"approximate execution failed ({error}); degraded to exact",
+                bound,
+                deadline,
+            )
         result.elapsed_seconds = time.perf_counter() - started
 
         if options.accuracy is not None:
             result = self._enforce_contract(
-                result, statement, options, started, bound, confidence
+                result, statement, options, started, bound, confidence, deadline
             )
         return result
 
@@ -402,6 +436,7 @@ class VerdictSession:
         started: float,
         params: dict | None,
         confidence: float,
+        deadline: QueryDeadline | None = None,
     ) -> ApproximateResult:
         """Apply the accuracy contract to an approximate result."""
         contract = AccuracyContract(min_accuracy=options.accuracy, confidence=confidence)
@@ -415,10 +450,16 @@ class VerdictSession:
                 required_error=contract.max_relative_error,
             )
         elapsed = time.perf_counter() - started
-        if options.on_contract_violation == "keep" or (
+        budget_exhausted = (
             options.time_budget_seconds is not None
             and elapsed >= options.time_budget_seconds
-        ):
+        )
+        if options.on_contract_violation == "keep" or budget_exhausted:
+            if budget_exhausted and options.on_contract_violation != "keep":
+                # A "rerun" request degraded to "keep" because the exact
+                # re-run would start past the time budget; the flag lets
+                # callers distinguish this from an explicit "keep".
+                result.budget_degraded = True
             result.plan_description = (
                 f"{result.plan_description} "
                 "(accuracy contract violated; approximate answer kept)"
@@ -430,7 +471,7 @@ class VerdictSession:
         # attempt that failed the contract — the latency the caller actually
         # experienced — not just the fallback execution.
         return self._execute_exact_select(
-            statement, started, "accuracy contract violated; re-running exactly", params
+            statement, started, "accuracy contract violated; re-running exactly", params, deadline
         )
 
     def _sync_with_backend(self) -> None:
@@ -492,8 +533,9 @@ class VerdictSession:
         started: float,
         reason: str,
         params: dict | None = None,
+        deadline: QueryDeadline | None = None,
     ) -> ApproximateResult:
-        result = self.connector.execute(statement, params)
+        result = self.connector.execute(statement, params, deadline=deadline)
         answer = self._exact_result(result, started)
         answer.plan_description = f"exact execution ({reason})"
         return answer
@@ -590,12 +632,13 @@ class VerdictSession:
         query_text: str | None = None,
         params: dict | None = None,
         confidence: float | None = None,
+        deadline: QueryDeadline | None = None,
     ) -> ApproximateResult:
         include_errors = self.include_errors if include_errors is None else include_errors
         confidence = self.confidence if confidence is None else confidence
         prepared = self._prepare_rewrite(statement, analysis, plan, include_errors, query_text)
         if prepared is None:
-            result = self.connector.execute(statement, params)
+            result = self.connector.execute(statement, params, deadline=deadline)
             answer = ApproximateResult(result, is_exact=True, confidence=confidence)
             answer.plan_description = "exact execution (mixed aggregate kinds in one item)"
             return answer
@@ -613,21 +656,27 @@ class VerdictSession:
         # data versions).
         with self.connector.consistent_read():
             if prepared.primary is not None:
-                primary_result = self.connector.execute(prepared.primary_sql, params)
+                primary_result = self.connector.execute(
+                    prepared.primary_sql, params, deadline=deadline
+                )
                 estimate_columns.update(prepared.primary.estimate_columns)
 
             secondary_results: list[tuple[ResultSet, dict[str, str | None]]] = []
             if prepared.distinct is not None:
                 secondary_results.append(
                     (
-                        self.connector.execute(prepared.distinct_sql, params),
+                        self.connector.execute(
+                            prepared.distinct_sql, params, deadline=deadline
+                        ),
                         prepared.distinct.estimate_columns,
                     )
                 )
             if prepared.extreme_statement is not None:
                 secondary_results.append(
                     (
-                        self.connector.execute(prepared.extreme_sql, params),
+                        self.connector.execute(
+                            prepared.extreme_sql, params, deadline=deadline
+                        ),
                         prepared.extreme_columns,
                     )
                 )

@@ -23,6 +23,10 @@ from repro.sqlengine.resultset import ResultSet
 class Connector(abc.ABC):
     """Abstract driver through which the middleware talks to a database."""
 
+    #: Fault injector firing the ``connector.execute`` site, or None.
+    #: Connectors whose backend owns an injector override this as a property.
+    fault_injector = None
+
     def __init__(self, dialect: Dialect) -> None:
         self.dialect = dialect
         self.syntax_changer = SyntaxChanger(dialect)
@@ -38,27 +42,48 @@ class Connector(abc.ABC):
 
     @abc.abstractmethod
     def execute_sql(
-        self, sql: str, params: Sequence | Mapping | None = None
+        self,
+        sql: str,
+        params: Sequence | Mapping | None = None,
+        deadline=None,
     ) -> ResultSet:
         """Execute raw SQL text on the backend and return its result.
 
         ``params`` binds ``?`` / ``:name`` placeholders in the text; backends
         without native parameter support may raise
         :class:`~repro.errors.NotSupportedError` when given any.
+        ``deadline`` is an optional :class:`~repro.faults.QueryDeadline` the
+        backend should honour cooperatively; drivers without a cancellation
+        hook may ignore it (the deadline is still enforced at the next
+        middleware checkpoint).
         """
 
     def execute(
         self,
         statement: ast.Statement | str,
         params: Sequence | Mapping | None = None,
+        deadline=None,
     ) -> ResultSet:
         """Execute an AST statement (rendered via the Syntax Changer) or raw SQL."""
         if isinstance(statement, str):
             sql = statement
         else:
             sql = self.syntax_changer.to_sql(statement)
+        injector = self.fault_injector
+        if injector is not None:
+            injector.fire("connector.execute")
+        if deadline is not None:
+            deadline.check()
         self.queries_issued.append(sql)
-        return self.execute_sql(sql, params)
+        return self.execute_sql(sql, params, deadline=deadline)
+
+    def health(self) -> dict:
+        """Cheap liveness/degradation report for this backend.
+
+        Default: a static "ok" — connectors whose backend tracks failure
+        state (the builtin engine's circuit breaker) override this.
+        """
+        return {"status": "ok", "backend": type(self).__name__}
 
     # -- cross-session coordination ---------------------------------------------
 

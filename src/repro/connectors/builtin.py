@@ -46,10 +46,19 @@ class BuiltinConnector(Connector):
         )
         self.fixed_overhead_seconds = fixed_overhead_seconds
 
-    def execute_sql(self, sql: str, params=None) -> ResultSet:
+    def execute_sql(self, sql: str, params=None, deadline=None) -> ResultSet:
         if self.fixed_overhead_seconds > 0:
             time.sleep(self.fixed_overhead_seconds)
-        return self.database.execute(sql, params=params)
+        return self.database.execute(sql, params=params, deadline=deadline)
+
+    @property
+    def fault_injector(self):
+        # The engine owns the injector so every session sharing it sees the
+        # same failpoint schedule.
+        return self.database.fault_injector
+
+    def health(self) -> dict:
+        return self.database.health()
 
     @property
     def session_lock(self):

@@ -92,7 +92,15 @@ class SqliteConnector(Connector):
 
     # -- Connector API ----------------------------------------------------------
 
-    def execute_sql(self, sql: str, params=None) -> ResultSet:
+    def execute_sql(self, sql: str, params=None, deadline=None) -> ResultSet:
+        if deadline is not None:
+            # SQLite's progress handler fires every N VM instructions; a
+            # nonzero return aborts the running statement with
+            # "interrupted".  This is the only in-flight cancellation hook
+            # sqlite3 offers, and it makes long scans honour the deadline.
+            self._connection.set_progress_handler(
+                lambda: 1 if (deadline.expired or deadline.cancelled) else 0, 5000
+            )
         try:
             if params is None:
                 cursor = self._connection.execute(sql)
@@ -105,7 +113,12 @@ class SqliteConnector(Connector):
                     sql, dict(params) if isinstance(params, Mapping) else tuple(params)
                 )
         except sqlite3.Error as error:
+            if deadline is not None:
+                deadline.check()  # raises the typed timeout/cancel error
             raise ConnectorError(f"sqlite error: {error} (sql: {sql[:200]})") from error
+        finally:
+            if deadline is not None:
+                self._connection.set_progress_handler(None, 0)
         if cursor.description is None:
             self._connection.commit()
             return ResultSet.empty([])

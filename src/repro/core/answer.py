@@ -41,6 +41,10 @@ class ApproximateResult:
         self.rewritten_sql = rewritten_sql
         self.plan_description = plan_description
         self.elapsed_seconds = elapsed_seconds
+        # True when an accuracy-contract "rerun" was skipped because the
+        # soft time budget was already spent (the approximate answer was
+        # kept); set by the session's contract enforcement.
+        self.budget_degraded = False
 
     # -- result-set-like access ---------------------------------------------------
 

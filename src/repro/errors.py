@@ -54,6 +54,20 @@ class NotSupportedError(DatabaseError):
     """The request is valid SQL but outside what this system supports."""
 
 
+class QueryTimeoutError(OperationalError):
+    """The query's hard deadline (``ExecutionOptions.timeout_seconds``)
+    expired before it finished.
+
+    Distinct from the *soft* ``time_budget_seconds``: the budget only shapes
+    contract-violation handling, while the timeout cooperatively cancels the
+    running query at the executor's checkpoints.
+    """
+
+
+class QueryCancelledError(OperationalError):
+    """The query was cancelled (``Cursor.cancel()``) while running."""
+
+
 class ConfigurationError(ReproError, ValueError):
     """An invalid configuration value was supplied to a library object.
 

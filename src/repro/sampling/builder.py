@@ -9,9 +9,17 @@ metadata store.  Everything happens inside the underlying database.
 from __future__ import annotations
 
 import math
+import time
+
+import numpy as np
 
 from repro.connectors.base import Connector
-from repro.errors import SamplingError
+from repro.errors import (
+    OperationalError,
+    QueryCancelledError,
+    QueryTimeoutError,
+    SamplingError,
+)
 from repro.sampling import creators, policy
 from repro.sampling.metadata import MetadataStore
 from repro.sampling.params import SID_COLUMN, SampleInfo, SampleSpec, SamplingPolicyConfig
@@ -19,17 +27,30 @@ from repro.subsampling.sid import default_subsample_count
 
 
 class SampleBuilder:
-    """Creates and drops sample tables for one connector."""
+    """Creates and drops sample tables for one connector.
+
+    Sample builds issue many statements against the backend, so a transient
+    backend failure mid-build is the common case, not the exception.  Each
+    build is retried ``retries`` times with exponential backoff + jitter
+    (the build's DROP-first preamble makes a retry safe); once retries are
+    exhausted a :class:`~repro.errors.SamplingError` surfaces so the caller
+    can fall back to exact execution.
+    """
 
     def __init__(
         self,
         connector: Connector,
         metadata: MetadataStore | None = None,
         subsample_count: int | None = None,
+        retries: int = 1,
+        retry_backoff: float = 0.05,
     ) -> None:
         self._connector = connector
         self.metadata = metadata if metadata is not None else MetadataStore(connector)
         self._subsample_count = subsample_count
+        self._retries = max(0, int(retries))
+        self._retry_backoff = retry_backoff
+        self._rng = np.random.default_rng(0)
 
     # -- naming -----------------------------------------------------------------
 
@@ -46,6 +67,35 @@ class SampleBuilder:
 
     def create_sample(self, original_table: str, spec: SampleSpec) -> SampleInfo:
         """Create one sample table and record its metadata.
+
+        Retries transient backend failures (bounded, with backoff); a hard
+        deadline expiry or cancellation is never retried.  See the class
+        docstring.
+        """
+        attempts = self._retries + 1
+        last_error: Exception | None = None
+        for attempt in range(attempts):
+            if attempt:
+                base = self._retry_backoff * (2 ** (attempt - 1))
+                time.sleep(base + float(self._rng.random()) * self._retry_backoff)
+                self._connector.record_stat("sample_build_retries")
+            injector = self._connector.fault_injector
+            try:
+                if injector is not None:
+                    injector.fire("sample.build")
+                return self._create_sample_once(original_table, spec)
+            except (QueryTimeoutError, QueryCancelledError):
+                raise  # the deadline is dead; retrying cannot revive it
+            except SamplingError:
+                raise  # spec/table problems are deterministic, not transient
+            except OperationalError as error:
+                last_error = error
+        raise SamplingError(
+            f"sample build for {original_table!r} failed after {attempts} attempts: {last_error}"
+        ) from last_error
+
+    def _create_sample_once(self, original_table: str, spec: SampleSpec) -> SampleInfo:
+        """One build attempt (see :meth:`create_sample` for the public docs).
 
         The raw sample is built into a staging table, then rewritten into
         the final table **clustered by subsample id** (a stable ORDER BY on

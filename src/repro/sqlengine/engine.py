@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.cache import LRUCache
 from repro.errors import CatalogError, ExecutionError
+from repro.faults import as_injector
 from repro.sqlengine import functions, parser, shardpool, sqlast as ast
 from repro.sqlengine.catalog import Catalog
 from repro.sqlengine.executor import Executor
@@ -80,6 +81,17 @@ class Database:
             ``stats['parallel_exec_dispatches'/'parallel_exec_fallbacks'/
             'shard_publications']``.  ``close()`` (or context-manager exit)
             stops the workers and unlinks every segment.
+        fault_injection: optional failpoint configuration — a mapping of
+            site name to :class:`repro.faults.FaultSpec` (or spec dict), or
+            a ready :class:`repro.faults.FaultInjector`.  Inert in
+            production (None); the chaos suite uses it to inject worker
+            deaths, segment loss, connector failures, slow scans and
+            timeouts deterministically.
+        circuit_threshold: consecutive shard-dispatch failures before the
+            circuit breaker opens and queries take the serial path without
+            any dispatch overhead.
+        circuit_cooldown: seconds the circuit stays open before a single
+            half-open probe is allowed through.
     """
 
     def __init__(
@@ -90,6 +102,9 @@ class Database:
         chunk_rows: int | None = None,
         parallel_scan: int | bool | None = None,
         parallel_exec: int | bool | None = None,
+        fault_injection=None,
+        circuit_threshold: int = 3,
+        circuit_cooldown: float = 5.0,
     ) -> None:
         self.catalog = Catalog(chunk_rows=chunk_rows)
         self._rng = np.random.default_rng(seed)
@@ -130,7 +145,24 @@ class Database:
             "statement_cache_misses": 0,
             "plan_cache_hits": 0,
             "plan_cache_misses": 0,
+            # Round-7 resilience counters: worker supervision, dispatch
+            # retries, circuit transitions and degradation events.
+            "worker_respawns": 0,
+            "shard_task_retries": 0,
+            "dispatch_failures": 0,
+            "circuit_opened": 0,
+            "circuit_closed": 0,
+            "circuit_half_open_probes": 0,
+            "circuit_short_circuits": 0,
         }
+        # Resilience wiring: the (usually inert) fault injector and the
+        # dispatch circuit breaker shared by every executor of this engine.
+        self.fault_injector = as_injector(fault_injection, seed=seed or 0)
+        self.circuit = shardpool.CircuitBreaker(
+            threshold=circuit_threshold,
+            cooldown=circuit_cooldown,
+            on_transition=self._record_circuit_transition,
+        )
         # Reader/writer lock: SELECTs take the shared side (and still run in
         # parallel with each other), catalog-mutating statements take the
         # exclusive side — a scan can never observe a half-applied append or
@@ -185,7 +217,12 @@ class Database:
 
     # -- SQL execution ---------------------------------------------------------
 
-    def execute(self, sql: str, params: Sequence | Mapping | None = None) -> ResultSet:
+    def execute(
+        self,
+        sql: str,
+        params: Sequence | Mapping | None = None,
+        deadline=None,
+    ) -> ResultSet:
         """Parse and execute one SQL statement, returning its result set.
 
         DDL and DML statements return an empty result set.  With
@@ -203,23 +240,26 @@ class Database:
         the bound value per call and stay engaged.
         """
         if not self.optimize:
-            return self.execute_statement(parser.parse(sql), params=params)
+            return self.execute_statement(parser.parse(sql), params=params, deadline=deadline)
         statement = self._cached_statement(sql)
         plan = None
         if isinstance(statement, ast.SelectStatement):
             plan = self._cached_plan(sql, statement)
-        return self.execute_statement(statement, plan=plan, params=params)
+        return self.execute_statement(statement, plan=plan, params=params, deadline=deadline)
 
     def execute_statement(
         self,
         statement: ast.Statement,
         plan: SelectPlan | None = None,
         params: Sequence | Mapping | None = None,
+        deadline=None,
     ) -> ResultSet:
         """Execute an already parsed statement."""
         if isinstance(statement, ast.SelectStatement):
             with self._statement_lock.reading():
-                return self._executor(params).execute_select(statement, plan=plan)
+                return self._executor(params, deadline=deadline).execute_select(
+                    statement, plan=plan
+                )
         if isinstance(statement, ast.CreateTableStatement):
             with self._statement_lock.writing():
                 result = self._execute_create(statement, params)
@@ -237,7 +277,9 @@ class Database:
                 return result
         raise ExecutionError(f"unsupported statement type {type(statement).__name__}")
 
-    def _executor(self, params: Sequence | Mapping | None = None) -> Executor:
+    def _executor(
+        self, params: Sequence | Mapping | None = None, deadline=None
+    ) -> Executor:
         return Executor(
             self.catalog,
             self._rng,
@@ -249,6 +291,9 @@ class Database:
             count=self.bump_stat,
             exec_workers=self.exec_workers,
             shard_pool=self._shard_pool_factory,
+            deadline=deadline,
+            faults=self.fault_injector,
+            circuit=self.circuit,
         )
 
     def _scan_pool_factory(self) -> ThreadPoolExecutor | None:
@@ -283,7 +328,9 @@ class Database:
                 self._shard_pool.close()
                 self._shard_pool = None
             if self._shard_pool is None:
-                self._shard_pool = shardpool.ShardPool(self.exec_workers)
+                self._shard_pool = shardpool.ShardPool(
+                    self.exec_workers, on_event=self.bump_stat
+                )
             return self._shard_pool
 
     def close(self) -> None:
@@ -327,6 +374,43 @@ class Database:
         """Increment one observability counter (thread-safe)."""
         with self._stats_lock:
             self.stats[key] = self.stats.get(key, 0) + 1
+
+    def _record_circuit_transition(self, old_state: str, new_state: str) -> None:
+        if new_state == "open":
+            self.bump_stat("circuit_opened")
+        elif new_state == "half_open":
+            self.bump_stat("circuit_half_open_probes")
+        elif new_state == "closed":
+            self.bump_stat("circuit_closed")
+
+    def health(self) -> dict:
+        """Snapshot of the engine's execution health.
+
+        Cheap and lock-light — intended for load balancers and the session
+        layer's ``VerdictConnection.health_check()``.  ``status`` is
+        ``"degraded"`` while the dispatch circuit is open (queries still
+        answer correctly, via the serial path) and ``"ok"`` otherwise.
+        """
+        circuit_state = self.circuit.state
+        with self._pool_lock:
+            pool = self._shard_pool
+            workers_alive = pool.alive_workers() if pool is not None else 0
+            published = pool.published_count() if pool is not None else 0
+            pool_broken = bool(pool.broken) if pool is not None else False
+        with self._stats_lock:
+            stats = dict(self.stats)
+        return {
+            "status": "degraded" if circuit_state == "open" else "ok",
+            "circuit": circuit_state,
+            "consecutive_dispatch_failures": self.circuit.consecutive_failures,
+            "exec_workers": self.exec_workers,
+            "scan_workers": self.scan_workers,
+            "pool_workers_alive": workers_alive,
+            "pool_broken": pool_broken,
+            "published_tables": published,
+            "live_segments": len(shardpool.ShardPool.live_segment_names()),
+            "stats": stats,
+        }
 
     def _cached_statement(self, sql: str) -> ast.Statement:
         statement = self._statement_cache.get(sql)

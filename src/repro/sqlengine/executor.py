@@ -14,7 +14,8 @@ from typing import Callable
 
 import numpy as np
 
-from repro.errors import CatalogError, ExecutionError
+from repro.errors import CatalogError, ExecutionError, QueryCancelledError, QueryTimeoutError
+from repro.faults import InjectedFault
 from repro.sqlengine import (
     functions,
     partialagg,
@@ -86,6 +87,9 @@ class Executor:
         count: Callable[[str], None] | None = None,
         exec_workers: int = 0,
         shard_pool: Callable[[], object] | None = None,
+        deadline: object | None = None,
+        faults: object | None = None,
+        circuit: object | None = None,
     ) -> None:
         self._catalog = catalog
         self._rng = rng
@@ -111,11 +115,28 @@ class Executor:
         # precomputed derived-table plans) so one cached plan serves every
         # parameter set.
         self._params = params
+        # Resilience wiring (round 7): the per-query cooperative deadline,
+        # the engine's fault injector (inert unless configured) and the
+        # dispatch circuit breaker over the shard pool.
+        self._deadline = deadline
+        self._faults = faults
+        self._circuit = circuit
 
     def _context(self, num_rows: int) -> functions.EvaluationContext:
         return functions.EvaluationContext(
-            num_rows=num_rows, rng=self._rng, params=self._params
+            num_rows=num_rows,
+            rng=self._rng,
+            params=self._params,
+            deadline=self._deadline,
+            faults=self._faults,
         )
+
+    def _checkpoint(self) -> None:
+        """Cooperative cancellation point (hot loops call this per unit of work)."""
+        if self._faults is not None:
+            self._faults.fire("executor.checkpoint")
+        if self._deadline is not None:
+            self._deadline.check()
 
     def _count(self, key: str) -> None:
         if self._count_stat is not None:
@@ -128,6 +149,7 @@ class Executor:
     def execute_select(
         self, statement: ast.SelectStatement, plan: SelectPlan | None = None
     ) -> ResultSet:
+        self._checkpoint()
         if self._optimize and plan is None:
             plan = logical_planner.plan_select(statement, self._catalog)
         if self._optimize:
@@ -336,6 +358,15 @@ class Executor:
         """
         if plan is None:
             return None
+        if (
+            self._circuit is not None
+            and self._exec_workers >= 2
+            and not self._circuit.allow()
+        ):
+            # Open circuit: the serial path wins before any classification,
+            # publication check or pickling work is spent on this query.
+            self._count("circuit_short_circuits")
+            return None
         relation = statement.from_relation
         if not isinstance(relation, ast.TableRef):
             return None
@@ -533,7 +564,7 @@ class Executor:
             else:
                 with pool.lock:
                     published, fresh = pool.ensure_published(
-                        table, self._catalog.version
+                        table, self._catalog.version, faults=self._faults
                     )
                     if published is None:
                         self._count("parallel_exec_fallbacks")
@@ -551,15 +582,26 @@ class Executor:
                             return None
                     for task in tasks:
                         task["segment"] = published.key[-1]
-                    states = pool.run_tasks(tasks)
+                    states = pool.run_tasks(
+                        tasks, deadline=self._deadline, faults=self._faults
+                    )
+                if self._circuit is not None:
+                    self._circuit.record_success()
             merged = partialagg.merge_shard_states(
                 states, specs, scalar=scalar, aligned=aligned
             )
+        except (QueryTimeoutError, QueryCancelledError):
+            raise  # a cancelled query must not silently continue serially
         except partialagg.ParallelFallback:
             self._count("parallel_exec_fallbacks")
             return None
-        except shardpool.ShardPoolError:
+        except (shardpool.ShardPoolError, InjectedFault):
+            # Dispatch infrastructure failed (after the pool's own
+            # respawn+retry): fall back serially and feed the breaker.
             self._count("parallel_exec_fallbacks")
+            self._count("dispatch_failures")
+            if pool is not None and self._circuit is not None:
+                self._circuit.record_failure()
             return None
         except Exception:
             # A shard raised mid-evaluation (e.g. per-value semantics over a
@@ -645,6 +687,7 @@ class Executor:
             for column_name in table.column_names:
                 if wanted is not None and column_name.lower() not in wanted:
                     continue
+                self._checkpoint()  # per-column scan materialization
                 if surviving is None:
                     array = table.column(column_name)
                 else:
@@ -747,7 +790,11 @@ class Executor:
                     encodings[name] = encoded
         size = table.chunk_rows
 
+        deadline = self._deadline
+
         def filter_chunk(chunk_id: int) -> np.ndarray:
+            if deadline is not None:
+                deadline.check()  # per-chunk checkpoint (runs on pool threads)
             chunk_id = int(chunk_id)
             start = chunk_id * size
             chunk_frame = Frame()
@@ -800,6 +847,7 @@ class Executor:
         """Filter a scan frame with its pushed-down WHERE conjuncts."""
         if scan is None or not scan.predicates:
             return frame
+        self._checkpoint()
         predicate = ast.conjunction(scan.predicates)
         context = self._context(frame.num_rows)
         mask = evaluate(predicate, frame, context, self._scalar_subquery)
@@ -818,6 +866,7 @@ class Executor:
         index = joins.next()
         left = self._build_frame(join.left, plan, joins)
         right = self._build_frame(join.right, plan, joins)
+        self._checkpoint()  # before the join build (hash table / merge)
         context = self._context(left.num_rows)
 
         condition = join.condition
@@ -1042,6 +1091,7 @@ class Executor:
                 statement, aggregate_nodes, frame, keys, context
             )
         for position, node in enumerate(aggregate_nodes.values()):
+            self._checkpoint()  # per-aggregate checkpoint in grouped evaluation
             post_frame.add_column(
                 None,
                 f"__agg_{position}",

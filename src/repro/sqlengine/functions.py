@@ -26,6 +26,12 @@ class EvaluationContext:
         params: bound query-parameter values for ``?`` / ``:name``
             placeholders — a sequence (positional) or mapping (named), or
             None when the statement was executed without parameters.
+        deadline: optional :class:`repro.faults.QueryDeadline`; the executor
+            calls :meth:`checkpoint` in its hot loops so a timeout or a
+            cross-thread cancel stops the query cooperatively.
+        faults: optional :class:`repro.faults.FaultInjector` whose
+            ``executor.checkpoint`` failpoint fires at every checkpoint
+            (chaos tests use it to simulate slow or failing scans).
     """
 
     def __init__(
@@ -33,10 +39,21 @@ class EvaluationContext:
         num_rows: int,
         rng: np.random.Generator,
         params: Sequence | dict | None = None,
+        deadline=None,
+        faults=None,
     ) -> None:
         self.num_rows = num_rows
         self.rng = rng
         self.params = params
+        self.deadline = deadline
+        self.faults = faults
+
+    def checkpoint(self) -> None:
+        """Cooperative cancellation point for the executor's hot loops."""
+        if self.faults is not None:
+            self.faults.fire("executor.checkpoint")
+        if self.deadline is not None:
+            self.deadline.check()
 
     def param_value(self, placeholder) -> object:
         """Resolve one :class:`~repro.sqlengine.sqlast.Placeholder`.

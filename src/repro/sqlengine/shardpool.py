@@ -38,10 +38,13 @@ import multiprocessing.reduction
 import os
 import sys
 import threading
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.errors import QueryCancelledError, QueryTimeoutError
+from repro.faults import InjectedFault
 from repro.sqlengine import partialagg
 from repro.sqlengine.encoding import NULL_SENTINEL, unescape_key
 from repro.sqlengine.expressions import Frame, LazyCodes, evaluate
@@ -57,6 +60,89 @@ _segment_counter = itertools.count()
 
 class ShardPoolError(Exception):
     """The pool is unusable for this dispatch; callers fall back to serial."""
+
+
+class _WorkerDied(Exception):
+    """Internal: one worker's pipe went dead mid-exchange (respawn + retry)."""
+
+
+class CircuitBreaker:
+    """Dispatch circuit over the shard pool: closed → open → half-open.
+
+    After ``threshold`` *consecutive* dispatch failures the circuit opens and
+    every query takes the serial path with zero dispatch overhead (no
+    publication checks, no pickling, no pipe traffic).  Once ``cooldown``
+    seconds have passed, the next :meth:`allow` admits a single half-open
+    probe; its outcome either closes the circuit again or re-opens it for
+    another cool-down.  Thread-safe; transitions are reported through
+    ``on_transition(old_state, new_state)`` so the engine can expose them in
+    ``Database.stats`` and ``Database.health()``.
+    """
+
+    STATES = ("closed", "open", "half_open")
+
+    def __init__(
+        self,
+        threshold: int = 3,
+        cooldown: float = 5.0,
+        on_transition=None,
+    ) -> None:
+        self.threshold = max(1, int(threshold))
+        self.cooldown = float(cooldown)
+        self._on_transition = on_transition
+        self._lock = threading.Lock()
+        self._state = "closed"
+        self._failures = 0
+        self._opened_at = 0.0
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    @property
+    def consecutive_failures(self) -> int:
+        with self._lock:
+            return self._failures
+
+    def allow(self) -> bool:
+        """Whether a dispatch may be attempted right now.
+
+        In the open state this is one lock-protected comparison — the
+        "zero dispatch overhead" serial path.
+        """
+        with self._lock:
+            if self._state == "closed":
+                return True
+            if self._state == "open":
+                if time.monotonic() - self._opened_at >= self.cooldown:
+                    self._transition("half_open")
+                    return True  # exactly one probe crosses the open circuit
+                return False
+            return False  # half_open: a probe is already in flight
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._failures = 0
+            if self._state != "closed":
+                self._transition("closed")
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._failures += 1
+            if self._state == "half_open" or (
+                self._state == "closed" and self._failures >= self.threshold
+            ):
+                self._opened_at = time.monotonic()
+                self._transition("open")
+
+    def _transition(self, new_state: str) -> None:
+        old_state, self._state = self._state, new_state
+        if self._on_transition is not None:
+            try:
+                self._on_transition(old_state, new_state)
+            except Exception:  # pragma: no cover - observers must not break dispatch
+                pass
 
 
 def shared_memory_available() -> bool:
@@ -104,6 +190,9 @@ class PublishedTable:
     meta: dict
     num_rows: int
     faithful: frozenset
+    #: True once the backing shm file is known to be gone (chaos unlink):
+    #: cleanup then only closes the mapping instead of double-unlinking.
+    lost: bool = field(default=False)
 
 
 # ---------------------------------------------------------------------------
@@ -259,7 +348,14 @@ class ShardPool:
         with cls._registry_lock:
             return set(cls._live_segments)
 
-    def __init__(self, workers: int) -> None:
+    def __init__(
+        self,
+        workers: int,
+        on_event=None,
+        retry_backoff: float = 0.02,
+        retry_backoff_cap: float = 0.25,
+        seed: int = 0,
+    ) -> None:
         if shared_memory is None:  # pragma: no cover - platform guard
             raise ShardPoolError("multiprocessing.shared_memory is unavailable")
         self.workers = max(2, int(workers))
@@ -269,64 +365,165 @@ class ShardPool:
         self._connections: list = []
         self._processes: list = []
         self._published: dict[str, PublishedTable] = {}
+        self._on_event = on_event
+        self._retry_backoff = float(retry_backoff)
+        self._retry_backoff_cap = float(retry_backoff_cap)
+        self._rng = np.random.default_rng(seed)
         try:
             self._context = multiprocessing.get_context("fork")
         except ValueError:  # pragma: no cover - non-POSIX fallback
             self._context = multiprocessing.get_context()
 
+    def _event(self, name: str) -> None:
+        """Report a supervision event (engine wires this to ``bump_stat``)."""
+        if self._on_event is not None:
+            try:
+                self._on_event(name)
+            except Exception:  # pragma: no cover - observers must not break dispatch
+                pass
+
     # -- lifecycle -----------------------------------------------------------
+
+    def _spawn_worker(self) -> tuple:
+        parent, child = self._context.Pipe()
+        process = self._context.Process(target=_worker_main, args=(child,), daemon=True)
+        process.start()
+        child.close()
+        return parent, process
 
     def _ensure_started(self) -> None:
         if self._started:
             return
         for _ in range(self.workers):
-            parent, child = self._context.Pipe()
-            process = self._context.Process(
-                target=_worker_main, args=(child,), daemon=True
-            )
-            process.start()
-            child.close()
+            parent, process = self._spawn_worker()
             self._connections.append(parent)
             self._processes.append(process)
         self._started = True
 
+    def alive_workers(self) -> int:
+        """How many worker processes are currently running."""
+        return sum(1 for process in self._processes if process.is_alive())
+
+    def published_count(self) -> int:
+        return len(self._published)
+
+    def _respawn(self, index: int) -> None:
+        """Replace one worker and re-publish every live segment to it.
+
+        New workers only need the publication *metadata* (segment name +
+        layout); the column bytes already live in shared memory, so recovery
+        cost is a fork plus a few small pipe messages.
+        """
+        try:
+            self._connections[index].close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+        old_process = self._processes[index]
+        if old_process.is_alive():
+            old_process.kill()
+        old_process.join(timeout=2)
+        parent, process = self._spawn_worker()
+        self._connections[index] = parent
+        self._processes[index] = process
+        self._event("worker_respawns")
+        try:
+            for published in self._published.values():
+                parent.send(("publish", published.key[-1], published.meta))
+                if not parent.poll(30):  # pragma: no cover - fork wedged
+                    raise ShardPoolError("respawned worker did not ack publication")
+                parent.recv()
+        except (OSError, EOFError, ShardPoolError) as error:  # pragma: no cover
+            self.broken = True
+            raise ShardPoolError(
+                f"could not republish to respawned worker: {error}"
+            ) from error
+
+    def _revive_dead_workers(self) -> None:
+        """Reap and replace any worker that died since the last dispatch."""
+        if not self._started:
+            return
+        for index, process in enumerate(self._processes):
+            if not process.is_alive():
+                self._respawn(index)
+
+    def _retry_sleep(self, attempt: int) -> None:
+        """Bounded exponential backoff with jitter before a task retry."""
+        base = min(self._retry_backoff * (2**attempt), self._retry_backoff_cap)
+        time.sleep(base + float(self._rng.random()) * self._retry_backoff)
+
     def close(self) -> None:
-        """Stop workers and unlink every live segment (idempotent)."""
+        """Stop workers and unlink every live segment (idempotent).
+
+        Shutdown escalates: cooperative stop + ``join``, then ``terminate()``
+        (SIGTERM), then ``kill()`` (SIGKILL, which ends even a stopped or
+        wedged worker).  Segment unlinking sits in a ``finally`` so no
+        ``/dev/shm`` segment outlives the pool no matter how shutdown went.
+        """
         self.broken = True
-        for connection in self._connections:
-            try:
-                connection.send(("stop",))
-            except (OSError, ValueError):
-                pass
-        for process in self._processes:
-            process.join(timeout=2)
-            if process.is_alive():  # pragma: no cover - hung worker
-                process.terminate()
-                process.join(timeout=2)
-        for connection in self._connections:
-            try:
-                connection.close()
-            except OSError:  # pragma: no cover
-                pass
-        self._connections = []
-        self._processes = []
-        for published in list(self._published.values()):
-            self._unlink(published)
-        self._published = {}
+        try:
+            for connection in self._connections:
+                try:
+                    connection.send(("stop",))
+                except (OSError, ValueError):
+                    pass
+            for process in self._processes:
+                process.join(timeout=1)
+                if process.is_alive():
+                    process.terminate()
+                    process.join(timeout=1)
+                if process.is_alive():
+                    process.kill()
+                    process.join(timeout=5)
+                    self._event("worker_force_kills")
+            for connection in self._connections:
+                try:
+                    connection.close()
+                except OSError:  # pragma: no cover
+                    pass
+        finally:
+            self._connections = []
+            self._processes = []
+            for published in list(self._published.values()):
+                self._unlink(published)
+            self._published = {}
 
     def _unlink(self, published: PublishedTable) -> None:
         try:
             published.segment.close()
-            published.segment.unlink()
+            if not published.lost:
+                published.segment.unlink()
         except FileNotFoundError:  # pragma: no cover - already gone
             pass
         with self._registry_lock:
             self._live_segments.discard(published.key[-1])
 
+    # -- chaos actions (fault-injection targets) -----------------------------
+
+    def _chaos_kill_worker(self) -> None:
+        """Failpoint action: SIGKILL one live worker (supervision recovers)."""
+        for process in self._processes:
+            if process.is_alive():
+                process.kill()
+                process.join(timeout=2)
+                return
+
+    def _chaos_unlink_segment(self) -> None:
+        """Failpoint action: delete one published shm file out from under us."""
+        for published in self._published.values():
+            if not published.lost:
+                try:
+                    published.segment.unlink()
+                except FileNotFoundError:  # pragma: no cover
+                    pass
+                published.lost = True
+                with self._registry_lock:
+                    self._live_segments.discard(published.key[-1])
+                return
+
     # -- publication ---------------------------------------------------------
 
     def ensure_published(
-        self, table, catalog_version: int
+        self, table, catalog_version: int, faults=None
     ) -> tuple[PublishedTable | None, bool]:
         """Publish (or reuse) the table's current version.
 
@@ -346,10 +543,13 @@ class ShardPool:
         if published is not None and published.key[:3] == key:
             return published, False
         self._ensure_started()
+        self._revive_dead_workers()
         if published is not None:
             self._broadcast(("release", [published.key[-1]]))
             self._unlink(published)
             self._published.pop(name, None)
+        if faults is not None:
+            faults.fire("shardpool.publish")
         published = self._publish(table, key)
         if published is not None:
             self._published[name] = published
@@ -421,13 +621,38 @@ class ShardPool:
 
     # -- dispatch ------------------------------------------------------------
 
-    def run_tasks(self, tasks: list[dict]) -> list[partialagg.ShardState]:
-        """Run one task per worker and return the shard states in task order."""
+    #: Hard cap on how long a collect waits for one worker without a deadline.
+    WORKER_TIMEOUT_SECONDS = 300.0
+
+    def run_tasks(
+        self, tasks: list[dict], deadline=None, faults=None
+    ) -> list[partialagg.ShardState]:
+        """Run one task per worker and return the shard states in task order.
+
+        Supervision: dead workers are reaped and respawned before dispatch;
+        a task whose worker dies (or errors) is retried exactly once on a
+        healthy worker after a short jittered backoff.  Only a retry failure
+        marks the dispatch as failed — and even then via
+        :class:`ShardPoolError`, which the executor turns into a serial
+        fallback.  ``deadline`` bounds the collect: expiry (or a
+        cross-thread cancel) respawns every worker with an outstanding
+        response — keeping the request/response pipe pairing intact — and
+        re-raises the typed error.
+        """
         if self.broken:
             raise ShardPoolError("pool is closed")
         self._ensure_started()
+        self._revive_dead_workers()
         if len(tasks) > len(self._connections):
             raise ShardPoolError("more tasks than workers")
+        if faults is not None:
+            faults.fire(
+                "shardpool.dispatch",
+                actions={
+                    "kill_worker": self._chaos_kill_worker,
+                    "unlink_segment": self._chaos_unlink_segment,
+                },
+            )
         # Serialize every task before sending the first one: an unpicklable
         # payload (exotic placeholder parameters) must fail cleanly, not
         # after some workers already received work — that would desynchronize
@@ -439,26 +664,101 @@ class ShardPool:
             ]
         except Exception as error:  # noqa: BLE001 - any pickling failure
             raise ShardPoolError(f"task not picklable: {error}") from error
-        for connection, payload in zip(self._connections, payloads):
+
+        results: list = [None] * len(tasks)
+        failed: list[int] = []
+        sent: list[int] = []
+        for index, payload in enumerate(payloads):
+            if self._send_payload(index, payload):
+                sent.append(index)
+            else:
+                failed.append(index)  # worker already respawned; retried below
+        if faults is not None:
             try:
-                connection.send_bytes(bytes(payload))
-            except (OSError, ValueError) as error:
-                self.broken = True
-                raise ShardPoolError(f"worker pipe failed: {error}") from error
-        return self._collect(len(tasks))
+                faults.fire("shardpool.collect")
+            except InjectedFault as error:
+                for index in sent:
+                    self._respawn(index)
+                raise ShardPoolError(f"injected collect failure: {error}") from error
+        for position, index in enumerate(sent):
+            try:
+                status, payload = self._recv(index, deadline)
+            except _WorkerDied:
+                self._respawn(index)
+                failed.append(index)
+                continue
+            except (QueryTimeoutError, QueryCancelledError):
+                # Every worker from here on still owes a response; replacing
+                # them keeps the pipes request/response-synchronized.
+                for pending_index in sent[position:]:
+                    self._respawn(pending_index)
+                raise
+            if status == "err":
+                failed.append(index)
+            else:
+                results[index] = payload
+
+        for attempt, index in enumerate(sorted(failed)):
+            self._retry_sleep(attempt)
+            self._revive_dead_workers()
+            self._event("shard_task_retries")
+            if not self._send_payload(index, payloads[index]):
+                raise ShardPoolError("worker unavailable for retry dispatch")
+            try:
+                status, payload = self._recv(index, deadline)
+            except _WorkerDied as death:
+                self._respawn(index)
+                raise ShardPoolError(f"shard task failed after retry: {death}") from death
+            except (QueryTimeoutError, QueryCancelledError):
+                self._respawn(index)
+                raise
+            if status == "err":
+                raise ShardPoolError(f"worker error (after retry): {payload}")
+            results[index] = payload
+        return results
+
+    def _send_payload(self, index: int, payload) -> bool:
+        """Send one pre-pickled task; on pipe failure respawn and report False."""
+        try:
+            self._connections[index].send_bytes(bytes(payload))
+            return True
+        except (OSError, ValueError):
+            self._respawn(index)
+            return False
+
+    def _recv(self, index: int, deadline=None) -> tuple:
+        """Await one worker response, honouring the query deadline.
+
+        Polls in short steps so a timeout or a cross-thread cancel is
+        noticed within ~50ms; raises :class:`_WorkerDied` when the pipe goes
+        dead (EOF from a killed worker arrives immediately, so dead workers
+        never cost the full poll budget).
+        """
+        connection = self._connections[index]
+        waited = 0.0
+        while True:
+            if deadline is not None:
+                deadline.check()
+            step = 0.05 if deadline is not None else 1.0
+            try:
+                if connection.poll(step):
+                    return connection.recv()
+            except (EOFError, OSError) as error:
+                raise _WorkerDied(f"worker {index} died: {error}") from error
+            waited += step
+            if waited >= self.WORKER_TIMEOUT_SECONDS:  # pragma: no cover - wedged worker
+                raise _WorkerDied(f"worker {index} unresponsive for {waited:.0f}s")
 
     def _collect(self, count: int) -> list:
+        """Collect publish acks from the first ``count`` workers."""
         results = []
-        for connection in self._connections[:count]:
+        for index in range(count):
             try:
-                if not connection.poll(300):
-                    self.broken = True
-                    raise ShardPoolError("worker timed out")
-                status, payload = connection.recv()
-            except (EOFError, OSError) as error:
+                status, payload = self._recv(index)
+            except _WorkerDied as error:
                 self.broken = True
-                raise ShardPoolError(f"worker died: {error}") from error
-            if status == "err":
+                raise ShardPoolError(str(error)) from error
+            if status == "err":  # pragma: no cover - publish never errors today
                 raise ShardPoolError(f"worker error: {payload}")
             results.append(payload)
         return results

@@ -12,6 +12,13 @@ and the floors are checked once, in the dedicated ``bench-floors`` job
 (``benchmarks/run_all.py --quick`` through ``compare_bench.py``), instead of
 once per interpreter.  Run ``pytest -m bench_floor -q`` locally to check the
 committed floors in milliseconds.
+
+``chaos`` marks the fault-injection resilience suite
+(``tests/test_resilience.py``): worker kills, segment unlinks, connector
+failures, deadlines and cancellation.  It runs in the regular tier-1 pass
+and again, across several seeds, in CI's dedicated ``chaos`` job::
+
+    REPRO_CHAOS_SEED=1 PYTHONPATH=src python -m pytest -m chaos -q
 """
 
 from __future__ import annotations
@@ -33,6 +40,11 @@ def pytest_configure(config):
     config.addinivalue_line(
         "markers",
         "bench_floor: cheap validation of the committed benchmark speedup floors",
+    )
+    config.addinivalue_line(
+        "markers",
+        "chaos: fault-injection resilience suite (tests/test_resilience.py); "
+        "CI runs it across several seeds via REPRO_CHAOS_SEED",
     )
 
 
