@@ -1,0 +1,145 @@
+"""Benchmark — the AQP hot loop dispatched to the process-sharded executor.
+
+One end-to-end workload (**aqp_parallel**) drives the full middleware stack
+the way a user would: ``repro.connect()`` against a built-in engine, a
+uniform scramble built with ``create_sample``, and an approximate grouped
+query answered through the rewriter.  The rewritten subsample query groups
+by ``vdb_sid`` over a sid-clustered scramble, which is exactly the
+group-aligned shape the Round-8 dispatcher admits — so the same session-level
+call is timed twice:
+
+* **optimized** — the engine's ``parallel_exec`` pool shards the scramble
+  scan (columns live in shared memory, the frozen plan spec rides the
+  cross-process plan cache);
+* **baseline** — the identical query pinned to the serial executor via
+  ``ExecutionOptions(parallel=False)``, the A/B escape hatch.
+
+Both answers must be *bit-identical* (the dispatcher's contract), and the
+counters must prove the parallel phase actually dispatched while the pinned
+phase never touched the pool.  The 1.3x floor assumes >= 4 CPU cores
+(``FLOOR_MIN_CORES``); smaller machines record the honest measurement and
+skip the floor.
+
+Results are written to ``benchmarks/BENCH_aqp_parallel.json``.  Run
+standalone with ``PYTHONPATH=src python benchmarks/bench_aqp_parallel.py`` —
+the standalone path also diffs against the committed baseline via
+``compare_bench`` and fails on any floor regression.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+import repro
+from repro.api.options import ExecutionOptions
+from repro.core.sample_planner import PlannerConfig
+from repro.sqlengine import Database
+
+RESULTS_PATH = Path(__file__).resolve().parent / "BENCH_aqp_parallel.json"
+
+ROWS = 2_000_000
+QUICK_ROWS = 300_000
+SAMPLE_RATIO = 0.25
+PARALLEL_WORKERS = 4
+
+AQP_SQL = (
+    "SELECT region, count(*) AS n, sum(qty) AS total, avg(price) AS mean "
+    "FROM orders GROUP BY region ORDER BY region"
+)
+
+FLOORS = {"aqp_parallel": 1.3}
+
+
+def _orders_columns(quick: bool) -> dict:
+    rows = QUICK_ROWS if quick else ROWS
+    rng = np.random.default_rng(23)
+    return {
+        "region": rng.choice(["east", "west", "north", "south"], rows).astype(object),
+        "qty": rng.integers(1, 100, rows),
+        "price": rng.gamma(2.0, 8.0, rows),
+    }
+
+
+def _time_session(session, sql: str, repeats: int, options=None):
+    result = session.sql(sql, options=options)  # warmup: caches, publication
+    started = time.perf_counter()
+    for _ in range(repeats):
+        result = session.sql(sql, options=options)
+    return (time.perf_counter() - started) / repeats, result
+
+
+def run(quick: bool = False) -> dict:
+    """Run the workload, A/B-verify bit-identity, and write the report JSON."""
+    cores = os.cpu_count() or 1
+    report: dict = {"unit": "seconds_per_query", "cores": cores, "workloads": {}}
+    repeats = 5 if quick else 12
+
+    engine = Database(seed=0, parallel_exec=PARALLEL_WORKERS)
+    # A quarter-size scramble exceeds the default 2% I/O budget; the point
+    # here is the executor, not the planner's budget arithmetic.
+    connection = repro.connect(
+        database=engine, planner_config=PlannerConfig(io_budget=0.5)
+    )
+    session = connection.session
+    try:
+        session.connector.load_table("orders", _orders_columns(quick))
+        session.create_sample("orders", repro.SampleSpec("uniform", (), SAMPLE_RATIO))
+
+        par_seconds, par_result = _time_session(session, AQP_SQL, repeats)
+        dispatched = engine.stats["parallel_exec_dispatches"]
+        if engine.exec_workers >= 2 and not dispatched:
+            raise AssertionError("aqp_parallel: the rewritten query never dispatched")
+
+        ser_seconds, ser_result = _time_session(
+            session, AQP_SQL, repeats, options=ExecutionOptions(parallel=False)
+        )
+        if engine.stats["parallel_exec_dispatches"] != dispatched:
+            raise AssertionError("aqp_parallel: parallel=False still hit the pool")
+
+        if par_result.is_exact or ser_result.is_exact:
+            raise AssertionError("aqp_parallel: the query was not answered from the sample")
+        if list(par_result.rows()) != list(ser_result.rows()):
+            raise AssertionError("aqp_parallel: parallel answer is not bit-identical")
+
+        report["workloads"]["aqp_parallel"] = {
+            "baseline": "same approximate query pinned serial (parallel=False)",
+            "baseline_seconds": round(ser_seconds, 6),
+            "optimized_seconds": round(par_seconds, 6),
+            "speedup": round(ser_seconds / par_seconds, 2),
+            "floor": FLOORS["aqp_parallel"],
+            "floor_min_cores": 4,
+            "workers": PARALLEL_WORKERS,
+            "sample_ratio": SAMPLE_RATIO,
+            "repeats": repeats,
+        }
+    finally:
+        connection.close()
+        engine.close()
+
+    RESULTS_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+def test_aqp_parallel_speedups(report):
+    records = run()
+    rows = [
+        {"workload": name, **metrics} for name, metrics in records["workloads"].items()
+    ]
+    report["AQP hot loop — process-sharded subsample queries"] = rows
+    for name, metrics in records["workloads"].items():
+        if records["cores"] < metrics.get("floor_min_cores", 0):
+            continue  # hardware-gated floor (FLOOR_MIN_CORES)
+        assert metrics["speedup"] >= metrics["floor"], (name, metrics)
+
+
+if __name__ == "__main__":
+    fresh = run(quick=bool(os.environ.get("BENCH_QUICK")))
+    print(json.dumps(fresh, indent=2))
+    from compare_bench import compare_and_check
+
+    raise SystemExit(compare_and_check(RESULTS_PATH.name, fresh))

@@ -77,6 +77,11 @@ FLOORS: dict[str, dict[str, float]] = {
         "shm_dispatch": 1.3,
         "zone_agg_where": 4.0,
     },
+    # End-to-end AQP: an approximate grouped query through repro.connect(),
+    # sharded by the pool vs the same query pinned serial (parallel=False).
+    "BENCH_aqp_parallel.json": {
+        "aqp_parallel": 1.3,
+    },
     # Resilience guards: deadline checkpoints must stay within ~5% of the
     # bare shm_dispatch hot path, and supervised worker recovery must beat
     # a cold pool rebuild.
@@ -92,6 +97,7 @@ FLOORS: dict[str, dict[str, float]] = {
 FLOOR_MIN_CORES: dict[str, dict[str, int]] = {
     "BENCH_round4.json": {"parallel_scan": 4},
     "BENCH_parallel.json": {"parallel_group_agg": 4, "shm_dispatch": 2},
+    "BENCH_aqp_parallel.json": {"aqp_parallel": 4},
     "BENCH_resilience.json": {"checkpoint_overhead": 2, "worker_kill_recovery": 2},
 }
 

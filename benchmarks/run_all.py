@@ -38,6 +38,7 @@ BENCH_DIR = Path(__file__).resolve().parent
 sys.path.insert(0, str(BENCH_DIR))
 
 import bench_api_hotpath  # noqa: E402
+import bench_aqp_parallel  # noqa: E402
 import bench_parallel_agg  # noqa: E402
 import bench_planner_hotpath  # noqa: E402
 import bench_resilience  # noqa: E402
@@ -53,6 +54,7 @@ SUITES = [
     (bench_round4, "BENCH_round4.json"),
     (bench_api_hotpath, "BENCH_api.json"),
     (bench_parallel_agg, "BENCH_parallel.json"),
+    (bench_aqp_parallel, "BENCH_aqp_parallel.json"),
     (bench_resilience, "BENCH_resilience.json"),
 ]
 

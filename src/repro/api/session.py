@@ -321,18 +321,22 @@ class VerdictSession:
 
         statement = template.statement
         if not isinstance(statement, ast.SelectStatement):
-            result = self.connector.execute(statement, bound, deadline=deadline)
+            result = self.connector.execute(
+                statement, bound, deadline=deadline, parallel=options.parallel
+            )
             return self._exact_result(result, started)
 
         if options.mode == "exact":
             return self._execute_exact_select(
-                statement, started, "exact mode requested", bound, deadline
+                statement, started, "exact mode requested", bound, deadline,
+                parallel=options.parallel,
             )
 
         analysis = template.analysis
         if not analysis.supported:
             return self._execute_exact_select(
-                statement, started, analysis.unsupported_reason, bound, deadline
+                statement, started, analysis.unsupported_reason, bound, deadline,
+                parallel=options.parallel,
             )
 
         plan = self._plan(analysis, sample_hint=options.sample_hint)
@@ -340,7 +344,9 @@ class VerdictSession:
             reason = "no feasible sample plan within the I/O budget"
             if options.sample_hint is not None:
                 reason = f"no feasible plan using sample hint {options.sample_hint!r}"
-            return self._execute_exact_select(statement, started, reason, bound, deadline)
+            return self._execute_exact_select(
+                statement, started, reason, bound, deadline, parallel=options.parallel
+            )
 
         confidence = (
             self.confidence if options.confidence is None else options.confidence
@@ -355,9 +361,12 @@ class VerdictSession:
                 params=bound,
                 confidence=confidence,
                 deadline=deadline,
+                parallel=options.parallel,
             )
         except RewriteError as error:
-            return self._execute_exact_select(statement, started, str(error), bound, deadline)
+            return self._execute_exact_select(
+                statement, started, str(error), bound, deadline, parallel=options.parallel
+            )
         except (QueryTimeoutError, QueryCancelledError):
             raise  # a dead deadline must not trigger a second, exact attempt
         except OperationalError as error:
@@ -373,6 +382,7 @@ class VerdictSession:
                 f"approximate execution failed ({error}); degraded to exact",
                 bound,
                 deadline,
+                parallel=options.parallel,
             )
         result.elapsed_seconds = time.perf_counter() - started
 
@@ -471,7 +481,8 @@ class VerdictSession:
         # attempt that failed the contract — the latency the caller actually
         # experienced — not just the fallback execution.
         return self._execute_exact_select(
-            statement, started, "accuracy contract violated; re-running exactly", params, deadline
+            statement, started, "accuracy contract violated; re-running exactly",
+            params, deadline, parallel=options.parallel,
         )
 
     def _sync_with_backend(self) -> None:
@@ -534,8 +545,11 @@ class VerdictSession:
         reason: str,
         params: dict | None = None,
         deadline: QueryDeadline | None = None,
+        parallel: bool | None = None,
     ) -> ApproximateResult:
-        result = self.connector.execute(statement, params, deadline=deadline)
+        result = self.connector.execute(
+            statement, params, deadline=deadline, parallel=parallel
+        )
         answer = self._exact_result(result, started)
         answer.plan_description = f"exact execution ({reason})"
         return answer
@@ -633,12 +647,15 @@ class VerdictSession:
         params: dict | None = None,
         confidence: float | None = None,
         deadline: QueryDeadline | None = None,
+        parallel: bool | None = None,
     ) -> ApproximateResult:
         include_errors = self.include_errors if include_errors is None else include_errors
         confidence = self.confidence if confidence is None else confidence
         prepared = self._prepare_rewrite(statement, analysis, plan, include_errors, query_text)
         if prepared is None:
-            result = self.connector.execute(statement, params, deadline=deadline)
+            result = self.connector.execute(
+                statement, params, deadline=deadline, parallel=parallel
+            )
             answer = ApproximateResult(result, is_exact=True, confidence=confidence)
             answer.plan_description = "exact execution (mixed aggregate kinds in one item)"
             return answer
@@ -657,7 +674,7 @@ class VerdictSession:
         with self.connector.consistent_read():
             if prepared.primary is not None:
                 primary_result = self.connector.execute(
-                    prepared.primary_sql, params, deadline=deadline
+                    prepared.primary_sql, params, deadline=deadline, parallel=parallel
                 )
                 estimate_columns.update(prepared.primary.estimate_columns)
 
@@ -666,7 +683,7 @@ class VerdictSession:
                 secondary_results.append(
                     (
                         self.connector.execute(
-                            prepared.distinct_sql, params, deadline=deadline
+                            prepared.distinct_sql, params, deadline=deadline, parallel=parallel
                         ),
                         prepared.distinct.estimate_columns,
                     )
@@ -675,7 +692,7 @@ class VerdictSession:
                 secondary_results.append(
                     (
                         self.connector.execute(
-                            prepared.extreme_sql, params, deadline=deadline
+                            prepared.extreme_sql, params, deadline=deadline, parallel=parallel
                         ),
                         prepared.extreme_columns,
                     )

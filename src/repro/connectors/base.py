@@ -46,6 +46,7 @@ class Connector(abc.ABC):
         sql: str,
         params: Sequence | Mapping | None = None,
         deadline=None,
+        parallel: bool | None = None,
     ) -> ResultSet:
         """Execute raw SQL text on the backend and return its result.
 
@@ -55,7 +56,9 @@ class Connector(abc.ABC):
         ``deadline`` is an optional :class:`~repro.faults.QueryDeadline` the
         backend should honour cooperatively; drivers without a cancellation
         hook may ignore it (the deadline is still enforced at the next
-        middleware checkpoint).
+        middleware checkpoint).  ``parallel=False`` asks the backend to pin
+        this statement to its serial path; backends without a parallel
+        executor ignore it.
         """
 
     def execute(
@@ -63,6 +66,7 @@ class Connector(abc.ABC):
         statement: ast.Statement | str,
         params: Sequence | Mapping | None = None,
         deadline=None,
+        parallel: bool | None = None,
     ) -> ResultSet:
         """Execute an AST statement (rendered via the Syntax Changer) or raw SQL."""
         if isinstance(statement, str):
@@ -75,7 +79,7 @@ class Connector(abc.ABC):
         if deadline is not None:
             deadline.check()
         self.queries_issued.append(sql)
-        return self.execute_sql(sql, params, deadline=deadline)
+        return self.execute_sql(sql, params, deadline=deadline, parallel=parallel)
 
     def health(self) -> dict:
         """Cheap liveness/degradation report for this backend.

@@ -46,10 +46,12 @@ class BuiltinConnector(Connector):
         )
         self.fixed_overhead_seconds = fixed_overhead_seconds
 
-    def execute_sql(self, sql: str, params=None, deadline=None) -> ResultSet:
+    def execute_sql(self, sql: str, params=None, deadline=None, parallel=None) -> ResultSet:
         if self.fixed_overhead_seconds > 0:
             time.sleep(self.fixed_overhead_seconds)
-        return self.database.execute(sql, params=params, deadline=deadline)
+        return self.database.execute(
+            sql, params=params, deadline=deadline, parallel=parallel
+        )
 
     @property
     def fault_injector(self):

@@ -20,7 +20,7 @@ from repro.errors import CatalogError, ExecutionError
 from repro.faults import as_injector
 from repro.sqlengine import functions, parser, shardpool, sqlast as ast
 from repro.sqlengine.catalog import Catalog
-from repro.sqlengine.executor import Executor
+from repro.sqlengine.executor import DEFAULT_MIN_SHARD_ROWS, Executor
 from repro.sqlengine.expressions import Frame, evaluate
 from repro.sqlengine.planner import SelectPlan, ordering_target, plan_select
 from repro.sqlengine.resultset import ResultSet
@@ -81,6 +81,14 @@ class Database:
             ``stats['parallel_exec_dispatches'/'parallel_exec_fallbacks'/
             'shard_publications']``.  ``close()`` (or context-manager exit)
             stops the workers and unlinks every segment.
+        parallel_exec_min_shard_rows: process-mode dispatch admission floor —
+            a query whose (pruned) input cannot fill at least two shards of
+            this many rows runs serially instead of dispatching at a loss.
+            ``None`` uses the default
+            (:data:`repro.sqlengine.executor.DEFAULT_MIN_SHARD_ROWS`); ``0``
+            disables the gate.  The in-thread ``parallel_exec=1`` mode
+            ignores it (that mode exists to exercise the merge algebra on
+            small fixtures).
         fault_injection: optional failpoint configuration — a mapping of
             site name to :class:`repro.faults.FaultSpec` (or spec dict), or
             a ready :class:`repro.faults.FaultInjector`.  Inert in
@@ -102,6 +110,7 @@ class Database:
         chunk_rows: int | None = None,
         parallel_scan: int | bool | None = None,
         parallel_exec: int | bool | None = None,
+        parallel_exec_min_shard_rows: int | None = None,
         fault_injection=None,
         circuit_threshold: int = 3,
         circuit_cooldown: float = 5.0,
@@ -123,6 +132,11 @@ class Database:
             self.exec_workers = max(0, int(parallel_exec))
         if self.exec_workers >= 2 and not shardpool.shared_memory_available():
             self.exec_workers = 1  # pragma: no cover - platform fallback
+        self.min_shard_rows = (
+            DEFAULT_MIN_SHARD_ROWS
+            if parallel_exec_min_shard_rows is None
+            else max(0, int(parallel_exec_min_shard_rows))
+        )
         self._scan_pool: ThreadPoolExecutor | None = None
         self._shard_pool: shardpool.ShardPool | None = None
         self._pool_lock = threading.Lock()
@@ -141,6 +155,15 @@ class Database:
             "parallel_exec_dispatches": 0,
             "parallel_exec_fallbacks": 0,
             "shard_publications": 0,
+            # Round-8 dispatch tiers and the cross-process plan cache: how
+            # many dispatches were joins / used expression group keys, and
+            # how often a dispatch reused an already-published plan spec
+            # (hits >> publications is the prepared-statement proof that
+            # re-executions ship no plan state).
+            "parallel_exec_join_dispatches": 0,
+            "parallel_exec_expr_key_dispatches": 0,
+            "plan_cache_shm_hits": 0,
+            "plan_cache_shm_publications": 0,
             "statement_cache_hits": 0,
             "statement_cache_misses": 0,
             "plan_cache_hits": 0,
@@ -222,6 +245,7 @@ class Database:
         sql: str,
         params: Sequence | Mapping | None = None,
         deadline=None,
+        parallel: bool | None = None,
     ) -> ResultSet:
         """Parse and execute one SQL statement, returning its result set.
 
@@ -238,14 +262,23 @@ class Database:
         skipping) is simply not generated for placeholder predicates; the
         run-time fast paths (dictionary comparisons, IN-list probes) resolve
         the bound value per call and stay engaged.
+
+        ``parallel=False`` pins this one statement to the serial executor
+        (the session layer uses it for ``ExecutionOptions.parallel``);
+        ``None``/``True`` leave the engine's ``parallel_exec`` setting in
+        charge.
         """
         if not self.optimize:
-            return self.execute_statement(parser.parse(sql), params=params, deadline=deadline)
+            return self.execute_statement(
+                parser.parse(sql), params=params, deadline=deadline, parallel=parallel
+            )
         statement = self._cached_statement(sql)
         plan = None
         if isinstance(statement, ast.SelectStatement):
             plan = self._cached_plan(sql, statement)
-        return self.execute_statement(statement, plan=plan, params=params, deadline=deadline)
+        return self.execute_statement(
+            statement, plan=plan, params=params, deadline=deadline, parallel=parallel
+        )
 
     def execute_statement(
         self,
@@ -253,13 +286,14 @@ class Database:
         plan: SelectPlan | None = None,
         params: Sequence | Mapping | None = None,
         deadline=None,
+        parallel: bool | None = None,
     ) -> ResultSet:
         """Execute an already parsed statement."""
         if isinstance(statement, ast.SelectStatement):
             with self._statement_lock.reading():
-                return self._executor(params, deadline=deadline).execute_select(
-                    statement, plan=plan
-                )
+                return self._executor(
+                    params, deadline=deadline, parallel=parallel
+                ).execute_select(statement, plan=plan)
         if isinstance(statement, ast.CreateTableStatement):
             with self._statement_lock.writing():
                 result = self._execute_create(statement, params)
@@ -278,7 +312,10 @@ class Database:
         raise ExecutionError(f"unsupported statement type {type(statement).__name__}")
 
     def _executor(
-        self, params: Sequence | Mapping | None = None, deadline=None
+        self,
+        params: Sequence | Mapping | None = None,
+        deadline=None,
+        parallel: bool | None = None,
     ) -> Executor:
         return Executor(
             self.catalog,
@@ -289,11 +326,12 @@ class Database:
             scan_pool=self._scan_pool_factory,
             params=params,
             count=self.bump_stat,
-            exec_workers=self.exec_workers,
+            exec_workers=0 if parallel is False else self.exec_workers,
             shard_pool=self._shard_pool_factory,
             deadline=deadline,
             faults=self.fault_injector,
             circuit=self.circuit,
+            min_shard_rows=self.min_shard_rows,
         )
 
     def _scan_pool_factory(self) -> ThreadPoolExecutor | None:

@@ -10,6 +10,8 @@ rewritten SQL text exactly as written.
 
 from __future__ import annotations
 
+import itertools
+from dataclasses import dataclass, field
 from typing import Callable
 
 import numpy as np
@@ -43,6 +45,61 @@ from repro.sqlengine.zonemaps import (
     zone_extreme,
     zone_non_null_count,
 )
+
+
+# Default process-mode dispatch admission threshold: below this many rows per
+# shard, fork/pipe/merge overhead exceeds the per-shard work and dispatching
+# loses to the serial path outright (the honestly-recorded 0.74x on 2-core
+# boxes).  ``Database(parallel_exec_min_shard_rows=0)`` disables the gate.
+DEFAULT_MIN_SHARD_ROWS = 2048
+
+# A join's build side is re-materialized (whole) per shard; past this many
+# rows the duplicated build work and memory dominate and the query stays
+# serial.
+JOIN_BUILD_ROW_BOUND = 1 << 18
+
+# Process-unique tokens keying published dispatch specs in the shard pool's
+# cross-process plan cache (never reused, so a recycled ``SelectPlan`` can
+# never alias another statement's published spec).
+_plan_tokens = itertools.count()
+
+
+@dataclass
+class _ShardSpec:
+    """Frozen parallel-dispatch spec for one statement at one data version.
+
+    Cached on ``SelectPlan.shard_spec`` (plans are cached 1:1 with their
+    statements) and keyed on catalog/table versions, so re-executions of a
+    prepared statement skip the whole eligibility derivation — group-key
+    classification, aggregate classification, zone pruning, shard boundary
+    placement.  ``worker_spec`` is the statement-derived half of every task;
+    in process mode it is pickled once (``payload``) and published into the
+    pool's shared-memory plan cache, after which each dispatch ships only
+    segment names, a shard id and bound parameters.
+    """
+
+    statement: object
+    key: tuple
+    worker_spec: dict
+    tables: list  # [probe Table] or [probe Table, build Table]
+    specs: list
+    group_sources: list  # per key: ("column", side, stored_name) | ("expr",)
+    num_shards: int
+    aligned: bool
+    scalar: bool
+    is_join: bool
+    has_expr_keys: bool
+    token: int = field(default_factory=lambda: next(_plan_tokens))
+    payload: bytes | None = None
+
+    def payload_bytes(self) -> bytes:
+        if self.payload is None:
+            import multiprocessing.reduction
+
+            self.payload = bytes(
+                multiprocessing.reduction.ForkingPickler.dumps(self.worker_spec)
+            )
+        return self.payload
 
 
 class _JoinCounter:
@@ -90,6 +147,7 @@ class Executor:
         deadline: object | None = None,
         faults: object | None = None,
         circuit: object | None = None,
+        min_shard_rows: int = 0,
     ) -> None:
         self._catalog = catalog
         self._rng = rng
@@ -110,6 +168,10 @@ class Executor:
         # pool produced by the lazy factory.
         self._exec_workers = exec_workers
         self._shard_pool = shard_pool
+        # Process-mode dispatch admission floor (rows per shard); 0 disables.
+        # The in-thread sharded mode ignores it — that mode exists to
+        # exercise the merge algebra on small fixtures, not to go fast.
+        self._min_shard_rows = min_shard_rows
         # Bound query-parameter values for Placeholder expressions; threaded
         # into every evaluation context (including scalar subqueries and
         # precomputed derived-table plans) so one cached plan serves every
@@ -345,15 +407,29 @@ class Executor:
     def _try_parallel_aggregate(
         self, statement: ast.SelectStatement, plan: SelectPlan | None
     ) -> ResultSet | None:
-        """Answer a single-table grouped/scalar aggregation via shard merge.
+        """Answer a grouped/scalar aggregation via shard merge.
 
-        Eligibility mirrors the provable-bit-identity rules in
-        :mod:`repro.sqlengine.partialagg`: one base table, bare-column group
-        keys, row-local predicates, and aggregate calls the merge can
-        reproduce exactly (any aggregate under group-aligned sharding; the
-        COUNT/MIN/MAX and bounded integer SUM/AVG kernels otherwise).
-        Returns None — and the serial path computes the identical result —
-        for every other shape, for unpublishable inputs, and whenever the
+        Three dispatch tiers, all provably bit-identical or refused:
+
+        * single-table aggregation over bare-column *or* deterministic
+          expression group keys (expressions are row-local, evaluated
+          per-shard and merged on the same normalized key forms the serial
+          ``encode_grouping_key`` uses);
+        * one INNER single-equi-key hash join whose build side fits
+          ``JOIN_BUILD_ROW_BOUND``: the build table is broadcast through the
+          shared-memory publish path and joined against each probe shard in
+          the serial evaluation order (``hash_join_indices`` emits canonical
+          left-major pairs, so shard concatenation reproduces the serial
+          joined row order exactly);
+        * anything group-aligned — any bare probe group key matching the
+          probe table's clustering — which admits every row-local aggregate.
+
+        Eligibility derivation is cached on ``plan.shard_spec`` keyed by
+        catalog/table versions, and the frozen worker spec is published once
+        into the pool's cross-process plan cache — a repeated
+        prepared-statement execution ships only segment names, shard ids and
+        bound parameters.  Every other shape returns None and the serial
+        path computes the identical result, as does any dispatch where the
         merge raises :class:`~repro.sqlengine.partialagg.ParallelFallback`.
         """
         if plan is None:
@@ -367,9 +443,211 @@ class Executor:
             # publication check or pickling work is spent on this query.
             self._count("circuit_short_circuits")
             return None
-        relation = statement.from_relation
-        if not isinstance(relation, ast.TableRef):
+        spec = self._shard_dispatch_spec(statement, plan)
+        if spec is None:
             return None
+        worker = spec.worker_spec
+        in_thread = self._exec_workers == 1
+        pool = None
+        if not in_thread:
+            if self._shard_pool is None:
+                return None
+            pool = self._shard_pool()
+            if pool is None:
+                return None
+
+        try:
+            if in_thread:
+                store = shardpool.table_column_store(spec.tables[0], worker["columns"])
+                build_store = None
+                join = worker.get("join")
+                if join is not None:
+                    build_store = shardpool.table_column_store(
+                        spec.tables[1], join["columns"]
+                    )
+                rng = np.random.default_rng(0)
+                states = []
+                for ranges in worker["shards"]:
+                    task = dict(worker)
+                    task["ranges"] = ranges
+                    task["params"] = self._params
+                    states.append(
+                        shardpool.run_shard_task(store, task, rng, build_store)
+                    )
+            else:
+                with pool.lock:
+                    published = []
+                    for side, table in enumerate(spec.tables):
+                        result, fresh = pool.ensure_published(
+                            table, self._catalog.version, faults=self._faults
+                        )
+                        if result is None:
+                            self._count("parallel_exec_fallbacks")
+                            return None
+                        if fresh:
+                            self._count("shard_publications")
+                        side_columns = (
+                            worker["columns"] if side == 0
+                            else worker["join"]["columns"]
+                        )
+                        for column in side_columns:
+                            if (
+                                table.column_chunks(column)[0].dtype == object
+                                and column not in result.faithful
+                            ):
+                                # Dictionary reconstruction would change the
+                                # raw values (non-string objects normalize
+                                # lossily).
+                                self._count("parallel_exec_fallbacks")
+                                return None
+                        published.append(result)
+                    plan_name, plan_fresh = pool.publish_plan(
+                        (spec.token,), spec.payload_bytes()
+                    )
+                    self._count(
+                        "plan_cache_shm_publications"
+                        if plan_fresh
+                        else "plan_cache_shm_hits"
+                    )
+                    tasks = [
+                        {
+                            "plan": plan_name,
+                            "segment": published[0].key[-1],
+                            "shard": index,
+                            "params": self._params,
+                        }
+                        for index in range(spec.num_shards)
+                    ]
+                    if len(published) == 2:
+                        for task in tasks:
+                            task["join_segment"] = published[1].key[-1]
+                    states = pool.run_tasks(
+                        tasks, deadline=self._deadline, faults=self._faults
+                    )
+                if self._circuit is not None:
+                    self._circuit.record_success()
+            merged = partialagg.merge_shard_states(
+                states, spec.specs, scalar=spec.scalar, aligned=spec.aligned
+            )
+        except (QueryTimeoutError, QueryCancelledError):
+            raise  # a cancelled query must not silently continue serially
+        except partialagg.ParallelFallback:
+            self._count("parallel_exec_fallbacks")
+            return None
+        except (shardpool.ShardPoolError, InjectedFault):
+            # Dispatch infrastructure failed (after the pool's own
+            # respawn+retry): fall back serially and feed the breaker.
+            self._count("parallel_exec_fallbacks")
+            self._count("dispatch_failures")
+            if pool is not None and self._circuit is not None:
+                self._circuit.record_failure()
+            return None
+        except Exception:
+            # A shard raised mid-evaluation (e.g. per-value semantics over a
+            # pathological column).  The serial path either raises the
+            # canonical error or computes the answer; defer to it.
+            self._count("parallel_exec_fallbacks")
+            return None
+
+        key_dtypes = states[0].key_dtypes if states else []
+        if any(state.key_dtypes != key_dtypes for state in states):
+            # An expression key promoted to different dtypes on different
+            # shards (value-dependent promotion): the serial single-pass
+            # dtype is not reproducible from the shard states.
+            self._count("parallel_exec_fallbacks")
+            return None
+
+        num_groups = merged.num_groups
+        post_frame = Frame(num_rows=num_groups)
+        for position, source in enumerate(spec.group_sources):
+            if source[0] == "column":
+                _, side, stored = source
+                table = spec.tables[side]
+                dtype = table.column_chunks(stored)[0].dtype
+                encoded = table.dictionary_codes(stored)
+            else:
+                # Expression key: the serial path evaluates it over the full
+                # frame; the shards' (unanimous) evaluation dtype is that
+                # same dtype, and expression keys carry no dictionary codes
+                # (matching the serial ``_key_encoding`` ruling).
+                dtype = (
+                    np.dtype(key_dtypes[position])
+                    if position < len(key_dtypes)
+                    else np.dtype(object)
+                )
+                encoded = None
+            values = np.empty(num_groups, dtype=dtype)
+            for index, rep in enumerate(merged.reps):
+                values[index] = rep[position]
+            codes = None
+            if encoded is not None:
+                group_codes = np.fromiter(
+                    (rep_code[position] for rep_code in merged.rep_codes),
+                    dtype=np.int64,
+                    count=num_groups,
+                )
+                codes = LazyCodes.presolved(group_codes, encoded[1])
+            post_frame.add_column(None, f"__group_{position}", values, codes=codes)
+        for position, aggregate in enumerate(merged.aggregates):
+            post_frame.add_column(None, f"__agg_{position}", aggregate)
+        self._count("parallel_exec_dispatches")
+        if spec.is_join:
+            self._count("parallel_exec_join_dispatches")
+        if spec.has_expr_keys:
+            self._count("parallel_exec_expr_key_dispatches")
+        memo = self._grouped_memo(statement, plan)
+        return self._finish_grouped(statement, memo, post_frame, num_groups)
+
+    def _shard_dispatch_spec(
+        self, statement: ast.SelectStatement, plan: SelectPlan
+    ) -> _ShardSpec | None:
+        """The statement's cached dispatch spec, or None when ineligible.
+
+        The derivation — group-key classification, aggregate classification,
+        zone pruning, shard boundary placement — is a pure function of the
+        statement and the (catalog version, table versions, worker count)
+        key, so its result (including a negative one) is cached on the plan
+        and re-executions of a prepared statement skip it entirely.
+        """
+        relation = statement.from_relation
+        if isinstance(relation, ast.TableRef):
+            refs = [relation]
+        elif (
+            isinstance(relation, ast.Join)
+            and relation.join_type == "INNER"
+            and relation.condition is not None
+            and isinstance(relation.left, ast.TableRef)
+            and isinstance(relation.right, ast.TableRef)
+        ):
+            refs = [relation.left, relation.right]
+        else:
+            return None
+        try:
+            tables = [self._catalog.get(ref.name) for ref in refs]
+        except CatalogError:
+            return None
+        key = (
+            self._catalog.version,
+            self._exec_workers,
+            tuple(table.version for table in tables),
+        )
+        cached = plan.shard_spec
+        if cached is not None and cached[0] is statement and cached[1] == key:
+            return cached[2]
+        spec = self._derive_shard_spec(statement, plan, relation, refs, tables)
+        if spec is not None:
+            spec.key = key
+        plan.shard_spec = (statement, key, spec)
+        return spec
+
+    def _derive_shard_spec(
+        self,
+        statement: ast.SelectStatement,
+        plan: SelectPlan,
+        relation,
+        refs: list,
+        tables: list,
+    ) -> _ShardSpec | None:
         for item in statement.select_items:
             if isinstance(item.expression, ast.Star):
                 return None  # the serial path raises the canonical error
@@ -383,64 +661,144 @@ class Executor:
         )
         if not has_aggregates:
             return None
-        try:
-            table = self._catalog.get(relation.name)
-        except CatalogError:
+
+        probe_table = tables[0]
+        bindings = [ref.binding_name for ref in refs]
+        if len(bindings) == 2 and bindings[0].lower() == bindings[1].lower():
             return None
-        binding = relation.binding_name
-        scan = plan.scan_for(binding)
 
-        group_columns: list[tuple[str, str | None]] = []
-        group_resolved: list[str] = []
+        def resolve_ref(ref: ast.ColumnRef):
+            """(side, stored column) for one reference, or None.
+
+            Unqualified names that resolve on both sides fall back: the
+            serial frame tolerates that ambiguity only when both columns
+            hold identical data — a data-dependent ruling the workers
+            cannot replay.
+            """
+            if ref.table is not None:
+                for side, binding in enumerate(bindings):
+                    if ref.table.lower() == binding.lower():
+                        column = tables[side].resolve_column(ref.name)
+                        return None if column is None else (side, column)
+                return None
+            matches = [
+                (side, column)
+                for side, table in enumerate(tables)
+                if (column := table.resolve_column(ref.name)) is not None
+            ]
+            return matches[0] if len(matches) == 1 else None
+
+        needed: list[set] = [set() for _ in tables]
+
+        join_pair = None
+        if len(refs) == 2:
+            build_table = tables[1]
+            if build_table.num_rows > JOIN_BUILD_ROW_BOUND:
+                # The build side is re-materialized whole in every shard;
+                # past the bound that duplicated work dominates.
+                return None
+            condition = relation.condition
+            if plan.join_residuals is not None:
+                # The planner numbered this (single) join 0 in pre-order;
+                # single-side ON conjuncts were already pushed to the scans.
+                condition = plan.join_residuals.get(0, relation.condition)
+            pairs, residual = _split_join_refs(condition, tables, bindings)
+            if len(pairs) != 1 or residual is not None:
+                return None
+            join_pair = pairs[0]
+            needed[0].add(probe_table.resolve_column(join_pair[0].name))
+            needed[1].add(build_table.resolve_column(join_pair[1].name))
+
+        clustered = probe_table.clustered_on
+        group_keys: list = []
+        group_sources: list[tuple] = []
+        aligned_column = None
+        has_expr_keys = False
         for expr in statement.group_by:
-            if not isinstance(expr, ast.ColumnRef):
-                return None
-            if expr.table is not None and expr.table.lower() != binding.lower():
-                return None
-            column = table.resolve_column(expr.name)
-            if column is None:
-                return None
-            group_columns.append((expr.name, expr.table or binding))
-            group_resolved.append(column)
+            if isinstance(expr, ast.ColumnRef):
+                resolved = resolve_ref(expr)
+                if resolved is None:
+                    return None
+                side, column = resolved
+                group_keys.append((expr.name, expr.table or bindings[side]))
+                group_sources.append(("column", side, column))
+                needed[side].add(column)
+                if (
+                    side == 0
+                    and clustered is not None
+                    and clustered.lower() == column.lower()
+                ):
+                    # Any bare clustered probe key makes the sharding
+                    # group-aligned: boundaries sit on its value changes, so
+                    # no composite group can span two shards (and joined
+                    # rows inherit their probe row's shard).
+                    aligned_column = column
+            else:
+                if not _row_local(expr):
+                    return None
+                column_refs = [
+                    node for node in expr.walk()
+                    if isinstance(node, ast.ColumnRef)
+                ]
+                if not column_refs:
+                    return None
+                for ref in column_refs:
+                    resolved = resolve_ref(ref)
+                    if resolved is None:
+                        return None
+                    needed[resolved[0]].add(resolved[1])
+                group_keys.append(expr)
+                group_sources.append(("expr",))
+                has_expr_keys = True
+        aligned = aligned_column is not None
 
-        # The serial evaluation order is (pushed scan conjuncts, residual
-        # WHERE) as two filter stages; workers replay exactly that, so a
-        # later stage can never evaluate rows an earlier one removed.
+        # The serial evaluation order is (pushed scan conjuncts, join,
+        # residual WHERE); workers replay exactly that, so a later stage can
+        # never evaluate rows an earlier one removed.  The build side skips
+        # zone pruning and re-applies its full pushed conjunction instead —
+        # zone predicates are classified *from* ``scan.predicates``, so the
+        # pruned rows are exactly rows the filter removes anyway.
+        scans = [plan.scan_for(binding) for binding in bindings]
         predicates: list[ast.Expression] = []
-        if scan is not None and scan.predicates:
-            predicates.append(ast.conjunction(scan.predicates))
+        probe_predicate = build_predicate = None
+        if join_pair is None:
+            if scans[0] is not None and scans[0].predicates:
+                predicates.append(ast.conjunction(scans[0].predicates))
+        else:
+            if scans[0] is not None and scans[0].predicates:
+                probe_predicate = ast.conjunction(scans[0].predicates)
+            if scans[1] is not None and scans[1].predicates:
+                build_predicate = ast.conjunction(scans[1].predicates)
         if plan.residual_where is not None:
             predicates.append(plan.residual_where)
-        if any(not _row_local(predicate) for predicate in predicates):
+        stages = [
+            stage for stage in (probe_predicate, build_predicate)
+            if stage is not None
+        ]
+        stages.extend(predicates)
+        if any(not _row_local(stage) for stage in stages):
             return None
 
-        clustered = table.clustered_on
-        aligned = (
-            len(group_resolved) == 1
-            and clustered is not None
-            and clustered.lower() == group_resolved[0].lower()
-        )
-
         def column_dtype(ref: ast.ColumnRef):
-            if ref.table is not None and ref.table.lower() != binding.lower():
+            resolved = resolve_ref(ref)
+            if resolved is None:
                 return None
-            column = table.resolve_column(ref.name)
-            if column is None:
-                return None
-            return table.column_chunks(column)[0].dtype
+            side, column = resolved
+            return tables[side].column_chunks(column)[0].dtype
 
         memo = self._grouped_memo(statement, plan)
         specs: list[partialagg.AggSpec] = []
         for node in memo.aggregate_nodes.values():
-            spec = partialagg.classify_aggregate(node, column_dtype, aligned, _row_local)
+            spec = partialagg.classify_aggregate(
+                node, column_dtype, aligned, _row_local
+            )
             if spec is None:
                 return None
             specs.append(spec)
 
         # Columns the shards touch; every reference must resolve here so the
         # worker-side frame never discovers a missing column mid-task.
-        needed: set[str] = set(group_resolved)
-        referenced: list[ast.Expression] = list(predicates)
+        referenced: list[ast.Expression] = list(stages)
         for spec in specs:
             referenced.extend(
                 argument for argument in spec.args
@@ -449,35 +807,25 @@ class Executor:
         for expression in referenced:
             for node in expression.walk():
                 if isinstance(node, ast.ColumnRef):
-                    if node.table is not None and node.table.lower() != binding.lower():
+                    resolved = resolve_ref(node)
+                    if resolved is None:
                         return None
-                    column = table.resolve_column(node.name)
-                    if column is None:
-                        return None
-                    needed.add(column)
+                    needed[resolved[0]].add(resolved[1])
 
-        in_thread = self._exec_workers == 1
-        pool = None
-        if not in_thread:
-            if self._shard_pool is None:
-                return None
-            pool = self._shard_pool()
-            if pool is None:
-                return None
-
-        # The same zone-map pruning the serial scan applies: shards cover
-        # the surviving chunks in chunk order, so the concatenated shard row
-        # order is the serial frame's row order.
+        # The same zone-map pruning the serial probe scan applies: shards
+        # cover the surviving chunks in chunk order, so the concatenated
+        # shard row order is the serial frame's row order.
+        scan = scans[0]
         surviving = None
         if scan is not None and scan.zone_predicates:
-            surviving = table.prune_chunks(scan.zone_predicates)
-        chunk_rows = table.chunk_rows
+            surviving = probe_table.prune_chunks(scan.zone_predicates)
+        chunk_rows = probe_table.chunk_rows
         if surviving is None:
-            total = table.num_rows
+            total = probe_table.num_rows
             lengths = cumulative = None
         else:
             lengths = (
-                np.minimum((surviving + 1) * chunk_rows, table.num_rows)
+                np.minimum((surviving + 1) * chunk_rows, probe_table.num_rows)
                 - surviving * chunk_rows
             )
             cumulative = np.cumsum(lengths) if len(lengths) else np.zeros(0, dtype=np.int64)
@@ -509,15 +857,29 @@ class Executor:
                 position += 1
             return ranges
 
-        num_shards = 2 if in_thread else self._exec_workers
+        if self._exec_workers == 1:
+            num_shards = 2
+        else:
+            # One shard per pool worker, but keep every shard above the
+            # admission threshold: below it the fork/pipe/merge overhead
+            # beats the per-shard work and dispatching loses to the serial
+            # path.
+            num_shards = max(2, self._exec_workers)
+            if self._min_shard_rows > 0:
+                if total // self._min_shard_rows < 2:
+                    return None
+                num_shards = min(num_shards, total // self._min_shard_rows)
+
         bounds = [total * index // num_shards for index in range(num_shards + 1)]
         if aligned and total:
             # Place shard boundaries on key-value changes so no group spans
             # two shards; a wrong promise (duplicate key at merge time) still
             # falls back, so correctness never depends on this metadata.
-            key_column = group_resolved[0]
-            encoded_key = table.dictionary_codes(key_column)
-            key_values = encoded_key[0] if encoded_key is not None else table.column(key_column)
+            encoded_key = probe_table.dictionary_codes(aligned_column)
+            key_values = (
+                encoded_key[0] if encoded_key is not None
+                else probe_table.column(aligned_column)
+            )
 
             def key_equal(a: int, b: int) -> bool:
                 left, right = key_values[a], key_values[b]
@@ -539,99 +901,40 @@ class Executor:
             adjusted.append(total)
             bounds = adjusted
 
-        columns = sorted(needed)
-        scalar = not statement.group_by
-        tasks = [
-            {
-                "binding": binding,
-                "columns": columns,
-                "ranges": virtual_ranges(bounds[index], bounds[index + 1]),
-                "predicates": predicates,
-                "group_columns": group_columns,
-                "specs": specs,
-                "params": self._params,
+        worker_spec = {
+            "binding": bindings[0],
+            "columns": sorted(needed[0]),
+            "predicates": predicates,
+            "group_columns": group_keys,
+            "specs": specs,
+            "shards": [
+                virtual_ranges(bounds[index], bounds[index + 1])
+                for index in range(num_shards)
+            ],
+        }
+        if join_pair is not None:
+            worker_spec["join"] = {
+                "binding": bindings[1],
+                "columns": sorted(needed[1]),
+                "probe_predicate": probe_predicate,
+                "build_predicate": build_predicate,
+                "left_key": join_pair[0],
+                "right_key": join_pair[1],
+                "build_rows": tables[1].num_rows,
             }
-            for index in range(num_shards)
-        ]
-
-        try:
-            if in_thread:
-                store = shardpool.table_column_store(table, columns)
-                rng = np.random.default_rng(0)
-                states = [
-                    shardpool.run_shard_task(store, task, rng) for task in tasks
-                ]
-            else:
-                with pool.lock:
-                    published, fresh = pool.ensure_published(
-                        table, self._catalog.version, faults=self._faults
-                    )
-                    if published is None:
-                        self._count("parallel_exec_fallbacks")
-                        return None
-                    if fresh:
-                        self._count("shard_publications")
-                    for column in columns:
-                        if (
-                            table.column_chunks(column)[0].dtype == object
-                            and column not in published.faithful
-                        ):
-                            # Dictionary reconstruction would change the raw
-                            # values (non-string objects normalize lossily).
-                            self._count("parallel_exec_fallbacks")
-                            return None
-                    for task in tasks:
-                        task["segment"] = published.key[-1]
-                    states = pool.run_tasks(
-                        tasks, deadline=self._deadline, faults=self._faults
-                    )
-                if self._circuit is not None:
-                    self._circuit.record_success()
-            merged = partialagg.merge_shard_states(
-                states, specs, scalar=scalar, aligned=aligned
-            )
-        except (QueryTimeoutError, QueryCancelledError):
-            raise  # a cancelled query must not silently continue serially
-        except partialagg.ParallelFallback:
-            self._count("parallel_exec_fallbacks")
-            return None
-        except (shardpool.ShardPoolError, InjectedFault):
-            # Dispatch infrastructure failed (after the pool's own
-            # respawn+retry): fall back serially and feed the breaker.
-            self._count("parallel_exec_fallbacks")
-            self._count("dispatch_failures")
-            if pool is not None and self._circuit is not None:
-                self._circuit.record_failure()
-            return None
-        except Exception:
-            # A shard raised mid-evaluation (e.g. per-value semantics over a
-            # pathological column).  The serial path either raises the
-            # canonical error or computes the answer; defer to it.
-            self._count("parallel_exec_fallbacks")
-            return None
-
-        num_groups = merged.num_groups
-        post_frame = Frame(num_rows=num_groups)
-        for position in range(len(statement.group_by)):
-            stored = group_resolved[position]
-            dtype = table.column_chunks(stored)[0].dtype
-            values = np.empty(num_groups, dtype=dtype)
-            for index, rep in enumerate(merged.reps):
-                values[index] = rep[position]
-            codes = None
-            encoded = table.dictionary_codes(stored)
-            if encoded is not None:
-                group_codes = np.fromiter(
-                    (rep_code[position] for rep_code in merged.rep_codes),
-                    dtype=np.int64,
-                    count=num_groups,
-                )
-                codes = LazyCodes.presolved(group_codes, encoded[1])
-            post_frame.add_column(None, f"__group_{position}", values, codes=codes)
-        for position, aggregate in enumerate(merged.aggregates):
-            post_frame.add_column(None, f"__agg_{position}", aggregate)
-        self._count("parallel_exec_dispatches")
-        return self._finish_grouped(statement, memo, post_frame, num_groups)
+        return _ShardSpec(
+            statement=statement,
+            key=(),
+            worker_spec=worker_spec,
+            tables=list(tables),
+            specs=specs,
+            group_sources=group_sources,
+            num_shards=num_shards,
+            aligned=aligned,
+            scalar=not statement.group_by,
+            is_join=join_pair is not None,
+            has_expr_keys=has_expr_keys,
+        )
 
     # -- FROM clause ----------------------------------------------------------
 
@@ -1350,6 +1653,43 @@ def _split_join_condition(
 
 def _resolvable(ref: ast.ColumnRef, frame: Frame) -> bool:
     return frame.has_column(ref.name, ref.table)
+
+
+def _split_join_refs(
+    condition: ast.Expression, tables: list, bindings: list[str]
+) -> tuple[list[tuple[ast.ColumnRef, ast.ColumnRef]], ast.Expression | None]:
+    """Parent-side mirror of :func:`_split_join_condition`.
+
+    Resolvability is judged against the base-table schemas instead of the
+    built frames — every ON reference is in the scans' column sets, so the
+    two rulings agree for any dispatchable statement — and the pair order
+    and orientation (probe ref first) reproduce the serial split exactly.
+    """
+
+    def resolvable(ref: ast.ColumnRef, side: int) -> bool:
+        if ref.table is not None and ref.table.lower() != bindings[side].lower():
+            return False
+        return tables[side].resolve_column(ref.name) is not None
+
+    conjuncts = ast.flatten_and(condition)
+    pairs: list[tuple[ast.ColumnRef, ast.ColumnRef]] = []
+    residual: list[ast.Expression] = []
+    for conjunct in conjuncts:
+        if (
+            isinstance(conjunct, ast.BinaryOp)
+            and conjunct.op == "="
+            and isinstance(conjunct.left, ast.ColumnRef)
+            and isinstance(conjunct.right, ast.ColumnRef)
+        ):
+            left_ref, right_ref = conjunct.left, conjunct.right
+            if resolvable(left_ref, 0) and resolvable(right_ref, 1):
+                pairs.append((left_ref, right_ref))
+                continue
+            if resolvable(right_ref, 0) and resolvable(left_ref, 1):
+                pairs.append((right_ref, left_ref))
+                continue
+        residual.append(conjunct)
+    return pairs, ast.conjunction(residual)
 
 
 def _cross_join_indices(left_rows: int, right_rows: int) -> tuple[np.ndarray, np.ndarray]:

@@ -52,6 +52,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.sqlengine import functions, sqlast as ast
+from repro.sqlengine.encoding import NULL_SENTINEL, escape_key
 from repro.sqlengine.expressions import (
     Frame,
     encode_grouping_key,
@@ -109,6 +110,11 @@ class ShardState:
     reps: list[tuple] = field(default_factory=list)
     rep_codes: list[tuple] = field(default_factory=list)
     partials: list[dict] = field(default_factory=list)
+    #: dtype.str per group key as evaluated on this shard — the coordinator
+    #: rebuilds expression-key columns (which have no table-side dtype to
+    #: consult) with exactly the serial evaluation's dtype, empty shards
+    #: included.
+    key_dtypes: list[str] = field(default_factory=list)
 
 
 def classify_aggregate(
@@ -195,28 +201,46 @@ def _canonical_key(value) -> object:
     return value
 
 
+def _canonical_object_key(value) -> str:
+    """Merge-key form of one uncoded object group-key scalar.
+
+    Element-wise ``encoding.normalize_object_key``: two raw values land in
+    one group exactly when ``encode_object_array`` (the serial grouping of an
+    uncoded object key) would collapse them.
+    """
+    return NULL_SENTINEL if value is None else escape_key(str(value))
+
+
 def compute_shard_state(
     frame: Frame,
-    group_columns: list[tuple[str, str | None]],
+    group_keys: list,
     specs: list[AggSpec],
     context: functions.EvaluationContext,
     scalar_subquery=None,
 ) -> ShardState:
     """Aggregate one shard's (already filtered) frame into a ShardState.
 
-    ``group_columns`` lists ``(column_name, binding)`` of the GROUP BY keys
-    (empty for scalar aggregation).  Grouping reuses the frame's attached
-    dictionary codes exactly like the serial executor, and groups come out
-    numbered by first appearance in shard row order.
+    ``group_keys`` lists the GROUP BY keys (empty for scalar aggregation):
+    a ``(column_name, binding)`` tuple per bare column key — grouped on the
+    frame's attached dictionary codes exactly like the serial executor — or
+    an :class:`~repro.sqlengine.sqlast.Expression` node per computed key,
+    evaluated against the shard frame and grouped on the same normalized
+    value forms ``encode_grouping_key`` uses serially.  Groups come out
+    numbered by first appearance in shard row order either way.
     """
     num_rows = frame.num_rows
     key_arrays: list[np.ndarray] = []
     key_codes: list[tuple[np.ndarray, np.ndarray] | None] = []
-    if group_columns:
+    if group_keys:
         encoded_keys = []
-        for name, binding in group_columns:
-            values = frame.resolve(name, binding)
-            encoded = frame.codes_for(name, binding)
+        for entry in group_keys:
+            if isinstance(entry, tuple):
+                name, binding = entry
+                values = frame.resolve(name, binding)
+                encoded = frame.codes_for(name, binding)
+            else:
+                values = evaluate(entry, frame, context, scalar_subquery)
+                encoded = None
             key_arrays.append(values)
             key_codes.append(encoded)
             if encoded is not None:
@@ -235,6 +259,7 @@ def compute_shard_state(
         first_pos = np.zeros(num_groups, dtype=np.int64)
 
     state = ShardState(num_groups=num_groups)
+    state.key_dtypes = [array.dtype.str for array in key_arrays]
     for group in range(num_groups):
         position = int(first_pos[group])
         merge_key = []
@@ -250,7 +275,10 @@ def compute_shard_state(
                 merge_key.append(code)
                 codes.append(code)
             else:
-                merge_key.append(_canonical_key(raw))
+                if key_array.dtype == object:
+                    merge_key.append(_canonical_object_key(raw))
+                else:
+                    merge_key.append(_canonical_key(raw))
                 codes.append(None)
             rep.append(raw)
         state.merge_keys.append(tuple(merge_key))

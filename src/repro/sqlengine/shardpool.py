@@ -11,11 +11,19 @@ shared-memory store of table columns.  The flow per eligible query is
    Re-publishing happens only when the table's version counter (bumped by
    every DML) or the catalog's schema version moves — the same snapshots the
    session layer uses for staleness.
-2. :meth:`ShardPool.run_tasks` — one tiny task message per worker (shard row
-   ranges, predicate/aggregate ASTs, parameter values).  Workers map the
-   segment, slice their shard *zero-copy*, evaluate the WHERE conjuncts and
-   partial aggregates (:mod:`repro.sqlengine.partialagg`) and send back the
-   per-group states.  Column data never crosses a pipe after publication.
+2. :meth:`ShardPool.publish_plan` — the coordinator's frozen dispatch spec
+   (predicate/aggregate/group-key ASTs, per-shard row ranges, join shape) is
+   pickled into its own tiny shared-memory segment **once per statement and
+   catalog version**.  Workers attach and unpickle it on first use and cache
+   the spec, so repeated executions of a prepared statement re-derive
+   nothing worker-side.
+3. :meth:`ShardPool.run_tasks` — one tiny task message per worker.  With a
+   published plan the message is just ``{plan, segment, shard id, bound
+   params}``; workers map the segments, slice their shard *zero-copy*,
+   replay the serial filter (and, for join tasks, probe the broadcast build
+   side with the serial hash-join kernel), compute the partial aggregates
+   (:mod:`repro.sqlengine.partialagg`) and send back the per-group states.
+   Column data never crosses a pipe after publication.
 
 Object columns are reconstructed worker-side as ``dictionary[codes]``; the
 dictionary stores *normalized* strings, so a column is only usable in
@@ -36,6 +44,7 @@ import itertools
 import multiprocessing
 import multiprocessing.reduction
 import os
+import pickle
 import sys
 import threading
 import time
@@ -195,6 +204,15 @@ class PublishedTable:
     lost: bool = field(default=False)
 
 
+@dataclass
+class PublishedPlan:
+    """Coordinator-side record of one published dispatch-spec segment."""
+
+    key: tuple
+    segment: object
+    size: int
+
+
 # ---------------------------------------------------------------------------
 # worker process
 # ---------------------------------------------------------------------------
@@ -215,6 +233,14 @@ def _worker_main(connection) -> None:  # pragma: no cover - separate process
         if kind == "publish":
             _, name, meta = message
             segments[name] = {"meta": meta, "segment": None, "columns": {}}
+            connection.send(("ok", None))
+            continue
+        if kind == "plan":
+            _, name, size = message
+            segments[name] = {
+                "meta": {"plan_size": size}, "segment": None, "columns": {},
+                "spec": None,
+            }
             connection.send(("ok", None))
             continue
         if kind == "release":
@@ -304,18 +330,72 @@ def build_shard_frame(columns: dict, task: dict) -> Frame:
     return frame
 
 
-def run_shard_task(columns: dict, task: dict, rng) -> partialagg.ShardState:
-    """Filter one shard and compute its partial-aggregation state."""
+def _join_shard_frame(
+    probe: Frame, join: dict, build_columns: dict, rng, params
+) -> Frame:
+    """Replay the serial single-join build over one probe shard.
+
+    The order mirrors ``executor._build_frame`` / ``_build_join`` exactly:
+    probe-side pushed conjuncts filter the shard, the (broadcast) build side
+    is materialized whole and filtered with its own pushed conjuncts, both
+    equi keys are evaluated, and ``hash_join_indices`` emits its canonical
+    left-major pairs.  Those pairs are the serial join's pairs restricted to
+    this shard's probe rows in the same relative order — so concatenating
+    shard results in shard order reproduces the serial joined row order
+    bit for bit (the build side and its table-level dictionaries are
+    identical in every shard).
+    """
+    from repro.sqlengine import executor, functions
+
+    def context_for(frame: Frame) -> functions.EvaluationContext:
+        return functions.EvaluationContext(
+            num_rows=frame.num_rows, rng=rng, params=params
+        )
+
+    if join.get("probe_predicate") is not None:
+        mask = evaluate(join["probe_predicate"], probe, context_for(probe))
+        probe = probe.filter(mask)
+    build = build_shard_frame(
+        build_columns,
+        {
+            "binding": join["binding"],
+            "columns": join["columns"],
+            "ranges": [(0, join["build_rows"])],
+        },
+    )
+    if join.get("build_predicate") is not None:
+        mask = evaluate(join["build_predicate"], build, context_for(build))
+        build = build.filter(mask)
+    left_expr, right_expr = join["left_key"], join["right_key"]
+    left_key = evaluate(left_expr, probe, context_for(probe))
+    right_key = evaluate(right_expr, build, context_for(build))
+    left_indices, right_indices = executor.hash_join_indices(
+        [left_key],
+        [right_key],
+        [probe.codes_for(left_expr.name, left_expr.table)],
+        [build.codes_for(right_expr.name, right_expr.table)],
+        prefer_smaller_build=True,
+    )
+    return Frame.concat(probe.take(left_indices), build.take(right_indices))
+
+
+def run_shard_task(
+    columns: dict, task: dict, rng, build_columns: dict | None = None
+) -> partialagg.ShardState:
+    """Filter (and possibly join) one shard, compute its partial-agg state."""
     from repro.sqlengine import functions
 
     frame = build_shard_frame(columns, task)
+    join = task.get("join")
+    if join is not None:
+        frame = _join_shard_frame(frame, join, build_columns, rng, task.get("params"))
     context = functions.EvaluationContext(
         num_rows=frame.num_rows, rng=rng, params=task.get("params")
     )
     for predicate in task["predicates"]:
-        # Two filter stages mirror the serial order (pushed conjuncts at the
-        # scan, residual WHERE after): per-value object semantics may only
-        # raise for rows an earlier stage already removed.
+        # The filter stages mirror the serial order (pushed conjuncts at the
+        # scan, residual WHERE after the join): per-value object semantics
+        # may only raise for rows an earlier stage already removed.
         mask = evaluate(predicate, frame, context)
         frame = frame.filter(mask)
         context = functions.EvaluationContext(
@@ -326,9 +406,35 @@ def run_shard_task(columns: dict, task: dict, rng) -> partialagg.ShardState:
     )
 
 
+def _worker_plan(segments: dict, name: str) -> dict:
+    """Attach + unpickle a published dispatch spec (cached per segment)."""
+    entry = segments.get(name)
+    if entry is None:
+        raise ShardPoolError(f"plan {name!r} was never published to this worker")
+    if entry.get("spec") is None:
+        if entry["segment"] is None:
+            entry["segment"] = _attach_segment(name)
+        size = entry["meta"]["plan_size"]
+        entry["spec"] = pickle.loads(bytes(entry["segment"].buf[:size]))
+    return entry["spec"]
+
+
 def _run_task(segments: dict, task: dict, rng) -> partialagg.ShardState:
+    if task.get("plan") is not None:
+        # Cross-process plan cache: everything statement-derived comes from
+        # the published spec; the task itself carries only segment names,
+        # the shard id and this execution's bound parameter values.
+        spec = _worker_plan(segments, task["plan"])
+        merged = dict(spec)
+        merged.update(task)
+        task = merged
+        if "ranges" not in task:
+            task["ranges"] = task["shards"][task["shard"]]
     _, columns = _worker_columns(segments, task["segment"])
-    return run_shard_task(columns, task, rng)
+    build_columns = None
+    if task.get("join") is not None:
+        _, build_columns = _worker_columns(segments, task["join_segment"])
+    return run_shard_task(columns, task, rng, build_columns)
 
 
 # ---------------------------------------------------------------------------
@@ -365,6 +471,7 @@ class ShardPool:
         self._connections: list = []
         self._processes: list = []
         self._published: dict[str, PublishedTable] = {}
+        self._plans: dict[tuple, PublishedPlan] = {}
         self._on_event = on_event
         self._retry_backoff = float(retry_backoff)
         self._retry_backoff_cap = float(retry_backoff_cap)
@@ -432,6 +539,11 @@ class ShardPool:
                 if not parent.poll(30):  # pragma: no cover - fork wedged
                     raise ShardPoolError("respawned worker did not ack publication")
                 parent.recv()
+            for plan in self._plans.values():
+                parent.send(("plan", plan.segment.name, plan.size))
+                if not parent.poll(30):  # pragma: no cover - fork wedged
+                    raise ShardPoolError("respawned worker did not ack plan")
+                parent.recv()
         except (OSError, EOFError, ShardPoolError) as error:  # pragma: no cover
             self.broken = True
             raise ShardPoolError(
@@ -486,6 +598,9 @@ class ShardPool:
             for published in list(self._published.values()):
                 self._unlink(published)
             self._published = {}
+            for plan in list(self._plans.values()):
+                self._unlink_plan(plan)
+            self._plans = {}
 
     def _unlink(self, published: PublishedTable) -> None:
         try:
@@ -616,8 +731,71 @@ class ShardPool:
             except (OSError, ValueError) as error:
                 self.broken = True
                 raise ShardPoolError(f"worker pipe failed: {error}") from error
-        if message[0] == "publish":
+        if message[0] in ("publish", "plan"):
             self._collect(len(self._connections))
+
+    # -- plan cache ----------------------------------------------------------
+
+    #: FIFO bound on live plan-spec segments: each is tiny (a pickled task
+    #: spec), but an unbounded statement stream must not accrete /dev/shm
+    #: files for the life of the pool.
+    MAX_PLAN_SEGMENTS = 32
+
+    def plan_published(self, key: tuple) -> str | None:
+        """Segment name of a still-live published plan, or None."""
+        published = self._plans.get(key)
+        return None if published is None else published.segment.name
+
+    def publish_plan(self, key: tuple, payload: bytes) -> tuple[str, bool]:
+        """Publish one frozen dispatch spec (idempotent per ``key``).
+
+        Returns ``(segment_name, fresh)``.  The payload crosses into shared
+        memory exactly once; afterwards every dispatch of the statement ships
+        only segment names, a shard id and bound parameters.  ``key`` must
+        already encode statement identity and catalog/table versions — the
+        pool does no invalidation of its own beyond the FIFO bound.
+        """
+        if self.broken:
+            raise ShardPoolError("pool is closed")
+        published = self._plans.get(key)
+        if published is not None:
+            return published.segment.name, False
+        self._ensure_started()
+        self._revive_dead_workers()
+        while len(self._plans) >= self.MAX_PLAN_SEGMENTS:
+            self._release_plan(next(iter(self._plans)))
+        try:
+            segment = shared_memory.SharedMemory(
+                create=True, size=max(1, len(payload)),
+                name=f"{SEGMENT_PREFIX}_{os.getpid()}_plan{next(_segment_counter)}",
+            )
+        except OSError as error:  # pragma: no cover - /dev/shm exhausted
+            raise ShardPoolError(f"cannot create shared memory: {error}") from error
+        with self._registry_lock:
+            self._live_segments.add(segment.name)
+        segment.buf[: len(payload)] = payload
+        self._broadcast(("plan", segment.name, len(payload)))
+        self._plans[key] = PublishedPlan(key=key, segment=segment, size=len(payload))
+        return segment.name, True
+
+    def _release_plan(self, key: tuple) -> None:
+        published = self._plans.pop(key, None)
+        if published is None:
+            return
+        try:
+            self._broadcast(("release", [published.segment.name]))
+        except ShardPoolError:  # pragma: no cover - eviction is best-effort
+            pass
+        self._unlink_plan(published)
+
+    def _unlink_plan(self, published: PublishedPlan) -> None:
+        try:
+            published.segment.close()
+            published.segment.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+        with self._registry_lock:
+            self._live_segments.discard(published.segment.name)
 
     # -- dispatch ------------------------------------------------------------
 

@@ -78,7 +78,10 @@ def inthread_db():
 
 @pytest.fixture(scope="module")
 def process_db():
-    db = Database(seed=0, parallel_exec=2, chunk_rows=64)
+    # min_shard_rows=0: the fixture tables are far below the production
+    # admission threshold, and these tests exercise dispatch mechanics,
+    # not the cost model.
+    db = Database(seed=0, parallel_exec=2, chunk_rows=64, parallel_exec_min_shard_rows=0)
     db.register_table("sales", sales_columns())
     yield db
     db.close()
@@ -229,10 +232,23 @@ class TestInThreadSharding:
         for sql in (
             "SELECT count(DISTINCT city) AS n FROM sales",
             "SELECT sum(price) AS s FROM sales",
-            "SELECT qty + 1 AS k, count(*) AS n FROM sales GROUP BY qty + 1 ORDER BY k",
+            "SELECT city, count(*) AS n FROM (SELECT city FROM sales) t "
+            "GROUP BY city ORDER BY city",
         ):
             assert_matches_serial(inthread_db, serial_db, sql)
         assert inthread_db.stats["parallel_exec_dispatches"] == before
+
+    def test_expression_group_keys_dispatch(self, inthread_db, serial_db):
+        before = inthread_db.stats["parallel_exec_dispatches"]
+        expr_before = inthread_db.stats["parallel_exec_expr_key_dispatches"]
+        for sql in (
+            "SELECT qty + 1 AS k, count(*) AS n FROM sales GROUP BY qty + 1 ORDER BY k",
+            "SELECT qty * 2 AS k, sum(qty) AS s FROM sales GROUP BY qty * 2 ORDER BY k",
+            "SELECT upper(city) AS k, count(*) AS n FROM sales GROUP BY upper(city) ORDER BY k",
+        ):
+            assert_matches_serial(inthread_db, serial_db, sql)
+        assert inthread_db.stats["parallel_exec_dispatches"] == before + 3
+        assert inthread_db.stats["parallel_exec_expr_key_dispatches"] == expr_before + 3
 
     def test_stats_consistent_under_concurrent_queries(self, inthread_db, serial_db):
         sql = "SELECT city, sum(qty) AS s FROM sales GROUP BY city ORDER BY city"
@@ -278,7 +294,9 @@ class TestProcessSharding:
 
     def test_dml_invalidates_and_republishes(self):
         serial = Database(seed=0, optimize=False, chunk_rows=32)
-        parallel = Database(seed=0, parallel_exec=2, chunk_rows=32)
+        parallel = Database(
+            seed=0, parallel_exec=2, chunk_rows=32, parallel_exec_min_shard_rows=0
+        )
         for db in (serial, parallel):
             db.register_table("sales", sales_columns(num_rows=300))
         try:
@@ -294,7 +312,9 @@ class TestProcessSharding:
             parallel.close()
 
     def test_close_releases_segments_and_pool_restarts(self):
-        db = Database(seed=0, parallel_exec=2, chunk_rows=32)
+        db = Database(
+            seed=0, parallel_exec=2, chunk_rows=32, parallel_exec_min_shard_rows=0
+        )
         db.register_table("sales", sales_columns(num_rows=300))
         sql = "SELECT city, count(*) AS n FROM sales GROUP BY city ORDER BY city"
         baseline = set(shardpool.ShardPool.live_segment_names())
@@ -312,11 +332,29 @@ class TestProcessSharding:
         assert db.stats["parallel_exec_dispatches"] == dispatches + 1
         db.close()
 
+    def test_small_tables_skip_process_dispatch(self):
+        # The default admission threshold keeps tiny tables off the pool:
+        # fork/IPC overhead beats any 2-way speedup at this size, so the
+        # dispatcher should not even publish a segment.
+        serial = Database(seed=0, optimize=False, chunk_rows=64)
+        parallel = Database(seed=0, parallel_exec=2, chunk_rows=64)  # default threshold
+        for db in (serial, parallel):
+            db.register_table("sales", sales_columns(num_rows=300))
+        try:
+            sql = "SELECT city, count(*) AS n FROM sales GROUP BY city ORDER BY city"
+            assert_matches_serial(parallel, serial, sql)
+            assert parallel.stats["parallel_exec_dispatches"] == 0
+            assert parallel.stats["shard_publications"] == 0
+        finally:
+            parallel.close()
+
     def test_unfaithful_object_columns_fall_back(self):
         # Mixed-type object columns cannot round-trip through the dictionary
         # segment faithfully, so the dispatcher must defer to the serial path.
         serial = Database(seed=0, optimize=False, chunk_rows=16)
-        parallel = Database(seed=0, parallel_exec=2, chunk_rows=16)
+        parallel = Database(
+            seed=0, parallel_exec=2, chunk_rows=16, parallel_exec_min_shard_rows=0
+        )
         columns = {
             "k": np.array(["a", 1, "b", None] * 25, dtype=object),
             "v": np.arange(100, dtype=np.int64),

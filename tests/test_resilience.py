@@ -137,6 +137,82 @@ def test_repeated_worker_kills_still_answer_correctly():
         engine.close()
 
 
+JOIN_SQL = (
+    "SELECT d.label AS label, count(*) AS n, sum(o.qty) AS total "
+    "FROM orders o JOIN qty_dim d ON o.qty = d.id "
+    "GROUP BY d.label ORDER BY d.label"
+)
+
+
+def qty_dim_columns():
+    # Sparser than the probe's qty domain (1..9): some orders drop at the
+    # inner join, exercising non-trivial probe/build matching under faults.
+    return {
+        "id": np.arange(1, 8, dtype=np.int64),
+        "label": np.array([f"q{i}" for i in range(1, 8)], dtype=object),
+    }
+
+
+def expected_join_rows() -> list[tuple]:
+    engine = Database(seed=3)
+    try:
+        engine.register_table("orders", chaos_columns())
+        engine.register_table("qty_dim", qty_dim_columns())
+        return engine.execute(JOIN_SQL).fetchall()
+    finally:
+        engine.close()
+
+
+def test_worker_killed_mid_join_dispatch_is_respawned_and_answer_is_exact():
+    faults = {
+        "shardpool.dispatch": {"kind": "action", "action": "kill_worker", "times": 1}
+    }
+    engine = parallel_engine(fault_injection=faults)
+    engine.register_table("qty_dim", qty_dim_columns())
+    try:
+        # The respawned worker must recover *both* table segments and the
+        # broadcast plan spec before it can replay the join shard.
+        assert engine.execute(JOIN_SQL).fetchall() == expected_join_rows()
+        assert engine.stats["worker_respawns"] >= 1
+        assert engine.stats["parallel_exec_join_dispatches"] >= 1
+        assert engine.execute(JOIN_SQL).fetchall() == expected_join_rows()
+        assert engine.health()["pool_workers_alive"] == 2
+    finally:
+        engine.close()
+
+
+def test_lost_segment_mid_join_dispatch_falls_back_serially_with_circuit_count():
+    faults = {
+        "shardpool.dispatch": {"kind": "action", "action": "unlink_segment", "times": 1}
+    }
+    engine = parallel_engine(fault_injection=faults)
+    engine.register_table("qty_dim", qty_dim_columns())
+    try:
+        # The segment vanishes under the workers mid-join: the query must
+        # degrade to the serial path (same bits) and the failure must count
+        # toward the circuit breaker.
+        assert engine.execute(JOIN_SQL).fetchall() == expected_join_rows()
+        assert engine.stats["parallel_exec_fallbacks"] >= 1
+        assert engine.stats["dispatch_failures"] >= 1
+        assert engine.circuit.consecutive_failures >= 1
+        # The stale publication still points at the unlinked segment, so a
+        # DML version bump on the probe table (the unlinked side) is what
+        # makes the pool republish; after it the join dispatches again.
+        engine.execute(
+            "INSERT INTO orders (order_id, price, qty, city) "
+            "VALUES (999999, 1.5, 1, 'nyc')"
+        )
+        before = engine.stats["parallel_exec_join_dispatches"]
+        follow_up = (
+            "SELECT d.label AS label, count(*) AS n, sum(o.qty) AS total "
+            "FROM orders o JOIN qty_dim d ON o.qty = d.id GROUP BY d.label"
+        )
+        engine.execute(follow_up)
+        assert engine.stats["parallel_exec_join_dispatches"] == before + 1
+    finally:
+        engine.close()
+
+
 def test_injected_publish_failure_falls_back_serially():
     faults = {"shardpool.publish": {"times": 1}}
     engine = parallel_engine(fault_injection=faults)
