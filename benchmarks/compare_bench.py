@@ -89,6 +89,11 @@ FLOORS: dict[str, dict[str, float]] = {
         "checkpoint_overhead": 0.95,
         "worker_kill_recovery": 1.0,
     },
+    # Serving tier: sustained QPS with 16 concurrent socket clients must be
+    # at least 2x a single closed-loop client's throughput.
+    "BENCH_serving.json": {
+        "serving_concurrency": 2.0,
+    },
 }
 
 # workload -> minimum CPU cores its floor assumes.  Reports record the core
@@ -99,6 +104,7 @@ FLOOR_MIN_CORES: dict[str, dict[str, int]] = {
     "BENCH_parallel.json": {"parallel_group_agg": 4, "shm_dispatch": 2},
     "BENCH_aqp_parallel.json": {"aqp_parallel": 4},
     "BENCH_resilience.json": {"checkpoint_overhead": 2, "worker_kill_recovery": 2},
+    "BENCH_serving.json": {"serving_concurrency": 4},
 }
 
 

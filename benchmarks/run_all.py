@@ -43,6 +43,7 @@ import bench_parallel_agg  # noqa: E402
 import bench_planner_hotpath  # noqa: E402
 import bench_resilience  # noqa: E402
 import bench_round4  # noqa: E402
+import bench_serving  # noqa: E402
 import bench_storage_skipping  # noqa: E402
 import bench_verdict_hotpath  # noqa: E402
 import compare_bench  # noqa: E402
@@ -56,6 +57,7 @@ SUITES = [
     (bench_parallel_agg, "BENCH_parallel.json"),
     (bench_aqp_parallel, "BENCH_aqp_parallel.json"),
     (bench_resilience, "BENCH_resilience.json"),
+    (bench_serving, "BENCH_serving.json"),
 ]
 
 

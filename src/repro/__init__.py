@@ -24,22 +24,36 @@ shim over the same session layer.
 """
 
 from repro.api import (
+    AsyncConnection,
+    AsyncCursor,
+    ConnectionPool,
     ExecutionOptions,
+    HealthReport,
+    PooledConnection,
     PreparedStatement,
     VerdictConnection,
     VerdictSession,
     apilevel,
     connect,
+    connect_async,
     paramstyle,
     threadsafety,
 )
+from repro import client, server  # noqa: F401  (repro.client.connect / repro.server.serve)
 from repro.core.answer import ApproximateResult
 from repro.core.hac import AccuracyContract
 from repro.core.sample_planner import PlannerConfig
 from repro.core.verdict import VerdictContext
-from repro.errors import QueryCancelledError, QueryTimeoutError
+from repro.errors import (
+    PoolTimeoutError,
+    ProtocolError,
+    QueryCancelledError,
+    QueryTimeoutError,
+    ServerBusyError,
+)
 from repro.faults import FaultInjector, FaultSpec, QueryDeadline
 from repro.sampling.params import SampleSpec, SamplingPolicyConfig
+from repro.server import VerdictServer, serve
 from repro.sqlengine.engine import Database
 from repro.sqlengine.resultset import ResultSet
 
@@ -48,24 +62,37 @@ __version__ = "2.0.0"
 __all__ = [
     "AccuracyContract",
     "ApproximateResult",
+    "AsyncConnection",
+    "AsyncCursor",
+    "ConnectionPool",
     "Database",
     "ExecutionOptions",
     "FaultInjector",
     "FaultSpec",
+    "HealthReport",
     "PlannerConfig",
+    "PooledConnection",
+    "PoolTimeoutError",
     "PreparedStatement",
+    "ProtocolError",
     "QueryCancelledError",
     "QueryDeadline",
     "QueryTimeoutError",
     "ResultSet",
     "SampleSpec",
     "SamplingPolicyConfig",
+    "ServerBusyError",
     "VerdictConnection",
     "VerdictContext",
+    "VerdictServer",
     "VerdictSession",
     "__version__",
     "apilevel",
+    "client",
     "connect",
+    "connect_async",
     "paramstyle",
+    "serve",
+    "server",
     "threadsafety",
 ]

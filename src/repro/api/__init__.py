@@ -21,6 +21,7 @@ application code (``except connection_module.ProgrammingError``) works
 unchanged.
 """
 
+from repro.api.aio import AsyncConnection, AsyncCursor, connect_async
 from repro.api.connection import (
     Cursor,
     PreparedStatement,
@@ -31,7 +32,9 @@ from repro.api.connection import (
     threadsafety,
 )
 from repro.api.options import DEFAULT_OPTIONS, ExecutionOptions
+from repro.api.pool import ConnectionPool, PooledConnection
 from repro.api.session import PreparedTemplate, VerdictSession
+from repro.health import HealthReport
 from repro.errors import (
     AccuracyContractError,
     BindParameterError,
@@ -47,9 +50,14 @@ from repro.errors import (
 
 __all__ = [
     "AccuracyContractError",
+    "AsyncConnection",
+    "AsyncCursor",
     "BindParameterError",
+    "ConnectionPool",
     "Cursor",
     "DEFAULT_OPTIONS",
+    "HealthReport",
+    "PooledConnection",
     "DataError",
     "DatabaseError",
     "ExecutionOptions",
@@ -65,6 +73,7 @@ __all__ = [
     "VerdictSession",
     "apilevel",
     "connect",
+    "connect_async",
     "paramstyle",
     "threadsafety",
 ]

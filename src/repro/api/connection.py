@@ -22,8 +22,9 @@ from repro.api.options import ExecutionOptions
 from repro.api.session import PreparedTemplate, VerdictSession
 from repro.connectors.base import Connector
 from repro.core.answer import ApproximateResult
-from repro.errors import InterfaceError
+from repro.errors import ConfigurationError, InterfaceError
 from repro.faults import QueryDeadline
+from repro.health import HealthReport
 from repro.sqlengine.engine import Database
 
 #: DB-API module attributes (re-exported by :mod:`repro.api`).
@@ -38,22 +39,77 @@ paramstyle = "qmark"
 def connect(
     connector: Connector | None = None,
     database: Database | None = None,
+    *,
     options: ExecutionOptions | None = None,
-    **session_kwargs,
-) -> "VerdictConnection":
-    """Open a connection to the AQP middleware.
+    pool_size: int | None = None,
+    database_kwargs: Mapping | None = None,
+    subsample_count: int = 100,
+    io_budget: float = 0.02,
+    confidence: float = 0.95,
+    planner_config=None,
+    include_errors: bool = True,
+    **pool_kwargs,
+):
+    """Open a connection (or a connection pool) to the AQP middleware.
+
+    The documented public entry point: every session knob is an explicit
+    keyword here (no ad-hoc kwarg spread), engine construction goes through
+    the single ``database_kwargs`` passthrough dict, and ``pool_size`` turns
+    the call into a pool factory.
 
     Args:
         connector: driver to the underlying database; omitted means a fresh
             in-process engine.
         database: engine to attach to (share one engine between connections
             by passing the same instance).
-        options: connection-wide default :class:`ExecutionOptions`.
-        **session_kwargs: forwarded to
-            :class:`~repro.api.session.VerdictSession` (``io_budget``,
-            ``confidence``, ``planner_config``, ``include_errors``,
-            ``subsample_count``).
+        options: connection-wide default :class:`ExecutionOptions` (every
+            cursor and ``execute`` call inherits them).
+        pool_size: when given, return a
+            :class:`~repro.api.pool.ConnectionPool` of up to this many
+            connections over one shared engine instead of a single
+            connection; extra keyword arguments (``min_size``,
+            ``checkout_timeout``, ``max_idle_seconds``, ...) configure the
+            pool.
+        database_kwargs: constructor arguments for a freshly created
+            :class:`~repro.sqlengine.engine.Database` (``parallel_exec``,
+            ``chunk_rows``, ``optimize``, ...); mutually exclusive with
+            ``connector`` and ``database``.
+        subsample_count: number of subsamples carried by newly built samples.
+        io_budget: default fraction of a large table the planner may touch.
+        confidence: confidence level of reported error estimates.
+        planner_config: full planner configuration (overrides ``io_budget``).
+        include_errors: whether rewritten queries also compute error columns.
     """
+    if database_kwargs is not None:
+        if connector is not None or database is not None:
+            raise ConfigurationError(
+                "database_kwargs builds a fresh engine; it cannot be combined "
+                "with an explicit connector or database"
+            )
+        database = Database(**dict(database_kwargs))
+    session_kwargs = dict(
+        subsample_count=subsample_count,
+        io_budget=io_budget,
+        confidence=confidence,
+        planner_config=planner_config,
+        include_errors=include_errors,
+    )
+    if pool_size is not None:
+        from repro.api.pool import ConnectionPool
+
+        return ConnectionPool(
+            connector=connector,
+            database=database,
+            max_size=pool_size,
+            options=options,
+            session_kwargs=session_kwargs,
+            **pool_kwargs,
+        )
+    if pool_kwargs:
+        unexpected = ", ".join(sorted(pool_kwargs))
+        raise ConfigurationError(
+            f"unexpected keyword arguments without pool_size: {unexpected}"
+        )
     session = VerdictSession(
         connector=connector,
         database=database,
@@ -81,14 +137,19 @@ class VerdictConnection:
     def closed(self) -> bool:
         return self._closed
 
-    def close(self) -> None:
-        """Close every open cursor and release backend resources (idempotent)."""
+    def close(self, release_backend: bool = True) -> None:
+        """Close every open cursor and release backend resources (idempotent).
+
+        ``release_backend=False`` (used by the connection pool when recycling
+        a member) closes the connection and its session but leaves the shared
+        engine's worker pools running for the pool's other connections.
+        """
         if self._closed:
             return
         self._closed = True
         for cursor in list(self._cursors):
             cursor.close()
-        self.session.close()
+        self.session.close(release_backend=release_backend)
 
     def __enter__(self) -> "VerdictConnection":
         return self
@@ -122,10 +183,12 @@ class VerdictConnection:
         self._check_open()
         return PreparedStatement(self.session, sql)
 
-    def health_check(self) -> dict:
+    def health_check(self) -> HealthReport:
         """Backend liveness/degradation report (circuit state, worker counts).
 
         Cheap — no query is issued; safe to poll from a monitoring thread.
+        Returns the same typed :class:`~repro.health.HealthReport` as
+        ``Database.health()`` (legacy dict keys keep working).
         """
         self._check_open()
         return self.session.connector.health()
@@ -166,6 +229,10 @@ class Cursor:
         # Deadline token of the in-flight execute (read by cancel() from
         # another thread); None while idle.
         self._active_deadline: QueryDeadline | None = None
+        # Set by cancel() and cleared by the next execute: fetches on a
+        # cancelled cursor must fail deterministically, even when the cancel
+        # raced an already-completed execute (see cancel()).
+        self._cancelled = False
         self.last_result: ApproximateResult | None = None
         self.description: list[tuple] | None = None
         self.rowcount = -1
@@ -221,6 +288,8 @@ class Cursor:
         """
         self._check_open()
         self._reset_result()
+        # A new statement re-arms a previously cancelled cursor.
+        self._cancelled = False
         # Always build a cancellation token so cancel() works even without a
         # configured timeout; the session arms its expiry from the effective
         # options' timeout_seconds.
@@ -241,9 +310,17 @@ class Cursor:
         Safe to call from another thread (that is the point: the executing
         thread is blocked inside :meth:`execute`).  The running query stops
         at its next cooperative checkpoint with
-        :class:`~repro.errors.QueryCancelledError`.  A no-op when the cursor
-        is idle.
+        :class:`~repro.errors.QueryCancelledError`.
+
+        The cursor is also marked cancelled regardless of timing: a cancel
+        that *races* the query's completion (the deadline token was already
+        retired, rows may be half-fetched) used to leave the cursor silently
+        consumable from an arbitrary position.  Now every fetch after a
+        cancel raises :class:`~repro.errors.InterfaceError` until the next
+        ``execute`` re-arms the cursor, so callers see one deterministic
+        outcome instead of a position-dependent row stream.
         """
+        self._cancelled = True
         deadline = self._active_deadline
         if deadline is not None:
             deadline.cancel()
@@ -262,6 +339,7 @@ class Cursor:
         """
         self._check_open()
         self._reset_result()
+        self._cancelled = False
         session = self.connection.session
         sql = self._as_template(sql)
         template = sql if isinstance(sql, PreparedTemplate) else session.prepare(sql)
@@ -306,6 +384,10 @@ class Cursor:
 
     def _check_result(self) -> None:
         self._check_open()
+        if self._cancelled:
+            raise InterfaceError(
+                "cursor was cancelled; execute a new statement before fetching"
+            )
         if self.last_result is None:
             raise InterfaceError("no statement has been executed on this cursor")
 

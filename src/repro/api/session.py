@@ -177,7 +177,7 @@ class VerdictSession:
     def closed(self) -> bool:
         return self._closed
 
-    def close(self) -> None:
+    def close(self, release_backend: bool = True) -> None:
         """Release backend resources (idempotent).
 
         For the builtin engine this shuts down the ``parallel_scan`` worker
@@ -185,11 +185,17 @@ class VerdictSession:
         shared-memory column segment the shard pool published; the engine
         object itself stays usable by other sessions (a later query simply
         recreates the pools and republishes columns on demand).
+
+        ``release_backend=False`` closes only the session (its caches and
+        cursors become unusable) while leaving the backend's worker pools
+        alive — the connection pool uses this when recycling one session
+        over an engine shared by its siblings.
         """
         if self._closed:
             return
         self._closed = True
-        self.connector.close()
+        if release_backend:
+            self.connector.close()
 
     def __enter__(self) -> "VerdictSession":
         return self

@@ -16,6 +16,7 @@ from typing import Iterable, Mapping, Sequence
 
 from repro.connectors.dialects import Dialect
 from repro.connectors.syntax_changer import SyntaxChanger
+from repro.health import HealthReport
 from repro.sqlengine import sqlast as ast
 from repro.sqlengine.resultset import ResultSet
 
@@ -81,13 +82,14 @@ class Connector(abc.ABC):
         self.queries_issued.append(sql)
         return self.execute_sql(sql, params, deadline=deadline, parallel=parallel)
 
-    def health(self) -> dict:
+    def health(self) -> HealthReport:
         """Cheap liveness/degradation report for this backend.
 
-        Default: a static "ok" — connectors whose backend tracks failure
-        state (the builtin engine's circuit breaker) override this.
+        Default: a static "ok" :class:`~repro.health.HealthReport` —
+        connectors whose backend tracks failure state (the builtin engine's
+        circuit breaker) override this.
         """
-        return {"status": "ok", "backend": type(self).__name__}
+        return HealthReport(status="ok", backend=type(self).__name__)
 
     # -- cross-session coordination ---------------------------------------------
 

@@ -59,7 +59,7 @@ class BuiltinConnector(Connector):
         # same failpoint schedule.
         return self.database.fault_injector
 
-    def health(self) -> dict:
+    def health(self):
         return self.database.health()
 
     @property

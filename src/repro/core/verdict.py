@@ -1,19 +1,31 @@
 """VerdictContext: the historical public entry point of the middleware.
 
-Since the API redesign the real machinery lives in
-:class:`repro.api.session.VerdictSession` (and applications are expected to
-use :func:`repro.connect`, which layers DB-API-style connections and cursors
-on top of a session).  ``VerdictContext`` survives as a thin compatibility
-shim — a session under its original name, with the original constructor
-signature and methods (``load_table`` / ``create_sample`` / ``sql`` /
-``execute_exact`` / ...), so existing applications, tests and the
-experiment harness keep working unchanged.  It additionally supports
-``close()`` and the context-manager protocol, releasing the engine's
-``parallel_scan`` worker pool exactly like the raw
-:class:`~repro.sqlengine.engine.Database` context manager does.
+.. deprecated::
+    Since the API redesign the real machinery lives in
+    :class:`repro.api.session.VerdictSession`, and the documented public
+    entry point is :func:`repro.connect` (DB-API connections, cursors,
+    pools, the asyncio variant and the socket server all layer on the
+    session).  ``VerdictContext`` survives as a thin compatibility shim — a
+    session under its original name — but now emits a
+    :class:`DeprecationWarning` on construction and will be removed in a
+    future release.
+
+Migration:
+
+========================================  =====================================
+historical                                 replacement
+========================================  =====================================
+``VerdictContext(...)``                    ``repro.connect(...).session``
+``context.sql(query)``                     ``connection.execute(query)`` /
+                                           ``session.sql(query)``
+``context.load_table`` / samples           identical methods on ``session``
+``context.execute_exact(query)``           ``session.execute_exact(query)``
+========================================  =====================================
 """
 
 from __future__ import annotations
+
+import warnings
 
 from repro.api.session import SamplerFacade, VerdictSession
 
@@ -21,9 +33,21 @@ __all__ = ["SamplerFacade", "VerdictContext"]
 
 
 class VerdictContext(VerdictSession):
-    """Database-agnostic AQP middleware session (legacy facade).
+    """Database-agnostic AQP middleware session (deprecated legacy facade).
 
     See :class:`repro.api.session.VerdictSession` for the constructor
     arguments and :func:`repro.connect` for the DB-API-shaped interface
-    (connections, cursors, prepared statements, ``ExecutionOptions``).
+    (connections, cursors, prepared statements, pools,
+    ``ExecutionOptions``).  The module docstring carries the migration
+    table.
     """
+
+    def __init__(self, *args, **kwargs) -> None:
+        warnings.warn(
+            "VerdictContext is deprecated; use repro.connect() (or "
+            "VerdictSession directly) — see repro.core.verdict for the "
+            "migration table",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        super().__init__(*args, **kwargs)

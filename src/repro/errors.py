@@ -68,6 +68,34 @@ class QueryCancelledError(OperationalError):
     """The query was cancelled (``Cursor.cancel()``) while running."""
 
 
+class PoolTimeoutError(OperationalError):
+    """No pooled connection became available within the checkout timeout.
+
+    Raised by :meth:`repro.api.pool.ConnectionPool.checkout` when the pool is
+    at ``max_size`` with every connection checked out and none is returned
+    before ``checkout_timeout`` elapses.  Retryable by construction: the
+    caller can back off and check out again.
+    """
+
+
+class ServerBusyError(OperationalError):
+    """The server refused a query at admission control.
+
+    Sent over the wire (and re-raised typed on the client) when the server
+    is already running ``max_concurrent_queries`` with a full wait queue, or
+    when it is draining for shutdown.  Like :class:`PoolTimeoutError` this is
+    a retryable load signal, not an application error.
+    """
+
+
+class ProtocolError(InterfaceError):
+    """A malformed or out-of-protocol frame was seen on a server connection.
+
+    Covers undecodable JSON, oversized frames, unknown message types and
+    messages violating the expected sequence (e.g. QUERY before HELLO).
+    """
+
+
 class ConfigurationError(ReproError, ValueError):
     """An invalid configuration value was supplied to a library object.
 

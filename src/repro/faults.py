@@ -27,12 +27,18 @@ from __future__ import annotations
 
 import threading
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Callable, Mapping
 
 import numpy as np
 
-from repro.errors import ConfigurationError, OperationalError, QueryCancelledError, QueryTimeoutError
+from repro.errors import (
+    ConfigurationError,
+    OperationalError,
+    QueryCancelledError,
+    QueryTimeoutError,
+)
 
 
 class InjectedFault(OperationalError):
@@ -97,6 +103,66 @@ class QueryDeadline:
             raise QueryCancelledError("query cancelled")
         if self.expired:
             raise QueryTimeoutError("query exceeded its timeout_seconds deadline")
+
+
+class DeadlineRegistry:
+    """Thread-safe registry of in-flight query deadlines, keyed by query id.
+
+    The serving tier needs to reach a *running* query's cancellation token
+    from outside the thread executing it: a server connection receives a
+    CANCEL frame for ``query_id`` while the QUERY is executing on a worker
+    thread, and a draining server must cancel everything still in flight.
+    Each query registers its :class:`QueryDeadline` under an opaque key for
+    exactly the duration of its execution (the :meth:`tracking` context
+    manager guarantees unregistration), and :meth:`cancel` /
+    :meth:`cancel_all` flip the tokens from any thread.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._deadlines: dict[object, QueryDeadline] = {}
+
+    def register(self, key: object, deadline: QueryDeadline) -> None:
+        with self._lock:
+            self._deadlines[key] = deadline
+
+    def unregister(self, key: object) -> None:
+        with self._lock:
+            self._deadlines.pop(key, None)
+
+    def cancel(self, key: object) -> bool:
+        """Cancel the deadline registered under ``key``; False when absent.
+
+        An absent key is not an error: the CANCEL may have raced the query's
+        completion, which is indistinguishable from the client's side.
+        """
+        with self._lock:
+            deadline = self._deadlines.get(key)
+        if deadline is None:
+            return False
+        deadline.cancel()
+        return True
+
+    def cancel_all(self) -> int:
+        """Cancel every registered deadline (drain path); returns the count."""
+        with self._lock:
+            deadlines = list(self._deadlines.values())
+        for deadline in deadlines:
+            deadline.cancel()
+        return len(deadlines)
+
+    def active_count(self) -> int:
+        with self._lock:
+            return len(self._deadlines)
+
+    @contextmanager
+    def tracking(self, key: object, deadline: QueryDeadline):
+        """Register ``deadline`` under ``key`` for the duration of a block."""
+        self.register(key, deadline)
+        try:
+            yield deadline
+        finally:
+            self.unregister(key)
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,131 @@
+"""One typed health/stats surface for every layer of the serving stack.
+
+Historically each layer reported health its own way: ``Database.health()``
+returned a flat dict, ``VerdictConnection.health_check()`` forwarded whatever
+the connector produced, and ``Database.stats`` was a third, bare counter
+dict.  :class:`HealthReport` unifies them: every health entry point —
+``Database.health()``, ``connection.health_check()``,
+``ConnectionPool.health()`` and ``VerdictServer.health()`` — now returns one
+frozen dataclass with typed *sections* (engine, circuit breaker, connection
+pool, server) plus the raw ``stats`` counters.
+
+Backward compatibility (for one release): the report also supports
+dict-style access with the **legacy flat keys** — ``report["circuit"]`` is
+still the circuit state *string*, ``report["pool_workers_alive"]`` still
+reaches into the engine section — so existing monitoring code and tests keep
+working while new code reads the typed sections.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Mapping
+
+#: Flat legacy keys that live in the ``engine`` section.
+_ENGINE_KEYS = (
+    "exec_workers",
+    "scan_workers",
+    "pool_workers_alive",
+    "pool_broken",
+    "published_tables",
+    "live_segments",
+)
+
+
+@dataclass(frozen=True)
+class HealthReport(Mapping):
+    """Typed liveness/degradation snapshot of one serving-stack layer.
+
+    Attributes:
+        status: ``"ok"``, ``"degraded"`` (answers still correct, some
+            capability lost — e.g. the dispatch circuit is open) or
+            ``"draining"`` (a server refusing new work while in-flight
+            queries finish).
+        backend: class name of the reporting backend/connector.
+        engine: engine-level gauges (worker counts, pool liveness, published
+            shared-memory tables); empty for backends without an engine.
+        circuit: dispatch circuit-breaker section (``state``,
+            ``consecutive_failures``); empty when the backend has none.
+        pool: connection-pool section (sizing, checkouts, recycling) or None
+            when no pool is involved.
+        server: socket-server section (connections, running/queued queries,
+            admission rejections) or None outside server mode.
+        stats: the backend's raw observability counters
+            (``Database.stats``), unified here instead of being a separate
+            divergent surface.
+    """
+
+    status: str = "ok"
+    backend: str | None = None
+    engine: dict[str, Any] = field(default_factory=dict)
+    circuit: dict[str, Any] = field(default_factory=dict)
+    pool: dict[str, Any] | None = None
+    server: dict[str, Any] | None = None
+    stats: dict[str, int] = field(default_factory=dict)
+
+    # -- typed accessors ---------------------------------------------------------
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    @property
+    def circuit_state(self) -> str | None:
+        return self.circuit.get("state")
+
+    def section(self, name: str) -> dict | None:
+        """One named section (``engine`` / ``circuit`` / ``pool`` / ``server``)."""
+        if name not in ("engine", "circuit", "pool", "server", "stats"):
+            raise KeyError(name)
+        return getattr(self, name)
+
+    def as_sections(self) -> dict[str, Any]:
+        """The typed sections as one plain dict (the wire form).
+
+        Round-trips through ``HealthReport(**report.as_sections())`` — the
+        server serializes health this way and the client reconstructs the
+        same typed report.
+        """
+        return {
+            "status": self.status,
+            "backend": self.backend,
+            "engine": dict(self.engine),
+            "circuit": dict(self.circuit),
+            "pool": None if self.pool is None else dict(self.pool),
+            "server": None if self.server is None else dict(self.server),
+            "stats": dict(self.stats),
+        }
+
+    def as_dict(self) -> dict[str, Any]:
+        """The legacy flat-dict shape (what ``Database.health()`` used to return)."""
+        flat: dict[str, Any] = {"status": self.status}
+        if self.backend is not None:
+            flat["backend"] = self.backend
+        if self.circuit:
+            flat["circuit"] = self.circuit.get("state")
+            flat["consecutive_dispatch_failures"] = self.circuit.get(
+                "consecutive_failures"
+            )
+        flat.update(self.engine)
+        if self.pool is not None:
+            flat["pool"] = dict(self.pool)
+        if self.server is not None:
+            flat["server"] = dict(self.server)
+        flat["stats"] = dict(self.stats)
+        return flat
+
+    # -- legacy dict-style access -------------------------------------------------
+    #
+    # ``Mapping`` over the flat legacy schema: ``report["circuit"]`` returns
+    # the state string exactly as the old dicts did.  Kept for one release;
+    # new code should read the typed sections.
+
+    def __getitem__(self, key: str) -> Any:
+        flat = self.as_dict()
+        return flat[key]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.as_dict())
+
+    def __len__(self) -> int:
+        return len(self.as_dict())

@@ -1,0 +1,42 @@
+"""Socket server mode: the middleware as a standalone network service.
+
+The deployment shape the paper describes — a *middleware* standing between
+applications and the data warehouse — also wants a wire form: one process
+owns the engine, samples and caches, and many clients connect over TCP.
+This package provides it:
+
+* :mod:`repro.server.protocol` — the length-prefixed JSON frame protocol
+  (HELLO/QUERY/FETCH/CANCEL/CLOSE and friends);
+* :mod:`repro.server.server` — :class:`VerdictServer`, a threaded socket
+  server over a :class:`~repro.api.pool.ConnectionPool`, with per-connection
+  default :class:`~repro.api.options.ExecutionOptions`, admission control
+  and graceful drain;
+* :mod:`repro.client` — the matching thin client
+  (``repro.client.connect(host, port)``) with the usual DB-API surface.
+"""
+
+from repro.server.protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    decode_error,
+    decode_options,
+    encode_error,
+    encode_options,
+    recv_frame,
+    send_frame,
+)
+from repro.server.server import ServerStats, VerdictServer, serve
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "PROTOCOL_VERSION",
+    "ServerStats",
+    "VerdictServer",
+    "decode_error",
+    "decode_options",
+    "encode_error",
+    "encode_options",
+    "recv_frame",
+    "send_frame",
+    "serve",
+]

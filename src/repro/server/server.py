@@ -1,0 +1,549 @@
+"""VerdictServer: a threaded socket server over a connection pool.
+
+One :class:`VerdictServer` owns a
+:class:`~repro.api.pool.ConnectionPool` (and therefore one shared engine:
+samples, caches and the circuit breaker are built once and serve every
+client).  Each accepted TCP connection gets a reader thread speaking the
+frame protocol of :mod:`repro.server.protocol`; each QUERY executes on its
+own worker thread so the reader stays responsive to CANCEL mid-query.
+
+Operational behaviour the tests pin down:
+
+* **per-connection options** — HELLO may carry default
+  :class:`ExecutionOptions`; a QUERY's options override them *field-wise*
+  (the payloads are merged key-by-key before decoding, so a query that sets
+  only ``accuracy`` keeps the connection's ``mode``).
+* **admission control** — at most ``max_concurrent_queries`` execute at
+  once; up to ``max_queue_depth`` more wait for a slot; anything beyond is
+  rejected immediately with a typed
+  :class:`~repro.errors.ServerBusyError` (retryable by design).
+* **cancellation** — a CANCEL frame flips the running query's
+  :class:`~repro.faults.QueryDeadline` through a
+  :class:`~repro.faults.DeadlineRegistry`; the query stops at its next
+  cooperative checkpoint and the client's pending QUERY resolves with a
+  :class:`~repro.errors.QueryCancelledError`.
+* **graceful drain** — :meth:`shutdown` stops accepting, rejects new
+  queries, waits for in-flight work up to a timeout, then cancels whatever
+  is left and closes every client socket and the pool.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from dataclasses import dataclass, replace
+from typing import Mapping
+
+from repro.api.options import ExecutionOptions
+from repro.api.pool import ConnectionPool
+from repro.connectors.base import Connector
+from repro.errors import InterfaceError, ProtocolError, ServerBusyError
+from repro.faults import DeadlineRegistry, QueryDeadline
+from repro.health import HealthReport
+from repro.server import protocol
+from repro.sqlengine.engine import Database
+
+#: Default FETCH batch when the client does not say how many rows it wants.
+DEFAULT_FETCH_ROWS = 1024
+
+
+@dataclass(frozen=True)
+class ServerStats:
+    """One consistent snapshot of the server's load counters."""
+
+    connections: int
+    running: int
+    queued: int
+    served: int
+    rejected: int
+    cancelled: int
+    draining: bool
+
+    def as_dict(self) -> dict:
+        return {
+            "connections": self.connections,
+            "running": self.running,
+            "queued": self.queued,
+            "served": self.served,
+            "rejected": self.rejected,
+            "cancelled": self.cancelled,
+            "draining": self.draining,
+        }
+
+
+class VerdictServer:
+    """The middleware as a network service.
+
+    Args:
+        connector / database: the backend, exactly as for
+            :func:`repro.connect`; omitted means a fresh in-process engine.
+        host / port: bind address; ``port=0`` picks an ephemeral port
+            (read :attr:`address` after :meth:`start`).
+        pool_size: members of the shared connection pool.
+        max_concurrent_queries: queries executing simultaneously.
+        max_queue_depth: admitted queries allowed to wait for a slot.
+        options: server-wide default :class:`ExecutionOptions` (clients'
+            HELLO options override these field-wise, queries override both).
+        session_kwargs: forwarded to every pooled session.
+    """
+
+    def __init__(
+        self,
+        connector: Connector | None = None,
+        database: Database | None = None,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        pool_size: int = 4,
+        max_concurrent_queries: int = 8,
+        max_queue_depth: int = 16,
+        options: ExecutionOptions | None = None,
+        session_kwargs: Mapping | None = None,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.max_concurrent_queries = max_concurrent_queries
+        self.max_queue_depth = max_queue_depth
+        self.options = options
+        self._pool = ConnectionPool(
+            connector=connector,
+            database=database,
+            min_size=min(1, pool_size),
+            max_size=pool_size,
+            options=options,
+            session_kwargs=session_kwargs,
+        )
+        self._registry = DeadlineRegistry()
+        self._admission = threading.Condition()
+        self._running = 0
+        self._queued = 0
+        self._served = 0
+        self._rejected = 0
+        self._cancelled = 0
+        self._draining = False
+        self._started = False
+        self._closed = False
+        self._listener: socket.socket | None = None
+        self._accept_thread: threading.Thread | None = None
+        self._handlers: set[_ClientHandler] = set()
+        self._handlers_lock = threading.Lock()
+
+    # -- lifecycle -------------------------------------------------------------
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` — useful with ``port=0``."""
+        if self._listener is None:
+            raise InterfaceError("server is not started")
+        return self._listener.getsockname()[:2]
+
+    def start(self) -> "VerdictServer":
+        """Bind, listen and start the accept loop (idempotent)."""
+        if self._closed:
+            raise InterfaceError("server is closed")
+        if self._started:
+            return self
+        self._listener = socket.create_server((self.host, self.port))
+        self._listener.settimeout(0.2)
+        self._started = True
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="repro-server-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self
+
+    def _accept_loop(self) -> None:
+        while not self._draining and not self._closed:
+            try:
+                client, _addr = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return  # listener closed under us during shutdown
+            try:
+                # Request/response frames are small; without TCP_NODELAY the
+                # kernel would hold replies hostage to delayed ACKs.
+                client.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            except OSError:  # pragma: no cover - e.g. AF_UNIX test doubles
+                pass
+            handler = _ClientHandler(self, client)
+            with self._handlers_lock:
+                if self._draining or self._closed:
+                    client.close()
+                    return
+                self._handlers.add(handler)
+            handler.start()
+
+    def shutdown(self, drain: bool = True, timeout: float = 10.0) -> None:
+        """Stop serving: drain in-flight queries, then tear everything down.
+
+        With ``drain=True`` new queries are rejected with
+        :class:`ServerBusyError` while running/queued ones get up to
+        ``timeout`` seconds to finish; whatever remains is cancelled.  With
+        ``drain=False`` everything in flight is cancelled immediately.
+        """
+        with self._admission:
+            if self._closed:
+                return
+            self._draining = True
+            self._admission.notify_all()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:  # pragma: no cover
+                pass
+        if drain:
+            deadline = time.monotonic() + timeout
+            with self._admission:
+                while self._running + self._queued > 0:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    self._admission.wait(remaining)
+        self._registry.cancel_all()
+        with self._handlers_lock:
+            handlers = list(self._handlers)
+        for handler in handlers:
+            handler.close()
+        for handler in handlers:
+            handler.join(timeout=2.0)
+        with self._admission:
+            self._closed = True
+        self._pool.close()
+
+    def close(self) -> None:
+        """Immediate shutdown (no drain)."""
+        self.shutdown(drain=False, timeout=0.0)
+
+    def __enter__(self) -> "VerdictServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    def _forget(self, handler: "_ClientHandler") -> None:
+        with self._handlers_lock:
+            self._handlers.discard(handler)
+
+    # -- admission --------------------------------------------------------------
+
+    def _admit(self) -> bool:
+        """Reserve an execution or queue slot; returns ``queued``.
+
+        Raises :class:`ServerBusyError` when the server is draining or both
+        the run slots and the queue are full.  Called from reader threads so
+        rejection is immediate (the client never waits to be told no).
+        """
+        with self._admission:
+            if self._draining or self._closed:
+                raise ServerBusyError("server is draining; retry against another node")
+            if self._running < self.max_concurrent_queries:
+                self._running += 1
+                return False
+            if self._queued < self.max_queue_depth:
+                self._queued += 1
+                return True
+            self._rejected += 1
+            raise ServerBusyError(
+                f"server at capacity ({self._running} running, "
+                f"{self._queued} queued); retry later"
+            )
+
+    def _wait_for_slot(self) -> None:
+        """Turn a queue reservation into a run slot (worker threads only)."""
+        with self._admission:
+            while self._running >= self.max_concurrent_queries and not self._draining:
+                self._admission.wait()
+            self._queued -= 1
+            if self._draining:
+                self._admission.notify_all()
+                raise ServerBusyError("server is draining; retry against another node")
+            self._running += 1
+
+    def _release_slot(self, served: bool) -> None:
+        with self._admission:
+            self._running -= 1
+            if served:
+                self._served += 1
+            self._admission.notify_all()
+
+    # -- observability -----------------------------------------------------------
+
+    @property
+    def stats(self) -> ServerStats:
+        with self._admission:
+            with self._handlers_lock:
+                connections = len(self._handlers)
+            return ServerStats(
+                connections=connections,
+                running=self._running,
+                queued=self._queued,
+                served=self._served,
+                rejected=self._rejected,
+                cancelled=self._cancelled,
+                draining=self._draining,
+            )
+
+    def health(self) -> HealthReport:
+        """Engine + pool health with this server's section attached."""
+        return replace(self._pool.health(), server=self.stats.as_dict())
+
+
+class _ClientHandler:
+    """One connected client: a reader thread plus per-query worker threads."""
+
+    _ids = iter(range(1, 1 << 62))
+    _ids_lock = threading.Lock()
+
+    def __init__(self, server: VerdictServer, sock: socket.socket) -> None:
+        self.server = server
+        self.sock = sock
+        with self._ids_lock:
+            self.id = next(self._ids)
+        self._write_lock = threading.Lock()
+        self._thread = threading.Thread(
+            target=self._run, name=f"repro-server-client-{self.id}", daemon=True
+        )
+        # Default options payload from HELLO (raw dict: merged field-wise
+        # with each QUERY's payload, so per-query overrides are sparse).
+        self._default_options_payload: dict = {}
+        # query_id -> {"rows": [...], "position": int} for incremental FETCH.
+        self._results: dict[str, dict] = {}
+        self._results_lock = threading.Lock()
+        self._closing = False
+
+    def start(self) -> None:
+        self._thread.start()
+
+    def join(self, timeout: float | None = None) -> None:
+        if self._thread.is_alive():
+            self._thread.join(timeout)
+
+    def close(self) -> None:
+        self._closing = True
+        try:
+            self.sock.close()
+        except OSError:  # pragma: no cover
+            pass
+
+    def _send(self, message: dict) -> None:
+        with self._write_lock:
+            try:
+                protocol.send_frame(self.sock, message)
+            except OSError:
+                # Peer vanished; the reader loop will notice and clean up.
+                self._closing = True
+
+    # -- main loop ---------------------------------------------------------------
+
+    def _run(self) -> None:
+        try:
+            if not self._handshake():
+                return
+            while not self._closing:
+                try:
+                    frame = protocol.recv_frame(self.sock)
+                except (ProtocolError, OSError):
+                    return
+                if frame is None:
+                    return
+                if not self._dispatch(frame):
+                    return
+        finally:
+            self.close()
+            self.server._forget(self)
+
+    def _handshake(self) -> bool:
+        try:
+            frame = protocol.recv_frame(self.sock)
+        except (ProtocolError, OSError):
+            return False
+        if frame is None:
+            return False
+        if frame.get("type") != "HELLO":
+            self._send(protocol.encode_error(ProtocolError("expected HELLO first")))
+            return False
+        version = frame.get("version")
+        if version != protocol.PROTOCOL_VERSION:
+            self._send(
+                protocol.encode_error(
+                    ProtocolError(
+                        f"protocol version mismatch: server speaks "
+                        f"{protocol.PROTOCOL_VERSION}, client sent {version!r}"
+                    )
+                )
+            )
+            return False
+        raw_options = frame.get("options") or {}
+        try:
+            protocol.decode_options(raw_options)  # validate now, fail loudly
+        except ProtocolError as exc:
+            self._send(protocol.encode_error(exc))
+            return False
+        self._default_options_payload = dict(raw_options)
+        self._send(
+            {
+                "type": "WELCOME",
+                "version": protocol.PROTOCOL_VERSION,
+                "server": "repro",
+            }
+        )
+        return True
+
+    def _dispatch(self, frame: dict) -> bool:
+        """Handle one frame; False ends the connection."""
+        kind = frame.get("type")
+        if kind == "QUERY":
+            self._on_query(frame)
+        elif kind == "FETCH":
+            self._on_fetch(frame)
+        elif kind == "CANCEL":
+            self._on_cancel(frame)
+        elif kind == "HEALTH":
+            report = self.server.health()
+            self._send({"type": "HEALTHY", "report": report.as_sections()})
+        elif kind == "CLOSE":
+            self._send({"type": "GOODBYE"})
+            return False
+        else:
+            self._send(
+                protocol.encode_error(ProtocolError(f"unknown frame type {kind!r}"))
+            )
+        return True
+
+    # -- QUERY -------------------------------------------------------------------
+
+    def _on_query(self, frame: dict) -> None:
+        query_id = frame.get("id")
+        sql = frame.get("sql")
+        if not isinstance(query_id, str) or not isinstance(sql, str):
+            self._send(
+                protocol.encode_error(
+                    ProtocolError("QUERY requires string 'id' and 'sql'"), query_id
+                )
+            )
+            return
+        with self._results_lock:
+            duplicate = query_id in self._results
+        if duplicate:
+            self._send(
+                protocol.encode_error(
+                    ProtocolError(f"query id {query_id!r} already has a result"),
+                    query_id,
+                )
+            )
+            return
+        merged_payload = {**self._default_options_payload, **(frame.get("options") or {})}
+        try:
+            options = protocol.decode_options(merged_payload or None)
+        except ProtocolError as exc:
+            self._send(protocol.encode_error(exc, query_id))
+            return
+        try:
+            queued = self.server._admit()
+        except ServerBusyError as exc:
+            self._send(protocol.encode_error(exc, query_id))
+            return
+        worker = threading.Thread(
+            target=self._run_query,
+            args=(query_id, sql, frame.get("params"), options, queued),
+            name=f"repro-server-query-{self.id}-{query_id}",
+            daemon=True,
+        )
+        worker.start()
+
+    def _run_query(
+        self,
+        query_id: str,
+        sql: str,
+        params,
+        options: ExecutionOptions | None,
+        queued: bool,
+    ) -> None:
+        if queued:
+            try:
+                self.server._wait_for_slot()
+            except ServerBusyError as exc:
+                self._send(protocol.encode_error(exc, query_id))
+                return
+        served = False
+        deadline = QueryDeadline()
+        try:
+            with self.server._registry.tracking((self.id, query_id), deadline):
+                with self.server._pool.connection() as pooled:
+                    result = pooled.session.execute(
+                        sql, params, options, deadline=deadline
+                    )
+                    rows = result.fetchall()
+            names = result.column_names()
+            if rows:
+                # Zero-row results and DML need no FETCH; buffering them
+                # would leak state the client never comes back for.
+                with self._results_lock:
+                    self._results[query_id] = {"rows": rows, "position": 0}
+            served = True
+            self._send(
+                {
+                    "type": "RESULT",
+                    "id": query_id,
+                    "description": names,
+                    "rowcount": len(rows) if names else -1,
+                    "approximate": not result.is_exact,
+                    "elapsed_seconds": result.elapsed_seconds,
+                }
+            )
+        except Exception as exc:
+            if deadline.cancelled:
+                with self.server._admission:
+                    self.server._cancelled += 1
+            self._send(protocol.encode_error(exc, query_id))
+        finally:
+            self.server._release_slot(served)
+
+    # -- FETCH / CANCEL ------------------------------------------------------------
+
+    def _on_fetch(self, frame: dict) -> None:
+        query_id = frame.get("id")
+        count = frame.get("count", DEFAULT_FETCH_ROWS)
+        if not isinstance(count, int) or count < 1:
+            count = DEFAULT_FETCH_ROWS
+        with self._results_lock:
+            state = self._results.get(query_id)
+            if state is None:
+                error = InterfaceError(f"no result buffered for query {query_id!r}")
+                state = None
+            else:
+                rows = state["rows"][state["position"] : state["position"] + count]
+                state["position"] += len(rows)
+                done = state["position"] >= len(state["rows"])
+                if done:
+                    # Free the buffer as soon as the client has everything.
+                    del self._results[query_id]
+        if state is None:
+            self._send(protocol.encode_error(error, query_id))
+            return
+        self._send({"type": "ROWS", "id": query_id, "rows": rows, "done": done})
+
+    def _on_cancel(self, frame: dict) -> None:
+        query_id = frame.get("id")
+        # Fire-and-forget: a hit flips the running query's token (its QUERY
+        # resolves with a QueryCancelledError), a miss means the query
+        # already finished — indistinguishable races, both fine.
+        self.server._registry.cancel((self.id, query_id))
+
+
+def serve(
+    connector: Connector | None = None,
+    database: Database | None = None,
+    **server_kwargs,
+) -> VerdictServer:
+    """Construct and start a :class:`VerdictServer` in one call.
+
+    ``with repro.server.serve(database=db, port=0) as srv: ...`` — read
+    ``srv.address`` for the bound port.
+    """
+    return VerdictServer(connector, database, **server_kwargs).start()
+
+
+__all__ = ["DEFAULT_FETCH_ROWS", "ServerStats", "VerdictServer", "serve"]

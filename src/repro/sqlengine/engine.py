@@ -18,6 +18,7 @@ import numpy as np
 from repro.cache import LRUCache
 from repro.errors import CatalogError, ExecutionError
 from repro.faults import as_injector
+from repro.health import HealthReport
 from repro.sqlengine import functions, parser, shardpool, sqlast as ast
 from repro.sqlengine.catalog import Catalog
 from repro.sqlengine.executor import DEFAULT_MIN_SHARD_ROWS, Executor
@@ -421,13 +422,15 @@ class Database:
         elif new_state == "closed":
             self.bump_stat("circuit_closed")
 
-    def health(self) -> dict:
+    def health(self) -> HealthReport:
         """Snapshot of the engine's execution health.
 
         Cheap and lock-light — intended for load balancers and the session
         layer's ``VerdictConnection.health_check()``.  ``status`` is
         ``"degraded"`` while the dispatch circuit is open (queries still
         answer correctly, via the serial path) and ``"ok"`` otherwise.
+        Returns a typed :class:`~repro.health.HealthReport`; the legacy flat
+        dict keys keep working through its mapping interface.
         """
         circuit_state = self.circuit.state
         with self._pool_lock:
@@ -437,18 +440,23 @@ class Database:
             pool_broken = bool(pool.broken) if pool is not None else False
         with self._stats_lock:
             stats = dict(self.stats)
-        return {
-            "status": "degraded" if circuit_state == "open" else "ok",
-            "circuit": circuit_state,
-            "consecutive_dispatch_failures": self.circuit.consecutive_failures,
-            "exec_workers": self.exec_workers,
-            "scan_workers": self.scan_workers,
-            "pool_workers_alive": workers_alive,
-            "pool_broken": pool_broken,
-            "published_tables": published,
-            "live_segments": len(shardpool.ShardPool.live_segment_names()),
-            "stats": stats,
-        }
+        return HealthReport(
+            status="degraded" if circuit_state == "open" else "ok",
+            backend=type(self).__name__,
+            engine={
+                "exec_workers": self.exec_workers,
+                "scan_workers": self.scan_workers,
+                "pool_workers_alive": workers_alive,
+                "pool_broken": pool_broken,
+                "published_tables": published,
+                "live_segments": len(shardpool.ShardPool.live_segment_names()),
+            },
+            circuit={
+                "state": circuit_state,
+                "consecutive_failures": self.circuit.consecutive_failures,
+            },
+            stats=stats,
+        )
 
     def _cached_statement(self, sql: str) -> ast.Statement:
         statement = self._statement_cache.get(sql)

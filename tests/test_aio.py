@@ -1,0 +1,210 @@
+"""Asyncio front-end tests.
+
+No asyncio pytest plugin is assumed: each test drives its own loop with
+``asyncio.run``.  The load-bearing property is that *every* blocking
+operation — execution (including DML taking the engine's writer lock) and
+row materialization — happens off-loop, so the event loop keeps ticking
+while a statement runs, and a statement can be cancelled from another task.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+import repro
+from repro import Database, ExecutionOptions, SampleSpec
+from repro.errors import InterfaceError, QueryCancelledError
+
+
+def columns(rows: int = 2_000, seed: int = 9) -> dict[str, np.ndarray]:
+    rng = np.random.default_rng(seed)
+    return {
+        "order_id": np.arange(rows),
+        "price": rng.normal(10.0, 5.0, rows),
+        "city": rng.choice(["a", "b", "c"], rows).astype(object),
+    }
+
+
+def test_connect_async_basic_roundtrip():
+    async def main():
+        async with await repro.connect_async() as conn:
+            conn.session.load_table("orders", columns())
+            cursor = await conn.execute("SELECT count(*) AS n FROM orders")
+            assert cursor.rowcount == 1
+            assert cursor.description[0][0] == "n"
+            row = await cursor.fetchone()
+            assert row == (2_000,)
+            assert await cursor.fetchone() is None
+
+    asyncio.run(main())
+
+
+def test_async_cursor_is_an_async_iterator():
+    async def main():
+        async with await repro.connect_async() as conn:
+            conn.session.load_table("orders", columns())
+            cursor = conn.cursor()
+            await cursor.execute(
+                "SELECT city, count(*) AS n FROM orders GROUP BY city ORDER BY city"
+            )
+            rows = [row async for row in cursor]
+            assert [row[0] for row in rows] == ["a", "b", "c"]
+            assert sum(row[1] for row in rows) == 2_000
+
+    asyncio.run(main())
+
+
+def test_async_fetchmany_and_fetchall():
+    async def main():
+        async with await repro.connect_async() as conn:
+            conn.session.load_table("orders", columns(100))
+            cursor = await conn.execute(
+                "SELECT order_id FROM orders ORDER BY order_id"
+            )
+            first = await cursor.fetchmany(10)
+            assert [row[0] for row in first] == list(range(10))
+            rest = await cursor.fetchall()
+            assert len(rest) == 90
+
+    asyncio.run(main())
+
+
+def test_async_approximate_query_with_options():
+    async def main():
+        async with await repro.connect_async() as conn:
+            conn.session.load_table("orders", columns(20_000))
+            conn.session.create_sample("orders", SampleSpec("uniform", (), 0.05))
+            cursor = await conn.execute(
+                "SELECT avg(price) AS a FROM orders",
+                options=ExecutionOptions(mode="approximate"),
+            )
+            assert not cursor.last_result.is_exact
+            (approx,) = (await cursor.fetchone())
+            assert approx == pytest.approx(10.0, abs=1.0)
+
+    asyncio.run(main())
+
+
+def test_event_loop_stays_responsive_during_slow_query():
+    # Every executor checkpoint sleeps, simulating a slow scan; a heartbeat
+    # task must keep ticking while the statement runs — proof the blocking
+    # work really lives on the executor thread, not the loop.
+    engine = Database(
+        seed=3,
+        fault_injection={
+            "executor.checkpoint": {"kind": "sleep", "seconds": 0.03, "times": None}
+        },
+    )
+    engine.register_table("orders", columns())
+
+    async def main():
+        conn = await repro.connect_async(database=engine)
+        ticks = []
+
+        async def heartbeat():
+            while True:
+                ticks.append(1)
+                await asyncio.sleep(0.01)
+
+        beat = asyncio.create_task(heartbeat())
+        try:
+            cursor = await conn.execute("SELECT sum(price) AS s FROM orders")
+            assert await cursor.fetchone() is not None
+        finally:
+            beat.cancel()
+            await conn.close()
+        assert len(ticks) >= 3
+
+    try:
+        asyncio.run(main())
+    finally:
+        engine.close()
+
+
+def test_cancel_from_another_task_stops_the_statement():
+    engine = Database(
+        seed=3,
+        fault_injection={
+            "executor.checkpoint": {"kind": "sleep", "seconds": 0.1, "times": None}
+        },
+    )
+    engine.register_table("orders", columns())
+
+    async def main():
+        conn = await repro.connect_async(database=engine)
+        cursor = conn.cursor()
+
+        async def canceller():
+            await asyncio.sleep(0.05)
+            cursor.cancel()  # synchronous, loop-independent — by design
+
+        cancel_task = asyncio.create_task(canceller())
+        try:
+            with pytest.raises(QueryCancelledError):
+                await cursor.execute("SELECT sum(price) AS s FROM orders")
+            await cancel_task
+            # Post-cancel fetches fail deterministically...
+            with pytest.raises(InterfaceError):
+                await cursor.fetchone()
+        finally:
+            await conn.close()
+
+    try:
+        asyncio.run(main())
+    finally:
+        engine.close()
+
+
+def test_concurrent_tasks_interleave_over_one_connection():
+    async def main():
+        async with await repro.connect_async() as conn:
+            conn.session.load_table("orders", columns())
+
+            async def one(city: str) -> int:
+                cursor = await conn.execute(
+                    "SELECT count(*) AS n FROM orders WHERE city = ?", (city,)
+                )
+                (count,) = await cursor.fetchone()
+                return int(count)
+
+            counts = await asyncio.gather(one("a"), one("b"), one("c"))
+            assert sum(counts) == 2_000
+
+    asyncio.run(main())
+
+
+def test_dml_awaits_the_writer_lock_off_loop():
+    async def main():
+        async with await repro.connect_async() as conn:
+            conn.session.load_table("orders", columns(100))
+            cursor = conn.cursor()
+            # INSERT takes the engine's writer lock on the executor thread.
+            await cursor.execute(
+                "INSERT INTO orders SELECT order_id, price, city FROM orders"
+            )
+            check = await conn.execute("SELECT count(*) AS n FROM orders")
+            assert await check.fetchone() == (200,)
+
+    asyncio.run(main())
+
+
+def test_connect_async_rejects_pool_kwargs():
+    async def main():
+        with pytest.raises(InterfaceError):
+            await repro.connect_async(pool_size=3)
+
+    asyncio.run(main())
+
+
+def test_closed_async_connection_rejects_work():
+    async def main():
+        conn = await repro.connect_async()
+        await conn.close()
+        await conn.close()  # idempotent
+        with pytest.raises(InterfaceError):
+            await conn.execute("SELECT 1 AS x")
+
+    asyncio.run(main())

@@ -567,3 +567,108 @@ class TestConcurrentSessions:
         assert abs(estimate - 30_000) / 30_000 < 0.15
         connection_a.close()
         connection_b.close()
+
+
+class TestConnectRedesign:
+    """The redesigned repro.connect(): keyword-only knobs, one engine passthrough."""
+
+    def test_database_kwargs_builds_a_fresh_engine(self):
+        connection = repro.connect(database_kwargs={"seed": 3, "optimize": False})
+        try:
+            connection.session.load_table("t", {"x": np.arange(10, dtype=float)})
+            assert connection.execute("SELECT count(*) AS n FROM t").fetchone() == (10,)
+        finally:
+            connection.close()
+
+    def test_database_kwargs_is_exclusive_with_explicit_backend(self):
+        engine = Database(seed=3)
+        try:
+            with pytest.raises(ConfigurationError):
+                repro.connect(database=engine, database_kwargs={"seed": 4})
+        finally:
+            engine.close()
+
+    def test_pool_kwargs_without_pool_size_are_rejected(self):
+        with pytest.raises(ConfigurationError):
+            repro.connect(min_size=2)
+
+    def test_options_are_keyword_only(self):
+        with pytest.raises(TypeError):
+            repro.connect(None, None, ExecutionOptions())  # noqa: B026
+
+    def test_verdict_context_emits_deprecation_warning(self, orders_columns):
+        with pytest.warns(DeprecationWarning, match="VerdictContext is deprecated"):
+            context = VerdictContext()
+        context.load_table("orders", orders_columns)
+        assert context.sql("SELECT count(*) AS n FROM orders").num_rows == 1
+        context.close()
+
+    def test_verdict_session_does_not_warn(self):
+        import warnings as _warnings
+
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error", DeprecationWarning)
+            session = repro.VerdictSession()
+        session.close()
+
+
+class TestHealthReport:
+    """One typed HealthReport everywhere, legacy flat keys intact."""
+
+    def test_database_health_is_typed_and_dict_compatible(self, database):
+        report = database.health()
+        assert isinstance(report, repro.HealthReport)
+        assert report.ok and report.status == "ok"
+        assert report.circuit_state == "closed"
+        # Legacy flat keys (what monitoring scripts already read):
+        assert report["circuit"] == "closed"
+        assert report["pool_workers_alive"] == 0
+        assert "stats" in report
+        assert report["stats"] == database.stats
+
+    def test_connection_health_check_returns_report(self):
+        connection = repro.connect()
+        try:
+            report = connection.health_check()
+            assert isinstance(report, repro.HealthReport)
+            assert report.section("engine")["exec_workers"] >= 0
+            assert report.pool is None and report.server is None
+        finally:
+            connection.close()
+
+    def test_sections_roundtrip_for_the_wire(self, database):
+        report = database.health()
+        clone = repro.HealthReport(**report.as_sections())
+        assert clone == report
+
+    def test_unknown_section_raises(self, database):
+        with pytest.raises(KeyError):
+            database.health().section("nope")
+
+
+class TestCancelFetchRace:
+    """Regression: cancel racing fetchmany left a half-consumed cursor."""
+
+    def test_fetch_after_cancel_raises_interface_error(self, sampled_connection):
+        cursor = sampled_connection.cursor()
+        cursor.execute("SELECT order_id FROM orders ORDER BY order_id")
+        assert len(cursor.fetchmany(5)) == 5
+        # The statement has already completed; the cancel races/arrives late.
+        cursor.cancel()
+        with pytest.raises(InterfaceError):
+            cursor.fetchone()
+        with pytest.raises(InterfaceError):
+            cursor.fetchmany(3)
+        with pytest.raises(InterfaceError):
+            cursor.fetchall()
+        with pytest.raises(InterfaceError):
+            list(cursor)
+
+    def test_new_execute_rearms_a_cancelled_cursor(self, sampled_connection):
+        cursor = sampled_connection.cursor()
+        cursor.execute("SELECT order_id FROM orders ORDER BY order_id")
+        cursor.fetchmany(2)
+        cursor.cancel()
+        cursor.execute("SELECT count(*) AS n FROM orders", options=ExecutionOptions(mode="exact"))
+        assert cursor.fetchone() == (40_000,)
+        assert cursor.fetchone() is None
