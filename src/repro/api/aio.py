@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import asyncio
 from concurrent.futures import ThreadPoolExecutor
-from typing import Mapping, Sequence
+from collections.abc import Mapping, Sequence
 
 from repro.api.connection import Cursor, VerdictConnection, connect
 from repro.api.options import ExecutionOptions
@@ -42,7 +42,7 @@ async def connect_async(
     options: ExecutionOptions | None = None,
     executor_workers: int = 4,
     **connect_kwargs,
-) -> "AsyncConnection":
+) -> AsyncConnection:
     """Open an :class:`AsyncConnection` (the awaitable ``repro.connect``).
 
     Accepts the same arguments as :func:`repro.connect` except the pool
@@ -109,7 +109,7 @@ class AsyncConnection:
         finally:
             self._executor.shutdown(wait=False)
 
-    async def __aenter__(self) -> "AsyncConnection":
+    async def __aenter__(self) -> AsyncConnection:
         return self
 
     async def __aexit__(self, *exc_info) -> None:
@@ -121,7 +121,7 @@ class AsyncConnection:
 
     # -- DB-API-shaped surface ---------------------------------------------------
 
-    def cursor(self, options: ExecutionOptions | None = None) -> "AsyncCursor":
+    def cursor(self, options: ExecutionOptions | None = None) -> AsyncCursor:
         """Open an async cursor (synchronous: no I/O happens until execute)."""
         self._check_open()
         return AsyncCursor(self, self._connection.cursor(options))
@@ -131,7 +131,7 @@ class AsyncConnection:
         sql: str,
         params: Sequence | Mapping | None = None,
         options: ExecutionOptions | None = None,
-    ) -> "AsyncCursor":
+    ) -> AsyncCursor:
         """Shorthand: open a cursor, await its execute, return the cursor."""
         cursor = self.cursor()
         await cursor.execute(sql, params, options=options)
@@ -198,7 +198,7 @@ class AsyncCursor:
         sql,
         params: Sequence | Mapping | None = None,
         options: ExecutionOptions | None = None,
-    ) -> "AsyncCursor":
+    ) -> AsyncCursor:
         """Execute one statement off-loop.
 
         DML acquires the engine's writer lock on the executor thread, so a
@@ -216,7 +216,7 @@ class AsyncCursor:
         sql,
         seq_of_params: Sequence[Sequence | Mapping],
         options: ExecutionOptions | None = None,
-    ) -> "AsyncCursor":
+    ) -> AsyncCursor:
         self._connection._check_open()
         await self._connection._run(
             lambda: self._cursor.executemany(sql, seq_of_params, options=options)
@@ -243,7 +243,7 @@ class AsyncCursor:
     async def fetchall(self):
         return await self._connection._run(self._cursor.fetchall)
 
-    def __aiter__(self) -> "AsyncCursor":
+    def __aiter__(self) -> AsyncCursor:
         return self
 
     async def __anext__(self):
@@ -255,9 +255,17 @@ class AsyncCursor:
     # -- lifecycle ----------------------------------------------------------------
 
     async def close(self) -> None:
-        self._cursor.close()
+        """Close the wrapped cursor off-loop (it may drop large result buffers).
 
-    async def __aenter__(self) -> "AsyncCursor":
+        A cursor already closed (directly, or because the connection closed
+        and retired the executor with it) is a no-op, so this never touches
+        a shut-down executor.
+        """
+        if self._cursor.closed:
+            return
+        await self._connection._run(self._cursor.close)
+
+    async def __aenter__(self) -> AsyncCursor:
         return self
 
     async def __aexit__(self, *exc_info) -> None:

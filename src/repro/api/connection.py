@@ -16,7 +16,7 @@ coherent and their sample builds serialized.
 from __future__ import annotations
 
 import weakref
-from typing import Iterator, Mapping, Sequence
+from collections.abc import Iterator, Mapping, Sequence
 
 from repro.api.options import ExecutionOptions
 from repro.api.session import PreparedTemplate, VerdictSession
@@ -87,13 +87,13 @@ def connect(
                 "with an explicit connector or database"
             )
         database = Database(**dict(database_kwargs))
-    session_kwargs = dict(
-        subsample_count=subsample_count,
-        io_budget=io_budget,
-        confidence=confidence,
-        planner_config=planner_config,
-        include_errors=include_errors,
-    )
+    session_kwargs = {
+        "subsample_count": subsample_count,
+        "io_budget": io_budget,
+        "confidence": confidence,
+        "planner_config": planner_config,
+        "include_errors": include_errors,
+    }
     if pool_size is not None:
         from repro.api.pool import ConnectionPool
 
@@ -151,7 +151,7 @@ class VerdictConnection:
             cursor.close()
         self.session.close(release_backend=release_backend)
 
-    def __enter__(self) -> "VerdictConnection":
+    def __enter__(self) -> VerdictConnection:
         return self
 
     def __exit__(self, *exc_info) -> None:
@@ -163,7 +163,7 @@ class VerdictConnection:
 
     # -- DB-API surface --------------------------------------------------------
 
-    def cursor(self, options: ExecutionOptions | None = None) -> "Cursor":
+    def cursor(self, options: ExecutionOptions | None = None) -> Cursor:
         """Open a new cursor (optionally with its own default options)."""
         self._check_open()
         cursor = Cursor(self, options=options)
@@ -178,7 +178,7 @@ class VerdictConnection:
         """No-op: the middleware has no transactions to roll back."""
         self._check_open()
 
-    def prepare(self, sql: str) -> "PreparedStatement":
+    def prepare(self, sql: str) -> PreparedStatement:
         """Prepare a SQL template once for repeated parameterized execution."""
         self._check_open()
         return PreparedStatement(self.session, sql)
@@ -200,7 +200,7 @@ class VerdictConnection:
         sql: str,
         params: Sequence | Mapping | None = None,
         options: ExecutionOptions | None = None,
-    ) -> "Cursor":
+    ) -> Cursor:
         """Shorthand: open a cursor, execute, return the cursor."""
         cursor = self.cursor()
         cursor.execute(sql, params, options=options)
@@ -254,7 +254,7 @@ class Cursor:
         self.description = None
         self.connection._cursors.discard(self)
 
-    def __enter__(self) -> "Cursor":
+    def __enter__(self) -> Cursor:
         return self
 
     def __exit__(self, *exc_info) -> None:
@@ -268,7 +268,7 @@ class Cursor:
     # -- execution -------------------------------------------------------------
 
     @staticmethod
-    def _as_template(sql) -> "str | PreparedTemplate":
+    def _as_template(sql) -> str | PreparedTemplate:
         """Accept SQL text, a PreparedTemplate, or a whole PreparedStatement."""
         if isinstance(sql, PreparedStatement):
             return sql.template
@@ -276,10 +276,10 @@ class Cursor:
 
     def execute(
         self,
-        sql: "str | PreparedTemplate | PreparedStatement",
+        sql: str | PreparedTemplate | PreparedStatement,
         params: Sequence | Mapping | None = None,
         options: ExecutionOptions | None = None,
-    ) -> "Cursor":
+    ) -> Cursor:
         """Execute one statement, binding ``params`` to its placeholders.
 
         The same template text with different parameter values re-uses every
@@ -327,10 +327,10 @@ class Cursor:
 
     def executemany(
         self,
-        sql: "str | PreparedTemplate | PreparedStatement",
+        sql: str | PreparedTemplate | PreparedStatement,
         seq_of_params: Sequence[Sequence | Mapping],
         options: ExecutionOptions | None = None,
-    ) -> "Cursor":
+    ) -> Cursor:
         """Execute one template once per parameter set.
 
         The template is prepared a single time; each execution binds fresh

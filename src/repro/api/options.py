@@ -9,6 +9,7 @@ for every cursor), per cursor, or per individual ``execute`` call.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import Any
 
 from repro.errors import ConfigurationError
 
@@ -94,7 +95,7 @@ class ExecutionOptions:
                 "include_errors=False cannot be combined with accuracy"
             )
 
-    def merged(self, **overrides) -> "ExecutionOptions":
+    def merged(self, **overrides: Any) -> ExecutionOptions:
         """A copy with the given fields replaced (None overrides are ignored)."""
         effective = {key: value for key, value in overrides.items() if value is not None}
         return replace(self, **effective) if effective else self

@@ -33,7 +33,7 @@ import time
 from collections import deque
 from contextlib import contextmanager
 from dataclasses import dataclass, field, replace
-from typing import Iterator, Mapping, Sequence
+from collections.abc import Iterator, Mapping, Sequence
 
 from repro.api.connection import VerdictConnection
 from repro.api.options import ExecutionOptions
@@ -164,7 +164,7 @@ class ConnectionPool:
         elif self._database is not None:
             self._database.close()
 
-    def __enter__(self) -> "ConnectionPool":
+    def __enter__(self) -> ConnectionPool:
         return self
 
     def __exit__(self, *exc_info) -> None:
@@ -176,7 +176,7 @@ class ConnectionPool:
 
     # -- checkout / checkin -------------------------------------------------------
 
-    def checkout(self, timeout: float | None = None) -> "PooledConnection":
+    def checkout(self, timeout: float | None = None) -> PooledConnection:
         """Borrow a healthy connection, waiting up to ``timeout`` seconds.
 
         Raises :class:`~repro.errors.PoolTimeoutError` when the pool stays
@@ -259,6 +259,9 @@ class ConnectionPool:
             return True
         try:
             connection.health_check()
+        # repro: ignore[REP004] -- liveness probe: any failure (typed or not,
+        # e.g. a backend driver error) means the member is unfit and must be
+        # recycled, never surfaced to the checkout caller.
         except Exception:
             return False
         return True
@@ -277,7 +280,7 @@ class ConnectionPool:
             self._condition.notify()
 
     @contextmanager
-    def connection(self, timeout: float | None = None) -> Iterator["PooledConnection"]:
+    def connection(self, timeout: float | None = None) -> Iterator[PooledConnection]:
         """``with pool.connection() as conn: ...`` — checkout, then return."""
         pooled = self.checkout(timeout)
         try:
@@ -332,6 +335,9 @@ class ConnectionPool:
         self._counters["disposed"] += 1
         try:
             entry.connection.close(release_backend=False)
+        # repro: ignore[REP004] -- disposal runs on checkin/teardown paths
+        # where raising would leak the slot; a member that fails to close is
+        # already being discarded.
         except Exception:  # pragma: no cover - disposal must never propagate
             pass
 
@@ -416,7 +422,7 @@ class PooledConnection:
             self._pool._condition.notify()
         return self._entry.connection
 
-    def __enter__(self) -> "PooledConnection":
+    def __enter__(self) -> PooledConnection:
         return self
 
     def __exit__(self, *exc_info) -> None:

@@ -32,7 +32,7 @@ import dataclasses
 import threading
 import time
 from dataclasses import dataclass
-from typing import Mapping, Sequence
+from collections.abc import Mapping, Sequence
 
 from repro.api.binding import (
     bind_parameters,
@@ -60,6 +60,7 @@ from repro.errors import (
     OperationalError,
     QueryCancelledError,
     QueryTimeoutError,
+    ReproError,
     RewriteError,
 )
 from repro.faults import QueryDeadline
@@ -197,7 +198,7 @@ class VerdictSession:
         if release_backend:
             self.connector.close()
 
-    def __enter__(self) -> "VerdictSession":
+    def __enter__(self) -> VerdictSession:
         return self
 
     def __exit__(self, *exc_info) -> None:
@@ -637,7 +638,10 @@ class VerdictSession:
                 continue
             try:
                 estimate *= max(1, self._cardinality(owner, expr.name))
-            except Exception:  # pragma: no cover - defensive: missing column
+            except (ReproError, KeyError):  # pragma: no cover - defensive: missing column
+                # Cardinality is a best-effort planning hint; a backend
+                # failure or a dropped column degrades to the neutral
+                # estimate instead of failing the plan.
                 continue
         return estimate
 
@@ -711,7 +715,7 @@ class VerdictSession:
 
         merged = primary_result
         for secondary, columns in secondary_results:
-            value_columns = [name for name in columns] + [
+            value_columns = list(columns) + [
                 error for error in columns.values() if error
             ]
             merged = merge_by_group(merged, secondary, group_names, value_columns)

@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import socket
 import threading
-from typing import Iterator, Mapping, Sequence
+from collections.abc import Iterator, Mapping, Sequence
 
 from repro.api.options import ExecutionOptions
 from repro.errors import InterfaceError, ProtocolError
@@ -43,9 +43,9 @@ def connect(
     host: str = "127.0.0.1",
     port: int = 0,
     *,
-    options: "ExecutionOptions | Mapping | None" = None,
+    options: ExecutionOptions | Mapping | None = None,
     timeout: float | None = None,
-) -> "RemoteConnection":
+) -> RemoteConnection:
     """Connect to a running server and perform the HELLO handshake.
 
     Args:
@@ -67,7 +67,7 @@ def connect(
         raise
 
 
-def _options_payload(options: "ExecutionOptions | Mapping | None") -> dict | None:
+def _options_payload(options: ExecutionOptions | Mapping | None) -> dict | None:
     """Options → wire dict: full for ExecutionOptions, sparse for mappings."""
     if options is None:
         return None
@@ -86,7 +86,7 @@ class RemoteConnection:
     def __init__(
         self,
         sock: socket.socket,
-        options: "ExecutionOptions | Mapping | None" = None,
+        options: ExecutionOptions | Mapping | None = None,
     ) -> None:
         self._sock = sock
         self._closed = False
@@ -115,6 +115,9 @@ class RemoteConnection:
         if frame is None:
             raise InterfaceError("server closed the connection")
         if frame.get("type") == "ERROR":
+            # repro: ignore[REP004] -- decode_error reconstructs typed
+            # repro.errors classes from the wire (unknown names degrade to
+            # OperationalError), so only library types cross this boundary.
             raise protocol.decode_error(frame)
         return frame
 
@@ -153,7 +156,7 @@ class RemoteConnection:
             except OSError:  # pragma: no cover
                 pass
 
-    def __enter__(self) -> "RemoteConnection":
+    def __enter__(self) -> RemoteConnection:
         return self
 
     def __exit__(self, *exc_info) -> None:
@@ -166,8 +169,8 @@ class RemoteConnection:
     # -- DB-API surface ------------------------------------------------------------
 
     def cursor(
-        self, options: "ExecutionOptions | Mapping | None" = None
-    ) -> "RemoteCursor":
+        self, options: ExecutionOptions | Mapping | None = None
+    ) -> RemoteCursor:
         self._check_open()
         return RemoteCursor(self, options=options)
 
@@ -175,8 +178,8 @@ class RemoteConnection:
         self,
         sql: str,
         params: Sequence | Mapping | None = None,
-        options: "ExecutionOptions | Mapping | None" = None,
-    ) -> "RemoteCursor":
+        options: ExecutionOptions | Mapping | None = None,
+    ) -> RemoteCursor:
         """Shorthand: open a cursor, execute, return the cursor."""
         cursor = self.cursor()
         cursor.execute(sql, params, options=options)
@@ -204,7 +207,7 @@ class RemoteCursor:
     def __init__(
         self,
         connection: RemoteConnection,
-        options: "ExecutionOptions | Mapping | None" = None,
+        options: ExecutionOptions | Mapping | None = None,
     ) -> None:
         self.connection = connection
         self.options = options
@@ -229,7 +232,7 @@ class RemoteCursor:
         self._buffer = []
         self._exhausted = True
 
-    def __enter__(self) -> "RemoteCursor":
+    def __enter__(self) -> RemoteCursor:
         return self
 
     def __exit__(self, *exc_info) -> None:
@@ -251,8 +254,8 @@ class RemoteCursor:
         self,
         sql: str,
         params: Sequence | Mapping | None = None,
-        options: "ExecutionOptions | Mapping | None" = None,
-    ) -> "RemoteCursor":
+        options: ExecutionOptions | Mapping | None = None,
+    ) -> RemoteCursor:
         """Send one QUERY and wait for its RESULT (rows stay server-side).
 
         Typed failures — :class:`ServerBusyError` on admission rejection,

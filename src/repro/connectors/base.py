@@ -12,7 +12,7 @@ import abc
 import threading
 from collections import deque
 from contextlib import nullcontext
-from typing import Iterable, Mapping, Sequence
+from collections.abc import Iterable, Mapping, Sequence
 
 from repro.connectors.dialects import Dialect
 from repro.connectors.syntax_changer import SyntaxChanger

@@ -10,7 +10,7 @@ planning — which Section 6.2 identifies as the factor that caps AQP speedups
 from __future__ import annotations
 
 import time
-from typing import Mapping, Sequence
+from collections.abc import Mapping, Sequence
 
 from repro.connectors.base import Connector
 from repro.connectors.dialects import Dialect, GENERIC, IMPALA_LIKE, REDSHIFT_LIKE, SPARKSQL_LIKE

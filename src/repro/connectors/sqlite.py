@@ -12,7 +12,7 @@ from __future__ import annotations
 import math
 import sqlite3
 import zlib
-from typing import Mapping, Sequence
+from collections.abc import Mapping, Sequence
 
 import numpy as np
 

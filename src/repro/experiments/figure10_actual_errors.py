@@ -9,7 +9,7 @@ stay within the error bounds VerdictDB itself reports).
 
 from __future__ import annotations
 
-from typing import Iterable
+from collections.abc import Iterable
 
 from repro.experiments import figure4_speedups, harness
 

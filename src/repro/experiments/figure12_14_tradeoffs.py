@@ -58,14 +58,23 @@ def run_sample_size_sweep(
         for _ in range(trials):
             values = rng.normal(VALUE_MEAN, VALUE_STD, sample_size)
             for name, estimator in (
-                ("bootstrap", lambda v: bootstrap.mean_interval(v, resample_count=resample_count, rng=rng)),
+                (
+                    "bootstrap",
+                    lambda v, resample_count=resample_count: bootstrap.mean_interval(
+                        v, resample_count=resample_count, rng=rng
+                    ),
+                ),
                 (
                     "subsampling",
-                    lambda v: traditional.mean_interval(v, subsample_count=resample_count, rng=rng),
+                    lambda v, resample_count=resample_count: traditional.mean_interval(
+                        v, subsample_count=resample_count, rng=rng
+                    ),
                 ),
                 ("variational", lambda v: variational.mean_interval(v, rng=rng)),
             ):
-                interval, seconds = harness.timed(lambda: estimator(values))
+                interval, seconds = harness.timed(
+                    lambda estimator=estimator, values=values: estimator(values)
+                )
                 per_method[name].append((_bound_error(interval, sample_size), seconds))
         for name, outcomes in per_method.items():
             errors = [error for error, _ in outcomes]
@@ -99,19 +108,28 @@ def run_resample_count_sweep(
         for _ in range(trials):
             values = rng.normal(VALUE_MEAN, VALUE_STD, sample_size)
             for name, estimator in (
-                ("bootstrap", lambda v: bootstrap.mean_interval(v, resample_count=resample_count, rng=rng)),
+                (
+                    "bootstrap",
+                    lambda v, resample_count=resample_count: bootstrap.mean_interval(
+                        v, resample_count=resample_count, rng=rng
+                    ),
+                ),
                 (
                     "subsampling",
-                    lambda v: traditional.mean_interval(v, subsample_count=resample_count, rng=rng),
+                    lambda v, resample_count=resample_count: traditional.mean_interval(
+                        v, subsample_count=resample_count, rng=rng
+                    ),
                 ),
                 (
                     "variational",
-                    lambda v: variational.mean_interval(
+                    lambda v, resample_count=resample_count: variational.mean_interval(
                         v, subsample_count=resample_count, rng=rng
                     ),
                 ),
             ):
-                interval, seconds = harness.timed(lambda: estimator(values))
+                interval, seconds = harness.timed(
+                    lambda estimator=estimator, values=values: estimator(values)
+                )
                 per_method[name].append((_bound_error(interval, sample_size), seconds))
         for name, outcomes in per_method.items():
             errors = [error for error, _ in outcomes]

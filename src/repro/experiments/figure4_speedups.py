@@ -10,7 +10,7 @@ approximate answer, which is what Figure 10 reports.
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping
+from collections.abc import Iterable, Mapping
 
 from repro.experiments import harness
 from repro.workloads import instacart, tpch
@@ -64,8 +64,10 @@ def _run_queries(
     for name, sql in query_set.items():
         if selected is not None and name not in selected:
             continue
-        exact, exact_seconds = harness.timed(lambda: workbench.verdict.execute_exact(sql))
-        approximate, approx_seconds = harness.timed(lambda: workbench.verdict.sql(sql))
+        exact, exact_seconds = harness.timed(
+            lambda sql=sql: workbench.verdict.execute_exact(sql)
+        )
+        approximate, approx_seconds = harness.timed(lambda sql=sql: workbench.verdict.sql(sql))
         error = 0.0 if approximate.is_exact else harness.mean_relative_error(exact, approximate)
         records.append(
             {

@@ -8,7 +8,7 @@ fixed 5 GB sample and 5–500 GB of data; here the sample is fixed in rows.
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro.experiments import harness
 from repro.workloads import tpch

@@ -9,7 +9,7 @@ iq-14, iq-15 in the paper).
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping
+from collections.abc import Iterable, Mapping
 
 from repro.baselines.integrated import IntegratedAqpEngine
 from repro.experiments import harness
@@ -58,8 +58,8 @@ def _compare(
     for name, sql in query_set.items():
         if selected is not None and name not in selected:
             continue
-        _, verdict_seconds = harness.timed(lambda: workbench.verdict.sql(sql))
-        _, integrated_seconds = harness.timed(lambda: integrated.execute(sql))
+        _, verdict_seconds = harness.timed(lambda sql=sql: workbench.verdict.sql(sql))
+        _, integrated_seconds = harness.timed(lambda sql=sql: integrated.execute(sql))
         records.append(
             {
                 "query": name,

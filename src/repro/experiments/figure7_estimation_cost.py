@@ -75,17 +75,19 @@ def run(
 
     for shape, sql in QUERY_SHAPES.items():
         _, baseline_seconds = harness.timed(
-            lambda: verdict.sql(sql, include_errors=False)
+            lambda sql=sql: verdict.sql(sql, include_errors=False)
         )
-        _, variational_seconds = harness.timed(lambda: verdict.sql(sql, include_errors=True))
+        _, variational_seconds = harness.timed(
+            lambda sql=sql: verdict.sql(sql, include_errors=True)
+        )
 
         fetch_sql = _MEASURE_FETCH[shape].format(sample=uniform.sample_table)
 
-        def traditional_run() -> None:
+        def traditional_run(fetch_sql: str = fetch_sql) -> None:
             values = workbench.connector.execute(fetch_sql).column("v").astype(np.float64)
             traditional.mean_interval(values, subsample_count=resample_count, rng=rng)
 
-        def bootstrap_run() -> None:
+        def bootstrap_run(fetch_sql: str = fetch_sql) -> None:
             values = workbench.connector.execute(fetch_sql).column("v").astype(np.float64)
             bootstrap.consolidated_mean_interval(values, resample_count=resample_count, rng=rng)
 

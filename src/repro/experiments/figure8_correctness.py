@@ -77,7 +77,9 @@ def run_sample_size_sweep(
                 ),
                 ("variational", lambda v: variational.mean_interval(v, rng=rng)),
             ):
-                interval, elapsed = harness.timed(lambda: estimator(values))
+                interval, elapsed = harness.timed(
+                    lambda estimator=estimator, values=values: estimator(values)
+                )
                 seconds[name] += elapsed
                 methods[name].append(interval.half_width / abs(interval.estimate))
         truth = synthetic.true_mean_error(value_std, value_mean, sample_size)

@@ -19,7 +19,8 @@ working while new code reads the typed sections.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Iterator, Mapping
+from collections.abc import Iterator, Mapping
+from typing import Any, cast
 
 #: Flat legacy keys that live in the ``engine`` section.
 _ENGINE_KEYS = (
@@ -33,7 +34,7 @@ _ENGINE_KEYS = (
 
 
 @dataclass(frozen=True)
-class HealthReport(Mapping):
+class HealthReport(Mapping[str, Any]):
     """Typed liveness/degradation snapshot of one serving-stack layer.
 
     Attributes:
@@ -71,13 +72,13 @@ class HealthReport(Mapping):
 
     @property
     def circuit_state(self) -> str | None:
-        return self.circuit.get("state")
+        return cast("str | None", self.circuit.get("state"))
 
-    def section(self, name: str) -> dict | None:
+    def section(self, name: str) -> dict[str, Any] | None:
         """One named section (``engine`` / ``circuit`` / ``pool`` / ``server``)."""
         if name not in ("engine", "circuit", "pool", "server", "stats"):
             raise KeyError(name)
-        return getattr(self, name)
+        return cast("dict[str, Any] | None", getattr(self, name))
 
     def as_sections(self) -> dict[str, Any]:
         """The typed sections as one plain dict (the wire form).

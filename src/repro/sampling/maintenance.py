@@ -11,7 +11,7 @@ in full (probability 1) until the sample is rebuilt.
 from __future__ import annotations
 
 import zlib
-from typing import Mapping, Sequence
+from collections.abc import Mapping, Sequence
 
 import numpy as np
 

@@ -58,15 +58,18 @@ MAX_FRAME_BYTES = 64 * 1024 * 1024
 _LENGTH = struct.Struct(">I")
 
 
-def _jsonify(value: Any):
+def _jsonify(value: Any) -> Any:
     """JSON fallback: numpy scalars (engine rows) become native numbers."""
     item = getattr(value, "item", None)
     if callable(item):
         return item()
+    # repro: ignore[REP004] -- json.dumps(default=...) contract: the hook
+    # must raise TypeError for unserializable values; json turns it into
+    # the normal "not JSON serializable" failure, it never reaches callers.
     raise TypeError(f"cannot serialize {type(value).__name__} on the wire")
 
 
-def send_frame(sock: socket.socket, message: dict) -> None:
+def send_frame(sock: socket.socket, message: dict[str, Any]) -> None:
     """Serialize one message and write it as a single frame."""
     payload = json.dumps(message, default=_jsonify).encode("utf-8")
     if len(payload) > MAX_FRAME_BYTES:
@@ -91,7 +94,7 @@ def _recv_exact(sock: socket.socket, count: int) -> bytes | None:
     return b"".join(chunks)
 
 
-def recv_frame(sock: socket.socket) -> dict | None:
+def recv_frame(sock: socket.socket) -> dict[str, Any] | None:
     """Read one frame; None when the peer closed cleanly between frames."""
     header = _recv_exact(sock, _LENGTH.size)
     if header is None:
@@ -118,14 +121,14 @@ def recv_frame(sock: socket.socket) -> dict | None:
 _OPTION_FIELDS = frozenset(f.name for f in dataclasses.fields(ExecutionOptions))
 
 
-def encode_options(options: ExecutionOptions | None) -> dict | None:
+def encode_options(options: ExecutionOptions | None) -> dict[str, Any] | None:
     """ExecutionOptions → plain dict (None passes through)."""
     if options is None:
         return None
     return dataclasses.asdict(options)
 
 
-def decode_options(payload: dict | None) -> ExecutionOptions | None:
+def decode_options(payload: dict[str, Any] | None) -> ExecutionOptions | None:
     """Plain dict → ExecutionOptions, ignoring unknown fields.
 
     Unknown keys are dropped rather than rejected so a newer client can talk
@@ -143,9 +146,9 @@ def decode_options(payload: dict | None) -> ExecutionOptions | None:
         raise ProtocolError(f"bad options payload: {exc}") from exc
 
 
-def encode_error(exc: BaseException, query_id: str | None = None) -> dict:
+def encode_error(exc: BaseException, query_id: str | None = None) -> dict[str, Any]:
     """Exception → ERROR message (class name + text travel the wire)."""
-    message: dict = {
+    message: dict[str, Any] = {
         "type": "ERROR",
         "name": type(exc).__name__,
         "message": str(exc),
@@ -155,7 +158,7 @@ def encode_error(exc: BaseException, query_id: str | None = None) -> dict:
     return message
 
 
-def decode_error(payload: dict) -> Exception:
+def decode_error(payload: dict[str, Any]) -> Exception:
     """ERROR message → the matching typed exception.
 
     The class name is looked up in :mod:`repro.errors`, so a remote
@@ -170,6 +173,9 @@ def decode_error(payload: dict) -> Exception:
         message = f"{name}: {message}"
     try:
         return cls(message)
+    # repro: ignore[REP004] -- wire boundary: an error class whose
+    # constructor rejects a single message argument degrades to
+    # OperationalError rather than masking the remote failure with a local one.
     except Exception:  # pragma: no cover - exotic constructors
         return OperationalError(f"{name}: {message}")
 

@@ -33,7 +33,7 @@ import socket
 import threading
 import time
 from dataclasses import dataclass, replace
-from typing import Mapping
+from collections.abc import Mapping
 
 from repro.api.options import ExecutionOptions
 from repro.api.pool import ConnectionPool
@@ -138,7 +138,7 @@ class VerdictServer:
             raise InterfaceError("server is not started")
         return self._listener.getsockname()[:2]
 
-    def start(self) -> "VerdictServer":
+    def start(self) -> VerdictServer:
         """Bind, listen and start the accept loop (idempotent)."""
         if self._closed:
             raise InterfaceError("server is closed")
@@ -216,13 +216,13 @@ class VerdictServer:
         """Immediate shutdown (no drain)."""
         self.shutdown(drain=False, timeout=0.0)
 
-    def __enter__(self) -> "VerdictServer":
+    def __enter__(self) -> VerdictServer:
         return self.start()
 
     def __exit__(self, *exc_info) -> None:
         self.shutdown()
 
-    def _forget(self, handler: "_ClientHandler") -> None:
+    def _forget(self, handler: _ClientHandler) -> None:
         with self._handlers_lock:
             self._handlers.discard(handler)
 
@@ -493,6 +493,9 @@ class _ClientHandler:
                     "elapsed_seconds": result.elapsed_seconds,
                 }
             )
+        # repro: ignore[REP004] -- server boundary: every failure of a QUERY
+        # must be serialized as a typed ERROR frame for the client; letting
+        # anything escape here would kill the connection handler instead.
         except Exception as exc:
             if deadline.cancelled:
                 with self.server._admission:

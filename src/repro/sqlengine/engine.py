@@ -11,7 +11,7 @@ from __future__ import annotations
 import os
 import threading
 from concurrent.futures import ThreadPoolExecutor
-from typing import Mapping, Sequence
+from collections.abc import Mapping, Sequence
 
 import numpy as np
 
@@ -351,7 +351,7 @@ class Database:
                 )
             return self._scan_pool
 
-    def _shard_pool_factory(self) -> "shardpool.ShardPool | None":
+    def _shard_pool_factory(self) -> shardpool.ShardPool | None:
         """Lazily create (or recreate) the shared-memory shard pool.
 
         Mirrors the scan-pool factory: lock-guarded so two sessions firing
@@ -391,7 +391,7 @@ class Database:
                 self._shard_pool.close()
                 self._shard_pool = None
 
-    def __enter__(self) -> "Database":
+    def __enter__(self) -> Database:
         return self
 
     def __exit__(self, *exc_info) -> None:

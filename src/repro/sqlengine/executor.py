@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Callable
+from collections.abc import Callable
 
 import numpy as np
 
@@ -542,10 +542,11 @@ class Executor:
             if pool is not None and self._circuit is not None:
                 self._circuit.record_failure()
             return None
+        # repro: ignore[REP004] -- a shard raised mid-evaluation (e.g.
+        # per-value semantics over a pathological column); the serial path
+        # re-runs the query and either raises the canonical typed error or
+        # computes the answer, so nothing is swallowed.
         except Exception:
-            # A shard raised mid-evaluation (e.g. per-value semantics over a
-            # pathological column).  The serial path either raises the
-            # canonical error or computes the answer; defer to it.
             self._count("parallel_exec_fallbacks")
             return None
 
@@ -1311,7 +1312,7 @@ class Executor:
 
     def _grouped_memo(
         self, statement: ast.SelectStatement, plan: SelectPlan | None
-    ) -> "_GroupedMemo":
+    ) -> _GroupedMemo:
         """The statement's substitution memo, cached on its plan when possible.
 
         Building the memo walks every select/HAVING/ORDER BY expression and
@@ -1371,7 +1372,7 @@ class Executor:
         else:
             representative = np.zeros(0, dtype=np.int64)
 
-        for position, (expr, key_array) in enumerate(zip(statement.group_by, keys)):
+        for position, (_expr, key_array) in enumerate(zip(statement.group_by, keys)):
             column_name = f"__group_{position}"
             values = key_array[representative] if frame.num_rows else key_array[:0]
             # Carry the key's dictionary codes onto the per-group column
@@ -1408,7 +1409,7 @@ class Executor:
     def _finish_grouped(
         self,
         statement: ast.SelectStatement,
-        memo: "_GroupedMemo",
+        memo: _GroupedMemo,
         post_frame: Frame,
         num_groups: int,
     ) -> ResultSet:
@@ -1983,7 +1984,7 @@ class _GroupedMemo:
         self.substituted_order = order
 
     @classmethod
-    def build(cls, statement: ast.SelectStatement, collect_aggregates) -> "_GroupedMemo":
+    def build(cls, statement: ast.SelectStatement, collect_aggregates) -> _GroupedMemo:
         substitutions: dict[str, str] = {}
         name_substitutions: dict[str, str] = {}
         for position, expr in enumerate(statement.group_by):

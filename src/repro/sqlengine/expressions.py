@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import functools as _functools
 import re
-from typing import Callable, Iterable
+from collections.abc import Callable, Iterable
 
 import numpy as np
 
@@ -47,7 +47,7 @@ class LazyCodes:
             self._resolver = None
         return self._value
 
-    def sliced(self, indices) -> "LazyCodes":
+    def sliced(self, indices) -> LazyCodes:
         """Lazily compose a row selection (index array, bool mask or slice)."""
 
         def resolver() -> tuple[np.ndarray, np.ndarray]:
@@ -57,7 +57,7 @@ class LazyCodes:
         return LazyCodes(resolver)
 
     @classmethod
-    def presolved(cls, codes: np.ndarray, dictionary: np.ndarray) -> "LazyCodes":
+    def presolved(cls, codes: np.ndarray, dictionary: np.ndarray) -> LazyCodes:
         """Wrap an already computed ``(codes, dictionary)`` pair."""
         wrapped = cls(lambda: (codes, dictionary))
         return wrapped
@@ -110,7 +110,7 @@ class Frame:
 
     def entries_with_codes(
         self,
-    ) -> Iterable[tuple[str | None, str, np.ndarray, "LazyCodes | None"]]:
+    ) -> Iterable[tuple[str | None, str, np.ndarray, LazyCodes | None]]:
         return [
             (binding, name, array, codes)
             for (binding, name, array), codes in zip(self._entries, self._codes)
@@ -169,7 +169,7 @@ class Frame:
         except ExecutionError:
             return None
 
-    def take(self, indices: np.ndarray) -> "Frame":
+    def take(self, indices: np.ndarray) -> Frame:
         """Return a new frame with rows selected (and repeated) by ``indices``."""
         result = Frame(num_rows=len(indices))
         for (binding, name, array), codes in zip(self._entries, self._codes):
@@ -177,18 +177,18 @@ class Frame:
             result.add_column(binding, name, array[indices], codes=sliced)
         return result
 
-    def filter(self, mask: np.ndarray) -> "Frame":
+    def filter(self, mask: np.ndarray) -> Frame:
         return self.take(np.flatnonzero(np.asarray(mask, dtype=bool)))
 
     @classmethod
-    def from_columns(cls, binding: str | None, columns: dict[str, np.ndarray]) -> "Frame":
+    def from_columns(cls, binding: str | None, columns: dict[str, np.ndarray]) -> Frame:
         frame = cls()
         for name, array in columns.items():
             frame.add_column(binding, name, array)
         return frame
 
     @classmethod
-    def concat(cls, left: "Frame", right: "Frame") -> "Frame":
+    def concat(cls, left: Frame, right: Frame) -> Frame:
         """Concatenate two frames column-wise (they must have equal row counts)."""
         if left.num_rows != right.num_rows:
             raise ExecutionError("cannot concatenate frames of different lengths")

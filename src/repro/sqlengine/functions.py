@@ -9,7 +9,7 @@ assignment of each row and return one value per group.
 from __future__ import annotations
 
 import zlib
-from typing import Callable, Mapping, Sequence
+from collections.abc import Callable, Mapping, Sequence
 
 import numpy as np
 

@@ -80,7 +80,7 @@ class DerivedPlan:
     statement: ast.SelectStatement
     # Precomputed plan for ``statement`` so repeated executions skip the
     # per-call planning the executor would otherwise do.
-    plan: "SelectPlan | None" = None
+    plan: SelectPlan | None = None
     # Diagnostics consumed by tests and EXPLAIN-style tooling.
     pushed_conjuncts: int = 0
     pruned_columns: int = 0

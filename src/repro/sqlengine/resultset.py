@@ -7,7 +7,7 @@ backend identically.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Sequence
+from collections.abc import Iterable, Iterator, Sequence
 
 import numpy as np
 
@@ -45,7 +45,7 @@ class ResultSet:
     # -- construction ---------------------------------------------------------
 
     @classmethod
-    def from_rows(cls, column_names: Sequence[str], rows: Iterable[Sequence]) -> "ResultSet":
+    def from_rows(cls, column_names: Sequence[str], rows: Iterable[Sequence]) -> ResultSet:
         materialized = [tuple(row) for row in rows]
         columns = []
         for index in range(len(column_names)):
@@ -53,7 +53,7 @@ class ResultSet:
         return cls(column_names, columns)
 
     @classmethod
-    def empty(cls, column_names: Sequence[str]) -> "ResultSet":
+    def empty(cls, column_names: Sequence[str]) -> ResultSet:
         return cls(column_names, [np.array([], dtype=object) for _ in column_names])
 
     # -- inspection -----------------------------------------------------------
@@ -83,7 +83,7 @@ class ResultSet:
         """Per-column lazy dictionary encodings, or None when not tracked."""
         return list(self._encodings) if self._encodings is not None else None
 
-    def equals(self, other: "ResultSet") -> bool:
+    def equals(self, other: ResultSet) -> bool:
         """Bit-identical comparison: names, row order and values (NaN == NaN).
 
         The A/B harness — benchmarks and property tests comparing an

@@ -150,6 +150,8 @@ class CircuitBreaker:
         if self._on_transition is not None:
             try:
                 self._on_transition(old_state, new_state)
+            # repro: ignore[REP004] -- stats observers are best-effort; a
+            # broken callback must not break the breaker's state machine.
             except Exception:  # pragma: no cover - observers must not break dispatch
                 pass
 
@@ -253,6 +255,10 @@ def _worker_main(connection) -> None:  # pragma: no cover - separate process
             try:
                 state = _run_task(segments, message[1], rng)
                 connection.send(("ok", state))
+            # repro: ignore[REP004] -- worker main loop: every task failure
+            # (including KeyboardInterrupt-class) must be reported over the
+            # pipe as an "err" reply; dying would desynchronize the
+            # request/response pairing for the whole pool.
             except BaseException as error:  # noqa: BLE001 - report, don't die
                 connection.send(("err", f"{type(error).__name__}: {error}"))
             continue
@@ -486,6 +492,9 @@ class ShardPool:
         if self._on_event is not None:
             try:
                 self._on_event(name)
+            # repro: ignore[REP004] -- supervision events are telemetry; a
+            # failing observer must not turn a survivable worker event into
+            # a dispatch failure.
             except Exception:  # pragma: no cover - observers must not break dispatch
                 pass
 
@@ -612,6 +621,23 @@ class ShardPool:
         with self._registry_lock:
             self._live_segments.discard(published.key[-1])
 
+    def _unlink_orphan(self, segment) -> None:
+        """Destroy a segment that never reached a tracked store.
+
+        The publication paths create the segment first and hand ownership to
+        ``self._published`` / ``self._plans`` last; if anything in between
+        raises (a worker pipe dying mid-broadcast, an injected publish
+        fault), the segment would otherwise outlive the pool — ``close()``
+        only unlinks what the tracked stores know about.
+        """
+        try:
+            segment.close()
+            segment.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+        with self._registry_lock:
+            self._live_segments.discard(segment.name)
+
     # -- chaos actions (fault-injection targets) -----------------------------
 
     def _chaos_kill_worker(self) -> None:
@@ -703,22 +729,28 @@ class ShardPool:
             raise ShardPoolError(f"cannot create shared memory: {error}") from error
         with self._registry_lock:
             self._live_segments.add(segment.name)
-        meta_columns: dict[str, dict] = {}
-        for column, layout in layouts.items():
-            source = layout.pop("source")
-            if layout["kind"] == "coded":
-                view = np.ndarray(
-                    rows, dtype=np.int64, buffer=segment.buf, offset=layout["offset"]
-                )
-            else:
-                view = np.ndarray(
-                    rows, dtype=np.dtype(layout["dtype"]), buffer=segment.buf,
-                    offset=layout["offset"],
-                )
-            view[:] = source
-            meta_columns[column] = layout
-        meta = {"rows": rows, "columns": meta_columns}
-        self._broadcast(("publish", segment.name, meta))
+        try:
+            meta_columns: dict[str, dict] = {}
+            for column, layout in layouts.items():
+                source = layout.pop("source")
+                if layout["kind"] == "coded":
+                    view = np.ndarray(
+                        rows, dtype=np.int64, buffer=segment.buf, offset=layout["offset"]
+                    )
+                else:
+                    view = np.ndarray(
+                        rows, dtype=np.dtype(layout["dtype"]), buffer=segment.buf,
+                        offset=layout["offset"],
+                    )
+                view[:] = source
+                meta_columns[column] = layout
+            meta = {"rows": rows, "columns": meta_columns}
+            self._broadcast(("publish", segment.name, meta))
+        except BaseException:
+            # Ownership never transferred to self._published: unlink here or
+            # the segment outlives the pool (close() would not know it).
+            self._unlink_orphan(segment)
+            raise
         return PublishedTable(
             key=key + (segment.name,), segment=segment, meta=meta, num_rows=rows,
             faithful=frozenset(faithful),
@@ -773,8 +805,14 @@ class ShardPool:
             raise ShardPoolError(f"cannot create shared memory: {error}") from error
         with self._registry_lock:
             self._live_segments.add(segment.name)
-        segment.buf[: len(payload)] = payload
-        self._broadcast(("plan", segment.name, len(payload)))
+        try:
+            segment.buf[: len(payload)] = payload
+            self._broadcast(("plan", segment.name, len(payload)))
+        except BaseException:
+            # A broadcast failure before ownership reaches self._plans would
+            # leak the spec segment past close(); destroy it on the spot.
+            self._unlink_orphan(segment)
+            raise
         self._plans[key] = PublishedPlan(key=key, segment=segment, size=len(payload))
         return segment.name, True
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import hashlib
 import math
-from typing import Iterable, Sequence
+from collections.abc import Iterable, Sequence
 
 import numpy as np
 
@@ -51,7 +51,7 @@ class HyperLogLog:
         for value in values:
             self.add(value)
 
-    def merge(self, other: "HyperLogLog") -> None:
+    def merge(self, other: HyperLogLog) -> None:
         """Merge another sketch with the same precision into this one."""
         if other.precision != self.precision:
             raise ConfigurationError("cannot merge sketches with different precisions")

@@ -13,7 +13,7 @@ from __future__ import annotations
 import dataclasses
 import re
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Sequence
+from collections.abc import Callable, Iterable, Sequence
 
 
 _SAFE_IDENTIFIER = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
@@ -59,11 +59,11 @@ class SqlNode:
 class Expression(SqlNode):
     """Base class for scalar expressions."""
 
-    def children(self) -> Iterable["Expression"]:
+    def children(self) -> Iterable[Expression]:
         """Yield direct sub-expressions (used by analysis passes)."""
         return ()
 
-    def walk(self) -> Iterable["Expression"]:
+    def walk(self) -> Iterable[Expression]:
         """Yield this expression and every nested sub-expression."""
         yield self
         for child in self.children():
@@ -312,7 +312,7 @@ class IsNull(Expression):
 class ScalarSubquery(Expression):
     """A subquery used as a scalar value, e.g. ``price > (SELECT avg(price) ...)``."""
 
-    query: "SelectStatement"
+    query: SelectStatement
 
     def to_sql(self, dialect=DEFAULT_DIALECT) -> str:
         return f"({self.query.to_sql(dialect)})"
@@ -350,7 +350,7 @@ class TableRef(Relation):
 class DerivedTable(Relation):
     """A subquery in the FROM clause; always aliased."""
 
-    query: "SelectStatement"
+    query: SelectStatement
     alias: str
 
     @property

@@ -19,7 +19,7 @@ proportional to the rows a query can actually touch.
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping, Sequence
+from collections.abc import Iterable, Mapping, Sequence
 
 import numpy as np
 
@@ -96,7 +96,7 @@ class Table:
         column_names: Sequence[str],
         rows: Iterable[Sequence],
         chunk_rows: int | None = None,
-    ) -> "Table":
+    ) -> Table:
         """Build a table from an iterable of row tuples."""
         materialized = [tuple(row) for row in rows]
         columns: dict[str, np.ndarray] = {}
@@ -299,14 +299,14 @@ class Table:
 
     # -- mutation -------------------------------------------------------------
 
-    def take(self, indices: np.ndarray) -> "Table":
+    def take(self, indices: np.ndarray) -> Table:
         """Return a new table containing the rows selected by ``indices``."""
         result = Table(self.name, chunk_rows=self.chunk_rows)
         for column_name in self._chunks:
             result.add_column(column_name, self.column(column_name)[indices])
         return result
 
-    def filter(self, mask: np.ndarray) -> "Table":
+    def filter(self, mask: np.ndarray) -> Table:
         """Return a new table containing the rows where ``mask`` is True."""
         return self.take(np.flatnonzero(np.asarray(mask, dtype=bool)))
 
@@ -426,7 +426,7 @@ class Table:
         zones.extend(zone_map_for_chunk(chunk) for chunk in chunks[first_dirty:])
         return zones
 
-    def append_table(self, other: "Table") -> None:
+    def append_table(self, other: Table) -> None:
         """Append all rows of ``other`` (columns matched by name)."""
         self.append_rows(other.column_names, other.rows())
 
@@ -443,7 +443,7 @@ class Table:
                     total += chunk.nbytes
         return total
 
-    def copy(self, name: str | None = None) -> "Table":
+    def copy(self, name: str | None = None) -> Table:
         """Return a deep copy of the table, optionally renamed."""
         result = Table(name or self.name, chunk_rows=self.chunk_rows)
         for column_name in self._chunks:

@@ -1,0 +1,25 @@
+"""repro-lint: project-specific static analysis for the ParkMSW18 engine.
+
+Run as ``python -m tools.repro_lint src tests benchmarks``.  See
+``tools/repro_lint/__main__.py`` for the CLI and the ``rules`` package for
+the six REP rules enforcing the engine's concurrency, resource-lifecycle
+and error-boundary invariants.
+"""
+
+from tools.repro_lint.core import (
+    Finding,
+    LintResult,
+    ModuleSource,
+    Rule,
+    lint_sources,
+    run_lint,
+)
+
+__all__ = [
+    "Finding",
+    "LintResult",
+    "ModuleSource",
+    "Rule",
+    "lint_sources",
+    "run_lint",
+]

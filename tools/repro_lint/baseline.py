@@ -1,0 +1,65 @@
+"""Committed-baseline handling for the project linter.
+
+The baseline is a JSON file of finding fingerprints that predate a rule's
+introduction.  The gate ignores baselined findings (they are reported as
+"baselined", not failures) so a new rule can land with the debt it found
+recorded rather than fixed in the same change — while every *new* finding
+still fails CI.  Regenerate with ``python -m tools.repro_lint ...
+--write-baseline`` after deliberately accepting current findings; shrink it
+by fixing findings and regenerating (the file is sorted, so diffs review
+cleanly).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from tools.repro_lint.core import Finding
+
+DEFAULT_BASELINE = Path(__file__).resolve().parent / "baseline.json"
+
+
+def load_baseline(path: Path | None = None) -> set[str]:
+    """Fingerprints recorded in the baseline file (empty set when absent)."""
+    path = path or DEFAULT_BASELINE
+    if not path.exists():
+        return set()
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    entries = payload.get("findings", []) if isinstance(payload, dict) else payload
+    fingerprints: set[str] = set()
+    for entry in entries:
+        if isinstance(entry, str):
+            fingerprints.add(entry)
+        elif isinstance(entry, dict) and "fingerprint" in entry:
+            fingerprints.add(entry["fingerprint"])
+    return fingerprints
+
+
+def write_baseline(findings: list[Finding], path: Path | None = None) -> Path:
+    """Record current findings (their fingerprints + context) as accepted."""
+    path = path or DEFAULT_BASELINE
+    occurrences: dict[tuple, int] = {}
+    entries = []
+    for finding in sorted(findings, key=lambda f: (f.path, f.line, f.rule)):
+        slot = (finding.rule, finding.path, finding.snippet)
+        occurrence = occurrences.get(slot, 0)
+        occurrences[slot] = occurrence + 1
+        entries.append(
+            {
+                "fingerprint": finding.fingerprint(occurrence),
+                "rule": finding.rule,
+                "path": finding.path,
+                "line": finding.line,
+                "message": finding.message,
+            }
+        )
+    payload = {
+        "comment": (
+            "Accepted pre-existing findings; regenerate with "
+            "python -m tools.repro_lint src tests benchmarks --write-baseline"
+        ),
+        "findings": entries,
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    return path

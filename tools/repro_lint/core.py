@@ -1,0 +1,350 @@
+"""Core machinery of the project linter: findings, rules, suppressions.
+
+The linter is deliberately small and dependency-free: every rule works on
+the stdlib ``ast`` of one module (or, for the cross-module lock analysis, a
+set of modules) and reports :class:`Finding` records.  The orchestration in
+:func:`run_lint` handles everything rules should not care about — path
+scoping, inline suppressions, the committed baseline — so a rule is just
+"walk the tree, yield findings".
+
+Inline suppressions
+-------------------
+A finding is suppressed by a comment on the reported line (or on a
+comment-only line directly above it)::
+
+    risky_call()  # repro: ignore[REP004] -- reason the invariant is safe here
+
+The reason is **mandatory**: a suppression without ``-- reason`` text is
+itself reported (as ``REP000``) and cannot be suppressed.  This keeps every
+exemption auditable — `git grep 'repro: ignore'` is the exemption ledger.
+
+Baseline
+--------
+``baseline.json`` (committed next to this package) holds fingerprints of
+historical findings that predate a rule.  Fingerprints hash the rule, file
+and *source line text* — not the line number — so unrelated edits above a
+baselined finding do not resurrect it.  The gate fails only on findings
+that are neither suppressed nor baselined.
+"""
+
+from __future__ import annotations
+
+import ast
+import fnmatch
+import hashlib
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+#: Pseudo-rule for defects in suppression comments themselves.
+META_RULE = "REP000"
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro:\s*ignore\[([A-Z0-9,\s]+)\]\s*(?:--\s*(\S.*))?"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str  # repo-relative posix path
+    line: int  # 1-based
+    message: str
+    snippet: str = ""  # stripped source text of the reported line
+
+    def fingerprint(self, occurrence: int = 0) -> str:
+        """Stable identity for baselining (line-number independent)."""
+        payload = f"{self.rule}|{self.path}|{self.snippet}|{occurrence}"
+        return hashlib.sha1(payload.encode("utf-8")).hexdigest()[:16]
+
+    def as_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "snippet": self.snippet,
+        }
+
+
+@dataclass
+class Suppression:
+    """One parsed ``repro: ignore`` comment."""
+
+    line: int  # line the comment sits on
+    codes: tuple[str, ...]
+    reason: str | None
+
+
+class ModuleSource:
+    """One parsed module: source text, AST, per-line suppressions."""
+
+    def __init__(self, rel_path: str, text: str) -> None:
+        self.rel_path = rel_path.replace("\\", "/")
+        self.text = text
+        self.lines = text.splitlines()
+        self.tree = ast.parse(text, filename=rel_path)
+        self.suppressions = self._parse_suppressions()
+
+    def _parse_suppressions(self) -> list[Suppression]:
+        found = []
+        for number, line in enumerate(self.lines, start=1):
+            match = _SUPPRESS_RE.search(line)
+            if match is None:
+                continue
+            codes = tuple(
+                code.strip() for code in match.group(1).split(",") if code.strip()
+            )
+            reason = match.group(2)
+            found.append(
+                Suppression(line=number, codes=codes, reason=reason and reason.strip())
+            )
+        return found
+
+    def line_text(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+    def finding(self, rule: str, node_or_line, message: str) -> Finding:
+        line = getattr(node_or_line, "lineno", node_or_line)
+        return Finding(
+            rule=rule,
+            path=self.rel_path,
+            line=line,
+            message=message,
+            snippet=self.line_text(line),
+        )
+
+    def suppressed_lines(self, code: str) -> set[int]:
+        """Lines covered by a (well-formed) suppression for ``code``.
+
+        A comment-only suppression line extends its cover to the next
+        non-blank, non-comment line, so long multi-line statements can carry
+        the comment above them.
+        """
+        covered: set[int] = set()
+        for suppression in self.suppressions:
+            if suppression.reason is None or code not in suppression.codes:
+                continue
+            covered.add(suppression.line)
+            stripped = self.line_text(suppression.line)
+            if stripped.startswith("#"):
+                cursor = suppression.line + 1
+                while cursor <= len(self.lines):
+                    text = self.line_text(cursor)
+                    if text and not text.startswith("#"):
+                        covered.add(cursor)
+                        break
+                    cursor += 1
+        return covered
+
+
+class Rule:
+    """Base class: subclass, set ``code``/``name``/``scope``, implement checks.
+
+    ``check_module`` runs once per in-scope module; ``finish`` runs once
+    after every module was visited (for cross-module analyses — REP002's
+    lock graph).  Registration happens via ``__init_subclass__`` so a rule
+    module only needs to be imported to be active.
+    """
+
+    code: str = META_RULE
+    name: str = ""
+    description: str = ""
+    #: fnmatch patterns over repo-relative posix paths.
+    scope: tuple[str, ...] = ("*",)
+
+    registry: dict[str, type[Rule]] = {}
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        super().__init_subclass__(**kwargs)
+        if cls.code in Rule.registry:
+            raise ValueError(f"duplicate rule code {cls.code}")
+        Rule.registry[cls.code] = cls
+
+    def applies_to(self, rel_path: str) -> bool:
+        return any(fnmatch.fnmatch(rel_path, pattern) for pattern in self.scope)
+
+    def check_module(self, module: ModuleSource) -> list[Finding]:
+        return []
+
+    def finish(self) -> list[Finding]:
+        return []
+
+
+@dataclass
+class LintResult:
+    """Everything the reporters and the exit code need."""
+
+    findings: list[Finding] = field(default_factory=list)  # new (gate-failing)
+    baselined: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+    errors: list[str] = field(default_factory=list)  # unparsable files
+    files_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings and not self.errors
+
+
+def discover_files(paths: list[str], root: Path) -> list[Path]:
+    """Expand the CLI path arguments into a sorted list of ``.py`` files."""
+    files: list[Path] = []
+    for raw in paths:
+        path = (root / raw).resolve() if not Path(raw).is_absolute() else Path(raw)
+        if path.is_dir():
+            files.extend(
+                candidate
+                for candidate in sorted(path.rglob("*.py"))
+                if "__pycache__" not in candidate.parts
+            )
+        elif path.suffix == ".py":
+            files.append(path)
+    seen: set[Path] = set()
+    unique = []
+    for file in files:
+        if file not in seen:
+            seen.add(file)
+            unique.append(file)
+    return unique
+
+
+def active_rules(only: set[str] | None = None) -> list[Rule]:
+    # Importing the rules package populates Rule.registry.
+    from tools.repro_lint import rules  # noqa: F401
+
+    instances = [cls() for code, cls in sorted(Rule.registry.items())]
+    if only:
+        instances = [rule for rule in instances if rule.code in only]
+    return instances
+
+
+def lint_sources(
+    sources: dict[str, str],
+    only: set[str] | None = None,
+    baseline: set[str] | None = None,
+) -> LintResult:
+    """Lint in-memory sources (``{repo-relative path: text}``).
+
+    This is the single entry point both the CLI (after reading files) and
+    the test-suite fixtures use, so fixture snippets exercise exactly the
+    production scoping/suppression/baseline pipeline.
+    """
+    result = LintResult()
+    rules = active_rules(only)
+    modules: list[ModuleSource] = []
+    for rel_path, text in sources.items():
+        try:
+            modules.append(ModuleSource(rel_path, text))
+        except SyntaxError as error:
+            result.errors.append(f"{rel_path}: syntax error: {error.msg} (line {error.lineno})")
+    result.files_checked = len(modules)
+
+    raw: list[Finding] = []
+    module_map = {module.rel_path: module for module in modules}
+    for module in modules:
+        for suppression in module.suppressions:
+            if suppression.reason is None:
+                raw.append(
+                    module.finding(
+                        META_RULE,
+                        suppression.line,
+                        "suppression without a reason: use "
+                        "'# repro: ignore[REPxxx] -- why this is safe'",
+                    )
+                )
+        for rule in rules:
+            if rule.applies_to(module.rel_path):
+                raw.extend(rule.check_module(module))
+    for rule in rules:
+        raw.extend(rule.finish())
+
+    raw.sort(key=lambda finding: (finding.path, finding.line, finding.rule))
+
+    occurrences: dict[tuple, int] = {}
+    baseline = baseline or set()
+    for finding in raw:
+        module = module_map.get(finding.path)
+        if (
+            finding.rule != META_RULE
+            and module is not None
+            and finding.line in module.suppressed_lines(finding.rule)
+        ):
+            result.suppressed.append(finding)
+            continue
+        slot = (finding.rule, finding.path, finding.snippet)
+        occurrence = occurrences.get(slot, 0)
+        occurrences[slot] = occurrence + 1
+        if finding.fingerprint(occurrence) in baseline:
+            result.baselined.append(finding)
+        else:
+            result.findings.append(finding)
+    return result
+
+
+def run_lint(
+    paths: list[str],
+    root: Path | None = None,
+    only: set[str] | None = None,
+    baseline: set[str] | None = None,
+) -> LintResult:
+    """Lint files/directories on disk (paths relative to ``root``)."""
+    root = (root or Path.cwd()).resolve()
+    sources: dict[str, str] = {}
+    unreadable: list[str] = []
+    for file in discover_files(paths, root):
+        try:
+            rel = file.relative_to(root).as_posix()
+        except ValueError:
+            rel = file.as_posix()
+        try:
+            sources[rel] = file.read_text(encoding="utf-8")
+        except OSError as error:
+            unreadable.append(f"{rel}: unreadable: {error}")
+    result = lint_sources(sources, only=only, baseline=baseline)
+    result.errors.extend(unreadable)
+    return result
+
+
+# -- shared AST helpers used by several rules --------------------------------------
+
+
+def attribute_chain(node: ast.AST) -> str | None:
+    """``a.b.c`` for nested Attribute/Name nodes, else None."""
+    parts: list[str] = []
+    cursor = node
+    while isinstance(cursor, ast.Attribute):
+        parts.append(cursor.attr)
+        cursor = cursor.value
+    if isinstance(cursor, ast.Name):
+        parts.append(cursor.id)
+    elif parts:
+        parts.append("<expr>")
+    else:
+        return None
+    return ".".join(reversed(parts))
+
+
+def iter_functions(tree: ast.AST):
+    """Yield ``(class_name_or_None, function_node)`` for every def/async def."""
+
+    def walk(node: ast.AST, class_name: str | None):
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.ClassDef):
+                yield from walk(child, child.name)
+            elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield class_name, child
+                yield from walk(child, class_name)
+            else:
+                yield from walk(child, class_name)
+
+    yield from walk(tree, None)
+
+
+def references_name(node: ast.AST, name: str) -> bool:
+    return any(
+        isinstance(child, ast.Name) and child.id == name for child in ast.walk(node)
+    )

@@ -1,0 +1,52 @@
+"""Text and JSON reporters for lint results."""
+
+from __future__ import annotations
+
+import json
+
+from tools.repro_lint.core import LintResult
+
+
+def render_text(result: LintResult, verbose: bool = False) -> str:
+    lines: list[str] = []
+    for finding in result.findings:
+        lines.append(
+            f"{finding.path}:{finding.line}: {finding.rule} {finding.message}"
+        )
+        if finding.snippet:
+            lines.append(f"    {finding.snippet}")
+    for error in result.errors:
+        lines.append(f"error: {error}")
+    if verbose:
+        for finding in result.baselined:
+            lines.append(
+                f"baselined: {finding.path}:{finding.line}: "
+                f"{finding.rule} {finding.message}"
+            )
+        for finding in result.suppressed:
+            lines.append(
+                f"suppressed: {finding.path}:{finding.line}: "
+                f"{finding.rule} {finding.message}"
+            )
+    summary = (
+        f"{len(result.findings)} finding(s), {len(result.suppressed)} "
+        f"suppressed, {len(result.baselined)} baselined, "
+        f"{result.files_checked} file(s) checked"
+    )
+    lines.append(summary if result.findings or result.errors else f"OK: {summary}")
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    return json.dumps(
+        {
+            "ok": result.ok,
+            "files_checked": result.files_checked,
+            "findings": [finding.as_dict() for finding in result.findings],
+            "baselined": [finding.as_dict() for finding in result.baselined],
+            "suppressed": [finding.as_dict() for finding in result.suppressed],
+            "errors": result.errors,
+        },
+        indent=2,
+        sort_keys=True,
+    )

@@ -1,0 +1,236 @@
+"""REP001 — shared-memory segment lifecycle.
+
+Every ``SharedMemory(create=True)`` call publishes a ``/dev/shm`` file that
+outlives the process unless something ``unlink()``\\ s it.  The engine's
+invariant (asserted by the CI leak check) is that a created segment always
+reaches ``close()``/``unlink()``: either the creating function transfers
+ownership to a tracked store (after which ``ShardPool.close`` unlinks it),
+or it cleans up itself.
+
+The rule checks, per creating function:
+
+* every statement between the creation and the *ownership transfer* (a
+  ``return`` referencing the segment, or an assignment storing it into an
+  attribute/subscript — e.g. ``self._published[name] = ...``) that can raise
+  (contains any call) must sit under a ``try`` whose handlers or ``finally``
+  clean the segment up (``seg.close()``/``seg.unlink()`` or a helper call
+  that receives the segment);
+* a segment that never escapes the function must be cleaned up on some path
+  or registered in a tracked registry (``*.add(seg.name)``).
+
+Registration in a tracked registry (``_live_segments``-style) is recognized
+and never counts as a risky statement, but it does not by itself excuse an
+unprotected raise path — the registry records the leak, it does not prevent
+it.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from tools.repro_lint.core import (
+    Finding,
+    ModuleSource,
+    Rule,
+    attribute_chain,
+    iter_functions,
+    references_name,
+)
+
+#: Registry attribute names whose ``.add(...)`` marks a segment as tracked.
+TRACKED_REGISTRIES = ("_live_segments", "live_segments")
+
+#: Call attribute names that count as cleanup when the segment is involved.
+CLEANUP_ATTRS = ("close", "unlink")
+
+
+def _is_create_call(node: ast.Call) -> bool:
+    chain = attribute_chain(node.func) or ""
+    if not chain.split(".")[-1] == "SharedMemory":
+        return False
+    return any(
+        keyword.arg == "create"
+        and isinstance(keyword.value, ast.Constant)
+        and keyword.value.value is True
+        for keyword in node.keywords
+    )
+
+
+def _cleans_up(nodes: list[ast.stmt], var: str) -> bool:
+    """Whether the statements close/unlink ``var`` (directly or via helper)."""
+    for stmt in nodes:
+        for node in ast.walk(stmt):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = attribute_chain(node.func) or ""
+            attr = chain.split(".")[-1]
+            if attr in CLEANUP_ATTRS and chain.startswith(f"{var}."):
+                return True
+            # Helper style: self._unlink_segment(seg) / discard(seg.name)
+            if any(token in chain.lower() for token in ("unlink", "close", "dispose")):
+                if any(references_name(arg, var) for arg in node.args):
+                    return True
+    return False
+
+
+def _is_registry_registration(node: ast.Call, var: str) -> bool:
+    chain = attribute_chain(node.func) or ""
+    parts = chain.split(".")
+    if parts[-1] not in ("add", "discard"):
+        return False
+    if not any(registry in parts for registry in TRACKED_REGISTRIES):
+        return False
+    return any(references_name(arg, var) for arg in node.args)
+
+
+class SharedMemoryLifecycleRule(Rule):
+    code = "REP001"
+    name = "shm-lifecycle"
+    description = (
+        "SharedMemory(create=True) segments must reach close()/unlink() on "
+        "all paths (try/finally-style cleanup or tracked-registry ownership)"
+    )
+    scope = ("*",)
+
+    def check_module(self, module: ModuleSource) -> list[Finding]:
+        findings: list[Finding] = []
+        for _class_name, function in iter_functions(module.tree):
+            findings.extend(self._check_function(module, function))
+        return findings
+
+    # -- per-function analysis -------------------------------------------------
+
+    def _check_function(self, module: ModuleSource, function) -> list[Finding]:
+        creations = []  # (assign_stmt, var_name, call_node)
+        for stmt in ast.walk(function):
+            if not isinstance(stmt, ast.Assign):
+                continue
+            value = stmt.value
+            if isinstance(value, ast.Call) and _is_create_call(value):
+                if len(stmt.targets) == 1 and isinstance(stmt.targets[0], ast.Name):
+                    creations.append((stmt, stmt.targets[0].id, value))
+                else:
+                    creations.append((stmt, None, value))
+        findings: list[Finding] = []
+        for assign, var, call in creations:
+            if var is None:
+                findings.append(
+                    module.finding(
+                        self.code,
+                        call,
+                        "SharedMemory(create=True) result must be bound to a "
+                        "local name so its close()/unlink() path is checkable",
+                    )
+                )
+                continue
+            findings.extend(self._check_lifetime(module, function, assign, var))
+        return findings
+
+    def _check_lifetime(self, module, function, assign, var) -> list[Finding]:
+        # Linearize the function body into (statement, try-ancestors) pairs,
+        # in source order, tracking which statements come after the creation.
+        ordered: list[tuple[ast.stmt, list[ast.Try]]] = []
+        # Handlers of the try that *contains* the creation run only when the
+        # creation (or a sibling) raised — the segment is not live there.
+        skipped: set[int] = set()
+        creation_tries = {
+            id(candidate)
+            for candidate in ast.walk(function)
+            if isinstance(candidate, ast.Try)
+            and any(stmt is assign for stmt in candidate.body)
+        }
+
+        def walk(body: list[ast.stmt], tries: list[ast.Try]) -> None:
+            for stmt in body:
+                ordered.append((stmt, list(tries)))
+                if isinstance(stmt, ast.Try):
+                    walk(stmt.body, tries + [stmt])
+                    for handler in stmt.handlers:
+                        if id(stmt) in creation_tries:
+                            skipped.update(
+                                id(inner)
+                                for handler_stmt in handler.body
+                                for inner in ast.walk(handler_stmt)
+                            )
+                            skipped.update(id(s) for s in handler.body)
+                        walk(handler.body, tries)
+                    walk(stmt.orelse, tries)
+                    walk(stmt.finalbody, tries)
+                elif isinstance(stmt, (ast.If, ast.While, ast.For)):
+                    walk(stmt.body, tries)
+                    walk(stmt.orelse, tries)
+                elif isinstance(stmt, ast.With):
+                    walk(stmt.body, tries)
+
+        walk(function.body, [])
+
+        index = next(
+            (i for i, (stmt, _) in enumerate(ordered) if stmt is assign), None
+        )
+        if index is None:  # pragma: no cover - creation inside lambda/comprehension
+            return []
+
+        findings: list[Finding] = []
+        registered = False
+        escaped = False
+        cleaned_somewhere = False
+        for stmt, tries in ordered[index + 1 :]:
+            if id(stmt) in skipped:
+                continue
+            if _cleans_up([stmt], var):
+                cleaned_somewhere = True
+                continue
+            registration = any(
+                isinstance(node, ast.Call) and _is_registry_registration(node, var)
+                for node in ast.walk(stmt)
+            )
+            if registration:
+                registered = True
+                continue
+            # Ownership transfer ends this function's responsibility.
+            if isinstance(stmt, ast.Return) and stmt.value is not None:
+                if references_name(stmt.value, var):
+                    escaped = True
+                    break
+                continue
+            if isinstance(stmt, ast.Assign) and references_name(stmt.value, var):
+                if any(
+                    isinstance(target, (ast.Attribute, ast.Subscript))
+                    for target in stmt.targets
+                ):
+                    escaped = True
+                    break
+            if isinstance(stmt, (ast.Try, ast.With, ast.If, ast.While, ast.For)):
+                continue  # judged via their inner statements
+            risky = any(isinstance(node, ast.Call) for node in ast.walk(stmt))
+            if not risky:
+                continue
+            protected = any(
+                _cleans_up(
+                    [handler_stmt for handler in guard.handlers for handler_stmt in handler.body]
+                    + guard.finalbody,
+                    var,
+                )
+                for guard in tries
+            )
+            if not protected:
+                findings.append(
+                    module.finding(
+                        self.code,
+                        stmt,
+                        f"statement may raise while shared-memory segment "
+                        f"{var!r} is unowned: wrap it in try/finally (or "
+                        f"try/except) that calls {var}.close()/{var}.unlink()",
+                    )
+                )
+        if not escaped and not cleaned_somewhere and not registered:
+            findings.append(
+                module.finding(
+                    self.code,
+                    assign,
+                    f"shared-memory segment {var!r} neither escapes this "
+                    f"function, is registered in a tracked registry, nor is "
+                    f"closed/unlinked",
+                )
+            )
+        return findings

@@ -1,0 +1,379 @@
+"""REP002 — lock discipline across the engine's concurrency surfaces.
+
+Two checks over every module in scope (the engine, cache, pool, session,
+server, faults and connector layers — anywhere a lock lives):
+
+1. **Structured acquisition.**  A lock may only be acquired through a
+   ``with`` statement (``with self._lock:``, ``with lock.reading():``) or
+   through the explicit pattern ``lock.acquire*()`` immediately followed by
+   a ``try`` whose ``finally`` releases it.  A bare ``acquire()`` anywhere
+   else is a leak on the first exception.
+
+2. **Ordering.**  The rule builds a lock-acquisition graph: an edge
+   ``A -> B`` means some code acquires ``B`` while holding ``A`` — either
+   textually nested ``with`` blocks, or a ``self.method()`` call made while
+   holding ``A`` whose (transitively resolved, same-class) callee acquires
+   ``B``.  A cycle in that graph is a potential deadlock and is reported
+   once per cycle.  Self-edges are reported only for non-reentrant
+   primitives (``threading.Lock``); ``RLock``, ``Condition`` (reentrant by
+   default) and the engine's ``ReadWriteLock`` (reentrant write side) may
+   self-nest.
+
+Lock identity is resolved to ``Class.attr`` for ``self.X`` receivers and to
+a normalized attribute chain otherwise, so the same lock object referenced
+from several modules (``connector.session_lock``) lands on one graph node.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from tools.repro_lint.core import (
+    Finding,
+    ModuleSource,
+    Rule,
+    attribute_chain,
+    iter_functions,
+)
+
+_LOCKLIKE = re.compile(r"(^|_)(lock|locks|cond|condition|admission|mutex|sem)$")
+
+_ACQUIRE_METHODS = ("acquire", "acquire_read", "acquire_write")
+_RELEASE_METHODS = ("release", "release_read", "release_write")
+_CM_METHODS = ("reading", "writing")  # ReadWriteLock context managers
+
+#: Constructor name -> whether the primitive is reentrant for one thread.
+_REENTRANT_BY_CTOR = {
+    "Lock": False,
+    "Semaphore": False,
+    "BoundedSemaphore": False,
+    "RLock": True,
+    "Condition": True,  # threading.Condition defaults to an RLock
+    "ReadWriteLock": True,  # reentrant write side, read-inside-write no-op
+}
+
+
+def _is_locklike(chain: str | None) -> bool:
+    if not chain:
+        return False
+    return _LOCKLIKE.search(chain.split(".")[-1]) is not None
+
+
+def _normalize(chain: str, class_name: str | None) -> str:
+    """Graph-node id for a lock expression's attribute chain."""
+    parts = chain.split(".")
+    if parts[0] in ("self", "cls"):
+        parts = parts[1:]
+        if len(parts) == 1 and class_name:
+            return f"{class_name}.{parts[0]}"
+    return ".".join(part.lstrip("_") or part for part in parts)
+
+
+class LockDisciplineRule(Rule):
+    code = "REP002"
+    name = "lock-discipline"
+    description = (
+        "locks are acquired via with/try-finally only, and the cross-module "
+        "acquisition graph stays acyclic"
+    )
+    scope = (
+        "src/repro/*.py",
+        "src/repro/sqlengine/*.py",
+        "src/repro/api/*.py",
+        "src/repro/server/*.py",
+        "src/repro/connectors/*.py",
+        "src/repro/sampling/*.py",
+    )
+
+    def __init__(self) -> None:
+        #: node -> reentrant? (from observed constructors; default True to
+        #: stay conservative about self-edges on unknown primitives)
+        self._kinds: dict[str, bool] = {}
+        #: edge -> (module path, line) of one acquisition that witnessed it
+        self._edges: dict[tuple[str, str], tuple[str, int]] = {}
+        #: (class, method) -> directly acquired lock nodes
+        self._method_locks: dict[tuple[str | None, str], set[str]] = {}
+        #: (class, method) -> same-class methods it calls
+        self._method_calls: dict[tuple[str | None, str], set[str]] = {}
+        #: deferred nested-call contexts: (held node, class, callee, path, line)
+        self._held_calls: list[tuple[str, str | None, str, str, int]] = []
+        self._self_edge_findings: list[Finding] = []
+
+    # -- per-module pass -------------------------------------------------------
+
+    def check_module(self, module: ModuleSource) -> list[Finding]:
+        findings: list[Finding] = []
+        self._collect_kinds(module)
+        for class_name, function in iter_functions(module.tree):
+            findings.extend(self._check_function(module, class_name, function))
+        return findings
+
+    def _collect_kinds(self, module: ModuleSource) -> None:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Assign) or not isinstance(node.value, ast.Call):
+                continue
+            ctor = (attribute_chain(node.value.func) or "").split(".")[-1]
+            if ctor not in _REENTRANT_BY_CTOR:
+                continue
+            for target in node.targets:
+                chain = attribute_chain(target)
+                if chain is None:
+                    continue
+                class_name = self._enclosing_class(module, node)
+                self._kinds[_normalize(chain, class_name)] = _REENTRANT_BY_CTOR[ctor]
+
+    @staticmethod
+    def _enclosing_class(module: ModuleSource, node: ast.AST) -> str | None:
+        target_line = node.lineno
+        best = None
+        for candidate in ast.walk(module.tree):
+            if isinstance(candidate, ast.ClassDef):
+                if candidate.lineno <= target_line <= (candidate.end_lineno or 0):
+                    best = candidate.name
+        return best
+
+    # -- acquisition extraction ------------------------------------------------
+
+    def _with_lock_node(self, item: ast.withitem, class_name: str | None):
+        """Lock node id for one with-item, or None when it is not a lock."""
+        expr = item.context_expr
+        if isinstance(expr, ast.Call):
+            chain = attribute_chain(expr.func)
+            if chain and chain.split(".")[-1] in _CM_METHODS:
+                receiver = ".".join(chain.split(".")[:-1])
+                if receiver:
+                    return _normalize(receiver, class_name)
+            return None
+        chain = attribute_chain(expr)
+        if _is_locklike(chain):
+            return _normalize(chain, class_name)
+        return None
+
+    def _check_function(self, module, class_name, function) -> list[Finding]:
+        findings: list[Finding] = []
+        method_key = (class_name, function.name)
+        self._method_locks.setdefault(method_key, set())
+        self._method_calls.setdefault(method_key, set())
+
+        def visit(body: list[ast.stmt], held: list[str]) -> None:
+            for index, stmt in enumerate(body):
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue  # analyzed as their own function
+                if isinstance(stmt, ast.With):
+                    acquired = []
+                    for item in stmt.items:
+                        node = self._with_lock_node(item, class_name)
+                        if node is None:
+                            continue
+                        acquired.append(node)
+                        self._record_acquisition(module, stmt, held + acquired[:-1], node)
+                    visit(stmt.body, held + acquired)
+                    continue
+                # Bare lock.acquire*() statements.
+                if (
+                    isinstance(stmt, ast.Expr)
+                    and isinstance(stmt.value, ast.Call)
+                ):
+                    chain = attribute_chain(stmt.value.func) or ""
+                    attr = chain.split(".")[-1]
+                    receiver = ".".join(chain.split(".")[:-1])
+                    if attr in _ACQUIRE_METHODS and (
+                        _is_locklike(receiver or None)
+                        or attr != "acquire"  # acquire_read/write are lock-only names
+                    ):
+                        node = _normalize(receiver or chain, class_name)
+                        if not self._releases_in_next_finally(body[index + 1 :], attr, receiver):
+                            findings.append(
+                                module.finding(
+                                    self.code,
+                                    stmt,
+                                    f"lock {node!r} acquired outside a 'with' "
+                                    "block and not immediately followed by "
+                                    "try/finally releasing it",
+                                )
+                            )
+                        else:
+                            self._record_acquisition(module, stmt, held, node)
+                        continue
+                # Same-class calls made while holding a lock (resolved in finish()).
+                if held:
+                    for node in ast.walk(stmt):
+                        if isinstance(node, ast.Call):
+                            chain = attribute_chain(node.func) or ""
+                            parts = chain.split(".")
+                            if len(parts) == 2 and parts[0] in ("self", "cls"):
+                                self._method_calls[method_key].add(parts[1])
+                                for lock in held:
+                                    self._held_calls.append(
+                                        (
+                                            lock,
+                                            class_name,
+                                            parts[1],
+                                            module.rel_path,
+                                            node.lineno,
+                                        )
+                                    )
+                # Record plain self-calls too (for transitive closure roots).
+                for node in ast.walk(stmt):
+                    if isinstance(node, ast.Call):
+                        chain = attribute_chain(node.func) or ""
+                        parts = chain.split(".")
+                        if len(parts) == 2 and parts[0] in ("self", "cls"):
+                            self._method_calls[method_key].add(parts[1])
+                for child_body in self._inner_bodies(stmt):
+                    visit(child_body, held)
+
+        def record_direct_locks(body: list[ast.stmt]) -> None:
+            for stmt in ast.walk(ast.Module(body=body, type_ignores=[])):
+                if isinstance(stmt, ast.With):
+                    for item in stmt.items:
+                        node = self._with_lock_node(item, class_name)
+                        if node is not None:
+                            self._method_locks[method_key].add(node)
+
+        visit(function.body, [])
+        record_direct_locks(function.body)
+        return findings
+
+    @staticmethod
+    def _inner_bodies(stmt: ast.stmt):
+        if isinstance(stmt, (ast.If, ast.While, ast.For)):
+            yield stmt.body
+            yield stmt.orelse
+        elif isinstance(stmt, ast.Try):
+            yield stmt.body
+            for handler in stmt.handlers:
+                yield handler.body
+            yield stmt.orelse
+            yield stmt.finalbody
+
+    @staticmethod
+    def _releases_in_next_finally(rest: list[ast.stmt], acquire_attr: str, receiver: str) -> bool:
+        release_names = {
+            "acquire": ("release",),
+            "acquire_read": ("release_read",),
+            "acquire_write": ("release_write",),
+        }[acquire_attr]
+        for stmt in rest[:1]:  # must be the *immediately* following statement
+            if not isinstance(stmt, ast.Try) or not stmt.finalbody:
+                return False
+            for node in ast.walk(ast.Module(body=stmt.finalbody, type_ignores=[])):
+                if isinstance(node, ast.Call):
+                    chain = attribute_chain(node.func) or ""
+                    parts = chain.split(".")
+                    if parts[-1] in release_names and (
+                        not receiver or chain.startswith(receiver + ".")
+                    ):
+                        return True
+            return False
+        return False
+
+    def _record_acquisition(self, module, stmt, held: list[str], node: str) -> None:
+        for lock in held:
+            if lock == node:
+                if not self._kinds.get(node, True):
+                    self._self_edge_findings.append(
+                        module.finding(
+                            self.code,
+                            stmt,
+                            f"non-reentrant lock {node!r} re-acquired while "
+                            "already held (self-deadlock)",
+                        )
+                    )
+                continue
+            self._edges.setdefault((lock, node), (module.rel_path, stmt.lineno))
+
+    # -- cross-module pass -----------------------------------------------------
+
+    def finish(self) -> list[Finding]:
+        findings = list(self._self_edge_findings)
+        closure = self._lock_closure()
+        for held, class_name, callee, path, line in self._held_calls:
+            for lock in closure.get((class_name, callee), set()):
+                if lock == held:
+                    if not self._kinds.get(held, True):
+                        findings.append(
+                            Finding(
+                                rule=self.code,
+                                path=path,
+                                line=line,
+                                message=(
+                                    f"call to {callee}() re-acquires "
+                                    f"non-reentrant lock {held!r} already "
+                                    "held here (self-deadlock)"
+                                ),
+                            )
+                        )
+                    continue
+                self._edges.setdefault((held, lock), (path, line))
+        findings.extend(self._cycle_findings())
+        self._reset_state()
+        return findings
+
+    def _lock_closure(self) -> dict[tuple[str | None, str], set[str]]:
+        closure = {key: set(locks) for key, locks in self._method_locks.items()}
+        changed = True
+        while changed:
+            changed = False
+            for key, callees in self._method_calls.items():
+                bucket = closure.setdefault(key, set())
+                for callee in callees:
+                    callee_key = (key[0], callee)
+                    extra = closure.get(callee_key, set())
+                    if not extra.issubset(bucket):
+                        bucket.update(extra)
+                        changed = True
+        return closure
+
+    def _cycle_findings(self) -> list[Finding]:
+        graph: dict[str, set[str]] = {}
+        for (source, target), _ in self._edges.items():
+            graph.setdefault(source, set()).add(target)
+            graph.setdefault(target, set())
+        findings = []
+        seen_cycles: set[frozenset] = set()
+        state: dict[str, int] = {}
+        stack: list[str] = []
+
+        def dfs(node: str) -> None:
+            state[node] = 1
+            stack.append(node)
+            for neighbor in sorted(graph.get(node, ())):
+                if state.get(neighbor, 0) == 0:
+                    dfs(neighbor)
+                elif state.get(neighbor) == 1:
+                    cycle = stack[stack.index(neighbor) :] + [neighbor]
+                    key = frozenset(cycle)
+                    if key not in seen_cycles:
+                        seen_cycles.add(key)
+                        first_edge = (cycle[0], cycle[1])
+                        path, line = self._edges.get(first_edge, ("<unknown>", 1))
+                        findings.append(
+                            Finding(
+                                rule=self.code,
+                                path=path,
+                                line=line,
+                                message=(
+                                    "lock ordering cycle: "
+                                    + " -> ".join(cycle)
+                                    + " (potential deadlock; pick one global "
+                                    "order and stick to it)"
+                                ),
+                            )
+                        )
+            stack.pop()
+            state[node] = 2
+
+        for node in sorted(graph):
+            if state.get(node, 0) == 0:
+                dfs(node)
+        return findings
+
+    def _reset_state(self) -> None:
+        self._kinds = {}
+        self._edges = {}
+        self._method_locks = {}
+        self._method_calls = {}
+        self._held_calls = []
+        self._self_edge_findings = []

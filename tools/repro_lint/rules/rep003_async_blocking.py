@@ -1,0 +1,122 @@
+"""REP003 — no blocking calls on the event loop.
+
+The asyncio front-end (:mod:`repro.api.aio`) wraps the synchronous session:
+every call that can block — statement execution (which may wait on the
+engine's writer lock), row materialization, session close — must route
+through the thread-executor wrapper (``self._run`` / ``run_in_executor``).
+
+The rule inspects every coroutine (``async def``) in scope and flags a
+direct call to a blocking-surface method (``execute``, ``fetch*``,
+``close``, ``prepare``, …) on a synchronous receiver.  Exemptions:
+
+* ``await``-ed calls (they resolve to async wrappers, not the sync API);
+* calls inside a ``lambda`` (the lambda body runs on the executor thread —
+  that *is* the wrapper pattern);
+* receivers that are themselves the executor bridge (``self._run(...)``,
+  ``loop.run_in_executor(...)``);
+* methods documented as loop-safe: ``cancel`` (the cross-task cancellation
+  token flip) and ``cursor`` (pure object construction, no I/O).
+
+``time.sleep`` inside a coroutine is always flagged (use ``asyncio.sleep``).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from tools.repro_lint.core import (
+    Finding,
+    ModuleSource,
+    Rule,
+    attribute_chain,
+)
+
+#: Methods of the synchronous session/cursor surface that block.
+BLOCKING_METHODS = frozenset(
+    {
+        "execute",
+        "executemany",
+        "fetchone",
+        "fetchmany",
+        "fetchall",
+        "prepare",
+        "close",
+        "health_check",
+        "commit",
+        "rollback",
+        "run_tasks",
+        "ensure_published",
+        "build_samples",
+    }
+)
+
+#: Receiver attributes that are allowed even with a blocking method name
+#: (the executor bridge itself, and asyncio's own objects).
+_BRIDGE_ATTRS = frozenset({"_run", "run_in_executor"})
+
+
+class AsyncBlockingRule(Rule):
+    code = "REP003"
+    name = "async-blocking"
+    description = (
+        "coroutines must route blocking session/engine calls through the "
+        "thread-executor wrapper"
+    )
+    scope = ("src/repro/*.py", "src/repro/*/*.py")
+
+    def check_module(self, module: ModuleSource) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.AsyncFunctionDef):
+                findings.extend(self._check_coroutine(module, node))
+        return findings
+
+    def _check_coroutine(self, module: ModuleSource, coroutine) -> list[Finding]:
+        findings: list[Finding] = []
+        awaited: set[int] = set()
+        in_lambda: set[int] = set()
+
+        for node in ast.walk(coroutine):
+            if isinstance(node, ast.Await) and isinstance(node.value, ast.Call):
+                awaited.add(id(node.value))
+            if isinstance(node, (ast.Lambda, ast.FunctionDef, ast.AsyncFunctionDef)):
+                if node is coroutine:
+                    continue
+                for inner in ast.walk(node):
+                    in_lambda.add(id(inner))
+
+        for node in ast.walk(coroutine):
+            if not isinstance(node, ast.Call) or id(node) in awaited or id(node) in in_lambda:
+                continue
+            chain = attribute_chain(node.func)
+            if chain is None:
+                continue
+            parts = chain.split(".")
+            attr = parts[-1]
+            if chain in ("time.sleep",):
+                findings.append(
+                    module.finding(
+                        self.code,
+                        node,
+                        "time.sleep() blocks the event loop; use await "
+                        "asyncio.sleep() or run it on the executor",
+                    )
+                )
+                continue
+            if attr not in BLOCKING_METHODS:
+                continue
+            receiver = parts[:-1]
+            if not receiver:
+                continue  # bare name call: not a session-surface method
+            if any(part in _BRIDGE_ATTRS for part in receiver):
+                continue
+            findings.append(
+                module.finding(
+                    self.code,
+                    node,
+                    f"blocking call {chain}() inside a coroutine: route it "
+                    "through the thread-executor wrapper "
+                    "(await self._run(...)) so the event loop never blocks",
+                )
+            )
+        return findings

@@ -1,0 +1,176 @@
+"""REP004 — error-boundary discipline.
+
+Two halves of one invariant ("only :mod:`repro.errors` types cross the API
+boundary, and nothing is silently swallowed inside it"):
+
+1. **Raises** (public layers: ``api/``, ``server/``, ``client.py``): every
+   ``raise`` must raise a type imported from :mod:`repro.errors`.  Allowed
+   exceptions: bare re-raises, re-raising a caught exception variable,
+   control-flow builtins (``StopIteration``/``StopAsyncIteration``),
+   ``NotImplementedError``, and ``AttributeError`` from inside
+   ``__getattr__`` (required by the attribute protocol — ``hasattr`` breaks
+   otherwise).
+
+2. **Broad handlers** (everywhere in ``src/repro``): an ``except
+   Exception:`` / ``except BaseException:`` handler that does not re-raise
+   (any ``raise`` in its body counts — wrapping in a typed error is the
+   point) hides failures.  Either narrow it to the typed errors the block
+   can actually produce, or suppress with a written reason explaining why
+   swallowing is the contract at that site (observer callbacks, wire
+   boundaries that serialize the error instead).
+"""
+
+from __future__ import annotations
+
+import ast
+import fnmatch
+
+from tools.repro_lint.core import (
+    Finding,
+    ModuleSource,
+    Rule,
+    attribute_chain,
+)
+
+_PUBLIC_SCOPE = ("src/repro/api/*.py", "src/repro/server/*.py", "src/repro/client.py")
+
+_CONTROL_FLOW_BUILTINS = frozenset(
+    {"StopIteration", "StopAsyncIteration", "NotImplementedError", "GeneratorExit"}
+)
+
+_BROAD_TYPES = frozenset({"Exception", "BaseException"})
+
+
+def _errors_names(module: ModuleSource) -> tuple[set[str], set[str]]:
+    """Names bound from repro.errors: (direct names, module aliases)."""
+    direct: set[str] = set()
+    aliases: set[str] = set()
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.ImportFrom):
+            if node.module == "repro.errors":
+                direct.update(alias.asname or alias.name for alias in node.names)
+            elif node.module == "repro":
+                for alias in node.names:
+                    if alias.name == "errors":
+                        aliases.add(alias.asname or alias.name)
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "repro.errors":
+                    aliases.add(alias.asname or "repro.errors")
+    # Locally defined subclasses of an imported error type also qualify
+    # (e.g. a module-private error that extends OperationalError).
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.ClassDef):
+            for base in node.bases:
+                base_name = (attribute_chain(base) or "").split(".")[-1]
+                if base_name in direct:
+                    direct.add(node.name)
+    return direct, aliases
+
+
+class ErrorBoundaryRule(Rule):
+    code = "REP004"
+    name = "error-boundary"
+    description = (
+        "public layers raise repro.errors types only; broad except handlers "
+        "must re-raise or carry a written justification"
+    )
+    scope = ("src/repro/*.py", "src/repro/*/*.py")
+
+    def check_module(self, module: ModuleSource) -> list[Finding]:
+        findings: list[Finding] = []
+        if any(
+            fnmatch.fnmatch(module.rel_path, pattern) for pattern in _PUBLIC_SCOPE
+        ):
+            findings.extend(self._check_raises(module))
+        findings.extend(self._check_broad_excepts(module))
+        return findings
+
+    # -- public-layer raises ---------------------------------------------------
+
+    def _check_raises(self, module: ModuleSource) -> list[Finding]:
+        direct, aliases = _errors_names(module)
+        caught = self._caught_names(module)
+        findings: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Raise) or node.exc is None:
+                continue
+            exc = node.exc
+            # `raise err` / `raise err from ...` re-raising a caught variable
+            if isinstance(exc, ast.Name) and exc.id in caught:
+                continue
+            target = exc.func if isinstance(exc, ast.Call) else exc
+            chain = attribute_chain(target)
+            if chain is None:
+                continue  # dynamically built exception: leave to review
+            parts = chain.split(".")
+            if parts[0] in aliases and len(parts) == 2:
+                continue  # errors.Something
+            name = parts[-1]
+            if name in direct or name in _CONTROL_FLOW_BUILTINS:
+                continue
+            if name == "AttributeError" and self._inside_getattr(module, node):
+                continue
+            findings.append(
+                module.finding(
+                    self.code,
+                    node,
+                    f"public layer raises {name!r}, which is not a "
+                    "repro.errors type: applications catching ReproError "
+                    "will miss it",
+                )
+            )
+        return findings
+
+    @staticmethod
+    def _caught_names(module: ModuleSource) -> set[str]:
+        return {
+            handler.name
+            for handler in ast.walk(module.tree)
+            if isinstance(handler, ast.ExceptHandler) and handler.name
+        }
+
+    @staticmethod
+    def _inside_getattr(module: ModuleSource, node: ast.AST) -> bool:
+        for candidate in ast.walk(module.tree):
+            if (
+                isinstance(candidate, ast.FunctionDef)
+                and candidate.name in ("__getattr__", "__getattribute__")
+                and candidate.lineno <= node.lineno <= (candidate.end_lineno or 0)
+            ):
+                return True
+        return False
+
+    # -- broad except handlers -------------------------------------------------
+
+    def _check_broad_excepts(self, module: ModuleSource) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler) or node.type is None:
+                continue
+            names = []
+            types = (
+                node.type.elts if isinstance(node.type, ast.Tuple) else [node.type]
+            )
+            for type_node in types:
+                chain = attribute_chain(type_node)
+                if chain:
+                    names.append(chain.split(".")[-1])
+            if not any(name in _BROAD_TYPES for name in names):
+                continue
+            reraises = any(
+                isinstance(child, ast.Raise) for child in ast.walk(node)
+            )
+            if reraises:
+                continue
+            findings.append(
+                module.finding(
+                    self.code,
+                    node,
+                    "broad 'except "
+                    + "/".join(name for name in names if name in _BROAD_TYPES)
+                    + "' swallows failures: narrow it to the typed errors "
+                    "this block can raise, or add a reasoned suppression",
+                )
+            )
+        return findings

@@ -1,0 +1,130 @@
+"""REP005 — cross-process payload safety.
+
+Task payloads dispatched to :class:`~repro.sqlengine.shardpool.ShardPool`
+workers cross a pipe (pickled) or shared memory.  The engine's invariant:
+payloads are frozen dataclasses, plain containers and primitives — never
+lambdas or closures (unpicklable or, worse, silently pickling enclosing
+state), and never handles to coordinator-side machinery (``Database``,
+connectors, sessions, catalogs), which would drag the whole engine across
+``fork`` boundaries and break the publish-once shared-memory design.
+
+The rule inspects every call to a dispatch surface (``run_tasks``,
+``publish_plan``, ``send``/``send_bytes`` on worker pipes is deliberately
+out of scope — those are the pool's own internals) and walks the argument
+expressions, following one level of local assignment (``tasks = [...]``
+built earlier in the same function).  Flagged inside a payload expression:
+
+* ``lambda`` and nested ``def`` references;
+* attribute chains ending in a forbidden handle name (``db``, ``database``,
+  ``connector``, ``session``, ``catalog``, ``engine``).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from tools.repro_lint.core import (
+    Finding,
+    ModuleSource,
+    Rule,
+    attribute_chain,
+    iter_functions,
+)
+
+DISPATCH_METHODS = frozenset({"run_tasks", "publish_plan"})
+
+FORBIDDEN_HANDLES = frozenset(
+    {"db", "database", "connector", "session", "catalog", "engine", "pool"}
+)
+
+
+class PayloadSafetyRule(Rule):
+    code = "REP005"
+    name = "payload-safety"
+    description = (
+        "shard-pool dispatch payloads carry frozen specs and primitives only "
+        "— no lambdas, closures or engine handles"
+    )
+    scope = ("src/repro/*.py", "src/repro/*/*.py")
+
+    def check_module(self, module: ModuleSource) -> list[Finding]:
+        findings: list[Finding] = []
+        for _class_name, function in iter_functions(module.tree):
+            findings.extend(self._check_function(module, function))
+        return findings
+
+    def _check_function(self, module: ModuleSource, function) -> list[Finding]:
+        # Local one-level def-use: name -> every value assigned to it here.
+        assignments: dict[str, list[ast.expr]] = {}
+        local_defs: set[str] = set()
+        for node in function.body:
+            for stmt in ast.walk(node):
+                if isinstance(stmt, ast.Assign):
+                    for target in stmt.targets:
+                        if isinstance(target, ast.Name):
+                            assignments.setdefault(target.id, []).append(stmt.value)
+                elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    local_defs.add(stmt.name)
+
+        findings: list[Finding] = []
+        for node in ast.walk(function):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = attribute_chain(node.func) or ""
+            if chain.split(".")[-1] not in DISPATCH_METHODS:
+                continue
+            payloads: list[ast.expr] = list(node.args) + [
+                keyword.value for keyword in node.keywords
+            ]
+            expanded: list[ast.expr] = []
+            for payload in payloads:
+                expanded.append(payload)
+                if isinstance(payload, ast.Name):
+                    expanded.extend(assignments.get(payload.id, []))
+            for payload in expanded:
+                findings.extend(
+                    self._check_payload(module, payload, local_defs)
+                )
+        return findings
+
+    def _check_payload(self, module, payload, local_defs: set[str]) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(payload):
+            if isinstance(node, ast.Lambda):
+                findings.append(
+                    module.finding(
+                        self.code,
+                        node,
+                        "lambda inside a shard-pool dispatch payload: "
+                        "closures do not cross process boundaries — ship a "
+                        "frozen spec and rebuild behavior worker-side",
+                    )
+                )
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                findings.append(
+                    module.finding(
+                        self.code,
+                        node,
+                        "function definition inside a dispatch payload",
+                    )
+                )
+            elif isinstance(node, ast.Name) and node.id in local_defs:
+                findings.append(
+                    module.finding(
+                        self.code,
+                        node,
+                        f"locally defined function {node.id!r} referenced in "
+                        "a dispatch payload (closure over coordinator state)",
+                    )
+                )
+            elif isinstance(node, ast.Attribute) and node.attr.lstrip("_") in FORBIDDEN_HANDLES:
+                findings.append(
+                    module.finding(
+                        self.code,
+                        node,
+                        f"engine handle '.{node.attr}' inside a dispatch "
+                        "payload: workers must receive frozen specs and "
+                        "primitives, never coordinator machinery",
+                    )
+                )
+        return findings
